@@ -1,0 +1,48 @@
+"""Figure 10 / Appendix D — accuracy vs mini-batch size (50–200).
+
+Test 4 (strongly convex, (ε,δ)-DP) on MNIST-like data for b in
+{50, 100, 150, 200}: "we achieve almost native accuracy as we increase the
+mini-batch size ... while the accuracy also increases for SCS13 and BST14
+..., their accuracy is still significantly worse than our algorithms".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figures import figure10_minibatch, load_experiment_dataset
+from repro.evaluation.reporting import format_series
+
+from bench_util import run_once, write_report
+
+EPSILONS = (0.5, 2.0, 4.0)
+BATCHES = (50, 100, 150, 200)
+
+
+def bench_fig10_minibatch_sizes(benchmark):
+    pair = load_experiment_dataset("mnist", scale=0.05, seed=0)
+    results = run_once(
+        benchmark, figure10_minibatch, pair,
+        epsilons=EPSILONS, batch_grid=BATCHES, passes=5, regularization=1e-3,
+    )
+    blocks = []
+    for batch, sweep in zip(BATCHES, results):
+        blocks.append(
+            format_series(
+                f"Figure 10: Test 4, mini-batch b = {batch}",
+                "epsilon", sweep.epsilons, sweep.series,
+            )
+        )
+    write_report("fig10_minibatch", "\n\n".join(blocks))
+
+    # ours >= both baselines at every batch size (mean over the grid).
+    for batch, sweep in zip(BATCHES, results):
+        ours = float(np.mean(sweep.series["ours"]))
+        assert ours >= float(np.mean(sweep.series["scs13"])) - 0.03
+        assert ours >= float(np.mean(sweep.series["bst14"])) - 0.03
+
+    # ours approaches native accuracy as b grows: at b = 200 the gap to
+    # noiseless at the largest epsilon is small.
+    final = results[-1]
+    gap = final.series["noiseless"][-1] - final.series["ours"][-1]
+    assert gap < 0.1, f"gap to noiseless at b=200: {gap}"

@@ -1,0 +1,63 @@
+"""Figure 1 / Section 4.2 — integration effort and architecture.
+
+Quantifies the bolt-on vs white-box integration contrast on our substrate
+(the stand-in for "~10 LOC of Python" vs "dozens of LOC of C in the UDA
+transition function"), and times the two noise-injection styles directly:
+one draw at the end vs one draw per mini-batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mechanisms import PrivacyParameters, SphericalLaplaceMechanism
+from repro.evaluation.figures import figure1_integration
+from repro.evaluation.reporting import format_table
+
+from bench_util import run_once, write_report
+
+
+def bench_fig1_integration_surface(benchmark):
+    fig = run_once(benchmark, figure1_integration)
+    meta = fig["meta"]
+    write_report(
+        "fig1_integration",
+        format_table(
+            [
+                {
+                    "style": "bolt-on (ours)",
+                    "integration_loc": meta["bolton_integration_loc"],
+                    "touches_engine": meta["bolton_touches_engine_internals"],
+                },
+                {
+                    "style": "white-box (SCS13/BST14)",
+                    "integration_loc": meta["whitebox_integration_loc"],
+                    "touches_engine": meta["whitebox_touches_engine_internals"],
+                },
+            ]
+        )
+        + f"\npaper claim: {meta['paper_claim']}",
+    )
+    assert meta["bolton_integration_loc"] <= 15
+    assert meta["whitebox_integration_loc"] > 3 * meta["bolton_integration_loc"]
+
+
+def bench_fig1_single_draw_cost(benchmark):
+    """The entire runtime cost the bolt-on approach adds: one noise draw."""
+    mech = SphericalLaplaceMechanism()
+    privacy = PrivacyParameters(0.1)
+    rng = np.random.default_rng(0)
+
+    result = benchmark(lambda: mech.sample(50, 0.01, privacy, rng))
+    assert result.shape == (50,)
+
+
+def bench_fig1_per_batch_draw_cost(benchmark):
+    """What SCS13/BST14 pay per mini-batch, i.e. m/b times per epoch."""
+    rng = np.random.default_rng(0)
+
+    def per_epoch_draws():
+        return [rng.normal(0.0, 1.0, size=50) for _ in range(1000)]
+
+    draws = benchmark(per_epoch_draws)
+    assert len(draws) == 1000

@@ -1,0 +1,110 @@
+"""Figure 2 — scalability of the (ε,δ)-DP algorithms in Bismarck.
+
+Panel (a): in-memory datasets, 10–50M examples (3.7–18.6 GB at d = 50).
+Panel (b): disk-based datasets, 0.4–1.2B examples (149–447 GB).
+
+Runtimes come from the calibrated cost model applied to the analytically
+derived work counters (validated against executed small runs by
+``bench_fig2_executed_consistency``). Asserted shapes: linear scaling for
+everyone, white-box algorithms ~2–6× slower in memory, and the gap
+collapsing in the I/O-bound disk regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figures import figure2_scalability
+from repro.evaluation.reporting import format_series
+from repro.optim.losses import LogisticLoss
+from repro.optim.schedules import ConstantSchedule
+from repro.rdbms.bismarck import BismarckSession
+from repro.rdbms.cost_model import CostModel
+from repro.rdbms.synthesizer import analytic_counters, dataset_size_gb
+from tests.conftest import make_binary_data
+
+from bench_util import run_once, write_report
+
+IN_MEMORY_SIZES = (10_000_000, 20_000_000, 30_000_000, 40_000_000, 50_000_000)
+DISK_SIZES = (200_000_000, 400_000_000, 800_000_000, 1_200_000_000)
+#: 64 GB of 8 KiB pages — the paper's machine.
+MEMORY_PAGES = 8_000_000
+
+
+def bench_fig2a_in_memory(benchmark):
+    fig = run_once(
+        benchmark, figure2_scalability,
+        sizes=IN_MEMORY_SIZES, buffer_pool_pages=MEMORY_PAGES,
+    )
+    text = format_series(
+        "Figure 2(a): in-memory scalability (simulated minutes/epoch, b=1, d=50)",
+        "millions", fig["x"], fig["series"],
+    )
+    sizes = ", ".join(f"{gb:.1f} GB" for gb in fig["meta"]["sizes_gb"])
+    write_report("fig2a_scalability_memory", text + f"\ndataset sizes: {sizes}")
+
+    series = fig["series"]
+    assert all(fig["meta"]["in_memory"])
+    for values in series.values():
+        # linear scaling: 5x data -> ~5x time
+        np.testing.assert_allclose(values[-1] / values[0], 5.0, rtol=0.05)
+    # ours tracks noiseless; white-box pays 2-6x at b=1
+    for i in range(len(fig["x"])):
+        assert series["bolton"][i] <= series["noiseless"][i] * 1.05
+        assert 1.5 < series["scs13"][i] / series["noiseless"][i] < 8.0
+        assert 1.5 < series["bst14"][i] / series["noiseless"][i] < 8.0
+
+
+def bench_fig2b_disk(benchmark):
+    fig = run_once(
+        benchmark, figure2_scalability,
+        sizes=DISK_SIZES, buffer_pool_pages=MEMORY_PAGES,
+    )
+    text = format_series(
+        "Figure 2(b): disk-based scalability (simulated minutes/epoch, b=1, d=50)",
+        "millions", fig["x"], fig["series"],
+    )
+    sizes = ", ".join(f"{gb:.0f} GB" for gb in fig["meta"]["sizes_gb"])
+    write_report("fig2b_scalability_disk", text + f"\ndataset sizes: {sizes}")
+
+    series = fig["series"]
+    assert not any(fig["meta"]["in_memory"])
+    # Linear in size.
+    for values in series.values():
+        np.testing.assert_allclose(values[-1] / values[0], 6.0, rtol=0.05)
+    # I/O dominates: the white-box overhead ratio is much smaller than in
+    # memory (the paper's "I/O costs ... dominate the runtime").
+    disk_ratio = series["scs13"][0] / series["noiseless"][0]
+    assert disk_ratio < 1.6
+
+
+def _executed_vs_analytic():
+    m, d, epochs, batch = 3000, 10, 2, 1
+    pool_pages = 10_000
+    X, y = make_binary_data(m, d, seed=0)
+    session = BismarckSession(buffer_pool_pages=pool_pages)
+    session.load_table("t", X, y)
+    report = session.run_scs13(
+        "t", LogisticLoss(), epsilon=1.0, epochs=epochs, batch_size=batch,
+        random_state=0,
+    )
+    analytic = analytic_counters(
+        m, d, epochs, batch, "scs13", pool_pages, warm_cache=False
+    )
+    simulated = CostModel().charge(analytic).total
+    return report.simulated_seconds, simulated, report.noise_draws, analytic.noise_draws
+
+
+def bench_fig2_executed_consistency(benchmark):
+    """The extrapolated counters agree with an actually-executed run."""
+    executed, simulated, draws_exec, draws_analytic = run_once(
+        benchmark, _executed_vs_analytic
+    )
+    write_report(
+        "fig2_consistency",
+        f"executed simulated-seconds: {executed:.6f}\n"
+        f"analytic simulated-seconds: {simulated:.6f}\n"
+        f"noise draws executed/analytic: {draws_exec}/{draws_analytic}",
+    )
+    assert draws_exec == draws_analytic
+    assert abs(executed - simulated) / simulated < 0.25

@@ -1,0 +1,79 @@
+"""Figure 4 — the effect of passes and mini-batch size (MNIST-like).
+
+(a) Test 1 (convex ε-DP, b = 1): 1/10/20 passes — more passes ⇒ more noise
+    ⇒ *worse* accuracy.
+(b) Test 3 (strongly convex ε-DP, b = 50): more passes cost nothing in
+    noise and help convergence.
+(c) Test 1 at 20 passes, b ∈ {1, 10, 50}: the b = 1 → 10 jump drastically
+    improves accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figures import (
+    figure4_batch_size,
+    figure4_passes,
+    load_experiment_dataset,
+)
+from repro.evaluation.reporting import format_series
+from repro.evaluation.scenarios import Scenario
+
+from bench_util import run_once, write_report
+
+EPSILONS = (0.5, 1.0, 2.0, 4.0)
+
+
+def _pair():
+    return load_experiment_dataset("mnist", scale=0.05, seed=0)
+
+
+def bench_fig4a_convex_passes(benchmark):
+    pair = _pair()
+    fig = run_once(
+        benchmark, figure4_passes, pair, Scenario.CONVEX_PURE,
+        epsilons=EPSILONS, batch_size=1,
+    )
+    write_report(
+        "fig4a_convex_passes",
+        format_series("Figure 4(a): convex, b=1 — passes hurt", "epsilon",
+                      fig["x"], fig["series"]),
+    )
+    one = np.mean(fig["series"]["1 pass"])
+    twenty = np.mean(fig["series"]["20 passes"])
+    assert one >= twenty - 0.02, f"1 pass {one} vs 20 passes {twenty}"
+
+
+def bench_fig4b_strongly_convex_passes(benchmark):
+    pair = _pair()
+    fig = run_once(
+        benchmark, figure4_passes, pair, Scenario.STRONGLY_CONVEX_PURE,
+        epsilons=EPSILONS, batch_size=50, regularization=1e-3,
+    )
+    write_report(
+        "fig4b_sc_passes",
+        format_series("Figure 4(b): strongly convex, b=50 — passes help",
+                      "epsilon", fig["x"], fig["series"]),
+    )
+    one = np.mean(fig["series"]["1 pass"])
+    twenty = np.mean(fig["series"]["20 passes"])
+    assert twenty >= one - 0.02, f"20 passes {twenty} vs 1 pass {one}"
+
+
+def bench_fig4c_batch_size(benchmark):
+    pair = _pair()
+    fig = run_once(
+        benchmark, figure4_batch_size, pair, epsilons=EPSILONS,
+        batch_grid=(1, 10, 50), passes=20,
+    )
+    write_report(
+        "fig4c_batch_size",
+        format_series("Figure 4(c): convex, 20 passes — batch size effect",
+                      "epsilon", fig["x"], fig["series"]),
+    )
+    b1 = np.mean(fig["series"]["mini-batch = 1"])
+    b10 = np.mean(fig["series"]["mini-batch = 10"])
+    b50 = np.mean(fig["series"]["mini-batch = 50"])
+    assert b10 >= b1, f"b=10 {b10} vs b=1 {b1}"
+    assert b50 >= b1

@@ -1,0 +1,95 @@
+"""Figures 8 and 9 — HIGGS-like and KDDCup-99-like datasets (Appendix C).
+
+The appendix's point: "for large datasets differential privacy comes for
+free with our algorithms" — at HIGGS scale the bolt-on noise is negligible
+and ours matches the noiseless line even at ε = 0.01, while SCS13/BST14
+remain notably worse at small ε.
+
+Figure 8 uses fixed (public) parameters; Figure 9 uses private tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figures import accuracy_figure_row
+from repro.evaluation.reporting import format_series
+from repro.evaluation.scenarios import Scenario
+
+from bench_util import run_once, write_report
+
+EPS = (0.01, 0.05, 0.2, 0.4)
+#: All four panels are asserted for HIGGS; both tuning styles are run.
+SCENARIOS = tuple(Scenario)
+
+
+def _row(dataset, scale, tuning, epsilons=EPS, scenarios=SCENARIOS):
+    return accuracy_figure_row(
+        dataset,
+        tuning=tuning,
+        scale=scale,
+        scenarios=scenarios,
+        epsilons=epsilons,
+        passes=5,
+        batch_size=50,
+        regularization=1e-3,
+        seed=0,
+    )
+
+
+def _write(name, title, results):
+    blocks = [
+        format_series(
+            f"{title} {sweep.scenario.value}", "epsilon",
+            sweep.epsilons, sweep.series,
+        )
+        for sweep in results
+    ]
+    write_report(name, "\n\n".join(blocks))
+
+
+def bench_fig8_higgs(benchmark):
+    results = run_once(benchmark, _row, "higgs", 0.01, "fixed")
+    _write("fig8_higgs", "Figure 8 [higgs-like]", results)
+    for sweep in results:
+        ours = sweep.series["ours"]
+        noiseless = sweep.series["noiseless"]
+        # privacy for free: ours within 2 points of noiseless from the
+        # second grid point on. (At eps = 0.01 the paper's full 10.5M-row
+        # HIGGS also gets it for free; our stand-in is 100x smaller, so
+        # the free regime starts one grid point later — allow 5 points.)
+        for i in range(len(ours)):
+            slack = 0.05 if i == 0 else 0.02
+            assert ours[i] >= noiseless[i] - slack, (
+                f"{sweep.scenario.name} @ eps={sweep.epsilons[i]}: "
+                f"{ours[i]} vs {noiseless[i]}"
+            )
+        # the white-box baselines do not get it for free at small eps
+        assert np.mean(sweep.series["scs13"]) < np.mean(ours) + 1e-9
+
+
+def bench_fig8_kddcup(benchmark):
+    results = run_once(benchmark, _row, "kddcup", 0.01, "fixed")
+    _write("fig8_kddcup", "Figure 8 [kddcup-like]", results)
+    for sweep in results:
+        assert np.mean(sweep.series["ours"]) >= np.mean(sweep.series["scs13"]) - 0.02
+
+
+def bench_fig9_higgs_private_tuning(benchmark):
+    results = run_once(
+        benchmark, _row, "higgs", 0.005, "private", (0.05, 0.4),
+        (Scenario.STRONGLY_CONVEX_PURE, Scenario.STRONGLY_CONVEX_APPROX),
+    )
+    _write("fig9_higgs", "Figure 9 [higgs-like]", results)
+    for sweep in results:
+        assert np.mean(sweep.series["ours"]) >= np.mean(sweep.series["scs13"]) - 0.05
+
+
+def bench_fig9_kddcup_private_tuning(benchmark):
+    results = run_once(
+        benchmark, _row, "kddcup", 0.01, "private", (0.05, 0.4),
+        (Scenario.STRONGLY_CONVEX_PURE, Scenario.STRONGLY_CONVEX_APPROX),
+    )
+    _write("fig9_kddcup", "Figure 9 [kddcup-like]", results)
+    for sweep in results:
+        assert np.mean(sweep.series["ours"]) >= np.mean(sweep.series["scs13"]) - 0.05

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the library's hot loops (real wall-clock).
+
+The figure benches report *simulated* engine seconds; these benchmark the
+actual Python implementation with repeated timed rounds so regressions in
+the optimizer or the mechanisms show up directly:
+
+* one PSGD epoch (the per-epoch unit every experiment multiplies),
+* one mini-batch gradient,
+* one spherical-Laplace draw vs one epoch's worth of per-batch Gaussian
+  draws — the bolt-on-vs-white-box runtime story at its smallest scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mechanisms import (
+    GaussianMechanism,
+    PrivacyParameters,
+    SphericalLaplaceMechanism,
+)
+from repro.optim.losses import LogisticLoss
+from repro.optim.psgd import run_psgd
+from repro.optim.schedules import ConstantSchedule
+from tests.conftest import make_binary_data
+
+M, D, BATCH = 5000, 50, 50
+X, Y = make_binary_data(M, D, seed=77)
+LOSS = LogisticLoss()
+
+
+def bench_psgd_epoch(benchmark):
+    result = benchmark(
+        lambda: run_psgd(
+            LOSS, X, Y, ConstantSchedule(0.01), passes=1, batch_size=BATCH,
+            random_state=0,
+        )
+    )
+    assert result.updates == M // BATCH
+
+
+def bench_minibatch_gradient(benchmark):
+    w = np.zeros(D)
+    gradient = benchmark(lambda: LOSS.batch_gradient(w, X[:BATCH], Y[:BATCH]))
+    assert gradient.shape == (D,)
+
+
+def bench_bolton_noise_total(benchmark):
+    """Everything the bolt-on approach adds at runtime: ONE draw."""
+    mechanism = SphericalLaplaceMechanism()
+    privacy = PrivacyParameters(0.1)
+    rng = np.random.default_rng(0)
+    noise = benchmark(lambda: mechanism.sample(D, 1e-3, privacy, rng))
+    assert noise.shape == (D,)
+
+
+def bench_whitebox_noise_total(benchmark):
+    """What SCS13/BST14 add per epoch: one Gaussian draw per mini-batch."""
+    mechanism = GaussianMechanism()
+    privacy = PrivacyParameters(0.1, 1e-8)
+    rng = np.random.default_rng(0)
+    draws_per_epoch = M // BATCH
+
+    def per_epoch():
+        return [
+            mechanism.sample(D, 1e-3, privacy, rng)
+            for _ in range(draws_per_epoch)
+        ]
+
+    draws = benchmark(per_epoch)
+    assert len(draws) == draws_per_epoch

@@ -1,0 +1,80 @@
+"""Table 2 — (ε,δ)-DP convergence rates, ours vs BST14.
+
+Regenerates the table's rate expressions at concrete (m, d) and verifies
+empirically that the *measured* excess empirical risk of the bolt-on
+algorithm shrinks with m at the predicted polynomial order while BST14's
+excess risk stays strictly worse at the same (m, ε, δ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bst14 import bst14_train
+from repro.core.bolton import private_strongly_convex_psgd
+from repro.evaluation.metrics import empirical_risk, reference_minimum_risk
+from repro.evaluation.reporting import format_table
+from repro.evaluation.tables import table2_rows
+from repro.optim.losses import LogisticLoss
+from tests.conftest import make_binary_data
+
+from bench_util import run_once, write_report
+
+
+def bench_table2_rate_expressions(benchmark):
+    rows = run_once(benchmark, table2_rows, sizes=(1_000, 10_000, 100_000, 1_000_000))
+    text = format_table(
+        rows,
+        ["m", "d", "ours_convex", "bst14_convex", "convex_advantage",
+         "ours_sc", "bst14_sc", "sc_advantage"],
+    )
+    write_report("table2_rates", text)
+    # Paper: ours better by log^{3/2} m (convex) and sqrt(d) log m (SC).
+    for row in rows:
+        assert row["ours_convex"] < row["bst14_convex"]
+        assert row["ours_sc"] < row["bst14_sc"]
+        assert row["convex_advantage"] == np.log(row["m"]) ** 1.5
+    assert rows[-1]["sc_advantage"] > rows[0]["sc_advantage"]
+
+
+def _measure_excess_risks():
+    lam, eps, delta = 0.05, 1.0, 1e-6
+    loss = LogisticLoss(regularization=lam)
+    rows = []
+    for m in (500, 2000, 8000):
+        X, y = make_binary_data(m, 10, seed=21)
+        reference = reference_minimum_risk(loss, X, y, passes=25, batch_size=10)
+        ours_runs, bst_runs = [], []
+        for seed in range(3):
+            ours = private_strongly_convex_psgd(
+                X, y, loss, eps, delta=delta, passes=2, batch_size=10,
+                random_state=seed,
+            )
+            ours_runs.append(empirical_risk(ours.model, loss, X, y) - reference)
+            bst = bst14_train(
+                X, y, loss, eps, delta, passes=2, batch_size=10,
+                radius=1 / lam, random_state=seed,
+            )
+            bst_runs.append(empirical_risk(bst.model, loss, X, y) - reference)
+        rows.append(
+            {
+                "m": m,
+                "ours_excess_risk": float(np.mean(ours_runs)),
+                "bst14_excess_risk": float(np.mean(bst_runs)),
+            }
+        )
+    return rows
+
+
+def bench_table2_empirical_excess_risk(benchmark):
+    rows = run_once(benchmark, _measure_excess_risks)
+    write_report(
+        "table2_empirical",
+        format_table(rows, ["m", "ours_excess_risk", "bst14_excess_risk"]),
+    )
+    # Shape: ours' excess risk decreases in m and stays below BST14's.
+    ours = [r["ours_excess_risk"] for r in rows]
+    bst = [r["bst14_excess_risk"] for r in rows]
+    assert ours[-1] < ours[0]
+    for o, b in zip(ours, bst):
+        assert o < b

@@ -1,0 +1,21 @@
+"""Helpers shared by the bench modules (kept out of conftest so the module
+name cannot collide with tests/conftest.py when both suites run in one
+pytest session)."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist one rendered panel under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` exactly once (experiments are too slow to repeat) and
+    return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

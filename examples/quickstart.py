@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: train a differentially private logistic-regression model.
+
+Demonstrates the bolt-on workflow end to end:
+
+1. load a dataset (a synthetic stand-in for the paper's Protein dataset);
+2. train with Algorithm 2 (strongly convex — the recommended default);
+3. inspect the privacy parameters, sensitivity, and accuracy;
+4. compare against the noiseless model and the SCS13/BST14 baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import LogisticLoss, private_strongly_convex_psgd
+from repro.baselines import bst14_train, scs13_train
+from repro.data import protein_like
+
+
+def main() -> None:
+    # 1. Data: ~7.3k training examples, 74 features, normalized onto the
+    #    unit L2 ball (a precondition of the privacy analysis).
+    train, test = protein_like(scale=0.1, seed=0)
+    print(f"dataset: {train.name}  m={train.size}  d={train.dimension}")
+
+    # 2. The privacy contract and the model class. R = 1/lambda follows the
+    #    paper's practice for constrained strongly convex optimization.
+    epsilon, delta = 0.2, 1.0 / train.size**2
+    regularization = 1e-3
+    loss = LogisticLoss(regularization=regularization)
+
+    result = private_strongly_convex_psgd(
+        train.features,
+        train.labels,
+        loss,
+        epsilon,
+        delta=delta,
+        passes=10,
+        batch_size=50,
+        random_state=42,
+    )
+
+    # 3. What the run produced.
+    print(f"privacy guarantee : {result.privacy}")
+    print(f"L2-sensitivity    : {result.sensitivity.value:.3e}"
+          f"  ({result.sensitivity.regime})")
+    print(f"noise magnitude   : {result.noise_norm:.4f}")
+    print(f"test accuracy     : {result.accuracy(test.features, test.labels):.4f}")
+    print(f"noiseless (never release!) accuracy: "
+          f"{result.noiseless_accuracy(test.features, test.labels):.4f}")
+
+    # 4. The state-of-the-art white-box baselines at the same guarantee.
+    scs13 = scs13_train(
+        train.features, train.labels, loss, epsilon, delta=delta,
+        passes=10, batch_size=50, radius=1 / regularization, random_state=42,
+    )
+    bst14 = bst14_train(
+        train.features, train.labels, loss, epsilon, delta,
+        passes=10, batch_size=50, radius=1 / regularization, random_state=42,
+    )
+    print(f"SCS13 accuracy    : {scs13.accuracy(test.features, test.labels):.4f}"
+          f"  ({scs13.noise_draws} noise draws)")
+    print(f"BST14 accuracy    : {bst14.accuracy(test.features, test.labels):.4f}"
+          f"  ({bst14.noise_draws} noise draws)")
+    print("ours used exactly 1 noise draw — that is the bolt-on approach.")
+
+
+if __name__ == "__main__":
+    main()

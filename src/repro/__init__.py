@@ -1,0 +1,91 @@
+"""repro — a reproduction of *Bolt-on Differential Privacy for Scalable
+Stochastic Gradient Descent-based Analytics* (Wu, Li, Kumar, Chaudhuri,
+Jha, Naughton — SIGMOD 2017).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import LogisticLoss, private_convex_psgd
+>>> from repro.data import protein_like
+>>> train, test = protein_like(seed=0).split()
+>>> result = private_convex_psgd(
+...     train.features, train.labels, LogisticLoss(),
+...     epsilon=1.0, passes=10, batch_size=50, random_state=0,
+... )
+>>> accuracy = result.accuracy(test.features, test.labels)
+
+Subpackages
+-----------
+``repro.core``
+    Algorithms 1–2 (the bolt-on private PSGD), sensitivity analysis,
+    noise mechanisms, accounting, convergence bounds.
+``repro.optim``
+    The non-private PSGD substrate (losses, schedules, projections).
+``repro.baselines``
+    SCS13 and BST14 white-box private SGD.
+``repro.rdbms``
+    A miniature in-RDBMS analytics engine standing in for Bismarck on
+    PostgreSQL (storage, UDAs, the epoch controller, the cost model).
+``repro.data``
+    Synthetic stand-ins for the paper's datasets, preprocessing, random
+    projection.
+``repro.tuning``
+    Public and private (Algorithm 3) hyper-parameter tuning.
+``repro.multiclass``
+    One-vs-rest training with privacy-budget splitting.
+``repro.evaluation``
+    The experiment harness regenerating every table and figure.
+"""
+
+from repro.core import (
+    BoltOnPrivateClassifier,
+    GaussianMechanism,
+    PrivateHuberSVM,
+    PrivateLogisticRegression,
+    PrivacyAccountant,
+    PrivacyParameters,
+    PrivateTrainingResult,
+    SensitivityBound,
+    SphericalLaplaceMechanism,
+    noiseless_psgd,
+    private_convex_psgd,
+    private_psgd,
+    private_strongly_convex_psgd,
+)
+from repro.optim import (
+    HingeLoss,
+    HuberSVMLoss,
+    LeastSquaresLoss,
+    LogisticLoss,
+    Loss,
+    PSGD,
+    PSGDConfig,
+    run_psgd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "private_convex_psgd",
+    "private_strongly_convex_psgd",
+    "private_psgd",
+    "noiseless_psgd",
+    "BoltOnPrivateClassifier",
+    "PrivateLogisticRegression",
+    "PrivateHuberSVM",
+    "PrivateTrainingResult",
+    "PrivacyParameters",
+    "PrivacyAccountant",
+    "SensitivityBound",
+    "SphericalLaplaceMechanism",
+    "GaussianMechanism",
+    "Loss",
+    "LogisticLoss",
+    "HuberSVMLoss",
+    "LeastSquaresLoss",
+    "HingeLoss",
+    "PSGD",
+    "PSGDConfig",
+    "run_psgd",
+]

@@ -1,0 +1,41 @@
+"""Shared result type for the white-box baseline algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mechanisms import PrivacyParameters
+from repro.optim.losses import Loss
+from repro.optim.psgd import PSGDResult
+from repro.utils.validation import check_matrix_labels
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one SCS13 / BST14 training run.
+
+    Unlike the bolt-on algorithms there is no single released noise vector:
+    noise enters every gradient update, so the model itself is the private
+    object and there is no meaningful noiseless twin.
+    """
+
+    model: np.ndarray
+    privacy: PrivacyParameters
+    algorithm: str
+    psgd: PSGDResult = field(repr=False)
+    loss: Loss = field(repr=False)
+    #: Per-update noise standard deviation (Gaussian) or scale (Laplace),
+    #: recorded for the runtime/overhead accounting.
+    per_step_noise_scale: Optional[float] = None
+    #: Number of noise samples drawn (== number of gradient updates).
+    noise_draws: int = 0
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.loss.predict(self.model, X)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        X, y = check_matrix_labels(X, y)
+        return float(np.mean(self.predict(X) == y))

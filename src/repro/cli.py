@@ -1,0 +1,130 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    python -m repro train --dataset protein --epsilon 0.2 [--delta auto]
+        Train a bolt-on private model on a registry dataset and report
+        accuracy, sensitivity, and noise magnitude.
+
+    python -m repro reproduce {table2,table3,table4,fig1,fig2} [options]
+        Regenerate one of the cheap paper artefacts and print it. (The
+        accuracy figures take minutes; run the benchmark harness for
+        those: ``pytest benchmarks/ --benchmark-only``.)
+
+The CLI is intentionally a thin shell over the library — everything it
+does is one public API call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.estimators import BoltOnPrivateClassifier
+from repro.data.registry import REGISTRY
+from repro.evaluation.figures import (
+    figure1_integration,
+    figure2_scalability,
+    load_experiment_dataset,
+)
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.tables import table2_rows, table3, table4_rows
+from repro.optim.losses import LogisticLoss
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bolt-on differentially private SGD (Wu et al., SIGMOD 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a private model on a dataset")
+    train.add_argument(
+        "--dataset", choices=sorted(REGISTRY), default="protein",
+        help="registry dataset (synthetic stand-in)",
+    )
+    train.add_argument("--epsilon", type=float, required=True)
+    train.add_argument(
+        "--delta", default="0",
+        help="'auto' for 1/m^2, or a float (0 = pure eps-DP)",
+    )
+    train.add_argument("--passes", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=50)
+    train.add_argument(
+        "--regularization", type=float, default=1e-3,
+        help="lambda; 0 selects the convex Algorithm 1",
+    )
+    train.add_argument("--loss", choices=("logistic", "huber"), default="logistic")
+    train.add_argument("--scale", type=float, default=None,
+                       help="dataset scale (default: registry default)")
+    train.add_argument("--seed", type=int, default=0)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate a paper artefact")
+    reproduce.add_argument(
+        "artefact", choices=("table2", "table3", "table4", "fig1", "fig2"),
+    )
+    return parser
+
+
+def _train(args: argparse.Namespace) -> int:
+    pair = load_experiment_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    train_ds, test_ds = pair.train, pair.test
+    if train_ds.num_classes != 2:
+        print(
+            f"{args.dataset} is multiclass; the CLI trains binary models — "
+            "use repro.multiclass.train_one_vs_rest from Python",
+            file=sys.stderr,
+        )
+        return 2
+    delta = 1.0 / train_ds.size**2 if args.delta == "auto" else float(args.delta)
+
+    classifier = BoltOnPrivateClassifier(
+        epsilon=args.epsilon,
+        delta=delta,
+        loss=args.loss,
+        regularization=args.regularization,
+        passes=args.passes,
+        batch_size=args.batch_size,
+    ).fit(train_ds.features, train_ds.labels, random_state=args.seed)
+
+    print(f"dataset         : {train_ds.name} (m={train_ds.size}, d={train_ds.dimension})")
+    print(f"privacy         : {classifier.privacy_}")
+    print(f"sensitivity     : {classifier.sensitivity_:.6g} "
+          f"({classifier.result_.sensitivity.regime})")
+    print(f"noise norm      : {classifier.noise_norm_:.6g}")
+    print(f"test accuracy   : {classifier.score(test_ds.features, test_ds.labels):.4f}")
+    return 0
+
+
+def _reproduce(args: argparse.Namespace) -> int:
+    if args.artefact == "table2":
+        print(format_table(table2_rows()))
+    elif args.artefact == "table3":
+        print(format_table(table3()))
+    elif args.artefact == "table4":
+        props = LogisticLoss(regularization=1e-4).properties(radius=1e4)
+        print(format_table(table4_rows(72876, props)))
+    elif args.artefact == "fig1":
+        fig = figure1_integration()
+        for key, value in fig["meta"].items():
+            print(f"{key}: {value}")
+    elif args.artefact == "fig2":
+        fig = figure2_scalability()
+        print(format_series(
+            "Figure 2(a) (simulated minutes/epoch)", "millions",
+            fig["x"], fig["series"],
+        ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _train(args)
+    return _reproduce(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    raise SystemExit(main())

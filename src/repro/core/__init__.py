@@ -1,0 +1,108 @@
+"""The paper's contribution: bolt-on differentially private PSGD.
+
+Public API
+----------
+:func:`private_convex_psgd`
+    Algorithm 1 (convex losses, constant step size).
+:func:`private_strongly_convex_psgd`
+    Algorithm 2 (strongly convex losses, ``min(1/beta, 1/(gamma t))`` step).
+:func:`private_psgd`
+    Generic entry point for the additional analysed schedules
+    (Corollaries 2–3).
+:mod:`repro.core.sensitivity`
+    Every L2-sensitivity closed form.
+:mod:`repro.core.mechanisms`
+    Spherical-Laplace (ε-DP) and Gaussian ((ε,δ)-DP) output perturbation.
+:mod:`repro.core.accountant`
+    Sequential / parallel composition bookkeeping.
+:mod:`repro.core.convergence`
+    Utility bounds (Theorems 10 & 12, Table 2 rates).
+"""
+
+from repro.core.accountant import (
+    PrivacyAccountant,
+    PrivacyBudgetExceeded,
+    PrivacySpend,
+    split_evenly,
+)
+from repro.core.bolton import (
+    PrivateTrainingResult,
+    noiseless_psgd,
+    private_convex_psgd,
+    private_psgd,
+    private_strongly_convex_psgd,
+)
+from repro.core.estimators import (
+    BoltOnPrivateClassifier,
+    PrivateHuberSVM,
+    PrivateLogisticRegression,
+)
+from repro.core.convergence import (
+    ConvexRiskBound,
+    check_privacy_risk,
+    convex_excess_risk_bound,
+    privacy_risk_bound,
+    strongly_convex_excess_risk_bound,
+    table2_advantage,
+    table2_rate_bst14_convex,
+    table2_rate_bst14_strongly_convex,
+    table2_rate_ours_convex,
+    table2_rate_ours_strongly_convex,
+    zinkevich_regret,
+)
+from repro.core.mechanisms import (
+    GaussianMechanism,
+    NoiseMechanism,
+    PrivacyParameters,
+    SphericalLaplaceMechanism,
+    mechanism_for,
+)
+from repro.core.sensitivity import (
+    SensitivityBound,
+    convex_constant_step,
+    convex_decreasing_step,
+    convex_decreasing_step_simplified,
+    convex_square_root_step,
+    sensitivity_for_schedule,
+    strongly_convex_constant_step,
+    strongly_convex_decreasing_step,
+)
+
+__all__ = [
+    "BoltOnPrivateClassifier",
+    "PrivateLogisticRegression",
+    "PrivateHuberSVM",
+    "PrivateTrainingResult",
+    "private_convex_psgd",
+    "private_strongly_convex_psgd",
+    "private_psgd",
+    "noiseless_psgd",
+    "PrivacyParameters",
+    "NoiseMechanism",
+    "SphericalLaplaceMechanism",
+    "GaussianMechanism",
+    "mechanism_for",
+    "SensitivityBound",
+    "convex_constant_step",
+    "convex_decreasing_step",
+    "convex_decreasing_step_simplified",
+    "convex_square_root_step",
+    "strongly_convex_constant_step",
+    "strongly_convex_decreasing_step",
+    "sensitivity_for_schedule",
+    "PrivacyAccountant",
+    "PrivacyBudgetExceeded",
+    "PrivacySpend",
+    "split_evenly",
+    "ConvexRiskBound",
+    "convex_excess_risk_bound",
+    "strongly_convex_excess_risk_bound",
+    "privacy_risk_bound",
+    "check_privacy_risk",
+    "zinkevich_regret",
+    "table2_rate_ours_convex",
+    "table2_rate_bst14_convex",
+    "table2_rate_ours_strongly_convex",
+    "table2_rate_bst14_strongly_convex",
+    "table2_advantage",
+]

@@ -1,0 +1,321 @@
+"""The bolt-on private PSGD algorithms (Algorithms 1 and 2).
+
+The algorithms are *instantiations of output perturbation*: run unmodified
+PSGD (the black box, :class:`repro.optim.PSGD`), compute the L2-sensitivity
+from the paper's analysis (:mod:`repro.core.sensitivity`), sample one noise
+vector (:mod:`repro.core.mechanisms`), and release ``w + kappa``.
+
+* :func:`private_convex_psgd` — Algorithm 1. Constant step ``eta <= 2/beta``
+  (default ``1/sqrt(m)``), ``Delta_2 = 2 k L eta / b``. ε-DP via spherical
+  Laplace noise (Theorem 4) or (ε,δ)-DP via Gaussian noise (Theorem 6).
+* :func:`private_strongly_convex_psgd` — Algorithm 2. Step
+  ``min(1/beta, 1/(gamma t))``, ``Delta_2 = 2 L / (gamma m b)`` —
+  independent of the number of passes (Theorems 5 and 7).
+* :func:`private_psgd` — the generic entry point covering the additional
+  step-size regimes of Corollaries 2–3.
+
+All three return a :class:`PrivateTrainingResult` whose ``model`` is the
+differentially private release. The noiseless model is retained on the
+result under a deliberately loud name (``unreleased_noiseless_model``)
+because the experiment harness needs it for utility accounting — releasing
+it would void the guarantee, and the docstring says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mechanisms import (
+    NoiseMechanism,
+    PrivacyParameters,
+    mechanism_for,
+)
+from repro.core.sensitivity import SensitivityBound, sensitivity_for_schedule
+from repro.optim.losses import Loss, LossProperties
+from repro.optim.projection import IdentityProjection, L2BallProjection, Projection
+from repro.optim.psgd import PSGD, PSGDConfig, PSGDResult
+from repro.optim.schedules import (
+    CappedInverseTSchedule,
+    ConstantSchedule,
+    StepSizeSchedule,
+)
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_matrix_labels,
+    check_positive,
+    check_positive_int,
+    check_unit_ball,
+)
+
+
+@dataclass
+class PrivateTrainingResult:
+    """The outcome of one bolt-on private training run.
+
+    ``model`` is the (ε, δ)-differentially private vector that may be
+    published. ``unreleased_noiseless_model`` is the pre-noise iterate kept
+    for experiment accounting only — **publishing it breaks the privacy
+    guarantee**.
+    """
+
+    model: np.ndarray
+    privacy: PrivacyParameters
+    sensitivity: SensitivityBound
+    noise_norm: float
+    unreleased_noiseless_model: np.ndarray
+    psgd: PSGDResult = field(repr=False)
+    loss: Loss = field(repr=False)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Sign predictions of the *private* model."""
+        return self.loss.predict(self.model, X)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Test accuracy of the private model."""
+        X, y = check_matrix_labels(X, y)
+        return float(np.mean(self.predict(X) == y))
+
+    def noiseless_accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of the unreleased noiseless model (diagnostics only)."""
+        X, y = check_matrix_labels(X, y)
+        return float(np.mean(self.loss.predict(self.unreleased_noiseless_model, X) == y))
+
+
+def _prepare(
+    X: np.ndarray,
+    y: np.ndarray,
+    require_unit_ball: bool,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    X, y = check_matrix_labels(X, y)
+    if require_unit_ball:
+        check_unit_ball(X)
+    m, d = X.shape
+    return X, y, m, d
+
+
+def _finish(
+    loss: Loss,
+    psgd_result: PSGDResult,
+    sensitivity: SensitivityBound,
+    privacy: PrivacyParameters,
+    mechanism: Optional[NoiseMechanism],
+    noise_rng: np.random.Generator,
+) -> PrivateTrainingResult:
+    """The output-perturbation step shared by every algorithm variant."""
+    mech = mechanism if mechanism is not None else mechanism_for(privacy)
+    noiseless = psgd_result.model
+    noise = mech.sample(noiseless.shape[0], sensitivity.value, privacy, noise_rng)
+    return PrivateTrainingResult(
+        model=noiseless + noise,
+        privacy=privacy,
+        sensitivity=sensitivity,
+        noise_norm=float(np.linalg.norm(noise)),
+        unreleased_noiseless_model=noiseless,
+        psgd=psgd_result,
+        loss=loss,
+    )
+
+
+def private_convex_psgd(
+    X: np.ndarray,
+    y: np.ndarray,
+    loss: Loss,
+    epsilon: float,
+    *,
+    delta: float = 0.0,
+    passes: int = 1,
+    eta: Optional[float] = None,
+    batch_size: int = 1,
+    projection: Optional[Projection] = None,
+    average: Optional[str] = None,
+    fresh_permutation_each_pass: bool = False,
+    mechanism: Optional[NoiseMechanism] = None,
+    random_state: RandomState = None,
+) -> PrivateTrainingResult:
+    """Algorithm 1 — Private Convex Permutation-based SGD.
+
+    Requires a convex (not strongly convex) loss whose derived properties
+    give ``gamma = 0``, and a constant step ``eta <= 2/beta``; the default
+    ``eta = 1/sqrt(m)`` matches Table 4. The release is ε-DP when
+    ``delta == 0`` (Theorem 4) and (ε,δ)-DP otherwise (Theorem 6).
+
+    Parameters mirror the paper's Table 1; ``projection`` defaults to
+    unconstrained optimization (the paper's convex experiments).
+    ``fresh_permutation_each_pass`` re-shuffles every pass — the paper's
+    analysis "extends verbatim" to this variant (Section 3.2.3), so the
+    sensitivity is unchanged.
+    """
+    X, y, m, d = _prepare(X, y, require_unit_ball=True)
+    check_positive(epsilon, "epsilon")
+    check_positive_int(passes, "passes")
+    privacy = PrivacyParameters(epsilon, delta)
+    proj = projection if projection is not None else IdentityProjection()
+
+    properties = loss.properties(
+        radius=proj.radius if np.isfinite(proj.radius) else None
+    )
+    if properties.is_strongly_convex:
+        raise ValueError(
+            "private_convex_psgd is Algorithm 1 (convex case); the supplied "
+            "loss is strongly convex — use private_strongly_convex_psgd "
+            "(Algorithm 2), whose sensitivity is smaller"
+        )
+    step = eta if eta is not None else 1.0 / np.sqrt(m)
+    schedule = ConstantSchedule(step)
+
+    sensitivity = sensitivity_for_schedule(
+        properties, schedule, m, passes, batch_size
+    )
+    perm_rng, noise_rng = spawn_generators(random_state, 2)
+    config = PSGDConfig(
+        schedule=schedule,
+        passes=passes,
+        batch_size=batch_size,
+        projection=proj,
+        average=average,
+        fresh_permutation_each_pass=fresh_permutation_each_pass,
+    )
+    result = PSGD(loss, config).run(X, y, random_state=perm_rng)
+    return _finish(loss, result, sensitivity, privacy, mechanism, noise_rng)
+
+
+def private_strongly_convex_psgd(
+    X: np.ndarray,
+    y: np.ndarray,
+    loss: Loss,
+    epsilon: float,
+    *,
+    delta: float = 0.0,
+    passes: int = 1,
+    batch_size: int = 1,
+    radius: Optional[float] = None,
+    average: Optional[str] = None,
+    fresh_permutation_each_pass: bool = False,
+    convergence_tolerance: Optional[float] = None,
+    mechanism: Optional[NoiseMechanism] = None,
+    random_state: RandomState = None,
+) -> PrivateTrainingResult:
+    """Algorithm 2 — Private Strongly Convex Permutation-based SGD.
+
+    Uses the schedule ``eta_t = min(1/beta, 1/(gamma t))`` and the
+    pass-independent sensitivity ``2L/(gamma m b)`` (Lemma 8). ε-DP when
+    ``delta == 0`` (Theorem 5), (ε,δ)-DP otherwise (Theorem 7).
+
+    ``radius`` bounds the hypothesis space (projection onto the L2 ball of
+    that radius); following the paper's practice we default to
+    ``R = 1/lambda`` where lambda is the loss's regularization constant.
+
+    ``convergence_tolerance`` enables the "k is oblivious" strategy of
+    Section 4.3: because the noise does not depend on k, PSGD may stop as
+    soon as the training loss plateaus, with ``passes`` acting as the cap K.
+    """
+    X, y, m, d = _prepare(X, y, require_unit_ball=True)
+    check_positive(epsilon, "epsilon")
+    check_positive_int(passes, "passes")
+    privacy = PrivacyParameters(epsilon, delta)
+
+    if radius is None:
+        if loss.regularization <= 0.0:
+            raise ValueError(
+                "a strongly convex loss requires regularization > 0; supply a "
+                "regularized loss or an explicit radius"
+            )
+        radius = 1.0 / loss.regularization
+    check_positive(radius, "radius")
+    proj = L2BallProjection(radius)
+
+    properties = loss.properties(radius=radius)
+    if not properties.is_strongly_convex:
+        raise ValueError(
+            "private_strongly_convex_psgd is Algorithm 2 (strongly convex "
+            "case); the supplied loss has gamma = 0 — use private_convex_psgd"
+        )
+    schedule = CappedInverseTSchedule(
+        beta=properties.smoothness, gamma=properties.strong_convexity
+    )
+    sensitivity = sensitivity_for_schedule(
+        properties, schedule, m, passes, batch_size
+    )
+    perm_rng, noise_rng = spawn_generators(random_state, 2)
+    config = PSGDConfig(
+        schedule=schedule,
+        passes=passes,
+        batch_size=batch_size,
+        projection=proj,
+        average=average,
+        fresh_permutation_each_pass=fresh_permutation_each_pass,
+        convergence_tolerance=convergence_tolerance,
+    )
+    result = PSGD(loss, config).run(X, y, random_state=perm_rng)
+    return _finish(loss, result, sensitivity, privacy, mechanism, noise_rng)
+
+
+def private_psgd(
+    X: np.ndarray,
+    y: np.ndarray,
+    loss: Loss,
+    epsilon: float,
+    schedule: StepSizeSchedule,
+    *,
+    delta: float = 0.0,
+    passes: int = 1,
+    batch_size: int = 1,
+    projection: Optional[Projection] = None,
+    average: Optional[str] = None,
+    mechanism: Optional[NoiseMechanism] = None,
+    random_state: RandomState = None,
+) -> PrivateTrainingResult:
+    """Generic bolt-on private PSGD for any analysed step-size schedule.
+
+    Covers the decreasing (Corollary 2) and square-root (Corollary 3)
+    regimes in addition to the two main algorithms. The sensitivity is
+    resolved by :func:`repro.core.sensitivity.sensitivity_for_schedule`,
+    which refuses schedules without a known bound.
+    """
+    X, y, m, d = _prepare(X, y, require_unit_ball=True)
+    check_positive(epsilon, "epsilon")
+    check_positive_int(passes, "passes")
+    privacy = PrivacyParameters(epsilon, delta)
+    proj = projection if projection is not None else IdentityProjection()
+
+    properties = loss.properties(
+        radius=proj.radius if np.isfinite(proj.radius) else None
+    )
+    sensitivity = sensitivity_for_schedule(properties, schedule, m, passes, batch_size)
+    perm_rng, noise_rng = spawn_generators(random_state, 2)
+    config = PSGDConfig(
+        schedule=schedule,
+        passes=passes,
+        batch_size=batch_size,
+        projection=proj,
+        average=average,
+    )
+    result = PSGD(loss, config).run(X, y, random_state=perm_rng)
+    return _finish(loss, result, sensitivity, privacy, mechanism, noise_rng)
+
+
+def noiseless_psgd(
+    X: np.ndarray,
+    y: np.ndarray,
+    loss: Loss,
+    schedule: StepSizeSchedule,
+    *,
+    passes: int = 1,
+    batch_size: int = 1,
+    projection: Optional[Projection] = None,
+    average: Optional[str] = None,
+    random_state: RandomState = None,
+) -> PSGDResult:
+    """The non-private baseline used throughout the evaluation section."""
+    X, y = check_matrix_labels(X, y)
+    config = PSGDConfig(
+        schedule=schedule,
+        passes=passes,
+        batch_size=batch_size,
+        projection=projection if projection is not None else IdentityProjection(),
+        average=average,
+    )
+    return PSGD(loss, config).run(X, y, random_state=random_state)

@@ -1,0 +1,173 @@
+"""Closed-form convergence (excess empirical risk) bounds.
+
+Implements the utility side of the paper's analysis:
+
+* Theorem 10 — convex, constant step ``eta = R/(L sqrt(m))``, 1-pass,
+  averaged, ε-DP: ``E[L_S(w~) - L*] <= (L + 2(12 + sqrt(L))) R / sqrt(m)
+  + 2 d L R / (eps sqrt(m))``.
+* Theorem 12 — strongly convex, ``eta_t = 1/(gamma t)``, 1-pass, averaged,
+  ε-DP: ``c ((L + beta R)^2 + G^2) log m / (gamma m) + 2 d G^2 / (eps gamma m)``.
+* Table 2 — the (ε,δ)-DP asymptotic rates of ours vs BST14 for a constant
+  number of passes, used by the Table 2 bench to show the crossover
+  behaviour analytically and to check the empirical scaling.
+* Lemma 11 — ``L_S(w) - L_S(w + kappa) <= L ||kappa||`` — as an executable
+  check used by tests.
+
+These are *upper bounds*; benches compare their scaling shape (slope in m,
+gap between ours and BST14) with measured excess risk.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optim.losses import Loss
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def zinkevich_regret(radius: float, lipschitz: float, steps: int, eta: float) -> float:
+    """Theorem 8 (Zinkevich): ``R(T) <= R^2/(2 eta) + L^2 T eta / 2``."""
+    check_positive(radius, "radius")
+    check_positive(lipschitz, "lipschitz")
+    check_positive_int(steps, "steps")
+    check_positive(eta, "eta")
+    return radius**2 / (2.0 * eta) + lipschitz**2 * steps * eta / 2.0
+
+
+def privacy_risk_bound(lipschitz: float, noise_norm: float) -> float:
+    """Lemma 11: the risk increase from output perturbation is ``L ||kappa||``."""
+    check_positive(lipschitz, "lipschitz")
+    if noise_norm < 0:
+        raise ValueError("noise_norm must be non-negative")
+    return lipschitz * noise_norm
+
+
+def check_privacy_risk(
+    loss: Loss,
+    X: np.ndarray,
+    y: np.ndarray,
+    w: np.ndarray,
+    kappa: np.ndarray,
+    lipschitz: float,
+) -> bool:
+    """Executable Lemma 11: verify ``L_S(w + kappa) - L_S(w) <= L ||kappa||``."""
+    before = loss.batch_value(np.asarray(w, dtype=np.float64), X, y)
+    after = loss.batch_value(np.asarray(w, dtype=np.float64) + kappa, X, y)
+    return after - before <= lipschitz * float(np.linalg.norm(kappa)) + 1e-9
+
+
+@dataclass(frozen=True)
+class ConvexRiskBound:
+    """Theorem 10's two terms, kept separate for reporting."""
+
+    optimization_term: float
+    privacy_term: float
+
+    @property
+    def total(self) -> float:
+        return self.optimization_term + self.privacy_term
+
+
+def convex_excess_risk_bound(
+    lipschitz: float, radius: float, m: int, dimension: int, epsilon: float
+) -> ConvexRiskBound:
+    """Theorem 10 (convex, constant step, 1 pass, ε-DP).
+
+    ``(L + 2(12 + sqrt(L))) R / sqrt(m)  +  2 d L R / (eps sqrt(m))``.
+    """
+    check_positive(lipschitz, "lipschitz")
+    check_positive(radius, "radius")
+    check_positive_int(m, "m")
+    check_positive_int(dimension, "dimension")
+    check_positive(epsilon, "epsilon")
+    optimization = (lipschitz + 2.0 * (12.0 + math.sqrt(lipschitz))) * radius / math.sqrt(m)
+    privacy = 2.0 * dimension * lipschitz * radius / (epsilon * math.sqrt(m))
+    return ConvexRiskBound(optimization_term=optimization, privacy_term=privacy)
+
+
+def strongly_convex_excess_risk_bound(
+    lipschitz: float,
+    smoothness: float,
+    strong_convexity: float,
+    radius: float,
+    gradient_bound: float,
+    m: int,
+    dimension: int,
+    epsilon: float,
+    universal_constant: float = 1.0,
+) -> ConvexRiskBound:
+    """Theorem 12 (strongly convex, 1/(gamma t) step, 1 pass, ε-DP).
+
+    ``c ((L + beta R)^2 + G^2) log m / (gamma m)  +  2 d G^2 / (eps gamma m)``.
+    The universal constant c of Shamir's Theorem 3 is not specified by the
+    paper; callers may scale it.
+    """
+    check_positive(lipschitz, "lipschitz")
+    check_positive(smoothness, "smoothness")
+    check_positive(strong_convexity, "strong_convexity")
+    check_positive(radius, "radius")
+    check_positive(gradient_bound, "gradient_bound")
+    check_positive_int(m, "m")
+    check_positive_int(dimension, "dimension")
+    check_positive(epsilon, "epsilon")
+    optimization = (
+        universal_constant
+        * ((lipschitz + smoothness * radius) ** 2 + gradient_bound**2)
+        * math.log(m)
+        / (strong_convexity * m)
+    )
+    privacy = 2.0 * dimension * gradient_bound**2 / (epsilon * strong_convexity * m)
+    return ConvexRiskBound(optimization_term=optimization, privacy_term=privacy)
+
+
+# ---------------------------------------------------------------------------
+# Table 2: (eps, delta)-DP rates for a constant number of passes.
+# ---------------------------------------------------------------------------
+
+
+def table2_rate_ours_convex(m: int, dimension: int) -> float:
+    """Ours, convex: ``O(sqrt(d) / sqrt(m))``."""
+    check_positive_int(m, "m")
+    check_positive_int(dimension, "dimension")
+    return math.sqrt(dimension) / math.sqrt(m)
+
+
+def table2_rate_bst14_convex(m: int, dimension: int) -> float:
+    """BST14, convex: ``O(sqrt(d) log^{3/2} m / sqrt(m))``."""
+    check_positive_int(m, "m")
+    check_positive_int(dimension, "dimension")
+    return math.sqrt(dimension) * math.log(max(m, 2)) ** 1.5 / math.sqrt(m)
+
+
+def table2_rate_ours_strongly_convex(m: int, dimension: int) -> float:
+    """Ours, strongly convex: ``O(sqrt(d) log m / m)``."""
+    check_positive_int(m, "m")
+    check_positive_int(dimension, "dimension")
+    return math.sqrt(dimension) * math.log(max(m, 2)) / m
+
+
+def table2_rate_bst14_strongly_convex(m: int, dimension: int) -> float:
+    """BST14, strongly convex: ``O(d log^2 m / m)``."""
+    check_positive_int(m, "m")
+    check_positive_int(dimension, "dimension")
+    return dimension * math.log(max(m, 2)) ** 2 / m
+
+
+def table2_advantage(m: int, dimension: int) -> dict[str, float]:
+    """The two advantage factors the paper derives from Table 2.
+
+    Convex: ours better by ``log^{3/2} m``; strongly convex: ours better by
+    ``sqrt(d) log m``. Returned as measured ratios of the rate functions so
+    the bench can print paper-vs-computed side by side.
+    """
+    return {
+        "convex_ratio": table2_rate_bst14_convex(m, dimension)
+        / table2_rate_ours_convex(m, dimension),
+        "convex_ratio_expected": math.log(max(m, 2)) ** 1.5,
+        "strongly_convex_ratio": table2_rate_bst14_strongly_convex(m, dimension)
+        / table2_rate_ours_strongly_convex(m, dimension),
+        "strongly_convex_ratio_expected": math.sqrt(dimension) * math.log(max(m, 2)),
+    }

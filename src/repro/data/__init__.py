@@ -1,0 +1,52 @@
+"""Datasets: synthetic stand-ins, preprocessing, random projection, registry.
+
+The paper's real datasets are unavailable offline; DESIGN.md §3 documents
+how each stand-in preserves the behaviour the evaluation depends on.
+"""
+
+from repro.data.dataset import Dataset, TrainTestPair
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from repro.data.preprocessing import (
+    max_row_norm,
+    normalize_dataset,
+    normalize_rows,
+    project_to_unit_sphere,
+)
+from repro.data.projection import GaussianRandomProjection, project_dataset
+from repro.data.registry import REGISTRY, DatasetSpec, get_spec, load, table3_rows
+from repro.data.synthetic import (
+    covertype_like,
+    gaussian_clusters_multiclass,
+    higgs_like,
+    kddcup_like,
+    linearly_separable_binary,
+    mnist_like,
+    protein_like,
+)
+
+__all__ = [
+    "Dataset",
+    "TrainTestPair",
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    "normalize_rows",
+    "project_to_unit_sphere",
+    "normalize_dataset",
+    "max_row_norm",
+    "GaussianRandomProjection",
+    "project_dataset",
+    "REGISTRY",
+    "DatasetSpec",
+    "get_spec",
+    "load",
+    "table3_rows",
+    "linearly_separable_binary",
+    "gaussian_clusters_multiclass",
+    "mnist_like",
+    "protein_like",
+    "covertype_like",
+    "higgs_like",
+    "kddcup_like",
+]

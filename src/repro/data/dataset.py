@@ -1,0 +1,112 @@
+"""The dataset container used throughout the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_in_range, check_matrix_labels
+
+
+@dataclass
+class Dataset:
+    """A named classification dataset.
+
+    ``labels`` are {-1, +1} for binary tasks and {0, ..., C-1} for
+    multiclass tasks (``num_classes > 2``); the one-vs-rest trainer converts
+    as needed.
+    """
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int = 2
+
+    def __post_init__(self) -> None:
+        self.features, self.labels = check_matrix_labels(
+            self.features, self.labels, name=self.name
+        )
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+
+    @property
+    def size(self) -> int:
+        """Number of examples m."""
+        return int(self.features.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Number of features d."""
+        return int(self.features.shape[1])
+
+    def split(
+        self,
+        test_fraction: float = 0.5,
+        random_state: RandomState = None,
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Random train/test split (the paper splits Protein in halves)."""
+        check_in_range(
+            test_fraction, "test_fraction", 0.0, 1.0, inclusive_low=False, inclusive_high=False
+        )
+        rng = as_generator(random_state)
+        order = rng.permutation(self.size)
+        cut = self.size - int(round(self.size * test_fraction))
+        if cut <= 0 or cut >= self.size:
+            raise ValueError(
+                f"test_fraction={test_fraction} leaves an empty split for "
+                f"m={self.size}"
+            )
+        train_idx, test_idx = order[:cut], order[cut:]
+        return (
+            replace(
+                self,
+                name=f"{self.name}-train",
+                features=self.features[train_idx],
+                labels=self.labels[train_idx],
+            ),
+            replace(
+                self,
+                name=f"{self.name}-test",
+                features=self.features[test_idx],
+                labels=self.labels[test_idx],
+            ),
+        )
+
+    def subsample(self, size: int, random_state: RandomState = None) -> "Dataset":
+        """Uniform subsample without replacement (scalability sweeps)."""
+        if not 0 < size <= self.size:
+            raise ValueError(f"size must be in (0, {self.size}], got {size}")
+        rng = as_generator(random_state)
+        idx = rng.choice(self.size, size=size, replace=False)
+        return replace(
+            self,
+            name=f"{self.name}-sub{size}",
+            features=self.features[idx],
+            labels=self.labels[idx],
+        )
+
+    def binarize(self, positive_class: int) -> "Dataset":
+        """One-vs-rest view: ``positive_class`` becomes +1, the rest -1."""
+        if self.num_classes == 2:
+            raise ValueError("dataset is already binary")
+        labels = np.where(self.labels == positive_class, 1.0, -1.0)
+        return Dataset(
+            name=f"{self.name}-ovr{positive_class}",
+            features=self.features,
+            labels=labels,
+            num_classes=2,
+        )
+
+
+@dataclass(frozen=True)
+class TrainTestPair:
+    """A convenience bundle for loaders that produce both splits at once."""
+
+    train: Dataset
+    test: Dataset
+
+    def __iter__(self):
+        return iter((self.train, self.test))

@@ -1,0 +1,101 @@
+"""Dataset persistence: NPZ (lossless) and CSV (interchange).
+
+A reproduction package gets used with the reader's own data; these helpers
+load external matrices into :class:`~repro.data.dataset.Dataset` objects
+with the validation and normalization the privacy analysis needs, and save
+generated stand-ins for reuse across runs.
+
+CSV layout: one row per example, features in all columns except the last,
+the label in the last column (``{-1, +1}`` or class ids).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.preprocessing import max_row_norm, normalize_rows
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_npz(dataset: Dataset, path: PathLike) -> None:
+    """Write a dataset to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        pathlib.Path(path),
+        features=dataset.features,
+        labels=dataset.labels,
+        name=np.array(dataset.name),
+        num_classes=np.array(dataset.num_classes),
+    )
+
+
+def load_npz(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`save_npz`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        missing = {"features", "labels"} - set(archive.files)
+        if missing:
+            raise ValueError(f"{path}: missing arrays {sorted(missing)}")
+        return Dataset(
+            name=str(archive["name"]) if "name" in archive.files else path.stem,
+            features=archive["features"],
+            labels=archive["labels"],
+            num_classes=(
+                int(archive["num_classes"]) if "num_classes" in archive.files else 2
+            ),
+        )
+
+
+def save_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write features-then-label rows; no header."""
+    with open(pathlib.Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for row, label in zip(dataset.features, dataset.labels):
+            writer.writerow([*(repr(float(v)) for v in row), repr(float(label))])
+
+
+def load_csv(
+    path: PathLike,
+    name: str | None = None,
+    num_classes: int = 2,
+    normalize: bool = True,
+) -> Dataset:
+    """Read a features-then-label CSV into a dataset.
+
+    ``normalize=True`` (default) scales rows onto the unit L2 ball — the
+    preprocessing the privacy analysis assumes. Pass ``False`` only when
+    the file is known to be normalized already; training APIs will still
+    re-check.
+    """
+    path = pathlib.Path(path)
+    rows: list[list[float]] = []
+    with open(path, newline="") as handle:
+        for line_number, record in enumerate(csv.reader(handle), start=1):
+            if not record:
+                continue
+            try:
+                rows.append([float(value) for value in record])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_number}: non-numeric value") from exc
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    widths = {len(row) for row in rows}
+    if len(widths) != 1:
+        raise ValueError(f"{path}: inconsistent column counts {sorted(widths)}")
+    if widths.pop() < 2:
+        raise ValueError(f"{path}: need at least one feature column plus a label")
+    matrix = np.asarray(rows, dtype=np.float64)
+    features, labels = matrix[:, :-1], matrix[:, -1]
+    if normalize and max_row_norm(features) > 1.0:
+        features = normalize_rows(features)
+    return Dataset(
+        name=name if name is not None else path.stem,
+        features=features,
+        labels=labels,
+        num_classes=num_classes,
+    )

@@ -1,0 +1,77 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.evaluation.harness import (
+    BINARY_EPSILONS,
+    MNIST_EPSILONS,
+    SweepResult,
+    accuracy_sweep,
+    algorithms_for,
+    private_tuning_sweep,
+    public_tuning_sweep,
+)
+from repro.evaluation.metrics import (
+    classification_accuracy,
+    empirical_risk,
+    excess_empirical_risk,
+    reference_minimum_risk,
+    zero_one_errors,
+)
+from repro.evaluation.reporting import format_series, format_table, series_summary
+from repro.evaluation.scenarios import (
+    ALGORITHMS,
+    Scenario,
+    TrainSettings,
+    make_loss,
+    paper_delta,
+    train,
+)
+from repro.evaluation.figures import (
+    accuracy_figure_row,
+    epsilons_for,
+    figure1_integration,
+    figure2_scalability,
+    figure4_batch_size,
+    figure4_passes,
+    figure5_runtime_vs_batch,
+    figure5_runtime_vs_epochs,
+    figure10_minibatch,
+    load_experiment_dataset,
+)
+from repro.evaluation.tables import table2_rows, table3, table4_rows
+
+__all__ = [
+    "Scenario",
+    "TrainSettings",
+    "ALGORITHMS",
+    "train",
+    "make_loss",
+    "paper_delta",
+    "SweepResult",
+    "accuracy_sweep",
+    "private_tuning_sweep",
+    "public_tuning_sweep",
+    "algorithms_for",
+    "MNIST_EPSILONS",
+    "BINARY_EPSILONS",
+    "classification_accuracy",
+    "zero_one_errors",
+    "empirical_risk",
+    "excess_empirical_risk",
+    "reference_minimum_risk",
+    "format_table",
+    "format_series",
+    "series_summary",
+    "figure1_integration",
+    "figure2_scalability",
+    "figure4_passes",
+    "figure4_batch_size",
+    "figure5_runtime_vs_epochs",
+    "figure5_runtime_vs_batch",
+    "figure10_minibatch",
+    "accuracy_figure_row",
+    "load_experiment_dataset",
+    "epsilons_for",
+    "table2_rows",
+    "table3",
+    "table4_rows",
+]

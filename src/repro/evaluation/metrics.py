@@ -1,0 +1,81 @@
+"""Evaluation metrics: classification accuracy and excess empirical risk."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.optim.losses import Loss
+from repro.optim.projection import Projection
+from repro.optim.psgd import PSGD, PSGDConfig
+from repro.optim.schedules import ConstantSchedule
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_matrix_labels
+
+
+def classification_accuracy(model: np.ndarray, loss: Loss, X: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of test examples the linear model classifies correctly."""
+    X, y = check_matrix_labels(X, y)
+    return float(np.mean(loss.predict(np.asarray(model, dtype=np.float64), X) == y))
+
+
+def zero_one_errors(model: np.ndarray, loss: Loss, X: np.ndarray, y: np.ndarray) -> int:
+    """Error *count* — the chi_i statistic of the private tuning algorithm."""
+    X, y = check_matrix_labels(X, y)
+    return int(np.sum(loss.predict(np.asarray(model, dtype=np.float64), X) != y))
+
+
+def empirical_risk(model: np.ndarray, loss: Loss, X: np.ndarray, y: np.ndarray) -> float:
+    """``L_S(w)`` — mean training loss."""
+    X, y = check_matrix_labels(X, y)
+    return loss.batch_value(np.asarray(model, dtype=np.float64), X, y)
+
+
+def reference_minimum_risk(
+    loss: Loss,
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    projection: Optional[Projection] = None,
+    passes: int = 50,
+    batch_size: int = 10,
+    random_state: RandomState = 0,
+) -> float:
+    """Approximate ``L*_S = min_w L_S(w)`` with a long noiseless run.
+
+    Excess-risk experiments (the Table 2 bench) need a reference optimum;
+    many passes of averaged PSGD at a conservative step size is accurate
+    enough for the *scaling* comparisons those benches make.
+    """
+    X, y = check_matrix_labels(X, y)
+    m = X.shape[0]
+    config = PSGDConfig(
+        schedule=ConstantSchedule(1.0 / np.sqrt(m)),
+        passes=passes,
+        batch_size=batch_size,
+        projection=projection if projection is not None else _identity(),
+        average="uniform",
+    )
+    result = PSGD(loss, config).run(X, y, random_state=random_state)
+    return min(
+        empirical_risk(result.model, loss, X, y),
+        empirical_risk(result.final_iterate, loss, X, y),
+    )
+
+
+def excess_empirical_risk(
+    model: np.ndarray,
+    loss: Loss,
+    X: np.ndarray,
+    y: np.ndarray,
+    reference_risk: float,
+) -> float:
+    """``L_S(w) - L*_S`` given a precomputed reference optimum."""
+    return empirical_risk(model, loss, X, y) - reference_risk
+
+
+def _identity():
+    from repro.optim.projection import IdentityProjection
+
+    return IdentityProjection()

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment output (the bench "figures")."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: List[dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            text = f"{value:.4f}" if isinstance(value, float) else str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "  ".join("-" * widths[c] for c in columns)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        for cells in rendered
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """Render one figure panel: x on rows, one column per series."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row = {x_label: x}
+        for name, values in series.items():
+            row[name] = float(values[i])
+        rows.append(row)
+    return f"== {title} ==\n" + format_table(rows, [x_label, *series.keys()])
+
+
+def series_summary(series: Dict[str, Sequence[float]]) -> Dict[str, float]:
+    """Mean of each series — a compact shape check for assertions."""
+    return {name: sum(values) / len(values) for name, values in series.items()}

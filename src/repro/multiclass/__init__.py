@@ -1,0 +1,5 @@
+"""One-vs-rest multiclass private training (the paper's MNIST setup)."""
+
+from repro.multiclass.ovr import BinaryTrainer, OneVsRestResult, train_one_vs_rest
+
+__all__ = ["OneVsRestResult", "BinaryTrainer", "train_one_vs_rest"]

@@ -1,0 +1,149 @@
+"""The growth recursion (Lemma 4) as an executable object.
+
+Given the schedule of updates two neighbouring PSGD runs perform, this
+module computes the *theoretical* upper bound on their divergence
+``delta_T = ||w_T - w'_T||``. The sensitivity formulas of
+:mod:`repro.core.sensitivity` are closed forms of exactly this recursion;
+the test-suite cross-checks the two, and also checks both against the
+*measured* divergence of real paired PSGD runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.optim.losses import LossProperties
+from repro.optim.operators import growth_recursion_step, operator_bounds
+from repro.optim.schedules import StepSizeSchedule
+from repro.utils.validation import check_positive_int
+
+
+def divergence_bound(
+    properties: LossProperties,
+    schedule: StepSizeSchedule,
+    m: int,
+    passes: int,
+    differing_position: int,
+    batch_size: int = 1,
+) -> float:
+    """Upper bound on ``delta_T`` after k passes of PSGD over m examples.
+
+    Parameters
+    ----------
+    properties:
+        The (L, beta, gamma) triple of the loss.
+    schedule:
+        Step-size schedule; iterate ``t`` (1-based) uses ``schedule.rate(t)``.
+    m:
+        Training-set size.
+    passes:
+        Number of passes k over the data.
+    differing_position:
+        Position ``i* in {0, ..., ceil(m/b) - 1}`` of the *update step within
+        a pass* that touches the differing example. With the paper's
+        convention (a random permutation r with r(i) = i*), every pass hits
+        the differing example at the same position.
+    batch_size:
+        Mini-batch size b; the differing example contributes ``2 sigma / b``
+        instead of ``2 sigma`` (Section 3.2.3).
+
+    Returns
+    -------
+    The Lemma 4 bound on ``||w_T - w'_T||``.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(passes, "passes")
+    check_positive_int(batch_size, "batch_size")
+    steps_per_pass = int(np.ceil(m / batch_size))
+    if not 0 <= differing_position < steps_per_pass:
+        raise ValueError(
+            f"differing_position must be in [0, {steps_per_pass}), "
+            f"got {differing_position}"
+        )
+    delta = 0.0
+    t = 0
+    for _ in range(passes):
+        for position in range(steps_per_pass):
+            t += 1
+            bounds = operator_bounds(properties, schedule.rate(t))
+            if position == differing_position:
+                # Differing example seen once per pass: boundedness term,
+                # shrunk by the batch size (factor-b improvement).
+                scaled = type(bounds)(
+                    expansiveness=bounds.expansiveness,
+                    boundedness=bounds.boundedness / batch_size,
+                )
+                delta = growth_recursion_step(delta, scaled, same_operator=False)
+            else:
+                delta = growth_recursion_step(delta, bounds, same_operator=True)
+    return delta
+
+
+def worst_case_divergence_bound(
+    properties: LossProperties,
+    schedule: StepSizeSchedule,
+    m: int,
+    passes: int,
+    batch_size: int = 1,
+) -> float:
+    """``sup over differing positions`` of :func:`divergence_bound`.
+
+    This is the quantity the output-perturbation mechanism must calibrate
+    to (``sup_{S ~ S'} sup_r delta_T``). For constant steps any position is
+    worst-case; for decreasing steps the earliest position dominates; we
+    simply take the max over all positions, which is exact and still cheap
+    (``O(k * m^2 / b^2)`` only in the worst case — callers with large m use
+    the closed forms in :mod:`repro.core.sensitivity` instead).
+    """
+    steps_per_pass = int(np.ceil(m / batch_size))
+    return max(
+        divergence_bound(properties, schedule, m, passes, position, batch_size)
+        for position in range(steps_per_pass)
+    )
+
+
+def averaged_divergence_bound(
+    properties: LossProperties,
+    schedule: StepSizeSchedule,
+    m: int,
+    passes: int,
+    differing_position: int,
+    coefficients: Sequence[float],
+    batch_size: int = 1,
+) -> float:
+    """Lemma 10: divergence bound for an averaged model ``sum_t a_t w_t``.
+
+    ``coefficients`` is the averaging sequence ``a_t`` (length T). The bound
+    is ``sum_t a_t delta_t`` computed alongside the recursion.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(passes, "passes")
+    check_positive_int(batch_size, "batch_size")
+    steps_per_pass = int(np.ceil(m / batch_size))
+    total = passes * steps_per_pass
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    if coeffs.shape != (total,):
+        raise ValueError(
+            f"coefficients must have length T = {total}, got {coeffs.shape}"
+        )
+    if np.any(coeffs < 0):
+        raise ValueError("averaging coefficients must be non-negative")
+    delta = 0.0
+    weighted = 0.0
+    t = 0
+    for _ in range(passes):
+        for position in range(steps_per_pass):
+            t += 1
+            bounds = operator_bounds(properties, schedule.rate(t))
+            if position == differing_position:
+                scaled = type(bounds)(
+                    expansiveness=bounds.expansiveness,
+                    boundedness=bounds.boundedness / batch_size,
+                )
+                delta = growth_recursion_step(delta, scaled, same_operator=False)
+            else:
+                delta = growth_recursion_step(delta, bounds, same_operator=True)
+            weighted += coeffs[t - 1] * delta
+    return weighted

@@ -1,0 +1,285 @@
+"""Loss functions with the analytic constants the sensitivity theory needs.
+
+The paper's analysis (Section 2) is parameterized by three constants of the
+per-example loss ``l(w, (x, y))`` over the hypothesis space ``W``:
+
+* ``L`` — Lipschitz constant, a tight upper bound on ``||grad l||``;
+* ``beta`` — smoothness, a tight upper bound on ``||Hessian l||``;
+* ``gamma`` — strong convexity, the largest value with ``H - gamma*I >= 0``.
+
+Each :class:`Loss` subclass documents and implements its own derivation,
+matching the worked examples in the paper (L2-regularized logistic
+regression in Section 2, Huber SVM in Appendix B). All losses assume the
+standard preprocessing ``||x|| <= 1`` and, when regularized, a hypothesis
+bound ``||w|| <= R``.
+
+Labels follow the paper's convention ``y in {-1, +1}``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class LossProperties:
+    """The (L, beta, gamma) triple of Definition 1 for a concrete loss.
+
+    ``lipschitz`` or ``smoothness`` may be ``inf`` when no finite bound
+    exists under the stated assumptions (callers that need a finite value
+    raise a clear error instead of silently under-reporting sensitivity).
+    """
+
+    lipschitz: float
+    smoothness: float
+    strong_convexity: float
+
+    @property
+    def is_strongly_convex(self) -> bool:
+        return self.strong_convexity > 0.0
+
+
+class Loss(abc.ABC):
+    """A convex per-example loss ``l(w, (x, y))``.
+
+    Subclasses implement the scalar *margin form*: every loss in the paper
+    can be written ``l(w, (x, y)) = phi(y <w, x>) + (lam/2) ||w||^2``, which
+    is also the form required by Shamir's convergence theorems (Section
+    3.2.4). The gradient is then ``y phi'(z) x + lam w`` with
+    ``z = y <w, x>``.
+    """
+
+    #: L2 regularization coefficient (lambda in the paper); 0 when absent.
+    regularization: float
+
+    def __init__(self, regularization: float = 0.0):
+        self.regularization = check_non_negative(regularization, "regularization")
+
+    # -- scalar margin form -------------------------------------------------
+
+    @abc.abstractmethod
+    def margin_loss(self, z: np.ndarray) -> np.ndarray:
+        """``phi(z)`` evaluated element-wise at margins ``z = y <w, x>``."""
+
+    @abc.abstractmethod
+    def margin_derivative(self, z: np.ndarray) -> np.ndarray:
+        """``phi'(z)`` evaluated element-wise."""
+
+    @abc.abstractmethod
+    def margin_lipschitz(self) -> float:
+        """Tight bound on ``|phi'|`` (the un-regularized Lipschitz constant)."""
+
+    @abc.abstractmethod
+    def margin_smoothness(self) -> float:
+        """Tight bound on ``|phi''|`` (the un-regularized smoothness)."""
+
+    # -- vector interface ----------------------------------------------------
+
+    def value(self, w: np.ndarray, x: np.ndarray, y: float) -> float:
+        """Per-example loss ``phi(y <w, x>) + (lam/2)||w||^2``."""
+        z = float(y) * float(np.dot(w, x))
+        reg = 0.5 * self.regularization * float(np.dot(w, w))
+        return float(self.margin_loss(np.asarray(z))) + reg
+
+    def gradient(self, w: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        """Per-example gradient ``y phi'(z) x + lam w``."""
+        z = float(y) * float(np.dot(w, x))
+        coef = float(self.margin_derivative(np.asarray(z))) * float(y)
+        return coef * np.asarray(x, dtype=np.float64) + self.regularization * w
+
+    def batch_value(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss over a batch (the empirical risk ``L_S(w)`` when the
+        batch is the whole training set)."""
+        z = y * (X @ w)
+        reg = 0.5 * self.regularization * float(np.dot(w, w))
+        return float(np.mean(self.margin_loss(z))) + reg
+
+    def batch_gradient(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Mean gradient over a batch — the update direction of mini-batch
+        SGD (Section 3.2.3)."""
+        z = y * (X @ w)
+        coef = self.margin_derivative(z) * y
+        return (X.T @ coef) / X.shape[0] + self.regularization * w
+
+    # -- analytic constants ---------------------------------------------------
+
+    def properties(self, radius: float | None = None) -> LossProperties:
+        """Derive ``(L, beta, gamma)`` under ``||x|| <= 1`` and, when the
+        loss is regularized, ``||w|| <= radius``.
+
+        Mirrors the paper's Section 2 derivation: with regularization
+        ``lam > 0`` and ``||w|| <= R`` we get ``L = L_phi + lam R``,
+        ``beta = beta_phi + lam``, ``gamma = lam``; without regularization
+        ``L = L_phi``, ``beta = beta_phi``, ``gamma = 0``.
+        """
+        l_phi = self.margin_lipschitz()
+        b_phi = self.margin_smoothness()
+        if self.regularization == 0.0:
+            return LossProperties(lipschitz=l_phi, smoothness=b_phi, strong_convexity=0.0)
+        if radius is None:
+            raise ValueError(
+                "a hypothesis-space radius is required to bound the Lipschitz "
+                "constant of a regularized loss (the paper rescales so that "
+                "||w|| <= R; pass radius=R, conventionally R = 1/lambda)"
+            )
+        check_positive(radius, "radius")
+        return LossProperties(
+            lipschitz=l_phi + self.regularization * radius,
+            smoothness=b_phi + self.regularization,
+            strong_convexity=self.regularization,
+        )
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, w: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Sign predictions in {-1, +1} (zero margin counts as +1)."""
+        scores = np.asarray(X, dtype=np.float64) @ np.asarray(w, dtype=np.float64)
+        return np.where(scores >= 0.0, 1.0, -1.0)
+
+    def with_regularization(self, regularization: float) -> "Loss":
+        """Return a copy of this loss with a different lambda."""
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        Loss.__init__(clone, regularization)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(regularization={self.regularization!r})"
+
+
+class LogisticLoss(Loss):
+    """Logistic loss ``ln(1 + exp(-y <w, x>))`` with optional L2 term.
+
+    Equation (1) of the paper. ``|phi'(z)| = 1/(1+e^z) <= 1`` and
+    ``|phi''(z)| = sigma(z)(1-sigma(z)) <= 1/4``; the paper uses the looser
+    ``beta_phi = 1`` in its Section 2 example, but the tight ``1/4`` bound
+    is valid and yields slightly larger admissible step sizes. We keep the
+    paper's constant by default so sensitivity values match the text, and
+    expose the tight constant via ``tight_smoothness``.
+    """
+
+    def __init__(self, regularization: float = 0.0, tight_smoothness: bool = False):
+        super().__init__(regularization)
+        self.tight_smoothness = bool(tight_smoothness)
+
+    def margin_loss(self, z: np.ndarray) -> np.ndarray:
+        # log(1 + e^{-z}) computed stably via logaddexp(0, -z).
+        return np.logaddexp(0.0, -np.asarray(z, dtype=np.float64))
+
+    def margin_derivative(self, z: np.ndarray) -> np.ndarray:
+        # phi'(z) = -1 / (1 + e^{z}), computed stably with expit-style clip.
+        z = np.asarray(z, dtype=np.float64)
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = -np.exp(-z[pos]) / (1.0 + np.exp(-z[pos]))
+        out[~pos] = -1.0 / (1.0 + np.exp(z[~pos]))
+        return out
+
+    def margin_lipschitz(self) -> float:
+        return 1.0
+
+    def margin_smoothness(self) -> float:
+        return 0.25 if self.tight_smoothness else 1.0
+
+
+class HuberSVMLoss(Loss):
+    """Huber-smoothed hinge loss (Appendix B of the paper).
+
+    With ``z = y <w, x>`` and smoothing width ``h``::
+
+        phi(z) = 0                       if z > 1 + h
+               = (1 + h - z)^2 / (4h)    if |1 - z| <= h
+               = 1 - z                   if z < 1 - h
+
+    ``|phi'| <= 1`` so ``L_phi = 1``; ``phi''`` is ``1/(2h)`` on the
+    quadratic segment and 0 elsewhere, so ``beta_phi = 1/(2h)``.
+    """
+
+    def __init__(self, smoothing: float = 0.1, regularization: float = 0.0):
+        super().__init__(regularization)
+        self.smoothing = check_positive(smoothing, "smoothing")
+
+    def margin_loss(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=np.float64)
+        h = self.smoothing
+        quad = (1.0 + h - z) ** 2 / (4.0 * h)
+        return np.where(z > 1.0 + h, 0.0, np.where(z < 1.0 - h, 1.0 - z, quad))
+
+    def margin_derivative(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=np.float64)
+        h = self.smoothing
+        quad = -(1.0 + h - z) / (2.0 * h)
+        return np.where(z > 1.0 + h, 0.0, np.where(z < 1.0 - h, -1.0, quad))
+
+    def margin_lipschitz(self) -> float:
+        return 1.0
+
+    def margin_smoothness(self) -> float:
+        return 1.0 / (2.0 * self.smoothing)
+
+
+class LeastSquaresLoss(Loss):
+    """Squared loss ``(1 - y <w, x>)^2 / 2`` in margin form.
+
+    For binary labels in {-1, +1}, ``(y - <w,x>)^2/2 = (1 - z)^2/2`` with
+    ``z = y <w, x>``. Over a bounded hypothesis space ``||w|| <= R`` (and
+    ``||x|| <= 1``) the margin derivative ``z - 1`` is bounded by
+    ``R + 1``, giving ``L_phi = R + 1`` — finite only once a radius is
+    known, so this loss requires constrained optimization for privacy.
+    """
+
+    def __init__(self, regularization: float = 0.0, margin_bound: float | None = None):
+        super().__init__(regularization)
+        if margin_bound is not None:
+            check_positive(margin_bound, "margin_bound")
+        #: bound on |z| used for the Lipschitz constant; defaults to 1 + R
+        #: resolved at ``properties()`` time when a radius is supplied.
+        self.margin_bound = margin_bound
+
+    def margin_loss(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=np.float64)
+        return 0.5 * (1.0 - z) ** 2
+
+    def margin_derivative(self, z: np.ndarray) -> np.ndarray:
+        return np.asarray(z, dtype=np.float64) - 1.0
+
+    def margin_lipschitz(self) -> float:
+        if self.margin_bound is None:
+            return float("inf")
+        return self.margin_bound + 1.0
+
+    def margin_smoothness(self) -> float:
+        return 1.0
+
+    def properties(self, radius: float | None = None) -> LossProperties:
+        if self.margin_bound is None and radius is not None:
+            resolved = LeastSquaresLoss(self.regularization, margin_bound=radius)
+            return resolved.properties(radius)
+        return super().properties(radius)
+
+
+class HingeLoss(Loss):
+    """The (non-smooth) hinge loss, provided for reference only.
+
+    The paper's analysis requires smoothness, which the hinge loss lacks
+    (``beta = inf``); private training should use :class:`HuberSVMLoss`
+    instead. Keeping the hinge loss lets the test-suite verify that the
+    library *refuses* to compute a sensitivity for it.
+    """
+
+    def margin_loss(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - np.asarray(z, dtype=np.float64))
+
+    def margin_derivative(self, z: np.ndarray) -> np.ndarray:
+        return np.where(np.asarray(z, dtype=np.float64) < 1.0, -1.0, 0.0)
+
+    def margin_lipschitz(self) -> float:
+        return 1.0
+
+    def margin_smoothness(self) -> float:
+        return float("inf")

@@ -1,0 +1,156 @@
+"""Gradient-update operators and their expansiveness / boundedness bounds.
+
+The paper's whole sensitivity analysis reduces SGD to compositions of
+operators ``G_{l,eta}(w) = w - eta * grad l(w)`` (equation (2)) and tracks
+how far two parallel runs can drift using two properties:
+
+* **expansiveness** (Definition 2): ``sup ||G(u) - G(v)|| / ||u - v||``;
+* **boundedness** (Definition 3): ``sup ||G(w) - w||``.
+
+Lemmas 1–3 supply closed-form bounds for these, and Lemma 4 (the
+Hardt–Recht–Singer growth recursion) combines them into a bound on the
+divergence ``delta_t`` of two runs. This module implements the operators
+and the closed-form bounds; :mod:`repro.optim.growth` implements the
+recursion itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optim.losses import Loss, LossProperties
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class OperatorBounds:
+    """Expansiveness rho and boundedness sigma of one gradient update."""
+
+    expansiveness: float
+    boundedness: float
+
+
+class GradientUpdate:
+    """The operator ``G_{l,eta}`` of equation (2) for one example ``(x, y)``."""
+
+    def __init__(self, loss: Loss, x: np.ndarray, y: float, eta: float):
+        self.loss = loss
+        self.x = np.asarray(x, dtype=np.float64)
+        self.y = float(y)
+        self.eta = check_positive(eta, "eta")
+
+    def __call__(self, w: np.ndarray) -> np.ndarray:
+        return w - self.eta * self.loss.gradient(w, self.x, self.y)
+
+
+class BatchGradientUpdate:
+    """Mini-batch update ``w - eta * mean_i grad l_i(w)`` (Section 3.2.3).
+
+    The paper observes this equals the average ``(1/b) sum_i G_i(w)`` of the
+    individual operators, which is how the factor-``b`` sensitivity
+    improvement is proved.
+    """
+
+    def __init__(self, loss: Loss, X: np.ndarray, y: np.ndarray, eta: float):
+        self.loss = loss
+        self.X = np.asarray(X, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.float64)
+        self.eta = check_positive(eta, "eta")
+
+    def __call__(self, w: np.ndarray) -> np.ndarray:
+        return w - self.eta * self.loss.batch_gradient(w, self.X, self.y)
+
+
+def expansiveness_bound(properties: LossProperties, eta: float) -> float:
+    """Closed-form expansiveness of ``G_{l,eta}`` (Lemmas 1 and 2).
+
+    * convex (gamma = 0), ``eta <= 2/beta``  →  1 (1-expansive);
+    * gamma-strongly convex, ``eta <= 1/beta``  →  ``1 - eta*gamma``
+      (Lemma 2's simplification, the one used throughout the paper);
+    * gamma-strongly convex, ``1/beta < eta <= 2/(beta+gamma)``  →
+      ``1 - 2*eta*beta*gamma/(beta+gamma)`` (Lemma 1.2);
+    * larger steps: no bound from the paper's lemmas — raise.
+    """
+    check_positive(eta, "eta")
+    beta = properties.smoothness
+    gamma = properties.strong_convexity
+    if not np.isfinite(beta):
+        raise ValueError(
+            "expansiveness bounds require a finite smoothness constant; "
+            "smooth the loss first (e.g. use HuberSVMLoss instead of HingeLoss)"
+        )
+    if gamma <= 0.0:
+        if eta > 2.0 / beta * (1.0 + 1e-12):
+            raise ValueError(
+                f"convex expansiveness requires eta <= 2/beta = {2.0 / beta:.6g}, "
+                f"got eta = {eta:.6g}"
+            )
+        return 1.0
+    if eta <= 1.0 / beta * (1.0 + 1e-12):
+        return max(0.0, 1.0 - eta * gamma)
+    if eta <= 2.0 / (beta + gamma) * (1.0 + 1e-12):
+        return max(0.0, 1.0 - 2.0 * eta * beta * gamma / (beta + gamma))
+    raise ValueError(
+        f"strongly convex expansiveness requires eta <= 2/(beta+gamma) = "
+        f"{2.0 / (beta + gamma):.6g}, got eta = {eta:.6g}"
+    )
+
+
+def boundedness_bound(properties: LossProperties, eta: float) -> float:
+    """Closed-form boundedness ``sigma = eta * L`` (Lemma 3)."""
+    check_positive(eta, "eta")
+    lipschitz = properties.lipschitz
+    if not np.isfinite(lipschitz):
+        raise ValueError(
+            "boundedness requires a finite Lipschitz constant; bound the "
+            "hypothesis space (pass a radius) for regularized losses"
+        )
+    return eta * lipschitz
+
+
+def operator_bounds(properties: LossProperties, eta: float) -> OperatorBounds:
+    """Both bounds for one update — the inputs to the growth recursion."""
+    return OperatorBounds(
+        expansiveness=expansiveness_bound(properties, eta),
+        boundedness=boundedness_bound(properties, eta),
+    )
+
+
+def empirical_expansiveness(
+    update, w1: np.ndarray, w2: np.ndarray
+) -> float:
+    """Measured expansion ratio of ``update`` on a concrete pair.
+
+    Diagnostic used by tests: for any pair ``(w1, w2)``,
+    ``empirical_expansiveness(G, w1, w2) <= expansiveness_bound(...)``.
+    """
+    gap = float(np.linalg.norm(np.asarray(w1) - np.asarray(w2)))
+    if gap == 0.0:
+        return 0.0
+    return float(np.linalg.norm(update(w1) - update(w2))) / gap
+
+
+def empirical_boundedness(update, w: np.ndarray) -> float:
+    """Measured displacement ``||G(w) - w||`` on a concrete hypothesis."""
+    w = np.asarray(w, dtype=np.float64)
+    return float(np.linalg.norm(update(w) - w))
+
+
+def growth_recursion_step(
+    delta: float,
+    bounds: OperatorBounds,
+    same_operator: bool,
+) -> float:
+    """One step of Lemma 4.
+
+    ``same_operator=True`` is the case ``G_t = G'_t`` (both runs see the
+    same example): ``delta <- rho * delta``. Otherwise the runs see
+    differing examples and ``delta <- min(rho, 1) * delta + 2 sigma``.
+    """
+    check_non_negative(delta, "delta")
+    rho, sigma = bounds.expansiveness, bounds.boundedness
+    if same_operator:
+        return rho * delta
+    return min(rho, 1.0) * delta + 2.0 * sigma

@@ -1,0 +1,325 @@
+"""Permutation-based stochastic gradient descent (PSGD).
+
+This is the black-box optimizer the paper's bolt-on algorithms wrap: the
+standard ``PSGD(S)`` invoked at line 2 of Algorithms 1 and 2. It supports
+every extension the analysis covers (Section 3.2.3):
+
+* k passes over the data, cycling through a random permutation;
+* mini-batching by partitioning the permuted data into chunks of size b;
+* projected updates onto a convex constraint set (equation (7));
+* model averaging (uniform, suffix, or custom coefficients — Lemma 10);
+* a fresh permutation per pass (optional);
+* convergence-tolerance early stopping (the "k is oblivious" strategy of
+  Section 4.3 for the strongly convex case).
+
+Two hooks exist specifically so that the *white-box* baselines (SCS13 and
+BST14) can be expressed on top of the same engine:
+
+* ``gradient_noise`` — called once per mini-batch update; returns a vector
+  added to the gradient before the step (SCS13/BST14 per-iteration noise);
+* ``example_sampler`` — replaces permutation order with i.i.d. sampling
+  (BST14 samples ``i_t ~ [m]`` uniformly at each step).
+
+The engine is deliberately *deterministic given its generator*: the paper's
+privacy proof (Lemma 5) fixes the randomness sequence r and compares runs on
+neighbouring datasets, and our sensitivity tests do exactly that by passing
+an explicit permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.optim.losses import Loss
+from repro.optim.projection import IdentityProjection, Projection
+from repro.optim.schedules import StepSizeSchedule
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_matrix_labels, check_positive_int
+
+#: Signature of the per-update noise hook: (t, dimension, rng) -> noise vector.
+GradientNoise = Callable[[int, int, np.random.Generator], np.ndarray]
+
+#: Signature of the index sampler hook: (t, m, rng) -> array of row indices.
+ExampleSampler = Callable[[int, int, np.random.Generator], np.ndarray]
+
+
+@dataclass
+class PSGDResult:
+    """Everything a caller may want to know about one PSGD run."""
+
+    #: Final iterate w_T (after projection), or the averaged model if
+    #: averaging was requested.
+    model: np.ndarray
+    #: Final iterate w_T regardless of averaging.
+    final_iterate: np.ndarray
+    #: Number of gradient updates performed.
+    updates: int
+    #: Number of completed passes (may be < k under early stopping).
+    passes_completed: int
+    #: Training loss after each pass (empty unless track_loss).
+    pass_losses: List[float] = field(default_factory=list)
+    #: True when the convergence tolerance stopped the run early.
+    converged_early: bool = False
+    #: All iterates, recorded only when ``record_iterates`` was set.
+    iterates: Optional[List[np.ndarray]] = None
+
+
+@dataclass
+class PSGDConfig:
+    """Hyper-parameters of a PSGD run (Table 1 of the paper).
+
+    ``passes`` is k, ``batch_size`` is b. ``average`` selects model
+    averaging: ``None`` returns the last iterate, ``"uniform"`` returns
+    ``(1/T) sum_t w_t``, ``"suffix"`` averages the last ``ceil(log2 T)``
+    iterates (the paper's two examples in Lemma 10).
+    """
+
+    schedule: StepSizeSchedule
+    passes: int = 1
+    batch_size: int = 1
+    projection: Projection = field(default_factory=IdentityProjection)
+    average: Optional[str] = None
+    fresh_permutation_each_pass: bool = False
+    #: Early-stop when the relative decrease of the pass loss falls below
+    #: this tolerance (None disables; implies track_loss).
+    convergence_tolerance: Optional[float] = None
+    track_loss: bool = False
+    record_iterates: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.passes, "passes")
+        check_positive_int(self.batch_size, "batch_size")
+        if self.average not in (None, "uniform", "suffix"):
+            raise ValueError(
+                f"average must be None, 'uniform' or 'suffix', got {self.average!r}"
+            )
+        if self.convergence_tolerance is not None:
+            if self.convergence_tolerance <= 0:
+                raise ValueError("convergence_tolerance must be positive")
+
+
+def minibatch_slices(m: int, batch_size: int) -> List[slice]:
+    """Partition ``range(m)`` into consecutive chunks of size ``batch_size``.
+
+    The final chunk may be smaller when b does not divide m; the paper
+    assumes divisibility "for simplicity" and a short tail batch only makes
+    its boundedness contribution *smaller*, so the sensitivity bounds still
+    hold.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(batch_size, "batch_size")
+    return [slice(start, min(start + batch_size, m)) for start in range(0, m, batch_size)]
+
+
+class PSGD:
+    """The permutation-based SGD engine.
+
+    Parameters
+    ----------
+    loss:
+        Per-example loss providing gradients.
+    config:
+        Run hyper-parameters.
+    gradient_noise / example_sampler:
+        Baseline hooks; see module docstring. Leaving both ``None`` gives
+        the plain PSGD of the paper (the black box of Algorithms 1–2).
+    """
+
+    def __init__(
+        self,
+        loss: Loss,
+        config: PSGDConfig,
+        gradient_noise: Optional[GradientNoise] = None,
+        example_sampler: Optional[ExampleSampler] = None,
+    ):
+        self.loss = loss
+        self.config = config
+        self.gradient_noise = gradient_noise
+        self.example_sampler = example_sampler
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        initial: Optional[np.ndarray] = None,
+        random_state: RandomState = None,
+        permutation: Optional[Sequence[int]] = None,
+    ) -> PSGDResult:
+        """Run PSGD and return the resulting model.
+
+        ``permutation`` overrides the internally sampled permutation — used
+        by the sensitivity tests, which must replay identical randomness on
+        neighbouring datasets. When ``fresh_permutation_each_pass`` is set
+        and a fixed permutation is supplied, the same fixed permutation is
+        used every pass (fixing randomness trumps refreshing it).
+        """
+        X, y = check_matrix_labels(X, y)
+        m, d = X.shape
+        rng = as_generator(random_state)
+        cfg = self.config
+
+        w = self._initial_hypothesis(initial, d)
+        slices = minibatch_slices(m, cfg.batch_size)
+        total_updates = cfg.passes * len(slices)
+
+        averager = _ModelAverager(cfg.average, total_updates)
+        iterates: Optional[List[np.ndarray]] = [] if cfg.record_iterates else None
+        pass_losses: List[float] = []
+        track_loss = cfg.track_loss or cfg.convergence_tolerance is not None
+
+        t = 0
+        converged_early = False
+        passes_completed = 0
+        order = self._resolve_permutation(permutation, m, rng)
+
+        for pass_index in range(cfg.passes):
+            if cfg.fresh_permutation_each_pass and permutation is None and pass_index > 0:
+                order = rng.permutation(m)
+            for sl in slices:
+                t += 1
+                w = self._update(w, X, y, order[sl], t, rng)
+                averager.observe(t, w)
+                if iterates is not None:
+                    iterates.append(w.copy())
+            passes_completed += 1
+            if track_loss:
+                pass_losses.append(self.loss.batch_value(w, X, y))
+                if self._should_stop(pass_losses, cfg.convergence_tolerance):
+                    converged_early = True
+                    break
+
+        final = w
+        model = averager.result() if cfg.average else final
+        return PSGDResult(
+            model=model,
+            final_iterate=final,
+            updates=t,
+            passes_completed=passes_completed,
+            pass_losses=pass_losses,
+            converged_early=converged_early,
+            iterates=iterates,
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _initial_hypothesis(self, initial: Optional[np.ndarray], d: int) -> np.ndarray:
+        if initial is None:
+            w = np.zeros(d, dtype=np.float64)
+        else:
+            w = np.array(initial, dtype=np.float64, copy=True)
+            if w.shape != (d,):
+                raise ValueError(
+                    f"initial hypothesis has shape {w.shape}, expected ({d},)"
+                )
+        return self.config.projection(w)
+
+    def _resolve_permutation(
+        self, permutation: Optional[Sequence[int]], m: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if permutation is None:
+            return rng.permutation(m)
+        order = np.asarray(permutation, dtype=np.int64)
+        if order.shape != (m,) or sorted(order.tolist()) != list(range(m)):
+            raise ValueError("permutation must be a rearrangement of range(m)")
+        return order
+
+    def _update(
+        self,
+        w: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        batch_indices: np.ndarray,
+        t: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if self.example_sampler is not None:
+            batch_indices = np.atleast_1d(
+                np.asarray(self.example_sampler(t, X.shape[0], rng), dtype=np.int64)
+            )
+        eta = self.config.schedule.rate(t)
+        gradient = self.loss.batch_gradient(w, X[batch_indices], y[batch_indices])
+        if self.gradient_noise is not None:
+            gradient = gradient + self.gradient_noise(t, w.shape[0], rng)
+        return self.config.projection(w - eta * gradient)
+
+    @staticmethod
+    def _should_stop(pass_losses: List[float], tolerance: Optional[float]) -> bool:
+        if tolerance is None or len(pass_losses) < 2:
+            return False
+        previous, current = pass_losses[-2], pass_losses[-1]
+        scale = max(abs(previous), 1e-12)
+        return (previous - current) / scale < tolerance
+
+
+class _ModelAverager:
+    """Streaming model averaging for the three supported modes."""
+
+    def __init__(self, mode: Optional[str], total_updates: int):
+        self.mode = mode
+        self.total = total_updates
+        self._sum: Optional[np.ndarray] = None
+        self._count = 0
+        # "suffix": average the last ceil(log2(T)) iterates (>= 1).
+        self._suffix_start = (
+            total_updates - max(1, int(np.ceil(np.log2(max(2, total_updates)))))
+            if mode == "suffix"
+            else 0
+        )
+
+    def observe(self, t: int, w: np.ndarray) -> None:
+        if self.mode is None:
+            return
+        if self.mode == "suffix" and t <= self._suffix_start:
+            return
+        if self._sum is None:
+            self._sum = w.astype(np.float64, copy=True)
+        else:
+            self._sum += w
+        self._count += 1
+
+    def result(self) -> np.ndarray:
+        if self._sum is None or self._count == 0:
+            raise RuntimeError("no iterates observed; cannot average")
+        return self._sum / self._count
+
+    def coefficients(self) -> np.ndarray:
+        """The a_t sequence of Lemma 10 implied by this averaging mode."""
+        coeffs = np.zeros(self.total, dtype=np.float64)
+        if self.mode is None:
+            coeffs[-1] = 1.0
+        elif self.mode == "uniform":
+            coeffs[:] = 1.0 / self.total
+        else:
+            length = self.total - self._suffix_start
+            coeffs[self._suffix_start :] = 1.0 / length
+        return coeffs
+
+
+def run_psgd(
+    loss: Loss,
+    X: np.ndarray,
+    y: np.ndarray,
+    schedule: StepSizeSchedule,
+    passes: int = 1,
+    batch_size: int = 1,
+    projection: Optional[Projection] = None,
+    average: Optional[str] = None,
+    random_state: RandomState = None,
+    permutation: Optional[Sequence[int]] = None,
+) -> PSGDResult:
+    """Convenience function: one-call PSGD with the common options."""
+    config = PSGDConfig(
+        schedule=schedule,
+        passes=passes,
+        batch_size=batch_size,
+        projection=projection if projection is not None else IdentityProjection(),
+        average=average,
+    )
+    return PSGD(loss, config).run(
+        X, y, random_state=random_state, permutation=permutation
+    )

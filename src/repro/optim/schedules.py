@@ -1,0 +1,223 @@
+"""Step-size (learning-rate) schedules.
+
+Table 4 of the paper fixes one schedule per (algorithm, scenario) cell; the
+classes here implement every schedule that appears there plus the two
+additional regimes analysed in Corollaries 2 and 3:
+
+================================  =============================================
+Schedule                          Where the paper uses it
+================================  =============================================
+``ConstantSchedule(1/sqrt(m))``   Non-private & ours, convex tests
+``InverseTSchedule(gamma)``       Non-private, strongly convex (``1/(gamma t)``)
+``CappedInverseTSchedule``        Ours, strongly convex (``min(1/beta, 1/(gamma t))``)
+``InverseSqrtTSchedule``          SCS13 in every scenario (``1/sqrt(t)``)
+``DecreasingSchedule``            Corollary 2 (``2 / (beta (t + m^c))``)
+``SquareRootSchedule``            Corollary 3 (``2 / (beta (sqrt(t) + m^c))``)
+``BST14Schedule``                 Algorithm 4 (``2R / (G sqrt(t))``)
+================================  =============================================
+
+Schedules are 1-indexed: ``rate(t)`` expects ``t >= 1``, matching the
+paper's iteration numbering ``t = 1, ..., T``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_non_negative, check_positive
+
+
+class StepSizeSchedule(abc.ABC):
+    """Maps an iteration index (1-based) to a learning rate eta_t."""
+
+    @abc.abstractmethod
+    def rate(self, t: int) -> float:
+        """Learning rate at iteration ``t`` (``t >= 1``)."""
+
+    def rates(self, total: int) -> np.ndarray:
+        """Vector of the first ``total`` rates; handy for sensitivity sums."""
+        if total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        return np.array([self.rate(t) for t in range(1, total + 1)], dtype=np.float64)
+
+    def max_rate(self, total: int) -> float:
+        """Largest rate over the first ``total`` iterations."""
+        if total <= 0:
+            return 0.0
+        return float(self.rates(total).max())
+
+    def _check_t(self, t: int) -> int:
+        if t < 1:
+            raise ValueError(f"iterations are 1-based; got t={t}")
+        return t
+
+
+class ConstantSchedule(StepSizeSchedule):
+    """``eta_t = eta`` for all t.
+
+    The paper's convex experiments use ``eta = 1/sqrt(m)`` (Table 4); note
+    the remark in Section 3.2.1 that a "constant" step may still depend on
+    the training-set size m.
+    """
+
+    def __init__(self, eta: float):
+        self.eta = check_positive(eta, "eta")
+
+    def rate(self, t: int) -> float:
+        self._check_t(t)
+        return self.eta
+
+    @classmethod
+    def for_dataset(cls, m: int) -> "ConstantSchedule":
+        """The paper's default convex setting ``eta = 1/sqrt(m)``."""
+        check_positive(m, "m")
+        return cls(1.0 / np.sqrt(m))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantSchedule(eta={self.eta!r})"
+
+
+class InverseTSchedule(StepSizeSchedule):
+    """``eta_t = 1 / (gamma t)`` — the classic strongly convex schedule."""
+
+    def __init__(self, gamma: float):
+        self.gamma = check_positive(gamma, "gamma")
+
+    def rate(self, t: int) -> float:
+        self._check_t(t)
+        return 1.0 / (self.gamma * t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InverseTSchedule(gamma={self.gamma!r})"
+
+
+class CappedInverseTSchedule(StepSizeSchedule):
+    """``eta_t = min(1/beta, 1/(gamma t))`` — Algorithm 2's schedule.
+
+    The cap at ``1/beta`` keeps every update inside the expansiveness
+    regime of Lemma 2, which is what makes the pass-independent sensitivity
+    ``2L/(gamma m)`` of Lemma 8 go through.
+    """
+
+    def __init__(self, beta: float, gamma: float):
+        self.beta = check_positive(beta, "beta")
+        self.gamma = check_positive(gamma, "gamma")
+
+    def rate(self, t: int) -> float:
+        self._check_t(t)
+        return min(1.0 / self.beta, 1.0 / (self.gamma * t))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CappedInverseTSchedule(beta={self.beta!r}, gamma={self.gamma!r})"
+
+
+class InverseSqrtTSchedule(StepSizeSchedule):
+    """``eta_t = eta0 / sqrt(t)`` — SCS13's schedule (Table 4, all rows)."""
+
+    def __init__(self, eta0: float = 1.0):
+        self.eta0 = check_positive(eta0, "eta0")
+
+    def rate(self, t: int) -> float:
+        self._check_t(t)
+        return self.eta0 / np.sqrt(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InverseSqrtTSchedule(eta0={self.eta0!r})"
+
+
+class DecreasingSchedule(StepSizeSchedule):
+    """``eta_t = 2 / (beta (t + m^c))`` for some ``c in [0, 1)`` — Corollary 2."""
+
+    def __init__(self, beta: float, m: int, c: float = 0.5):
+        self.beta = check_positive(beta, "beta")
+        self.m = int(check_positive(m, "m"))
+        self.c = check_in_range(c, "c", 0.0, 1.0, inclusive_high=False)
+
+    @property
+    def offset(self) -> float:
+        """The ``m^c`` shift in the denominator."""
+        return float(self.m**self.c)
+
+    def rate(self, t: int) -> float:
+        self._check_t(t)
+        return 2.0 / (self.beta * (t + self.offset))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DecreasingSchedule(beta={self.beta!r}, m={self.m!r}, c={self.c!r})"
+
+
+class SquareRootSchedule(StepSizeSchedule):
+    """``eta_t = 2 / (beta (sqrt(t) + m^c))`` — Corollary 3."""
+
+    def __init__(self, beta: float, m: int, c: float = 0.5):
+        self.beta = check_positive(beta, "beta")
+        self.m = int(check_positive(m, "m"))
+        self.c = check_in_range(c, "c", 0.0, 1.0, inclusive_high=False)
+
+    @property
+    def offset(self) -> float:
+        return float(self.m**self.c)
+
+    def rate(self, t: int) -> float:
+        self._check_t(t)
+        return 2.0 / (self.beta * (np.sqrt(t) + self.offset))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SquareRootSchedule(beta={self.beta!r}, m={self.m!r}, c={self.c!r})"
+
+
+class BST14Schedule(StepSizeSchedule):
+    """``eta_t = 2R / (G sqrt(t))`` — line 12 of Algorithm 4.
+
+    ``G = sqrt(d sigma^2 + b^2 L^2)`` bounds the expected squared norm of
+    the *noisy* gradient, hence depends on the calibrated noise scale.
+    """
+
+    def __init__(self, radius: float, gradient_bound: float):
+        self.radius = check_positive(radius, "radius")
+        self.gradient_bound = check_positive(gradient_bound, "gradient_bound")
+
+    def rate(self, t: int) -> float:
+        self._check_t(t)
+        return 2.0 * self.radius / (self.gradient_bound * np.sqrt(t))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BST14Schedule(radius={self.radius!r}, "
+            f"gradient_bound={self.gradient_bound!r})"
+        )
+
+
+def validate_convex_step_size(schedule: StepSizeSchedule, beta: float, total: int) -> None:
+    """Require ``eta_t <= 2/beta`` for all t — the premise of Lemma 1.1.
+
+    Called by the convex sensitivity calculators so that a schedule outside
+    the 1-expansiveness regime fails loudly rather than producing an invalid
+    privacy guarantee.
+    """
+    check_positive(beta, "beta")
+    check_non_negative(total, "total")
+    limit = 2.0 / beta
+    worst = schedule.max_rate(total)
+    if worst > limit * (1.0 + 1e-12):
+        raise ValueError(
+            f"step sizes must satisfy eta_t <= 2/beta = {limit:.6g} for the "
+            f"convex sensitivity bound to hold; schedule reaches {worst:.6g}"
+        )
+
+
+def validate_strongly_convex_step_size(
+    schedule: StepSizeSchedule, beta: float, total: int
+) -> None:
+    """Require ``eta_t <= 1/beta`` for all t — the premise of Lemma 2."""
+    check_positive(beta, "beta")
+    check_non_negative(total, "total")
+    limit = 1.0 / beta
+    worst = schedule.max_rate(total)
+    if worst > limit * (1.0 + 1e-12):
+        raise ValueError(
+            f"step sizes must satisfy eta_t <= 1/beta = {limit:.6g} for the "
+            f"strongly convex sensitivity bound to hold; schedule reaches {worst:.6g}"
+        )

@@ -1,0 +1,187 @@
+"""Variance-reduced SGD variants: SVRG and SAG.
+
+Section 3.2 of the paper observes that the "randomness one at a time"
+argument (Lemma 5) only needs *non-adaptivity* — the algorithm's random
+choices must not depend on the data values — and notes that "more modern
+SGD variants, such as Stochastic Variance Reduced Gradient (SVRG) and
+Stochastic Average Gradient (SAG), are non-adaptive as well". This module
+implements both so the substrate covers the paper's full claim:
+
+* :class:`SVRG` (Johnson & Zhang 2013) — epochs anchored at a snapshot
+  ``w~`` with full-gradient correction
+  ``g_t = grad_i(w) - grad_i(w~) + full_grad(w~)``;
+* :class:`SAG` (Le Roux, Schmidt & Bach 2012) — a running average of the
+  most recent per-example gradients.
+
+Both expose the same deterministic-randomness contract as PSGD (an
+explicit index sequence can be injected), and the test-suite verifies the
+non-adaptivity property directly: replaying the same randomness on
+neighbouring datasets touches the differing example at identical steps.
+
+These optimizers are provided as substrate; the paper proves sensitivity
+bounds only for PSGD, so :mod:`repro.core.sensitivity` deliberately
+refuses to calibrate noise for them (future work, Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.optim.losses import Loss
+from repro.optim.projection import IdentityProjection, Projection
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_matrix_labels, check_positive, check_positive_int
+
+
+@dataclass
+class VarianceReducedResult:
+    """Outcome of one SVRG/SAG run."""
+
+    model: np.ndarray
+    updates: int
+    epochs_completed: int
+    epoch_losses: List[float] = field(default_factory=list)
+
+
+class SVRG:
+    """Stochastic Variance Reduced Gradient.
+
+    Each epoch: snapshot ``w~ = w``, compute the full gradient ``mu`` at
+    the snapshot, then run ``updates_per_epoch`` corrected stochastic
+    steps. The index stream is sampled up-front (non-adaptive) or injected
+    by the caller.
+    """
+
+    def __init__(
+        self,
+        loss: Loss,
+        eta: float,
+        epochs: int = 5,
+        updates_per_epoch: Optional[int] = None,
+        projection: Optional[Projection] = None,
+        track_loss: bool = False,
+    ):
+        self.loss = loss
+        self.eta = check_positive(eta, "eta")
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.updates_per_epoch = updates_per_epoch
+        self.projection = projection if projection is not None else IdentityProjection()
+        self.track_loss = track_loss
+
+    def run(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        random_state: RandomState = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> VarianceReducedResult:
+        """Optimize; ``indices`` (length epochs * updates_per_epoch)
+        overrides the sampled index stream for replay tests."""
+        X, y = check_matrix_labels(X, y)
+        m, d = X.shape
+        per_epoch = self.updates_per_epoch if self.updates_per_epoch else m
+        rng = as_generator(random_state)
+        if indices is None:
+            stream = rng.integers(0, m, size=self.epochs * per_epoch)
+        else:
+            stream = np.asarray(indices, dtype=np.int64)
+            if stream.shape != (self.epochs * per_epoch,):
+                raise ValueError(
+                    f"indices must have length {self.epochs * per_epoch}, "
+                    f"got {stream.shape}"
+                )
+            if np.any(stream < 0) or np.any(stream >= m):
+                raise ValueError("indices out of range")
+
+        w = np.zeros(d)
+        t = 0
+        epoch_losses: List[float] = []
+        for _ in range(self.epochs):
+            snapshot = w.copy()
+            mu = self.loss.batch_gradient(snapshot, X, y)
+            for _ in range(per_epoch):
+                i = int(stream[t])
+                t += 1
+                correction = (
+                    self.loss.gradient(w, X[i], y[i])
+                    - self.loss.gradient(snapshot, X[i], y[i])
+                    + mu
+                )
+                w = self.projection(w - self.eta * correction)
+            if self.track_loss:
+                epoch_losses.append(self.loss.batch_value(w, X, y))
+        return VarianceReducedResult(
+            model=w, updates=t, epochs_completed=self.epochs,
+            epoch_losses=epoch_losses,
+        )
+
+
+class SAG:
+    """Stochastic Average Gradient.
+
+    Maintains the last-seen gradient of every example and steps along
+    their running average. Memory is ``O(m d)`` — fine for the in-memory
+    analytics setting this substrate serves.
+    """
+
+    def __init__(
+        self,
+        loss: Loss,
+        eta: float,
+        epochs: int = 5,
+        projection: Optional[Projection] = None,
+        track_loss: bool = False,
+    ):
+        self.loss = loss
+        self.eta = check_positive(eta, "eta")
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.projection = projection if projection is not None else IdentityProjection()
+        self.track_loss = track_loss
+
+    def run(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        random_state: RandomState = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> VarianceReducedResult:
+        X, y = check_matrix_labels(X, y)
+        m, d = X.shape
+        rng = as_generator(random_state)
+        total = self.epochs * m
+        if indices is None:
+            stream = rng.integers(0, m, size=total)
+        else:
+            stream = np.asarray(indices, dtype=np.int64)
+            if stream.shape != (total,):
+                raise ValueError(f"indices must have length {total}, got {stream.shape}")
+            if np.any(stream < 0) or np.any(stream >= m):
+                raise ValueError("indices out of range")
+
+        w = np.zeros(d)
+        memory = np.zeros((m, d))
+        seen = np.zeros(m, dtype=bool)
+        gradient_sum = np.zeros(d)
+        count_seen = 0
+        epoch_losses: List[float] = []
+        t = 0
+        for _ in range(self.epochs):
+            for _ in range(m):
+                i = int(stream[t])
+                t += 1
+                fresh = self.loss.gradient(w, X[i], y[i])
+                gradient_sum += fresh - memory[i]
+                memory[i] = fresh
+                if not seen[i]:
+                    seen[i] = True
+                    count_seen += 1
+                w = self.projection(w - self.eta * gradient_sum / count_seen)
+            if self.track_loss:
+                epoch_losses.append(self.loss.batch_value(w, X, y))
+        return VarianceReducedResult(
+            model=w, updates=t, epochs_completed=self.epochs,
+            epoch_losses=epoch_losses,
+        )

@@ -1,0 +1,86 @@
+"""The in-RDBMS analytics substrate — a miniature Bismarck-on-PostgreSQL.
+
+Layers (bottom to top):
+
+* :mod:`repro.rdbms.storage` — slotted pages, heap files (materialized and
+  virtual), LRU buffer pool with I/O counters;
+* :mod:`repro.rdbms.catalog` — table namespace;
+* :mod:`repro.rdbms.executor` — sequential scan, ``ORDER BY RANDOM()``
+  shuffle, aggregate evaluation;
+* :mod:`repro.rdbms.uda` — the initialize/transition/terminate aggregate
+  contract, with AVG and the Bismarck SGD epoch;
+* :mod:`repro.rdbms.bismarck` — the front-end controller and the three
+  integration styles of Figure 1 (noiseless / bolt-on / white-box noisy);
+* :mod:`repro.rdbms.cost_model` — counters-to-seconds for the runtime and
+  scalability figures;
+* :mod:`repro.rdbms.synthesizer` — the Figure 2 binary-data synthesizer.
+"""
+
+from repro.rdbms.bismarck import (
+    BismarckSession,
+    EpochReport,
+    NoisySGDUDA,
+    TrainingReport,
+    integration_report,
+)
+from repro.rdbms.catalog import Catalog, TableInfo
+from repro.rdbms.cost_model import (
+    CostConstants,
+    CostModel,
+    RuntimeBreakdown,
+    WorkCounters,
+)
+from repro.rdbms.executor import SeqScan, Shuffle, ShuffleOnce, run_aggregate
+from repro.rdbms.storage import (
+    PAGE_SIZE_BYTES,
+    BufferPool,
+    BufferPoolStats,
+    HeapFile,
+    MaterializedHeapFile,
+    Page,
+    VirtualHeapFile,
+    tuple_width_bytes,
+    tuples_per_page,
+)
+from repro.rdbms.synthesizer import (
+    analytic_counters,
+    dataset_size_bytes,
+    dataset_size_gb,
+    synthesize_heap,
+)
+from repro.rdbms.uda import UDA, AvgUDA, SGDState, SGDUDA
+
+__all__ = [
+    "PAGE_SIZE_BYTES",
+    "Page",
+    "HeapFile",
+    "MaterializedHeapFile",
+    "VirtualHeapFile",
+    "BufferPool",
+    "BufferPoolStats",
+    "tuple_width_bytes",
+    "tuples_per_page",
+    "Catalog",
+    "TableInfo",
+    "SeqScan",
+    "Shuffle",
+    "ShuffleOnce",
+    "run_aggregate",
+    "UDA",
+    "AvgUDA",
+    "SGDUDA",
+    "SGDState",
+    "BismarckSession",
+    "NoisySGDUDA",
+    "TrainingReport",
+    "EpochReport",
+    "integration_report",
+    "CostModel",
+    "CostConstants",
+    "WorkCounters",
+    "RuntimeBreakdown",
+    "synthesize_heap",
+    "analytic_counters",
+    "dataset_size_bytes",
+    "dataset_size_gb",
+]

@@ -1,0 +1,474 @@
+"""The Bismarck stand-in: an epoch-driving front-end over the mini engine.
+
+Figure 1 of the paper shows the architecture this module reproduces:
+
+* the dataset lives in a table; a *shuffle* stage permutes it;
+* each epoch runs the SGD UDA over the (shuffled) table via an SQL query;
+* a Python front-end controller issues the per-epoch queries and applies
+  the convergence test;
+* **(B)** the bolt-on algorithms add noise once, in the *front end*, after
+  all epochs — :meth:`BismarckSession.run_bolton_private` is deliberately
+  written as the handful of controller lines the paper describes
+  ("about 10 LOC in Python");
+* **(C)** SCS13 and BST14 need noise inside the UDA's *transition*
+  function — :class:`NoisySGDUDA` is that modification, and
+  :func:`integration_report` quantifies the contrast.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.mechanisms import (
+    PrivacyParameters,
+    mechanism_for,
+)
+from repro.core.sensitivity import sensitivity_for_schedule
+from repro.optim.losses import Loss
+from repro.optim.projection import IdentityProjection, L2BallProjection, Projection
+from repro.optim.schedules import (
+    CappedInverseTSchedule,
+    ConstantSchedule,
+    InverseSqrtTSchedule,
+    StepSizeSchedule,
+)
+from repro.rdbms.catalog import Catalog, TableInfo
+from repro.rdbms.cost_model import CostModel, RuntimeBreakdown, WorkCounters
+from repro.rdbms.executor import ShuffleOnce, run_aggregate
+from repro.rdbms.storage import BufferPool
+from repro.rdbms.uda import SGDState, SGDUDA
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class EpochReport:
+    """Counters and simulated cost of one epoch."""
+
+    epoch: int
+    loss_value: Optional[float]
+    runtime: RuntimeBreakdown
+
+
+@dataclass
+class TrainingReport:
+    """The outcome of an in-RDBMS training run."""
+
+    model: np.ndarray
+    epochs: List[EpochReport] = field(default_factory=list)
+    converged_early: bool = False
+    algorithm: str = "noiseless"
+    noise_draws: int = 0
+
+    @property
+    def total_runtime(self) -> RuntimeBreakdown:
+        total = RuntimeBreakdown()
+        for epoch in self.epochs:
+            total = total + epoch.runtime
+        return total
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.total_runtime.total
+
+
+class NoisySGDUDA(SGDUDA):
+    """The white-box modification: per-mini-batch noise in ``transition``.
+
+    This class *is* the "dozens of LOC in C" change of Figure 1 (C),
+    expressed in our substrate: a subclass whose only difference is drawing
+    a noise vector for every completed mini-batch. ``noise_sampler`` is
+    ``(step_index, dimension) -> vector`` and each call is also what the
+    cost model charges as an expensive sophisticated-distribution draw.
+    """
+
+    def __init__(
+        self,
+        loss: Loss,
+        schedule: StepSizeSchedule,
+        noise_sampler: Callable[[int, int], np.ndarray],
+        batch_size: int = 1,
+        projection: Optional[Projection] = None,
+    ):
+        super().__init__(loss, schedule, batch_size, projection)
+        self.noise_sampler = noise_sampler
+        self.noise_draws = 0
+
+    def _adjust_gradient(self, state: SGDState, gradient: np.ndarray) -> np.ndarray:
+        self.noise_draws += 1
+        return gradient + self.noise_sampler(state.next_step_index, gradient.shape[0])
+
+
+class BismarckSession:
+    """A connection to the miniature analytics engine.
+
+    Owns the catalog, buffer pool, and cost model; exposes the training
+    entry points the paper's experiments call.
+    """
+
+    def __init__(
+        self,
+        buffer_pool_pages: int = 65536,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.catalog = Catalog()
+        self.pool = BufferPool(buffer_pool_pages)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    # -- data loading -----------------------------------------------------------
+
+    def load_table(self, name: str, features: np.ndarray, labels: np.ndarray) -> TableInfo:
+        """CREATE TABLE + COPY: materialize arrays as a table."""
+        return self.catalog.create_table_from_arrays(name, features, labels)
+
+    def register_table(self, name: str, heap) -> TableInfo:
+        """Register an existing heap file (e.g. a synthesized virtual one)."""
+        return self.catalog.create_table(name, heap)
+
+    def warm_cache(self, table_name: str) -> None:
+        """Pre-read a table through the buffer pool.
+
+        The paper's runtime measurements are "the average of 4 warm-cache
+        runs [where] all datasets fit in the buffer cache" (Section 4.4);
+        calling this before timing reproduces that methodology so the
+        first-measured algorithm is not charged the one-off cold misses.
+        """
+        table = self.catalog.get(table_name)
+        for _ in self.pool.scan(table.heap):
+            pass
+
+    # -- core epoch loop ----------------------------------------------------------
+
+    def run_sgd(
+        self,
+        table_name: str,
+        uda: SGDUDA,
+        epochs: int,
+        *,
+        convergence_tolerance: Optional[float] = None,
+        loss_for_convergence: Optional[Loss] = None,
+        fresh_permutation_each_epoch: bool = False,
+        random_state: RandomState = None,
+        algorithm_label: str = "noiseless",
+    ) -> TrainingReport:
+        """The front-end controller: shuffle once, one UDA query per epoch.
+
+        The convergence test mirrors the paper's Python controller: after
+        each epoch, evaluate the training loss and stop when its relative
+        decrease falls below ``convergence_tolerance``.
+        """
+        check_positive_int(epochs, "epochs")
+        table = self.catalog.get(table_name)
+        rng = as_generator(random_state)
+        shuffle = ShuffleOnce(table, self.pool, random_state=rng)
+
+        model: Optional[np.ndarray] = None
+        reports: List[EpochReport] = []
+        converged = False
+        previous_loss: Optional[float] = None
+        global_step_offset = 0
+        total_noise_draws = 0
+
+        for epoch in range(1, epochs + 1):
+            if fresh_permutation_each_epoch and epoch > 1:
+                shuffle.reshuffle()
+            hits_before = self.pool.stats.cache_hits
+            misses_before = self.pool.stats.cache_misses
+            updates_before = uda.updates_applied
+            noise_before = getattr(uda, "noise_draws", 0)
+
+            model = run_aggregate(
+                shuffle,
+                uda,
+                model=model,
+                dimension=table.dimension,
+                global_step_offset=global_step_offset,
+            )
+            global_step_offset += -(-table.num_tuples // uda.batch_size)
+
+            noise_after = getattr(uda, "noise_draws", 0)
+            total_noise_draws += noise_after - noise_before
+            work = WorkCounters(
+                tuples_processed=table.num_tuples,
+                gradient_evaluations=table.num_tuples,
+                batch_updates=uda.updates_applied - updates_before,
+                noise_draws=noise_after - noise_before,
+                shuffled_tuples=table.num_tuples if epoch == 1 or fresh_permutation_each_epoch else 0,
+                page_hits=self.pool.stats.cache_hits - hits_before,
+                page_misses=self.pool.stats.cache_misses - misses_before,
+                dimension=table.dimension,
+            )
+            loss_value: Optional[float] = None
+            if convergence_tolerance is not None or loss_for_convergence is not None:
+                loss_value = self._training_loss(table, loss_for_convergence or uda.loss, model)
+            reports.append(
+                EpochReport(
+                    epoch=epoch,
+                    loss_value=loss_value,
+                    runtime=self.cost_model.charge(work),
+                )
+            )
+            if convergence_tolerance is not None and previous_loss is not None:
+                scale = max(abs(previous_loss), 1e-12)
+                if (previous_loss - loss_value) / scale < convergence_tolerance:
+                    converged = True
+                    break
+            previous_loss = loss_value
+
+        assert model is not None
+        return TrainingReport(
+            model=model,
+            epochs=reports,
+            converged_early=converged,
+            algorithm=algorithm_label,
+            noise_draws=total_noise_draws,
+        )
+
+    # -- the three algorithm entry points -------------------------------------------
+
+    def run_noiseless(
+        self,
+        table_name: str,
+        loss: Loss,
+        schedule: StepSizeSchedule,
+        epochs: int,
+        batch_size: int = 1,
+        projection: Optional[Projection] = None,
+        random_state: RandomState = None,
+        convergence_tolerance: Optional[float] = None,
+    ) -> TrainingReport:
+        """Regular Bismarck (Figure 1 (A))."""
+        uda = SGDUDA(loss, schedule, batch_size, projection)
+        return self.run_sgd(
+            table_name,
+            uda,
+            epochs,
+            convergence_tolerance=convergence_tolerance,
+            random_state=random_state,
+            algorithm_label="noiseless",
+        )
+
+    def run_bolton_private(
+        self,
+        table_name: str,
+        loss: Loss,
+        epsilon: float,
+        *,
+        delta: float = 0.0,
+        epochs: int = 1,
+        batch_size: int = 1,
+        eta: Optional[float] = None,
+        radius: Optional[float] = None,
+        random_state: RandomState = None,
+        convergence_tolerance: Optional[float] = None,
+    ) -> TrainingReport:
+        """Our algorithms as integrated into Bismarck (Figure 1 (B)).
+
+        Everything below the noise-adding block is the *unchanged* engine;
+        the privacy addition really is the last few lines — the same "about
+        10 lines of Python in the front-end controller" the paper reports.
+        """
+        table = self.catalog.get(table_name)
+        m = table.num_tuples
+        sgd_rng, noise_rng = spawn_generators(random_state, 2)
+        privacy = PrivacyParameters(epsilon, delta)
+
+        if radius is not None:
+            projection: Projection = L2BallProjection(radius)
+            properties = loss.properties(radius=radius)
+        else:
+            projection = IdentityProjection()
+            properties = loss.properties()
+
+        if properties.is_strongly_convex:
+            schedule: StepSizeSchedule = CappedInverseTSchedule(
+                properties.smoothness, properties.strong_convexity
+            )
+        else:
+            schedule = ConstantSchedule(eta if eta is not None else 1.0 / np.sqrt(m))
+            if convergence_tolerance is not None:
+                raise ValueError(
+                    "data-dependent early stopping is only private when the "
+                    "sensitivity does not depend on the pass count — i.e. the "
+                    "strongly convex case (Section 4.3); in the convex case "
+                    "fix the number of epochs instead"
+                )
+
+        uda = SGDUDA(loss, schedule, batch_size, projection)
+        report = self.run_sgd(
+            table_name,
+            uda,
+            epochs,
+            convergence_tolerance=convergence_tolerance,
+            random_state=sgd_rng,
+            algorithm_label="bolton",
+        )
+
+        # ---- the bolt-on addition: this is the entire integration ----
+        passes_run = len(report.epochs)
+        sensitivity = sensitivity_for_schedule(
+            properties, schedule, m, passes_run, batch_size
+        )
+        mechanism = mechanism_for(privacy)
+        noise = mechanism.sample(table.dimension, sensitivity.value, privacy, noise_rng)
+        report.model = report.model + noise
+        report.noise_draws = 1
+        # ---------------------------------------------------------------
+
+        # Charge the single draw so runtime accounting is honest.
+        final_work = WorkCounters(noise_draws=1, dimension=table.dimension)
+        report.epochs[-1].runtime += self.cost_model.charge(final_work)
+        return report
+
+    def run_scs13(
+        self,
+        table_name: str,
+        loss: Loss,
+        epsilon: float,
+        *,
+        delta: float = 0.0,
+        epochs: int = 1,
+        batch_size: int = 1,
+        radius: Optional[float] = None,
+        eta0: float = 1.0,
+        random_state: RandomState = None,
+    ) -> TrainingReport:
+        """SCS13 inside the engine (Figure 1 (C)) — per-batch noise."""
+        from repro.baselines.scs13 import scs13_gaussian_sigma, scs13_noise_scale
+        from repro.utils.linalg import random_unit_vector
+
+        check_positive(epsilon, "epsilon")
+        check_positive_int(epochs, "epochs")
+        if radius is not None:
+            projection: Projection = L2BallProjection(radius)
+            properties = loss.properties(radius=radius)
+        else:
+            projection = IdentityProjection()
+            properties = loss.properties()
+        lipschitz = properties.lipschitz
+        epsilon_per_pass = epsilon / epochs
+        sgd_rng, noise_rng = spawn_generators(random_state, 2)
+
+        if delta == 0.0:
+            scale = scs13_noise_scale(lipschitz, epsilon_per_pass, batch_size)
+
+            def noise_sampler(step: int, dimension: int) -> np.ndarray:
+                direction = random_unit_vector(dimension, noise_rng)
+                return noise_rng.gamma(shape=dimension, scale=scale) * direction
+
+        else:
+            sigma = scs13_gaussian_sigma(
+                lipschitz, epsilon_per_pass, delta / epochs, batch_size
+            )
+
+            def noise_sampler(step: int, dimension: int) -> np.ndarray:
+                return noise_rng.normal(0.0, sigma, size=dimension)
+
+        uda = NoisySGDUDA(
+            loss, InverseSqrtTSchedule(eta0), noise_sampler, batch_size, projection
+        )
+        return self.run_sgd(
+            table_name, uda, epochs, random_state=sgd_rng, algorithm_label="scs13"
+        )
+
+    def run_bst14(
+        self,
+        table_name: str,
+        loss: Loss,
+        epsilon: float,
+        delta: float,
+        *,
+        epochs: int = 1,
+        batch_size: int = 1,
+        radius: float = 1.0,
+        random_state: RandomState = None,
+    ) -> TrainingReport:
+        """BST14 (constant-epoch extension) inside the engine."""
+        from repro.baselines.bst14 import bst14_noise_sigma, per_iteration_sensitivity
+        from repro.optim.schedules import BST14Schedule, InverseTSchedule
+
+        table = self.catalog.get(table_name)
+        m, d = table.num_tuples, table.dimension
+        properties = loss.properties(radius=radius)
+        sigma, _ = bst14_noise_sigma(epsilon, delta, m, epochs, batch_size)
+        iota = per_iteration_sensitivity(properties.lipschitz, batch_size)
+        effective_sigma = sigma * float(np.sqrt(iota))
+        sgd_rng, noise_rng = spawn_generators(random_state, 2)
+
+        if properties.is_strongly_convex:
+            schedule: StepSizeSchedule = InverseTSchedule(properties.strong_convexity)
+        else:
+            gradient_bound = float(
+                np.sqrt(d * sigma**2 + batch_size**2 * properties.lipschitz**2)
+            )
+            schedule = BST14Schedule(radius=radius, gradient_bound=gradient_bound)
+
+        def noise_sampler(step: int, dimension: int) -> np.ndarray:
+            return noise_rng.normal(0.0, effective_sigma, size=dimension)
+
+        uda = NoisySGDUDA(
+            loss, schedule, noise_sampler, batch_size, L2BallProjection(radius)
+        )
+        return self.run_sgd(
+            table_name, uda, epochs, random_state=sgd_rng, algorithm_label="bst14"
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _training_loss(self, table: TableInfo, loss: Loss, model: np.ndarray) -> float:
+        total = 0.0
+        count = 0
+        for page in self.pool.scan(table.heap):
+            z = page.labels * (page.features @ model)
+            total += float(np.sum(loss.margin_loss(z)))
+            count += page.tuple_count
+        reg = 0.5 * loss.regularization * float(np.dot(model, model))
+        return total / count + reg
+
+
+def integration_report() -> dict:
+    """Quantify the Section 4.2 integration-effort comparison on our code.
+
+    Counts the source lines of the bolt-on addition inside
+    :meth:`BismarckSession.run_bolton_private` (the block between the
+    marker comments) versus the white-box :class:`NoisySGDUDA` subclass
+    plus the per-algorithm samplers — the stand-ins for "about 10 LOC of
+    Python" versus "dozens of LOC in C inside the transition function".
+    """
+    bolton_source = inspect.getsource(BismarckSession.run_bolton_private)
+    in_block = False
+    bolton_lines = 0
+    for line in bolton_source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("# ---- the bolt-on addition"):
+            in_block = True
+            continue
+        if stripped.startswith("# ----------------"):
+            in_block = False
+            continue
+        if in_block and stripped and not stripped.startswith("#"):
+            bolton_lines += 1
+
+    whitebox_lines = 0
+    for source in (
+        inspect.getsource(NoisySGDUDA),
+        inspect.getsource(BismarckSession.run_scs13),
+        inspect.getsource(BismarckSession.run_bst14),
+    ):
+        for line in source.splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#") and not stripped.startswith('"""'):
+                whitebox_lines += 1
+
+    return {
+        "bolton_integration_loc": bolton_lines,
+        "whitebox_integration_loc": whitebox_lines,
+        "bolton_touches_engine_internals": False,
+        "whitebox_touches_engine_internals": True,
+        "paper_claim": "ours ~10 LOC of front-end Python; SCS13/BST14 dozens "
+        "of LOC of C inside the UDA transition function",
+    }

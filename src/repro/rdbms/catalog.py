@@ -1,0 +1,69 @@
+"""Table catalog — name resolution for the miniature engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.rdbms.storage import HeapFile, MaterializedHeapFile
+
+
+@dataclass
+class TableInfo:
+    """Catalog entry: a named heap file plus basic statistics."""
+
+    name: str
+    heap: HeapFile
+
+    @property
+    def num_tuples(self) -> int:
+        return self.heap.num_tuples
+
+    @property
+    def dimension(self) -> int:
+        return self.heap.dimension
+
+    @property
+    def size_bytes(self) -> int:
+        return self.heap.size_bytes
+
+
+class Catalog:
+    """A flat namespace of tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableInfo] = {}
+
+    def create_table(self, name: str, heap: HeapFile) -> TableInfo:
+        """Register a heap file under ``name`` (names are unique)."""
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"invalid table name {name!r}")
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        info = TableInfo(name=name, heap=heap)
+        self._tables[name] = info
+        return info
+
+    def create_table_from_arrays(
+        self, name: str, features: np.ndarray, labels: np.ndarray
+    ) -> TableInfo:
+        """Convenience: materialize arrays into a new table."""
+        return self.create_table(name, MaterializedHeapFile(features, labels))
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"no such table {name!r}")
+        del self._tables[name]
+
+    def get(self, name: str) -> TableInfo:
+        if name not in self._tables:
+            raise KeyError(f"no such table {name!r}; known: {sorted(self._tables)}")
+        return self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

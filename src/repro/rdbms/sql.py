@@ -1,0 +1,287 @@
+"""A small SQL front-end for the miniature engine.
+
+Bismarck drives SGD with real SQL — ``SELECT sgd_agg(...) FROM data ORDER
+BY RANDOM()`` issued per epoch by the Python controller, plus ordinary
+aggregates like ``SELECT AVG(label) FROM data``. This module gives the
+engine that surface: a hand-written tokenizer and recursive-descent parser
+for the fragment the experiments need, compiled onto the physical
+operators of :mod:`repro.rdbms.executor`.
+
+Supported grammar (case-insensitive keywords)::
+
+    query     := select | create | drop
+    select    := SELECT agg_call FROM ident [ORDER BY RANDOM()] [';']
+    agg_call  := IDENT '(' [IDENT (',' IDENT)*] ')'
+    create    := CREATE TABLE ident ';'?          -- registration only
+    drop      := DROP TABLE ident ';'?
+
+Aggregates are resolved from a registry: ``avg`` ships built in, and any
+:class:`repro.rdbms.uda.UDA` can be registered under a name (this is how
+the SGD epoch query works — see :meth:`SQLSession.register_aggregate`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.rdbms.catalog import Catalog
+from repro.rdbms.executor import SeqScan, ShuffleOnce, run_aggregate
+from repro.rdbms.storage import BufferPool
+from repro.rdbms.uda import UDA, AvgUDA
+from repro.utils.rng import RandomState, as_generator
+
+
+class SQLError(ValueError):
+    """Raised for lexical, syntactic, or semantic query errors."""
+
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z_0-9]*)|(?P<punct>[(),;*])|(?P<other>\S))"
+)
+
+KEYWORDS = {"select", "from", "order", "by", "random", "create", "drop", "table"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'punct'
+    text: str
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split a statement into tokens, classifying keywords."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            break
+        position = match.end()
+        if match.group("ident"):
+            text = match.group("ident")
+            kind = "keyword" if text.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, text))
+        elif match.group("punct"):
+            tokens.append(Token("punct", match.group("punct")))
+        elif match.group("other"):
+            raise SQLError(f"unexpected character {match.group('other')!r} in query")
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# Parser -> statement objects
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SelectAggregate:
+    """``SELECT agg(args...) FROM table [ORDER BY RANDOM()]``."""
+
+    aggregate: str
+    arguments: List[str]
+    table: str
+    shuffled: bool
+
+
+@dataclass
+class CreateTable:
+    table: str
+
+
+@dataclass
+class DropTable:
+    table: str
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SQLError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        token = self.advance()
+        if token.kind != "keyword" or token.text.lower() != word:
+            raise SQLError(f"expected {word.upper()}, got {token.text!r}")
+
+    def expect_punct(self, char: str) -> None:
+        token = self.advance()
+        if token.kind != "punct" or token.text != char:
+            raise SQLError(f"expected {char!r}, got {token.text!r}")
+
+    def expect_ident(self) -> str:
+        token = self.advance()
+        if token.kind != "ident":
+            raise SQLError(f"expected identifier, got {token.text!r}")
+        return token.text
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "keyword"
+            and token.text.lower() == word
+        )
+
+    def maybe_semicolon_then_end(self) -> None:
+        token = self.peek()
+        if token is not None and token.kind == "punct" and token.text == ";":
+            self.advance()
+        if self.peek() is not None:
+            raise SQLError(f"trailing tokens starting at {self.peek().text!r}")
+
+    def parse(self):
+        if self.at_keyword("select"):
+            return self._select()
+        if self.at_keyword("create"):
+            self.advance()
+            self.expect_keyword("table")
+            name = self.expect_ident()
+            self.maybe_semicolon_then_end()
+            return CreateTable(name)
+        if self.at_keyword("drop"):
+            self.advance()
+            self.expect_keyword("table")
+            name = self.expect_ident()
+            self.maybe_semicolon_then_end()
+            return DropTable(name)
+        token = self.peek()
+        raise SQLError(f"expected a statement, got {token.text if token else 'EOF'!r}")
+
+    def _select(self) -> SelectAggregate:
+        self.expect_keyword("select")
+        aggregate = self.expect_ident()
+        self.expect_punct("(")
+        arguments: List[str] = []
+        token = self.peek()
+        if token is not None and not (token.kind == "punct" and token.text == ")"):
+            while True:
+                nxt = self.advance()
+                if nxt.kind == "punct" and nxt.text == "*":
+                    arguments.append("*")
+                elif nxt.kind == "ident":
+                    arguments.append(nxt.text)
+                else:
+                    raise SQLError(f"bad aggregate argument {nxt.text!r}")
+                token = self.peek()
+                if token is not None and token.kind == "punct" and token.text == ",":
+                    self.advance()
+                    continue
+                break
+        self.expect_punct(")")
+        self.expect_keyword("from")
+        table = self.expect_ident()
+        shuffled = False
+        if self.at_keyword("order"):
+            self.advance()
+            self.expect_keyword("by")
+            self.expect_keyword("random")
+            self.expect_punct("(")
+            self.expect_punct(")")
+            shuffled = True
+        self.maybe_semicolon_then_end()
+        return SelectAggregate(
+            aggregate=aggregate.lower(), arguments=arguments, table=table,
+            shuffled=shuffled,
+        )
+
+
+def parse(sql: str):
+    """Parse one statement; raises :class:`SQLError` on malformed input."""
+    tokens = tokenize(sql)
+    if not tokens:
+        raise SQLError("empty query")
+    return _Parser(tokens).parse()
+
+
+# --------------------------------------------------------------------------
+# Session: bind statements to the engine
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _RegisteredAggregate:
+    uda: UDA
+    initialize_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+class SQLSession:
+    """Execute the supported SQL fragment against a catalog + buffer pool.
+
+    >>> session = SQLSession(catalog, pool)
+    >>> session.execute("SELECT avg(label) FROM protein")
+    0.0123
+    >>> session.register_aggregate("sgd_epoch", sgd_uda, dimension=74)
+    >>> model = session.execute(
+    ...     "SELECT sgd_epoch(features, label) FROM protein ORDER BY RANDOM()")
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        pool: BufferPool,
+        random_state: RandomState = None,
+    ):
+        self.catalog = catalog
+        self.pool = pool
+        self.rng = as_generator(random_state)
+        self._aggregates: Dict[str, _RegisteredAggregate] = {
+            "avg": _RegisteredAggregate(AvgUDA())
+        }
+
+    def register_aggregate(self, name: str, uda: UDA, **initialize_kwargs: Any) -> None:
+        """Make a UDA callable from SQL (PostgreSQL's CREATE AGGREGATE)."""
+        key = name.lower()
+        if not key.isidentifier():
+            raise SQLError(f"invalid aggregate name {name!r}")
+        self._aggregates[key] = _RegisteredAggregate(uda, dict(initialize_kwargs))
+
+    def execute(self, sql: str):
+        """Parse and run one statement, returning its result."""
+        statement = parse(sql)
+        if isinstance(statement, SelectAggregate):
+            return self._run_select(statement)
+        if isinstance(statement, CreateTable):
+            raise SQLError(
+                "CREATE TABLE via SQL needs column definitions the fragment "
+                "does not model; use BismarckSession.load_table / "
+                "Catalog.create_table_from_arrays"
+            )
+        if isinstance(statement, DropTable):
+            self.catalog.drop_table(statement.table)
+            return None
+        raise SQLError(f"unsupported statement {statement!r}")  # pragma: no cover
+
+    def _run_select(self, statement: SelectAggregate):
+        try:
+            table = self.catalog.get(statement.table)
+        except KeyError as exc:
+            raise SQLError(str(exc)) from exc
+        registered = self._aggregates.get(statement.aggregate)
+        if registered is None:
+            raise SQLError(
+                f"unknown aggregate {statement.aggregate!r}; registered: "
+                f"{sorted(self._aggregates)}"
+            )
+        if statement.shuffled:
+            source = ShuffleOnce(table, self.pool, random_state=self.rng)
+        else:
+            source = SeqScan(table, self.pool)
+        return run_aggregate(source, registered.uda, **registered.initialize_kwargs)

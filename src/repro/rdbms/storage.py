@@ -1,0 +1,254 @@
+"""Slotted-page storage with a buffer pool — the engine's bottom layer.
+
+The paper's experiments run inside PostgreSQL, where the dataset is "stored
+as a table" and scalability to larger-than-memory data "comes for free"
+through the buffer manager (Section 4.4, Figure 2). This module recreates
+the parts of that stack the experiments exercise:
+
+* fixed-width tuples (d float64 features + 1 float64 label) packed into
+  8 KiB pages;
+* a :class:`HeapFile` of pages — either *materialized* (backed by real
+  arrays) or *virtual* (pages synthesized deterministically on first read,
+  so multi-gigabyte scalability tables never occupy RAM, mirroring the
+  paper's 149–447 GB disk-based datasets);
+* a :class:`BufferPool` with LRU eviction and hit/miss counters, which is
+  what distinguishes the in-memory regime (all pages resident, CPU-bound)
+  from the disk regime (misses dominate, I/O-bound) in Figure 2.
+
+Page reads/writes are *counted*, not physically performed; the cost model
+(:mod:`repro.rdbms.cost_model`) converts the counters into simulated
+seconds. Real wall-clock time of the Python hot loops is measured
+separately by the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+#: PostgreSQL's default page size.
+PAGE_SIZE_BYTES = 8192
+#: Per-page header we account for (page id + tuple count).
+PAGE_HEADER_BYTES = 16
+
+
+def tuple_width_bytes(dimension: int) -> int:
+    """On-page width of one example: d features + 1 label, all float64."""
+    check_positive_int(dimension, "dimension")
+    return (dimension + 1) * 8
+
+
+def tuples_per_page(dimension: int) -> int:
+    """How many examples fit in one 8 KiB page."""
+    width = tuple_width_bytes(dimension)
+    capacity = (PAGE_SIZE_BYTES - PAGE_HEADER_BYTES) // width
+    if capacity < 1:
+        raise ValueError(
+            f"dimension {dimension} is too wide for a {PAGE_SIZE_BYTES}-byte "
+            "page; wide tuples would need TOAST-style storage, which the "
+            "experiments do not exercise"
+        )
+    return capacity
+
+
+@dataclass
+class Page:
+    """One page of examples: a features block and a labels block."""
+
+    page_id: int
+    features: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def tuple_count(self) -> int:
+        return int(self.features.shape[0])
+
+
+class HeapFile(abc.ABC):
+    """A sequence of pages holding one table's tuples."""
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Feature dimension d."""
+
+    @property
+    @abc.abstractmethod
+    def num_pages(self) -> int:
+        """Page count."""
+
+    @property
+    @abc.abstractmethod
+    def num_tuples(self) -> int:
+        """Row count m."""
+
+    @abc.abstractmethod
+    def read_page(self, page_id: int) -> Page:
+        """Materialize page ``page_id`` (0-based)."""
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint (pages x page size)."""
+        return self.num_pages * PAGE_SIZE_BYTES
+
+
+class MaterializedHeapFile(HeapFile):
+    """A heap file backed by in-process arrays (small/medium tables)."""
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray):
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2 or labels.ndim != 1:
+            raise ValueError("features must be 2-D and labels 1-D")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features/labels row counts disagree")
+        if features.shape[0] == 0:
+            raise ValueError("heap file must contain at least one tuple")
+        self._features = features
+        self._labels = labels
+        self._per_page = tuples_per_page(features.shape[1])
+
+    @property
+    def dimension(self) -> int:
+        return int(self._features.shape[1])
+
+    @property
+    def num_tuples(self) -> int:
+        return int(self._features.shape[0])
+
+    @property
+    def num_pages(self) -> int:
+        return -(-self.num_tuples // self._per_page)
+
+    def read_page(self, page_id: int) -> Page:
+        if not 0 <= page_id < self.num_pages:
+            raise IndexError(f"page {page_id} out of range [0, {self.num_pages})")
+        start = page_id * self._per_page
+        stop = min(start + self._per_page, self.num_tuples)
+        return Page(
+            page_id=page_id,
+            features=self._features[start:stop],
+            labels=self._labels[start:stop],
+        )
+
+
+class VirtualHeapFile(HeapFile):
+    """A heap file whose pages are generated deterministically on read.
+
+    Used by the scalability experiments: a 447 GB table exists as a page
+    *generator* ``(page_id) -> (features, labels)`` seeded by the page id,
+    so scanning it produces stable data with bounded memory — exactly the
+    role the Bismarck data synthesizer plays in the paper's Figure 2 study.
+    """
+
+    def __init__(
+        self,
+        num_tuples: int,
+        dimension: int,
+        page_generator: Callable[[int, int, int], tuple[np.ndarray, np.ndarray]],
+    ):
+        self._num_tuples = check_positive_int(num_tuples, "num_tuples")
+        self._dimension = check_positive_int(dimension, "dimension")
+        self._per_page = tuples_per_page(dimension)
+        self._generator = page_generator
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def num_tuples(self) -> int:
+        return self._num_tuples
+
+    @property
+    def num_pages(self) -> int:
+        return -(-self._num_tuples // self._per_page)
+
+    def read_page(self, page_id: int) -> Page:
+        if not 0 <= page_id < self.num_pages:
+            raise IndexError(f"page {page_id} out of range [0, {self.num_pages})")
+        start = page_id * self._per_page
+        count = min(self._per_page, self._num_tuples - start)
+        features, labels = self._generator(page_id, count, self._dimension)
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.shape != (count, self._dimension) or labels.shape != (count,):
+            raise ValueError(
+                "page generator returned wrong shapes: "
+                f"{features.shape}, {labels.shape}; expected "
+                f"({count}, {self._dimension}) and ({count},)"
+            )
+        return Page(page_id=page_id, features=features, labels=labels)
+
+
+@dataclass
+class BufferPoolStats:
+    """Counters the cost model consumes."""
+
+    page_reads: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.page_reads == 0:
+            return 0.0
+        return self.cache_hits / self.page_reads
+
+
+class BufferPool:
+    """LRU page cache in front of a heap file.
+
+    ``capacity_pages`` models the machine's memory: when every table page
+    fits, repeated epochs are all cache hits (the paper's warm-cache
+    in-memory runs); when the table exceeds it, each sequential scan incurs
+    one miss per page (the disk-based regime of Figure 2(b)).
+    """
+
+    def __init__(self, capacity_pages: int):
+        self.capacity = check_positive_int(capacity_pages, "capacity_pages")
+        self._cache: "OrderedDict[tuple[int, int], Page]" = OrderedDict()
+        self.stats = BufferPoolStats()
+
+    def get_page(self, heap: HeapFile, page_id: int) -> Page:
+        """Fetch a page through the cache, updating LRU order and stats."""
+        key = (id(heap), page_id)
+        self.stats.page_reads += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.stats.cache_misses += 1
+        page = heap.read_page(page_id)
+        self._cache[key] = page
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return page
+
+    def scan(self, heap: HeapFile, page_order: Optional[List[int]] = None) -> Iterator[Page]:
+        """Iterate pages (sequentially by default) through the cache."""
+        order = page_order if page_order is not None else range(heap.num_pages)
+        for page_id in order:
+            yield self.get_page(heap, page_id)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,164 @@
+"""The User-Defined Aggregate (UDA) contract (Section 4.2).
+
+PostgreSQL-style UDAs are defined by three functions over an *aggregation
+state*:
+
+* ``initialize`` — create the state (for AVG: ``(sum, count) = (0, 0)``;
+  for SGD: the model ``w`` handed in by the front-end controller);
+* ``transition`` — fold one tuple into the state (for AVG: add; for SGD:
+  accumulate the gradient, stepping ``w`` whenever a mini-batch completes);
+* ``terminate`` — produce the aggregate's value (AVG: ``sum/count``; SGD:
+  the epoch's final ``w``).
+
+:class:`AvgUDA` is the reference aggregate the paper uses to explain the
+architecture; :class:`SGDUDA` is the Bismarck epoch; the private-baseline
+variants (noise inside ``transition``) live in :mod:`repro.rdbms.bismarck`
+because they are precisely the "deep code changes" being measured.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.optim.losses import Loss
+from repro.optim.projection import IdentityProjection, Projection
+from repro.optim.schedules import StepSizeSchedule
+from repro.utils.validation import check_positive_int
+
+
+class UDA(abc.ABC):
+    """The three-function aggregate contract."""
+
+    @abc.abstractmethod
+    def initialize(self, **kwargs: Any) -> Any:
+        """Create a fresh aggregation state."""
+
+    @abc.abstractmethod
+    def transition(self, state: Any, features: np.ndarray, label: float) -> Any:
+        """Fold one tuple into the state; returns the updated state."""
+
+    @abc.abstractmethod
+    def terminate(self, state: Any) -> Any:
+        """Finish the aggregate and return its value."""
+
+
+class AvgUDA(UDA):
+    """The standard SQL AVG over the label column — the paper's warm-up
+    example for explaining the UDA architecture."""
+
+    def initialize(self, **kwargs: Any) -> tuple[float, int]:
+        return (0.0, 0)
+
+    def transition(
+        self, state: tuple[float, int], features: np.ndarray, label: float
+    ) -> tuple[float, int]:
+        total, count = state
+        return (total + float(label), count + 1)
+
+    def terminate(self, state: tuple[float, int]) -> float:
+        total, count = state
+        if count == 0:
+            raise ValueError("AVG over zero tuples is undefined")
+        return total / count
+
+
+@dataclass
+class SGDState:
+    """The SGD aggregation state (Section 4.2's description, verbatim).
+
+    Holds the model, a temporary accumulated gradient, and counters for
+    examples and mini-batches seen — when a mini-batch completes, the
+    transition function applies the accumulated gradient at the proper
+    step size.
+    """
+
+    model: np.ndarray
+    accumulated_gradient: np.ndarray
+    examples_in_batch: int
+    batches_completed: int
+    global_step_offset: int
+
+    @property
+    def next_step_index(self) -> int:
+        """1-based global index of the *next* mini-batch update."""
+        return self.global_step_offset + self.batches_completed + 1
+
+
+class SGDUDA(UDA):
+    """One SGD epoch as a UDA — the heart of Bismarck.
+
+    The front-end controller passes the previous epoch's model to
+    ``initialize`` and a global step offset so decreasing schedules continue
+    across epochs. ``terminate`` flushes a trailing partial mini-batch
+    (matching Bismarck's behaviour of not losing the tail tuples).
+    """
+
+    def __init__(
+        self,
+        loss: Loss,
+        schedule: StepSizeSchedule,
+        batch_size: int = 1,
+        projection: Optional[Projection] = None,
+    ):
+        self.loss = loss
+        self.schedule = schedule
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.projection = projection if projection is not None else IdentityProjection()
+        #: Gradient updates applied during the lifetime of this UDA object;
+        #: the cost model charges per-update work through this counter.
+        self.updates_applied = 0
+
+    def initialize(
+        self, model: Optional[np.ndarray] = None, dimension: Optional[int] = None,
+        global_step_offset: int = 0, **kwargs: Any,
+    ) -> SGDState:
+        if model is None:
+            if dimension is None:
+                raise ValueError("initialize needs either a model or a dimension")
+            model = np.zeros(int(dimension), dtype=np.float64)
+        model = np.array(model, dtype=np.float64, copy=True)
+        return SGDState(
+            model=self.projection(model),
+            accumulated_gradient=np.zeros_like(model),
+            examples_in_batch=0,
+            batches_completed=0,
+            global_step_offset=int(global_step_offset),
+        )
+
+    def transition(self, state: SGDState, features: np.ndarray, label: float) -> SGDState:
+        gradient = self.loss.gradient(state.model, features, label)
+        state.accumulated_gradient += gradient
+        state.examples_in_batch += 1
+        if state.examples_in_batch >= self.batch_size:
+            self._apply_batch(state)
+        return state
+
+    def terminate(self, state: SGDState) -> np.ndarray:
+        if state.examples_in_batch > 0:
+            self._apply_batch(state)
+        return state.model
+
+    # -- internals ------------------------------------------------------------
+
+    def _apply_batch(self, state: SGDState) -> None:
+        eta = self.schedule.rate(state.next_step_index)
+        mean_gradient = state.accumulated_gradient / state.examples_in_batch
+        mean_gradient = self._adjust_gradient(state, mean_gradient)
+        state.model = self.projection(state.model - eta * mean_gradient)
+        state.accumulated_gradient[:] = 0.0
+        state.examples_in_batch = 0
+        state.batches_completed += 1
+        self.updates_applied += 1
+
+    def _adjust_gradient(self, state: SGDState, gradient: np.ndarray) -> np.ndarray:
+        """Hook for subclasses; the noisy baselines override this.
+
+        This one method is the entire integration surface the white-box
+        algorithms need to modify — see Figure 1 (C) and
+        :class:`repro.rdbms.bismarck.NoisySGDUDA`.
+        """
+        return gradient

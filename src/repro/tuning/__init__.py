@@ -1,0 +1,24 @@
+"""Hyper-parameter tuning: public-data grid search and the private
+exponential-mechanism procedure (Algorithm 3)."""
+
+from repro.tuning.grid import ParameterGrid, paper_grid
+from repro.tuning.private import (
+    TrainerFactory,
+    TuningOutcome,
+    exponential_mechanism_probabilities,
+    partition_dataset,
+    privately_tuned_sgd,
+)
+from repro.tuning.public import PublicTuningOutcome, tune_on_public_data
+
+__all__ = [
+    "ParameterGrid",
+    "paper_grid",
+    "TrainerFactory",
+    "TuningOutcome",
+    "privately_tuned_sgd",
+    "exponential_mechanism_probabilities",
+    "partition_dataset",
+    "PublicTuningOutcome",
+    "tune_on_public_data",
+]

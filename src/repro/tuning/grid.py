@@ -1,0 +1,64 @@
+"""Grid-search parameter spaces (the paper uses "a standard grid search").
+
+The paper's tuning grids (Sections 4.1 and 4.5):
+
+* number of passes ``k in {5, 10}``;
+* regularization ``lambda in {0.0001, 0.001, 0.01}``;
+* the mini-batch size is fixed at ``b = 50`` for the accuracy studies;
+* ``R = 1/lambda`` is derived, not tuned ("free parameters" principle).
+
+:func:`paper_grid` reproduces exactly that space; :class:`ParameterGrid`
+is the generic cross-product helper.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Sequence
+
+
+class ParameterGrid:
+    """Cross product of named value lists, iterated deterministically.
+
+    >>> list(ParameterGrid({"k": [5, 10], "lam": [0.1]}))
+    [{'k': 5, 'lam': 0.1}, {'k': 10, 'lam': 0.1}]
+    """
+
+    def __init__(self, space: Dict[str, Sequence]):
+        if not space:
+            raise ValueError("parameter space must not be empty")
+        for key, values in space.items():
+            if len(values) == 0:
+                raise ValueError(f"parameter {key!r} has no candidate values")
+        self.space = {key: list(values) for key, values in sorted(space.items())}
+
+    def __iter__(self) -> Iterator[Dict]:
+        keys = list(self.space)
+        for combo in product(*(self.space[key] for key in keys)):
+            yield dict(zip(keys, combo))
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.space.values():
+            size *= len(values)
+        return size
+
+    def candidates(self) -> List[Dict]:
+        """Materialized list of all parameter combinations."""
+        return list(self)
+
+
+def paper_grid(
+    passes: Sequence[int] = (5, 10),
+    regularization: Sequence[float] = (0.0001, 0.001, 0.01),
+    include_regularization: bool = True,
+) -> ParameterGrid:
+    """The grid of Sections 4.1/4.5: k in {5,10}, lambda in {1e-4,1e-3,1e-2}.
+
+    The convex tests do not tune lambda (no regularizer there —
+    ``include_regularization=False`` drops it, leaving k alone).
+    """
+    space: Dict[str, Sequence] = {"passes": list(passes)}
+    if include_regularization:
+        space["regularization"] = list(regularization)
+    return ParameterGrid(space)

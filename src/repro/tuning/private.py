@@ -1,0 +1,153 @@
+"""Algorithm 3 — private hyper-parameter tuning.
+
+From Chaudhuri, Monteleoni and Sarwate [13], as adopted by the paper:
+
+1. split the training set into ``l + 1`` equal disjoint portions
+   ``S_1 ... S_{l+1}``;
+2. train candidate ``i`` on ``S_i`` with parameters ``theta_i`` (any of the
+   private trainers — each sees a disjoint slice, so training composes in
+   parallel and costs ε once, not l times);
+3. count the classification errors ``chi_i`` of candidate ``i`` on the
+   held-out slice ``S_{l+1}``;
+4. release candidate ``i`` with probability ``∝ exp(-eps * chi_i / 2)``
+   (the exponential mechanism; the error count has sensitivity 1, so this
+   selection is ε-DP).
+
+The overall guarantee is (ε, δ)-DP: ε from training (parallel) plus... the
+paper follows [13] in reporting the *same* ε for the end-to-end procedure
+(training on disjoint data and selecting with the same ε each account for
+ε under parallel/sequential composition of the two stages; we surface both
+stages' spends through the optional accountant so users can apply their
+preferred bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.accountant import PrivacyAccountant
+from repro.core.mechanisms import PrivacyParameters
+from repro.tuning.grid import ParameterGrid
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import check_matrix_labels, check_positive
+
+#: A trainer factory: parameters dict -> callable(X, y, epsilon, delta, rng)
+#: returning an object with ``predict(X)``.
+TrainerFactory = Callable[[Dict], Callable[..., object]]
+
+
+@dataclass
+class TuningOutcome:
+    """The released model plus full (private-safe) diagnostics."""
+
+    model_result: object
+    chosen_parameters: Dict
+    chosen_index: int
+    privacy: PrivacyParameters
+    #: Error counts chi_i on the validation slice (diagnostic; releasing
+    #: them verbatim is NOT covered by the guarantee).
+    unreleased_error_counts: List[int] = field(default_factory=list)
+    #: Selection probabilities of the exponential mechanism (diagnostic).
+    unreleased_probabilities: np.ndarray = field(default_factory=lambda: np.empty(0))
+    candidates: List[Dict] = field(default_factory=list)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.model_result.predict(X)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        X, y = check_matrix_labels(X, y)
+        return float(np.mean(self.predict(X) == y))
+
+
+def exponential_mechanism_probabilities(
+    error_counts: Sequence[int], epsilon: float
+) -> np.ndarray:
+    """``p_i = exp(-eps chi_i / 2) / sum_j exp(-eps chi_j / 2)`` (line 5).
+
+    Computed with the max-shift trick for numerical stability.
+    """
+    check_positive(epsilon, "epsilon")
+    chi = np.asarray(error_counts, dtype=np.float64)
+    if chi.ndim != 1 or chi.size == 0:
+        raise ValueError("error_counts must be a non-empty 1-D sequence")
+    if np.any(chi < 0):
+        raise ValueError("error counts must be non-negative")
+    logits = -epsilon * chi / 2.0
+    logits -= logits.max()
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def partition_dataset(
+    X: np.ndarray, y: np.ndarray, parts: int, rng: np.random.Generator
+) -> List[tuple[np.ndarray, np.ndarray]]:
+    """Split (X, y) into ``parts`` disjoint near-equal random portions."""
+    X, y = check_matrix_labels(X, y)
+    if parts < 2:
+        raise ValueError(f"need at least 2 portions, got {parts}")
+    m = X.shape[0]
+    if m < parts:
+        raise ValueError(f"cannot split {m} examples into {parts} portions")
+    order = rng.permutation(m)
+    chunks = np.array_split(order, parts)
+    return [(X[idx], y[idx]) for idx in chunks]
+
+
+def privately_tuned_sgd(
+    X: np.ndarray,
+    y: np.ndarray,
+    trainer_factory: TrainerFactory,
+    grid: ParameterGrid,
+    epsilon: float,
+    *,
+    delta: float = 0.0,
+    random_state: RandomState = None,
+    accountant: Optional[PrivacyAccountant] = None,
+) -> TuningOutcome:
+    """Run Algorithm 3 end to end.
+
+    ``trainer_factory(theta)`` must return a trainer callable with signature
+    ``trainer(X_i, y_i, epsilon=..., delta=..., random_state=...)`` whose
+    result exposes ``predict``. Each candidate trains on its own disjoint
+    slice with the full (ε, δ) (parallel composition); selection uses the
+    exponential mechanism at ε.
+    """
+    X, y = check_matrix_labels(X, y)
+    privacy = PrivacyParameters(epsilon, delta)
+    candidates = grid.candidates()
+    l = len(candidates)
+    master = as_generator(random_state)
+    trainer_rngs = spawn_generators(master, l)
+    selection_rng = as_generator(master)
+
+    portions = partition_dataset(X, y, l + 1, master)
+    X_val, y_val = portions[-1]
+
+    results = []
+    error_counts: List[int] = []
+    for theta, (X_i, y_i), rng in zip(candidates, portions[:-1], trainer_rngs):
+        trainer = trainer_factory(theta)
+        result = trainer(X_i, y_i, epsilon=epsilon, delta=delta, random_state=rng)
+        if accountant is not None:
+            accountant.spend_parallel(privacy, group="tuning-train", label=str(theta))
+        results.append(result)
+        predictions = result.predict(X_val)
+        error_counts.append(int(np.sum(predictions != y_val)))
+
+    probabilities = exponential_mechanism_probabilities(error_counts, epsilon)
+    chosen = int(selection_rng.choice(l, p=probabilities))
+    if accountant is not None:
+        accountant.spend(privacy, label="tuning-selection")
+
+    return TuningOutcome(
+        model_result=results[chosen],
+        chosen_parameters=candidates[chosen],
+        chosen_index=chosen,
+        privacy=privacy,
+        unreleased_error_counts=error_counts,
+        unreleased_probabilities=probabilities,
+        candidates=candidates,
+    )

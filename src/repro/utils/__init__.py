@@ -1,0 +1,42 @@
+"""Shared utilities: RNG management, validation, and linear-algebra helpers."""
+
+from repro.utils.linalg import clip_to_ball, l2_norm, normalize_rows, random_unit_vector
+from repro.utils.rng import (
+    RandomState,
+    as_generator,
+    fixed_permutations,
+    permutation_stream,
+    spawn_generators,
+)
+from repro.utils.validation import (
+    check_binary_labels,
+    check_in_range,
+    check_matrix_labels,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_unit_ball,
+)
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "permutation_stream",
+    "fixed_permutations",
+    "l2_norm",
+    "clip_to_ball",
+    "normalize_rows",
+    "random_unit_vector",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_matrix_labels",
+    "check_binary_labels",
+    "check_unit_ball",
+]

@@ -1,0 +1,55 @@
+"""Small linear-algebra helpers used across subpackages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def l2_norm(vector: np.ndarray) -> float:
+    """Euclidean norm as a Python float."""
+    return float(np.linalg.norm(np.asarray(vector, dtype=np.float64)))
+
+
+def clip_to_ball(vector: np.ndarray, radius: float) -> np.ndarray:
+    """Project ``vector`` onto the L2 ball of the given radius.
+
+    This is the projection operator Π_C of equation (7) for C = {w : ||w|| <= R}.
+    Projection onto a convex set is non-expansive, which is exactly why the
+    paper's sensitivity argument survives constrained optimization.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    v = np.asarray(vector, dtype=np.float64)
+    norm = np.linalg.norm(v)
+    if norm <= radius:
+        return v
+    return v * (radius / norm)
+
+
+def normalize_rows(matrix: np.ndarray, max_norm: float = 1.0) -> np.ndarray:
+    """Scale each row so its L2 norm is at most ``max_norm``.
+
+    Rows already inside the ball are left untouched (this mirrors the
+    standard preprocessing assumed by the paper: ``||x|| <= 1``).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    X = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    scale = np.where(norms > max_norm, max_norm / np.maximum(norms, 1e-300), 1.0)
+    return X * scale
+
+
+def random_unit_vector(dimension: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample uniformly from the surface of the unit sphere in R^d.
+
+    Uses the classic Gaussian-normalization trick referenced by the paper's
+    Appendix E ([8] in their bibliography).
+    """
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    while True:
+        v = rng.standard_normal(dimension)
+        norm = np.linalg.norm(v)
+        if norm > 1e-12:
+            return v / norm

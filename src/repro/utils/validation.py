@@ -1,0 +1,120 @@
+"""Argument validation helpers shared across the library.
+
+These raise ``ValueError`` (or ``TypeError``) with messages that name the
+offending parameter, which keeps the public API's error behaviour uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Require ``value`` to lie in the given interval."""
+    ok_low = value >= low if inclusive_low else value > low
+    ok_high = value <= high if inclusive_high else value < high
+    if not (np.isfinite(value) and ok_low and ok_high):
+        lo = "[" if inclusive_low else "("
+        hi = "]" if inclusive_high else ")"
+        raise ValueError(f"{name} must be in {lo}{low}, {high}{hi}, got {value!r}")
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Require an integer strictly greater than zero."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Require an integer greater than or equal to zero."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_matrix_labels(
+    features: np.ndarray, labels: np.ndarray, name: str = "dataset"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and canonicalize an ``(X, y)`` pair.
+
+    ``X`` becomes a 2-D float64 array, ``y`` a 1-D float64 array with one
+    entry per row of ``X``.
+    """
+    X = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"{name}: features must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"{name}: labels must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"{name}: features and labels disagree on sample count "
+            f"({X.shape[0]} vs {y.shape[0]})"
+        )
+    if X.shape[0] == 0:
+        raise ValueError(f"{name}: at least one example is required")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(f"{name}: features contain non-finite values")
+    if not np.all(np.isfinite(y)):
+        raise ValueError(f"{name}: labels contain non-finite values")
+    return X, y
+
+
+def check_binary_labels(labels: np.ndarray, name: str = "labels") -> np.ndarray:
+    """Require labels in {-1, +1} (the convention used throughout the paper)."""
+    y = np.asarray(labels, dtype=np.float64)
+    values = np.unique(y)
+    if not np.all(np.isin(values, (-1.0, 1.0))):
+        raise ValueError(f"{name} must take values in {{-1, +1}}, got {values}")
+    return y
+
+
+def check_unit_ball(features: np.ndarray, name: str = "features", atol: float = 1e-9) -> None:
+    """Require every row of ``features`` to satisfy ``||x|| <= 1``.
+
+    The sensitivity analysis assumes normalized inputs (Section 2); the
+    public training APIs call this so a violated precondition fails loudly
+    instead of silently producing a wrong privacy guarantee.
+    """
+    norms = np.linalg.norm(np.asarray(features, dtype=np.float64), axis=1)
+    worst = float(norms.max(initial=0.0))
+    if worst > 1.0 + atol:
+        raise ValueError(
+            f"{name} must be normalized to the unit L2 ball for the privacy "
+            f"guarantee to hold (max norm {worst:.6f} > 1). "
+            "Use repro.data.preprocessing.normalize_rows first."
+        )

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import normalize_rows
+
+
+def make_binary_data(m: int, d: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """A small linearly-separable-ish binary dataset on the unit ball."""
+    rng = np.random.default_rng(seed)
+    direction = rng.standard_normal(d)
+    direction /= np.linalg.norm(direction)
+    X = normalize_rows(rng.standard_normal((m, d)) / np.sqrt(d))
+    y = np.where(X @ direction >= 0.0, 1.0, -1.0)
+    return X, y
+
+
+@pytest.fixture
+def small_data() -> tuple[np.ndarray, np.ndarray]:
+    """60 examples, 5 dims — fast unit-test fodder."""
+    return make_binary_data(60, 5, seed=1)
+
+
+@pytest.fixture
+def medium_data() -> tuple[np.ndarray, np.ndarray]:
+    """600 examples, 10 dims — for accuracy-sensitive tests."""
+    return make_binary_data(600, 10, seed=2)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,222 @@
+"""Tests for the SCS13 and BST14 baselines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.bst14 import (
+    bst14_noise_sigma,
+    bst14_train,
+    per_iteration_sensitivity,
+    solve_composition_epsilon,
+)
+from repro.baselines.scs13 import (
+    scs13_gaussian_sigma,
+    scs13_noise_scale,
+    scs13_train,
+)
+from repro.optim.losses import LogisticLoss
+from tests.conftest import make_binary_data
+
+
+class TestSCS13NoiseCalibration:
+    def test_scale_formula(self):
+        # (2L/b) / eps_pass
+        assert scs13_noise_scale(1.0, 0.5, 1) == pytest.approx(4.0)
+        assert scs13_noise_scale(1.0, 0.5, 10) == pytest.approx(0.4)
+
+    def test_gaussian_sigma_formula(self):
+        sens = 2.0 / 5
+        expected = sens * math.sqrt(2 * math.log(1.25 / 1e-6)) / 0.5
+        assert scs13_gaussian_sigma(1.0, 0.5, 1e-6, 5) == pytest.approx(expected)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            scs13_noise_scale(0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            scs13_gaussian_sigma(1.0, 1.0, 0.0, 1)
+
+
+class TestSCS13Training:
+    def test_runs_pure_dp(self, medium_data):
+        X, y = medium_data
+        result = scs13_train(X, y, LogisticLoss(), epsilon=1.0, passes=2,
+                             batch_size=10, random_state=0)
+        assert result.algorithm == "SCS13"
+        assert result.privacy.is_pure
+        assert result.noise_draws == 2 * 60  # 2 passes * 600/10 batches
+
+    def test_runs_approximate_dp(self, medium_data):
+        X, y = medium_data
+        result = scs13_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                             passes=1, batch_size=10, random_state=0)
+        assert not result.privacy.is_pure
+        assert result.per_step_noise_scale == pytest.approx(
+            scs13_gaussian_sigma(1.0, 1.0, 1e-6, 10)
+        )
+
+    def test_noise_per_update_not_at_end(self, medium_data):
+        # The defining property versus the bolt-on algorithms.
+        X, y = medium_data
+        result = scs13_train(X, y, LogisticLoss(), epsilon=1.0, passes=1,
+                             batch_size=1, random_state=0)
+        assert result.noise_draws == 600
+
+    def test_radius_constrains_model(self, medium_data):
+        X, y = medium_data
+        result = scs13_train(X, y, LogisticLoss(regularization=0.1), epsilon=1.0,
+                             passes=1, batch_size=10, radius=0.5, random_state=0)
+        assert np.linalg.norm(result.model) <= 0.5 + 1e-9
+
+    def test_multipass_splits_budget(self, medium_data):
+        # More passes -> smaller per-pass budget -> more noise per update.
+        X, y = medium_data
+        one = scs13_train(X, y, LogisticLoss(), epsilon=1.0, passes=1,
+                          batch_size=10, random_state=0)
+        five = scs13_train(X, y, LogisticLoss(), epsilon=1.0, passes=5,
+                           batch_size=10, random_state=0)
+        assert five.per_step_noise_scale == pytest.approx(
+            5 * one.per_step_noise_scale
+        )
+
+    def test_deterministic(self, medium_data):
+        X, y = medium_data
+        a = scs13_train(X, y, LogisticLoss(), epsilon=1.0, random_state=3)
+        b = scs13_train(X, y, LogisticLoss(), epsilon=1.0, random_state=3)
+        np.testing.assert_array_equal(a.model, b.model)
+
+    def test_rejects_unnormalized(self):
+        X = np.full((10, 3), 9.0)
+        with pytest.raises(ValueError, match="unit L2 ball"):
+            scs13_train(X, np.ones(10), LogisticLoss(), epsilon=1.0)
+
+
+class TestBST14Composition:
+    def test_solution_satisfies_equation(self):
+        epsilon, steps, delta1 = 1.0, 10_000, 1e-8
+        e1 = solve_composition_epsilon(epsilon, steps, delta1)
+        consumed = steps * e1 * math.expm1(e1) + math.sqrt(
+            2 * steps * math.log(1 / delta1)
+        ) * e1
+        assert consumed == pytest.approx(epsilon, rel=1e-6)
+
+    def test_monotone_in_epsilon(self):
+        lo = solve_composition_epsilon(0.5, 1000, 1e-8)
+        hi = solve_composition_epsilon(2.0, 1000, 1e-8)
+        assert hi > lo
+
+    def test_monotone_in_steps(self):
+        few = solve_composition_epsilon(1.0, 100, 1e-8)
+        many = solve_composition_epsilon(1.0, 100_000, 1e-8)
+        assert many < few
+
+    def test_per_iteration_sensitivity(self):
+        assert per_iteration_sensitivity(1.0, 1) == 2.0
+        assert per_iteration_sensitivity(2.0, 4) == 1.0
+
+
+class TestBST14NoiseSigma:
+    def test_returns_sigma_and_steps(self):
+        sigma, steps = bst14_noise_sigma(1.0, 1e-6, m=1000, passes=2)
+        assert steps == 2000
+        assert sigma > 0
+
+    def test_naive_m_passes_noisier(self):
+        # Calibrating for m^2 iterations while running km must give much
+        # larger noise — the ablation of Section 4.1.
+        m = 1000
+        extended, _ = bst14_noise_sigma(1.0, 1e-6, m, passes=2)
+        naive, _ = bst14_noise_sigma(1.0, 1e-6, m, passes=2, noise_steps=m * m)
+        assert naive > 3 * extended
+
+    def test_batch_reduces_steps(self):
+        _, steps_b1 = bst14_noise_sigma(1.0, 1e-6, 1000, 1, batch_size=1)
+        _, steps_b10 = bst14_noise_sigma(1.0, 1e-6, 1000, 1, batch_size=10)
+        assert steps_b10 == steps_b1 // 10
+
+
+class TestBST14Training:
+    def test_requires_delta(self, medium_data):
+        X, y = medium_data
+        with pytest.raises(ValueError, match="delta"):
+            bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=0.0)
+
+    def test_convex_run(self, medium_data):
+        X, y = medium_data
+        result = bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                             passes=2, batch_size=10, radius=5.0, random_state=0)
+        assert result.algorithm == "BST14"
+        assert np.linalg.norm(result.model) <= 5.0 + 1e-9
+        assert result.noise_draws == 2 * 60
+
+    def test_strongly_convex_run(self, medium_data):
+        X, y = medium_data
+        result = bst14_train(
+            X, y, LogisticLoss(regularization=0.1), epsilon=1.0, delta=1e-6,
+            passes=2, batch_size=10, radius=10.0, random_state=0,
+        )
+        assert np.all(np.isfinite(result.model))
+
+    def test_strongly_convex_flag_validated(self, medium_data):
+        X, y = medium_data
+        with pytest.raises(ValueError, match="strongly convex"):
+            bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                        strongly_convex=True, random_state=0)
+
+    def test_naive_variant_worse_noise(self, medium_data):
+        X, y = medium_data
+        extended = bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                               passes=1, batch_size=10, radius=5.0, random_state=0)
+        naive = bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                            passes=1, batch_size=10, radius=5.0, random_state=0,
+                            naive_noise_for_m_passes=True)
+        assert naive.per_step_noise_scale > extended.per_step_noise_scale
+
+    def test_deterministic(self, medium_data):
+        X, y = medium_data
+        a = bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                        radius=2.0, random_state=3)
+        b = bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                        radius=2.0, random_state=3)
+        np.testing.assert_array_equal(a.model, b.model)
+
+    def test_iota_override(self, medium_data):
+        X, y = medium_data
+        result = bst14_train(X, y, LogisticLoss(), epsilon=1.0, delta=1e-6,
+                             radius=2.0, iota_override=1.0, random_state=0)
+        sigma, _ = bst14_noise_sigma(1.0, 1e-6, X.shape[0], 1)
+        assert result.per_step_noise_scale == pytest.approx(sigma)
+
+
+class TestHeadToHead:
+    """The headline evaluation claim: ours beats both baselines."""
+
+    def test_bolton_beats_baselines_on_average(self):
+        from repro.core.bolton import private_strongly_convex_psgd
+
+        X, y = make_binary_data(4000, 8, seed=7)
+        Xt, yt = make_binary_data(1000, 8, seed=8)
+        lam, eps, delta = 0.01, 0.5, 1e-6
+        loss = LogisticLoss(regularization=lam)
+
+        ours, scs, bst = [], [], []
+        for seed in range(3):
+            ours.append(
+                private_strongly_convex_psgd(
+                    X, y, loss, eps, delta=delta, passes=5, batch_size=50,
+                    random_state=seed,
+                ).accuracy(Xt, yt)
+            )
+            scs.append(
+                scs13_train(X, y, loss, eps, delta=delta, passes=5, batch_size=50,
+                            radius=1 / lam, random_state=seed).accuracy(Xt, yt)
+            )
+            bst.append(
+                bst14_train(X, y, loss, eps, delta, passes=5, batch_size=50,
+                            radius=1 / lam, random_state=seed).accuracy(Xt, yt)
+            )
+        assert np.mean(ours) >= np.mean(scs)
+        assert np.mean(ours) >= np.mean(bst)

@@ -1,0 +1,263 @@
+"""Tests for Algorithms 1 and 2 (the bolt-on private trainers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bolton import (
+    noiseless_psgd,
+    private_convex_psgd,
+    private_psgd,
+    private_strongly_convex_psgd,
+)
+from repro.core.mechanisms import SphericalLaplaceMechanism
+from repro.optim.losses import HuberSVMLoss, LogisticLoss
+from repro.optim.schedules import ConstantSchedule, DecreasingSchedule
+from tests.conftest import make_binary_data
+
+
+class TestPrivateConvexPSGD:
+    def test_returns_private_result(self, medium_data):
+        X, y = medium_data
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, passes=2, random_state=0
+        )
+        assert result.model.shape == (10,)
+        assert result.privacy.epsilon == 1.0
+        assert result.privacy.is_pure
+        assert result.noise_norm > 0.0
+
+    def test_sensitivity_matches_corollary1(self, medium_data):
+        X, y = medium_data
+        m = X.shape[0]
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, passes=4, batch_size=5, random_state=0
+        )
+        expected = 2 * 4 * 1.0 * (1.0 / np.sqrt(m)) / 5
+        assert result.sensitivity.value == pytest.approx(expected)
+
+    def test_custom_eta(self, medium_data):
+        X, y = medium_data
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, passes=1, eta=0.05, random_state=0
+        )
+        assert result.sensitivity.value == pytest.approx(2 * 0.05)
+
+    def test_noisy_model_is_noiseless_plus_noise(self, medium_data):
+        X, y = medium_data
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, passes=1, random_state=7
+        )
+        gap = np.linalg.norm(result.model - result.unreleased_noiseless_model)
+        assert gap == pytest.approx(result.noise_norm)
+
+    def test_deterministic_given_seed(self, medium_data):
+        X, y = medium_data
+        a = private_convex_psgd(X, y, LogisticLoss(), epsilon=1.0, random_state=11)
+        b = private_convex_psgd(X, y, LogisticLoss(), epsilon=1.0, random_state=11)
+        np.testing.assert_array_equal(a.model, b.model)
+
+    def test_delta_switches_to_gaussian(self, medium_data):
+        X, y = medium_data
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, delta=1e-6, passes=1, random_state=0
+        )
+        assert not result.privacy.is_pure
+
+    def test_rejects_strongly_convex_loss(self, medium_data):
+        X, y = medium_data
+        from repro.optim.projection import L2BallProjection
+
+        with pytest.raises(ValueError, match="Algorithm 2"):
+            private_convex_psgd(
+                X, y, LogisticLoss(regularization=0.1), epsilon=1.0,
+                projection=L2BallProjection(10.0), random_state=0,
+            )
+
+    def test_rejects_unnormalized_features(self):
+        X = np.full((10, 3), 5.0)
+        y = np.ones(10)
+        with pytest.raises(ValueError, match="unit L2 ball"):
+            private_convex_psgd(X, y, LogisticLoss(), epsilon=1.0)
+
+    def test_more_noise_at_smaller_epsilon(self, medium_data):
+        X, y = medium_data
+        norms = []
+        for eps in (0.1, 10.0):
+            draws = [
+                private_convex_psgd(
+                    X, y, LogisticLoss(), epsilon=eps, passes=1, random_state=s
+                ).noise_norm
+                for s in range(30)
+            ]
+            norms.append(np.mean(draws))
+        assert norms[0] > norms[1] * 10
+
+    def test_accuracy_helpers(self, medium_data):
+        X, y = medium_data
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=100.0, passes=5, batch_size=10,
+            random_state=0,
+        )
+        assert 0.0 <= result.accuracy(X, y) <= 1.0
+        assert result.noiseless_accuracy(X, y) > 0.85
+
+    def test_explicit_mechanism(self, medium_data):
+        X, y = medium_data
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0,
+            mechanism=SphericalLaplaceMechanism(), random_state=0,
+        )
+        assert result.noise_norm > 0
+
+
+class TestPrivateStronglyConvexPSGD:
+    def test_sensitivity_matches_lemma8(self, medium_data):
+        X, y = medium_data
+        m = X.shape[0]
+        lam = 0.01
+        loss = LogisticLoss(regularization=lam)
+        result = private_strongly_convex_psgd(
+            X, y, loss, epsilon=1.0, passes=3, batch_size=5, random_state=0
+        )
+        props = loss.properties(radius=1.0 / lam)
+        expected = 2 * props.lipschitz / (props.strong_convexity * m) / 5
+        assert result.sensitivity.value == pytest.approx(expected)
+
+    def test_default_radius_is_one_over_lambda(self, medium_data):
+        X, y = medium_data
+        lam = 0.05
+        result = private_strongly_convex_psgd(
+            X, y, LogisticLoss(regularization=lam), epsilon=1.0, random_state=0
+        )
+        # L = 1 + lam * (1/lam) = 2 in the sensitivity
+        m = X.shape[0]
+        assert result.sensitivity.value == pytest.approx(2 * 2 / (lam * m))
+
+    def test_requires_regularization_or_radius(self, medium_data):
+        X, y = medium_data
+        with pytest.raises(ValueError, match="regularization"):
+            private_strongly_convex_psgd(
+                X, y, LogisticLoss(), epsilon=1.0, random_state=0
+            )
+
+    def test_sensitivity_independent_of_passes(self, medium_data):
+        X, y = medium_data
+        loss = LogisticLoss(regularization=0.01)
+        s1 = private_strongly_convex_psgd(
+            X, y, loss, epsilon=1.0, passes=1, random_state=0
+        ).sensitivity.value
+        s5 = private_strongly_convex_psgd(
+            X, y, loss, epsilon=1.0, passes=5, random_state=0
+        ).sensitivity.value
+        assert s1 == pytest.approx(s5)
+
+    def test_early_stopping_strategy(self, medium_data):
+        # Section 4.3: in the strongly convex case one can run to a
+        # tolerance because the noise is oblivious to k.
+        X, y = medium_data
+        result = private_strongly_convex_psgd(
+            X, y, LogisticLoss(regularization=0.1), epsilon=1.0, passes=50,
+            convergence_tolerance=1e-3, batch_size=10, random_state=0,
+        )
+        assert result.psgd.converged_early
+        assert result.psgd.passes_completed < 50
+
+    def test_noiseless_model_stays_in_ball(self, medium_data):
+        X, y = medium_data
+        lam = 0.01
+        result = private_strongly_convex_psgd(
+            X, y, LogisticLoss(regularization=lam), epsilon=1.0, passes=2,
+            random_state=0,
+        )
+        assert np.linalg.norm(result.unreleased_noiseless_model) <= 1 / lam + 1e-9
+
+    def test_delta_variant(self, medium_data):
+        X, y = medium_data
+        result = private_strongly_convex_psgd(
+            X, y, LogisticLoss(regularization=0.01), epsilon=0.5, delta=1e-6,
+            random_state=0,
+        )
+        assert result.privacy.delta == 1e-6
+
+    def test_huber_svm_works(self, medium_data):
+        X, y = medium_data
+        result = private_strongly_convex_psgd(
+            X, y, HuberSVMLoss(smoothing=0.1, regularization=0.01), epsilon=1.0,
+            passes=2, random_state=0,
+        )
+        assert np.all(np.isfinite(result.model))
+
+
+class TestGenericPrivatePSGD:
+    def test_decreasing_schedule(self, medium_data):
+        X, y = medium_data
+        m = X.shape[0]
+        schedule = DecreasingSchedule(beta=1.0, m=m, c=0.5)
+        result = private_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, schedule=schedule, passes=2,
+            random_state=0,
+        )
+        assert result.sensitivity.regime.startswith("convex-decreasing")
+
+    def test_unknown_schedule_rejected(self, medium_data):
+        X, y = medium_data
+        from repro.optim.schedules import InverseSqrtTSchedule
+
+        with pytest.raises(TypeError):
+            private_psgd(
+                X, y, LogisticLoss(), epsilon=1.0, schedule=InverseSqrtTSchedule(),
+                random_state=0,
+            )
+
+    def test_constant_schedule_matches_algorithm1(self, medium_data):
+        X, y = medium_data
+        schedule = ConstantSchedule(0.05)
+        via_generic = private_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, schedule=schedule, passes=3,
+            random_state=0,
+        )
+        via_algorithm1 = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, eta=0.05, passes=3, random_state=0
+        )
+        assert via_generic.sensitivity.value == pytest.approx(
+            via_algorithm1.sensitivity.value
+        )
+
+
+class TestNoiselessBaseline:
+    def test_runs_and_learns(self, medium_data):
+        X, y = medium_data
+        result = noiseless_psgd(
+            X, y, LogisticLoss(), ConstantSchedule(0.5), passes=10, batch_size=10,
+            random_state=0,
+        )
+        accuracy = float(np.mean(LogisticLoss().predict(result.model, X) == y))
+        assert accuracy > 0.9
+
+
+class TestUtilityShape:
+    """Qualitative utility claims of the evaluation section."""
+
+    def test_bolton_beats_random_at_reasonable_epsilon(self):
+        X, y = make_binary_data(2000, 8, seed=5)
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=2.0, passes=5, batch_size=50,
+            random_state=0,
+        )
+        assert result.accuracy(X, y) > 0.7
+
+    def test_accuracy_improves_with_epsilon(self):
+        X, y = make_binary_data(2000, 8, seed=6)
+        accs = []
+        for eps in (0.05, 5.0):
+            runs = [
+                private_strongly_convex_psgd(
+                    X, y, LogisticLoss(regularization=0.01), epsilon=eps,
+                    passes=5, batch_size=50, random_state=s,
+                ).accuracy(X, y)
+                for s in range(5)
+            ]
+            accs.append(np.mean(runs))
+        assert accs[1] > accs[0]

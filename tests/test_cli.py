@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--epsilon", "0.5"])
+        assert args.dataset == "protein"
+        assert args.epsilon == 0.5
+        assert args.delta == "0"
+
+    def test_reproduce_choices(self):
+        args = build_parser().parse_args(["reproduce", "table3"])
+        assert args.artefact == "table3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTrainCommand:
+    def test_trains_binary_dataset(self, capsys):
+        code = main([
+            "train", "--dataset", "protein", "--epsilon", "0.5",
+            "--scale", "0.01", "--passes", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "privacy" in out
+        assert "0.5-DP" in out
+        assert "test accuracy" in out
+
+    def test_auto_delta(self, capsys):
+        code = main([
+            "train", "--dataset", "protein", "--epsilon", "0.5",
+            "--delta", "auto", "--scale", "0.01", "--passes", "2",
+        ])
+        assert code == 0
+        assert "(0.5," in capsys.readouterr().out
+
+    def test_convex_route_with_zero_regularization(self, capsys):
+        code = main([
+            "train", "--dataset", "protein", "--epsilon", "0.5",
+            "--regularization", "0", "--scale", "0.01", "--passes", "2",
+        ])
+        assert code == 0
+        assert "convex-constant" in capsys.readouterr().out
+
+    def test_multiclass_rejected(self, capsys):
+        code = main([
+            "train", "--dataset", "mnist", "--epsilon", "4.0",
+            "--scale", "0.005", "--passes", "1",
+        ])
+        assert code == 2
+        assert "multiclass" in capsys.readouterr().err
+
+    def test_huber_loss(self, capsys):
+        code = main([
+            "train", "--dataset", "protein", "--epsilon", "0.5",
+            "--loss", "huber", "--scale", "0.01", "--passes", "2",
+        ])
+        assert code == 0
+
+
+class TestReproduceCommand:
+    @pytest.mark.parametrize("artefact", ["table2", "table3", "table4", "fig1"])
+    def test_cheap_artefacts(self, artefact, capsys):
+        assert main(["reproduce", artefact]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig2(self, capsys):
+        assert main(["reproduce", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out
+        assert "scs13" in out

@@ -1,0 +1,151 @@
+"""Tests for the convergence-bound closed forms (Theorems 10/12, Table 2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    check_privacy_risk,
+    convex_excess_risk_bound,
+    privacy_risk_bound,
+    strongly_convex_excess_risk_bound,
+    table2_advantage,
+    table2_rate_bst14_convex,
+    table2_rate_bst14_strongly_convex,
+    table2_rate_ours_convex,
+    table2_rate_ours_strongly_convex,
+    zinkevich_regret,
+)
+from repro.optim.losses import LogisticLoss
+from tests.conftest import make_binary_data
+
+
+class TestZinkevichRegret:
+    def test_formula(self):
+        # R^2/(2 eta) + L^2 T eta / 2
+        assert zinkevich_regret(2.0, 1.0, 100, 0.1) == pytest.approx(
+            4.0 / 0.2 + 100 * 0.1 / 2
+        )
+
+    def test_optimal_eta_balances_terms(self):
+        # eta = R/(L sqrt(T)) equalizes the two terms.
+        R, L, T = 1.0, 1.0, 400
+        eta = R / (L * math.sqrt(T))
+        total = zinkevich_regret(R, L, T, eta)
+        assert total == pytest.approx(R * L * math.sqrt(T))
+
+
+class TestLemma11:
+    def test_bound_formula(self):
+        assert privacy_risk_bound(2.0, 0.5) == 1.0
+
+    def test_holds_on_real_loss(self, rng):
+        # L_S(w + kappa) - L_S(w) <= L ||kappa|| for the logistic loss.
+        X, y = make_binary_data(100, 6, seed=3)
+        loss = LogisticLoss()
+        for _ in range(20):
+            w = rng.normal(size=6)
+            kappa = rng.normal(size=6) * rng.uniform(0, 2)
+            assert check_privacy_risk(loss, X, y, w, kappa, lipschitz=1.0)
+
+    def test_negative_noise_norm_rejected(self):
+        with pytest.raises(ValueError):
+            privacy_risk_bound(1.0, -0.5)
+
+
+class TestTheorem10:
+    def test_terms(self):
+        bound = convex_excess_risk_bound(
+            lipschitz=1.0, radius=2.0, m=10000, dimension=10, epsilon=1.0
+        )
+        expected_opt = (1.0 + 2 * (12 + 1.0)) * 2.0 / 100.0
+        expected_priv = 2 * 10 * 1.0 * 2.0 / (1.0 * 100.0)
+        assert bound.optimization_term == pytest.approx(expected_opt)
+        assert bound.privacy_term == pytest.approx(expected_priv)
+        assert bound.total == pytest.approx(expected_opt + expected_priv)
+
+    def test_shrinks_with_m(self):
+        small = convex_excess_risk_bound(1.0, 1.0, 100, 10, 1.0).total
+        large = convex_excess_risk_bound(1.0, 1.0, 10000, 10, 1.0).total
+        assert large == pytest.approx(small / 10)
+
+    def test_privacy_term_scales_inverse_epsilon(self):
+        tight = convex_excess_risk_bound(1.0, 1.0, 100, 10, 0.1).privacy_term
+        loose = convex_excess_risk_bound(1.0, 1.0, 100, 10, 1.0).privacy_term
+        assert tight == pytest.approx(10 * loose)
+
+
+class TestTheorem12:
+    def test_scales_log_m_over_m(self):
+        kwargs = dict(
+            lipschitz=1.0, smoothness=1.01, strong_convexity=0.01, radius=100.0,
+            gradient_bound=2.0, dimension=10, epsilon=1.0,
+        )
+        b1 = strongly_convex_excess_risk_bound(m=1000, **kwargs)
+        b2 = strongly_convex_excess_risk_bound(m=100_000, **kwargs)
+        ratio = b2.optimization_term / b1.optimization_term
+        expected = (math.log(100_000) / 100_000) / (math.log(1000) / 1000)
+        assert ratio == pytest.approx(expected)
+
+    def test_privacy_term_formula(self):
+        bound = strongly_convex_excess_risk_bound(
+            lipschitz=1.0, smoothness=1.0, strong_convexity=0.5, radius=2.0,
+            gradient_bound=3.0, m=100, dimension=4, epsilon=2.0,
+        )
+        assert bound.privacy_term == pytest.approx(2 * 4 * 9 / (2.0 * 0.5 * 100))
+
+
+class TestTable2:
+    def test_ours_beats_bst14_convex(self):
+        for m in (100, 10_000, 1_000_000):
+            assert table2_rate_ours_convex(m, 50) < table2_rate_bst14_convex(m, 50)
+
+    def test_ours_beats_bst14_strongly_convex(self):
+        for m in (100, 10_000, 1_000_000):
+            assert table2_rate_ours_strongly_convex(m, 50) < (
+                table2_rate_bst14_strongly_convex(m, 50)
+            )
+
+    def test_convex_advantage_is_log_three_halves(self):
+        adv = table2_advantage(10_000, 50)
+        assert adv["convex_ratio"] == pytest.approx(adv["convex_ratio_expected"])
+
+    def test_strongly_convex_advantage_is_sqrtd_logm(self):
+        adv = table2_advantage(10_000, 50)
+        assert adv["strongly_convex_ratio"] == pytest.approx(
+            adv["strongly_convex_ratio_expected"]
+        )
+
+    def test_strongly_convex_rates_faster_than_convex(self):
+        # 1/m vs 1/sqrt(m)
+        m, d = 1_000_000, 10
+        assert table2_rate_ours_strongly_convex(m, d) < table2_rate_ours_convex(m, d)
+
+    def test_empirical_excess_risk_tracks_rate(self):
+        """Measured excess risk of the private model shrinks with m at
+        roughly the predicted polynomial order (the Table 2 shape)."""
+        from repro.core.bolton import private_strongly_convex_psgd
+        from repro.evaluation.metrics import empirical_risk, reference_minimum_risk
+
+        lam = 0.1
+        loss = LogisticLoss(regularization=lam)
+        excesses = []
+        for m in (200, 3200):
+            X, y = make_binary_data(m, 5, seed=9)
+            reference = reference_minimum_risk(
+                loss, X, y, passes=30, batch_size=10
+            )
+            runs = []
+            for s in range(5):
+                result = private_strongly_convex_psgd(
+                    X, y, loss, epsilon=1.0, delta=1e-6, passes=3, batch_size=10,
+                    random_state=s,
+                )
+                runs.append(empirical_risk(result.model, loss, X, y) - reference)
+            excesses.append(max(np.mean(runs), 1e-8))
+        # 16x more data should reduce the excess risk substantially
+        # (theory predicts ~16x; allow a generous factor-3 for variance).
+        assert excesses[1] < excesses[0] / 3

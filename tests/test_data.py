@@ -1,0 +1,262 @@
+"""Tests for the data layer: datasets, preprocessing, projection, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.preprocessing import (
+    max_row_norm,
+    normalize_dataset,
+    normalize_rows,
+    project_to_unit_sphere,
+)
+from repro.data.projection import GaussianRandomProjection, project_dataset
+from repro.data.registry import REGISTRY, get_spec, load, table3_rows
+from repro.data.synthetic import (
+    covertype_like,
+    gaussian_clusters_multiclass,
+    higgs_like,
+    kddcup_like,
+    linearly_separable_binary,
+    mnist_like,
+    protein_like,
+)
+
+
+class TestDataset:
+    def make(self, m=50, d=4):
+        rng = np.random.default_rng(0)
+        return Dataset("demo", rng.normal(size=(m, d)),
+                       np.where(rng.random(m) > 0.5, 1.0, -1.0))
+
+    def test_basic_properties(self):
+        ds = self.make()
+        assert ds.size == 50
+        assert ds.dimension == 4
+
+    def test_split_partitions(self):
+        ds = self.make(m=100)
+        train, test = ds.split(test_fraction=0.3, random_state=0)
+        assert train.size == 70
+        assert test.size == 30
+        combined = np.vstack([train.features, test.features])
+        assert sorted(map(tuple, combined)) == sorted(map(tuple, ds.features))
+
+    def test_split_extreme_fraction_rejected(self):
+        ds = self.make(m=10)
+        with pytest.raises(ValueError):
+            ds.split(test_fraction=1.0)
+
+    def test_subsample(self):
+        ds = self.make(m=100)
+        sub = ds.subsample(25, random_state=1)
+        assert sub.size == 25
+
+    def test_subsample_too_large(self):
+        with pytest.raises(ValueError):
+            self.make(m=10).subsample(11)
+
+    def test_binarize_multiclass(self):
+        rng = np.random.default_rng(1)
+        ds = Dataset("mc", rng.normal(size=(30, 3)),
+                     rng.integers(0, 3, 30).astype(float), num_classes=3)
+        binary = ds.binarize(positive_class=1)
+        assert set(np.unique(binary.labels)) <= {-1.0, 1.0}
+        assert binary.num_classes == 2
+
+    def test_binarize_binary_rejected(self):
+        with pytest.raises(ValueError, match="already binary"):
+            self.make().binarize(1)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((3, 2)), np.zeros(3), num_classes=1)
+
+
+class TestPreprocessing:
+    def test_normalize_rows_caps_norms(self, rng):
+        X = rng.normal(size=(40, 6)) * 5
+        normalized = normalize_rows(X)
+        assert max_row_norm(normalized) <= 1.0 + 1e-12
+
+    def test_normalize_rows_preserves_small(self, rng):
+        X = rng.normal(size=(10, 4)) * 0.01
+        np.testing.assert_array_equal(normalize_rows(X), X)
+
+    def test_project_to_unit_sphere(self, rng):
+        X = rng.normal(size=(20, 5))
+        on_sphere = project_to_unit_sphere(X)
+        np.testing.assert_allclose(np.linalg.norm(on_sphere, axis=1), 1.0)
+
+    def test_sphere_handles_zero_row(self):
+        X = np.zeros((2, 3))
+        X[1] = [3.0, 0.0, 0.0]
+        out = project_to_unit_sphere(X)
+        np.testing.assert_array_equal(out[0], np.zeros(3))
+        assert np.linalg.norm(out[1]) == pytest.approx(1.0)
+
+    def test_normalize_dataset(self, rng):
+        ds = Dataset("d", rng.normal(size=(10, 3)) * 4, np.ones(10))
+        out = normalize_dataset(ds)
+        assert max_row_norm(out.features) <= 1.0 + 1e-12
+
+    @given(scale=st.floats(0.1, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_direction_preserved(self, scale):
+        X = np.array([[3.0, 4.0]]) * scale
+        out = normalize_rows(X)
+        np.testing.assert_allclose(out[0] / np.linalg.norm(out[0]), [0.6, 0.8])
+
+
+class TestGaussianRandomProjection:
+    def test_shape(self, rng):
+        proj = GaussianRandomProjection(10, random_state=0).fit(100)
+        X = rng.normal(size=(20, 100))
+        assert proj.transform(X).shape == (20, 10)
+
+    def test_unit_ball_after_projection(self, rng):
+        proj = GaussianRandomProjection(10, random_state=0).fit(100)
+        X = rng.normal(size=(20, 100))
+        assert max_row_norm(proj.transform(X)) <= 1.0 + 1e-12
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GaussianRandomProjection(5).transform(np.zeros((2, 10)))
+
+    def test_target_exceeds_input_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianRandomProjection(20).fit(10)
+
+    def test_same_matrix_for_train_and_test(self, rng):
+        train = Dataset("train", rng.normal(size=(30, 40)), np.ones(30))
+        test = Dataset("test", rng.normal(size=(10, 40)), np.ones(10))
+        projected_train, projection = project_dataset(train, 8, random_state=0)
+        projected_test, _ = project_dataset(test, 8, projection=projection)
+        assert projected_train.dimension == projected_test.dimension == 8
+        # Same matrix: projecting the same row gives the same output.
+        same = projection.transform(train.features[:1])
+        np.testing.assert_allclose(same, projected_train.features[:1], atol=1e-12)
+
+    def test_jl_distance_preservation(self, rng):
+        # Without renormalization, random projection roughly preserves
+        # pairwise distances (Johnson–Lindenstrauss) — the "approximate
+        # utility preserved" claim of Section 2.
+        X = rng.normal(size=(50, 200))
+        proj = GaussianRandomProjection(64, random_state=1).fit(200)
+        P = proj.transform(X, renormalize=False)
+        original = np.linalg.norm(X[0] - X[1])
+        projected = np.linalg.norm(P[0] - P[1])
+        assert projected == pytest.approx(original, rel=0.5)
+
+    def test_neighbouring_datasets_stay_neighbouring(self, rng):
+        # Section 2: the projection is data-independent, so changing one
+        # row changes exactly one projected row.
+        X = rng.normal(size=(20, 30))
+        X2 = X.copy()
+        X2[7] = rng.normal(size=30)
+        proj = GaussianRandomProjection(5, random_state=2).fit(30)
+        A, B = proj.transform(X), proj.transform(X2)
+        differing = np.where(np.any(A != B, axis=1))[0]
+        np.testing.assert_array_equal(differing, [7])
+
+
+class TestSyntheticGenerators:
+    def test_binary_generator_properties(self):
+        pair = linearly_separable_binary("demo", 200, 100, 12, random_state=0)
+        assert pair.train.size == 200
+        assert pair.test.size == 100
+        assert pair.train.dimension == 12
+        assert set(np.unique(pair.train.labels)) <= {-1.0, 1.0}
+        assert max_row_norm(pair.train.features) <= 1.0 + 1e-12
+
+    def test_deterministic(self):
+        a = linearly_separable_binary("d", 50, 50, 5, random_state=3)
+        b = linearly_separable_binary("d", 50, 50, 5, random_state=3)
+        np.testing.assert_array_equal(a.train.features, b.train.features)
+
+    def test_difficulty_ordering(self):
+        """Lower margin noise must produce an easier linear problem."""
+        from repro.optim.losses import LogisticLoss
+        from repro.optim.psgd import run_psgd
+        from repro.optim.schedules import ConstantSchedule
+
+        accs = []
+        for noise in (0.05, 2.0):
+            pair = linearly_separable_binary(
+                "d", 2000, 1000, 10, margin_noise=noise, flip_fraction=0.0,
+                random_state=5,
+            )
+            result = run_psgd(
+                LogisticLoss(), pair.train.features, pair.train.labels,
+                ConstantSchedule(0.5), passes=5, batch_size=10, random_state=0,
+            )
+            accs.append(
+                float(np.mean(
+                    LogisticLoss().predict(result.model, pair.test.features)
+                    == pair.test.labels
+                ))
+            )
+        assert accs[0] > accs[1] + 0.05
+
+    def test_multiclass_generator(self):
+        pair = gaussian_clusters_multiclass("mc", 300, 100, 20, 4, random_state=0)
+        assert pair.train.num_classes == 4
+        assert set(np.unique(pair.train.labels)) <= {0.0, 1.0, 2.0, 3.0}
+        assert max_row_norm(pair.train.features) <= 1.0 + 1e-12
+
+    def test_dataset_stand_ins_have_paper_dimensions(self):
+        assert mnist_like(scale=0.01).train.dimension == 784
+        assert protein_like(scale=0.01).train.dimension == 74
+        assert covertype_like(scale=0.01).train.dimension == 54
+        assert higgs_like(scale=0.001).train.dimension == 28
+        assert kddcup_like(scale=0.001).train.dimension == 41
+
+    def test_scale_controls_size(self):
+        small = protein_like(scale=0.01)
+        large = protein_like(scale=0.02)
+        assert large.train.size == pytest.approx(2 * small.train.size, rel=0.01)
+
+    def test_mnist_is_ten_class(self):
+        pair = mnist_like(scale=0.01)
+        assert pair.train.num_classes == 10
+
+
+class TestRegistry:
+    def test_all_five_datasets(self):
+        assert set(REGISTRY) == {"mnist", "protein", "covertype", "higgs", "kddcup"}
+
+    def test_paper_sizes_recorded(self):
+        assert get_spec("mnist").paper_train_size == 60000
+        assert get_spec("protein").paper_train_size == 72876
+        assert get_spec("covertype").paper_train_size == 498010
+        assert get_spec("higgs").paper_train_size == 10_500_000
+
+    def test_mnist_projection_noted(self):
+        spec = get_spec("mnist")
+        assert spec.projected_dimension == 50
+        assert spec.training_dimension == 50
+        assert get_spec("protein").training_dimension == 74
+
+    def test_case_insensitive_lookup(self):
+        assert get_spec("MNIST").name == "MNIST"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("cifar")
+
+    def test_load_returns_pair(self):
+        pair = load("protein", scale=0.005, seed=1)
+        assert pair.train.size > 0
+        assert pair.test.size > 0
+
+    def test_table3_rows_match_paper(self):
+        rows = table3_rows()
+        assert len(rows) == 3
+        by_name = {r["dataset"]: r for r in rows}
+        assert by_name["MNIST"]["dimensions"] == "784 (50)"
+        assert by_name["Protein"]["train_size"] == 72876
+        assert by_name["Forest"]["test_size"] == 83002

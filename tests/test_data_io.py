@@ -1,0 +1,100 @@
+"""Tests for dataset persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from tests.conftest import make_binary_data
+
+
+@pytest.fixture
+def dataset():
+    X, y = make_binary_data(40, 5, seed=8)
+    return Dataset("demo", X, y)
+
+
+class TestNpz:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "demo.npz"
+        save_npz(dataset, path)
+        loaded = load_npz(path)
+        np.testing.assert_array_equal(loaded.features, dataset.features)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        assert loaded.name == "demo"
+        assert loaded.num_classes == 2
+
+    def test_multiclass_metadata(self, tmp_path):
+        rng = np.random.default_rng(0)
+        ds = Dataset("mc", rng.normal(size=(10, 3)),
+                      rng.integers(0, 3, 10).astype(float), num_classes=3)
+        path = tmp_path / "mc.npz"
+        save_npz(ds, path)
+        assert load_npz(path).num_classes == 3
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, features=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_npz(path)
+
+
+class TestCsv:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "demo.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path, normalize=False)
+        np.testing.assert_allclose(loaded.features, dataset.features)
+        np.testing.assert_allclose(loaded.labels, dataset.labels)
+        assert loaded.name == "demo"
+
+    def test_normalization_applied(self, tmp_path):
+        path = tmp_path / "big.csv"
+        path.write_text("3.0,4.0,1\n0.1,0.2,-1\n")
+        loaded = load_csv(path)
+        assert np.linalg.norm(loaded.features[0]) <= 1.0 + 1e-12
+        np.testing.assert_allclose(loaded.features[1], [0.1, 0.2])
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,abc,1\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_csv(path)
+
+    def test_ragged_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1.0,2.0,1\n1.0,1\n")
+        with pytest.raises(ValueError, match="inconsistent column counts"):
+            load_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_csv(path)
+
+    def test_too_few_columns(self, tmp_path):
+        path = tmp_path / "thin.csv"
+        path.write_text("1.0\n")
+        with pytest.raises(ValueError, match="at least one feature"):
+            load_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blanks.csv"
+        path.write_text("0.1,0.2,1\n\n0.3,0.4,-1\n")
+        assert load_csv(path).size == 2
+
+    def test_loaded_data_trains(self, dataset, tmp_path):
+        from repro.core.bolton import private_convex_psgd
+        from repro.optim.losses import LogisticLoss
+
+        path = tmp_path / "train.csv"
+        save_csv(dataset, path)
+        loaded = load_csv(path)
+        result = private_convex_psgd(
+            loaded.features, loaded.labels, LogisticLoss(), epsilon=1.0,
+            random_state=0,
+        )
+        assert np.all(np.isfinite(result.model))

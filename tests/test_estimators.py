@@ -1,0 +1,117 @@
+"""Tests for the scikit-learn-style estimator wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    BoltOnPrivateClassifier,
+    PrivateHuberSVM,
+    PrivateLogisticRegression,
+)
+from repro.optim.losses import HuberSVMLoss, LogisticLoss
+from tests.conftest import make_binary_data
+
+
+@pytest.fixture(scope="module")
+def data():
+    # One generation, split in two — train and test must share the same
+    # ground-truth direction.
+    X_all, y_all = make_binary_data(2500, 8, seed=11)
+    return X_all[:2000], y_all[:2000], X_all[2000:], y_all[2000:]
+
+
+class TestConstruction:
+    def test_loss_strings(self):
+        assert isinstance(BoltOnPrivateClassifier(1.0).loss, LogisticLoss)
+        assert isinstance(
+            BoltOnPrivateClassifier(1.0, loss="huber").loss, HuberSVMLoss
+        )
+
+    def test_loss_instance_inherits_regularization(self):
+        clf = BoltOnPrivateClassifier(
+            1.0, loss=LogisticLoss(), regularization=0.05
+        )
+        assert clf.loss.regularization == 0.05
+
+    def test_bad_loss(self):
+        with pytest.raises(ValueError, match="loss must be"):
+            BoltOnPrivateClassifier(1.0, loss="hinge")
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            BoltOnPrivateClassifier(0.0)
+
+    def test_unfitted_access_raises(self):
+        clf = BoltOnPrivateClassifier(1.0)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _ = clf.coef_
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((1, 3)))
+
+
+class TestFitting:
+    def test_convex_route(self, data):
+        X, y, Xt, yt = data
+        clf = BoltOnPrivateClassifier(epsilon=2.0, passes=5).fit(
+            X, y, random_state=0
+        )
+        assert clf.result_.sensitivity.regime.startswith("convex-constant")
+        assert clf.coef_.shape == (8,)
+        assert 0.0 <= clf.score(Xt, yt) <= 1.0
+
+    def test_strongly_convex_route(self, data):
+        X, y, Xt, yt = data
+        clf = BoltOnPrivateClassifier(
+            epsilon=2.0, regularization=0.01, passes=5
+        ).fit(X, y, random_state=0)
+        assert clf.result_.sensitivity.regime.startswith("strongly-convex")
+
+    def test_privacy_attribute(self, data):
+        X, y, _, _ = data
+        clf = BoltOnPrivateClassifier(epsilon=0.5, delta=1e-6).fit(
+            X, y, random_state=0
+        )
+        assert clf.privacy_.epsilon == 0.5
+        assert clf.privacy_.delta == 1e-6
+        assert clf.sensitivity_ > 0
+        assert clf.noise_norm_ > 0
+
+    def test_deterministic(self, data):
+        X, y, _, _ = data
+        a = BoltOnPrivateClassifier(epsilon=1.0).fit(X, y, random_state=7)
+        b = BoltOnPrivateClassifier(epsilon=1.0).fit(X, y, random_state=7)
+        np.testing.assert_array_equal(a.coef_, b.coef_)
+
+    def test_decision_function(self, data):
+        X, y, Xt, _ = data
+        clf = BoltOnPrivateClassifier(epsilon=5.0, passes=5).fit(
+            X, y, random_state=0
+        )
+        margins = clf.decision_function(Xt)
+        np.testing.assert_array_equal(
+            np.where(margins >= 0, 1.0, -1.0), clf.predict(Xt)
+        )
+
+    def test_learns_at_generous_epsilon(self, data):
+        X, y, Xt, yt = data
+        clf = PrivateLogisticRegression(
+            epsilon=20.0, regularization=0.01, passes=10
+        ).fit(X, y, random_state=0)
+        assert clf.score(Xt, yt) > 0.8
+
+    def test_huber_subclass(self, data):
+        X, y, Xt, yt = data
+        clf = PrivateHuberSVM(epsilon=20.0, regularization=0.01, passes=5).fit(
+            X, y, random_state=0
+        )
+        assert isinstance(clf.loss, HuberSVMLoss)
+        assert clf.score(Xt, yt) > 0.7
+
+    def test_averaging_option(self, data):
+        X, y, _, _ = data
+        clf = BoltOnPrivateClassifier(epsilon=1.0, average="uniform").fit(
+            X, y, random_state=0
+        )
+        assert clf.coef_.shape == (8,)

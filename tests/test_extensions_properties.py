@@ -1,0 +1,197 @@
+"""Property tests for the Section 3.2.3 extensions.
+
+Covers the parts of the analysis not exercised by the core sensitivity
+tests: model averaging (Lemma 10), fresh permutations per pass,
+constrained optimization, and the non-adaptivity precondition of the
+privacy argument (Lemma 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bolton import private_convex_psgd, private_strongly_convex_psgd
+from repro.optim.growth import averaged_divergence_bound
+from repro.optim.losses import LogisticLoss
+from repro.optim.projection import L2BallProjection
+from repro.optim.psgd import PSGD, PSGDConfig
+from repro.optim.schedules import ConstantSchedule
+from tests.conftest import make_binary_data
+
+
+def paired_runs(loss, config, m, d, differ_at, seed):
+    """Two PSGD runs on neighbouring datasets sharing the permutation."""
+    X, y = make_binary_data(m, d, seed=seed)
+    X2, y2 = X.copy(), y.copy()
+    rng = np.random.default_rng(seed + 1)
+    replacement = rng.standard_normal(d)
+    X2[differ_at] = replacement / max(np.linalg.norm(replacement), 1.0)
+    y2[differ_at] = -y[differ_at]
+    perm = np.random.default_rng(seed + 2).permutation(m)
+    a = PSGD(loss, config).run(X, y, permutation=perm, random_state=0)
+    b = PSGD(loss, config).run(X2, y2, permutation=perm, random_state=0)
+    return a, b
+
+
+class TestAveragingSensitivity:
+    """Lemma 10: ||w_bar - w_bar'|| <= sum_t a_t delta_t <= delta_T."""
+
+    @given(
+        m=st.integers(10, 30),
+        passes=st.integers(1, 3),
+        seed=st.integers(0, 500),
+        mode=st.sampled_from(["uniform", "suffix"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_averaged_divergence_within_final_bound(self, m, passes, seed, mode):
+        loss = LogisticLoss()
+        eta = 0.2
+        config = PSGDConfig(
+            schedule=ConstantSchedule(eta), passes=passes, average=mode,
+        )
+        a, b = paired_runs(loss, config, m, 5, differ_at=0, seed=seed)
+        measured = float(np.linalg.norm(a.model - b.model))
+        # Coefficients sum to 1 and delta_t is non-decreasing, so the final
+        # bound 2kLeta dominates (Lemma 10's remark).
+        final_bound = 2 * passes * 1.0 * eta
+        assert measured <= final_bound + 1e-9
+
+    def test_averaged_bound_below_final_bound(self):
+        # The per-coefficient Lemma 10 bound is tighter than delta_T for
+        # uniform averaging (early iterates have smaller divergence).
+        loss = LogisticLoss()
+        props = loss.properties()
+        m, passes, eta = 20, 2, 0.2
+        total = m * passes
+        uniform = np.full(total, 1.0 / total)
+        averaged = averaged_divergence_bound(
+            props, ConstantSchedule(eta), m, passes,
+            differing_position=0, coefficients=uniform,
+        )
+        final = 2 * passes * props.lipschitz * eta
+        assert averaged < final
+
+    def test_coefficients_validated(self):
+        props = LogisticLoss().properties()
+        with pytest.raises(ValueError, match="length"):
+            averaged_divergence_bound(
+                props, ConstantSchedule(0.1), 10, 1,
+                differing_position=0, coefficients=[1.0],
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            averaged_divergence_bound(
+                props, ConstantSchedule(0.1), 3, 1,
+                differing_position=0, coefficients=[-1.0, 1.0, 1.0],
+            )
+
+
+class TestFreshPermutationSensitivity:
+    """Section 3.2.3: the bound holds for any fixed permutation, hence for
+    fresh permutations per pass as well."""
+
+    @given(m=st.integers(10, 30), seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_fresh_permutations_respect_bound(self, m, seed):
+        # Simulate fresh permutations by running pass-by-pass with a new
+        # shared permutation per pass on both datasets.
+        loss = LogisticLoss()
+        eta, passes, d = 0.2, 3, 5
+        X, y = make_binary_data(m, d, seed=seed)
+        X2, y2 = X.copy(), y.copy()
+        X2[0] = -X2[0]
+        y2[0] = -y2[0]
+        rng = np.random.default_rng(seed + 9)
+        config = PSGDConfig(schedule=ConstantSchedule(eta), passes=1)
+        wa = np.zeros(d)
+        wb = np.zeros(d)
+        for _ in range(passes):
+            perm = rng.permutation(m)
+            wa = PSGD(loss, config).run(
+                X, y, initial=wa, permutation=perm, random_state=0
+            ).model
+            wb = PSGD(loss, config).run(
+                X2, y2, initial=wb, permutation=perm, random_state=0
+            ).model
+        bound = 2 * passes * 1.0 * eta
+        assert float(np.linalg.norm(wa - wb)) <= bound + 1e-9
+
+    def test_bolton_api_exposes_fresh_permutation(self, medium_data):
+        X, y = medium_data
+        result = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, passes=3,
+            fresh_permutation_each_pass=True, random_state=0,
+        )
+        # Same sensitivity as the fixed-permutation variant.
+        fixed = private_convex_psgd(
+            X, y, LogisticLoss(), epsilon=1.0, passes=3, random_state=0,
+        )
+        assert result.sensitivity.value == fixed.sensitivity.value
+
+    def test_strongly_convex_fresh_permutation(self, medium_data):
+        X, y = medium_data
+        result = private_strongly_convex_psgd(
+            X, y, LogisticLoss(regularization=0.01), epsilon=1.0, passes=3,
+            fresh_permutation_each_pass=True, random_state=0,
+        )
+        assert np.all(np.isfinite(result.model))
+
+
+class TestConstrainedSensitivity:
+    """Equation (7): projection does not enlarge the divergence."""
+
+    @given(
+        m=st.integers(10, 30),
+        radius=st.floats(0.05, 2.0),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_projected_runs_respect_unprojected_bound(self, m, radius, seed):
+        loss = LogisticLoss()
+        eta, passes = 0.2, 2
+        config = PSGDConfig(
+            schedule=ConstantSchedule(eta), passes=passes,
+            projection=L2BallProjection(radius),
+        )
+        a, b = paired_runs(loss, config, m, 5, differ_at=0, seed=seed)
+        bound = 2 * passes * 1.0 * eta
+        assert float(np.linalg.norm(a.model - b.model)) <= bound + 1e-9
+
+
+class TestNonAdaptivity:
+    """Lemma 5's precondition: PSGD's random choices are data-independent."""
+
+    def test_permutation_identical_across_neighbouring_datasets(self):
+        m, d = 40, 4
+        X, y = make_binary_data(m, d, seed=1)
+        X2 = X.copy()
+        X2[5] = -X2[5]
+        # With the same generator seed, both runs draw the same permutation
+        # — the differing example is visited at the same step.
+        loss = LogisticLoss()
+        config = PSGDConfig(schedule=ConstantSchedule(0.1), passes=1,
+                            record_iterates=True)
+        a = PSGD(loss, config).run(X, y, random_state=77)
+        b = PSGD(loss, config).run(X2, y, random_state=77)
+        diffs = [
+            t for t, (wa, wb) in enumerate(zip(a.iterates, b.iterates))
+            if not np.array_equal(wa, wb)
+        ]
+        # Divergence starts at exactly one step and persists after it.
+        assert diffs
+        first = diffs[0]
+        assert diffs == list(range(first, m))
+
+    def test_noise_stream_independent_of_data(self, medium_data):
+        """Spawned noise generators must not be perturbed by the data —
+        two neighbouring runs draw the same noise vector."""
+        X, y = medium_data
+        X2 = X.copy()
+        X2[3] = -X2[3]
+        a = private_convex_psgd(X, y, LogisticLoss(), epsilon=1.0, random_state=5)
+        b = private_convex_psgd(X2, y, LogisticLoss(), epsilon=1.0, random_state=5)
+        noise_a = a.model - a.unreleased_noiseless_model
+        noise_b = b.model - b.unreleased_noiseless_model
+        np.testing.assert_allclose(noise_a, noise_b, atol=1e-12)

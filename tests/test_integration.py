@@ -1,0 +1,215 @@
+"""End-to-end integration tests reproducing the paper's headline findings
+at small scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import linearly_separable_binary, protein_like
+from repro.evaluation.harness import accuracy_sweep
+from repro.evaluation.scenarios import Scenario, TrainSettings
+from repro.optim.losses import LogisticLoss
+from repro.rdbms.bismarck import BismarckSession
+
+
+@pytest.fixture(scope="module")
+def protein_small():
+    # ~7k train examples: large enough for the privacy noise to be
+    # survivable at moderate epsilon, small enough for CI.
+    return protein_like(scale=0.1, seed=0)
+
+
+class TestHeadlineAccuracyOrdering:
+    """Section 4.5: ours yields substantially better accuracy than SCS13
+    and BST14 under the same guarantees, approaching noiseless."""
+
+    def test_strongly_convex_approx_dp(self, protein_small):
+        pair = protein_small
+        scenario = Scenario.STRONGLY_CONVEX_APPROX
+        sweep = accuracy_sweep(
+            pair.train, pair.test, scenario, [0.2, 0.4],
+            settings=TrainSettings(scenario, epsilon=1.0, passes=5,
+                                   batch_size=50, regularization=1e-3),
+            repeats=2, random_state=0,
+        )
+        for i in range(2):
+            assert sweep.series["ours"][i] >= sweep.series["scs13"][i]
+            assert sweep.series["ours"][i] >= sweep.series["bst14"][i]
+        # At the largest epsilon ours is close to noiseless.
+        assert sweep.series["ours"][-1] >= sweep.series["noiseless"][-1] - 0.05
+
+    def test_convex_pure_dp(self, protein_small):
+        pair = protein_small
+        scenario = Scenario.CONVEX_PURE
+        sweep = accuracy_sweep(
+            pair.train, pair.test, scenario, [0.5, 2.0],
+            settings=TrainSettings(scenario, epsilon=1.0, passes=5,
+                                   batch_size=50),
+            repeats=2, random_state=0,
+        )
+        for i in range(2):
+            assert sweep.series["ours"][i] >= sweep.series["scs13"][i] - 0.02
+
+
+class TestPassesEffect:
+    """Section 4.5 / Figure 4: passes hurt in the convex case (noise grows
+    with k) and help in the strongly convex case (noise is k-oblivious)."""
+
+    def test_convex_more_passes_more_noise(self):
+        pair = linearly_separable_binary("d", 4000, 2000, 10,
+                                         margin_noise=0.15, random_state=1)
+        eps = 0.5
+
+        def mean_acc(passes):
+            accs = []
+            for seed in range(4):
+                from repro.core.bolton import private_convex_psgd
+
+                result = private_convex_psgd(
+                    pair.train.features, pair.train.labels, LogisticLoss(),
+                    epsilon=eps, passes=passes, batch_size=1, random_state=seed,
+                )
+                accs.append(result.accuracy(pair.test.features, pair.test.labels))
+            return float(np.mean(accs))
+
+        assert mean_acc(1) > mean_acc(20) - 0.02
+        # and the noise magnitude itself grows linearly in k:
+        from repro.core.bolton import private_convex_psgd
+
+        s1 = private_convex_psgd(
+            pair.train.features, pair.train.labels, LogisticLoss(),
+            epsilon=eps, passes=1, batch_size=1, random_state=0,
+        ).sensitivity.value
+        s20 = private_convex_psgd(
+            pair.train.features, pair.train.labels, LogisticLoss(),
+            epsilon=eps, passes=20, batch_size=1, random_state=0,
+        ).sensitivity.value
+        assert s20 == pytest.approx(20 * s1)
+
+    def test_strongly_convex_more_passes_no_extra_noise(self):
+        pair = linearly_separable_binary("d", 4000, 2000, 10,
+                                         margin_noise=0.15, random_state=2)
+        from repro.core.bolton import private_strongly_convex_psgd
+
+        loss = LogisticLoss(regularization=0.01)
+        s1 = private_strongly_convex_psgd(
+            pair.train.features, pair.train.labels, loss, epsilon=0.5,
+            passes=1, batch_size=50, random_state=0,
+        )
+        s10 = private_strongly_convex_psgd(
+            pair.train.features, pair.train.labels, loss, epsilon=0.5,
+            passes=10, batch_size=50, random_state=0,
+        )
+        assert s1.sensitivity.value == pytest.approx(s10.sensitivity.value)
+        # more passes converge at least as well on average
+        accs1 = []
+        accs10 = []
+        for seed in range(4):
+            accs1.append(
+                private_strongly_convex_psgd(
+                    pair.train.features, pair.train.labels, loss, epsilon=0.5,
+                    passes=1, batch_size=50, random_state=seed,
+                ).accuracy(pair.test.features, pair.test.labels)
+            )
+            accs10.append(
+                private_strongly_convex_psgd(
+                    pair.train.features, pair.train.labels, loss, epsilon=0.5,
+                    passes=10, batch_size=50, random_state=seed,
+                ).accuracy(pair.test.features, pair.test.labels)
+            )
+        assert np.mean(accs10) >= np.mean(accs1) - 0.03
+
+
+class TestBatchSizeEffect:
+    """Figure 4(c): enlarging the mini-batch drastically reduces noise."""
+
+    def test_batch_10_beats_batch_1_convex_20_passes(self):
+        pair = linearly_separable_binary("d", 4000, 2000, 10,
+                                         margin_noise=0.15, random_state=3)
+        from repro.core.bolton import private_convex_psgd
+
+        def mean_acc(batch):
+            accs = []
+            for seed in range(4):
+                result = private_convex_psgd(
+                    pair.train.features, pair.train.labels, LogisticLoss(),
+                    epsilon=0.5, passes=20, batch_size=batch, random_state=seed,
+                )
+                accs.append(result.accuracy(pair.test.features, pair.test.labels))
+            return float(np.mean(accs))
+
+        assert mean_acc(10) > mean_acc(1) + 0.05
+
+
+class TestLargeDatasetPrivacyForFree:
+    """Appendix C: at HIGGS-like scale the bolt-on noise is negligible."""
+
+    def test_large_m_matches_noiseless(self):
+        pair = linearly_separable_binary("big", 50_000, 5_000, 10,
+                                         margin_noise=0.3, random_state=4)
+        from repro.core.bolton import (
+            noiseless_psgd,
+            private_strongly_convex_psgd,
+        )
+        from repro.optim.schedules import InverseTSchedule
+
+        loss = LogisticLoss(regularization=1e-3)
+        private = private_strongly_convex_psgd(
+            pair.train.features, pair.train.labels, loss, epsilon=0.05,
+            delta=1.0 / pair.train.size**2, passes=2, batch_size=50,
+            random_state=0,
+        )
+        private_acc = private.accuracy(pair.test.features, pair.test.labels)
+        noiseless_acc = private.noiseless_accuracy(
+            pair.test.features, pair.test.labels
+        )
+        assert private_acc >= noiseless_acc - 0.02
+
+
+class TestInRDBMSEndToEnd:
+    """The Bismarck path and the library path agree."""
+
+    def test_bismarck_noiseless_matches_library(self, protein_small):
+        pair = protein_small
+        sub = pair.train
+        session = BismarckSession(buffer_pool_pages=1 << 18)
+        session.load_table("t", sub.features, sub.labels)
+        from repro.optim.schedules import ConstantSchedule
+
+        eta = 1.0 / np.sqrt(sub.size)
+        report = session.run_noiseless(
+            "t", LogisticLoss(), ConstantSchedule(eta), epochs=2, batch_size=50,
+            random_state=0,
+        )
+        in_db_acc = float(
+            np.mean(np.where(pair.test.features @ report.model >= 0, 1, -1)
+                    == pair.test.labels)
+        )
+        from repro.core.bolton import noiseless_psgd
+
+        lib = noiseless_psgd(
+            sub.features, sub.labels, LogisticLoss(), ConstantSchedule(eta),
+            passes=2, batch_size=50, random_state=0,
+        )
+        lib_acc = float(
+            np.mean(np.where(pair.test.features @ lib.model >= 0, 1, -1)
+                    == pair.test.labels)
+        )
+        assert abs(in_db_acc - lib_acc) < 0.03
+
+    def test_bolton_in_rdbms_is_private_and_accurate(self, protein_small):
+        pair = protein_small
+        session = BismarckSession(buffer_pool_pages=1 << 18)
+        session.load_table("t", pair.train.features, pair.train.labels)
+        lam = 1e-3
+        report = session.run_bolton_private(
+            "t", LogisticLoss(regularization=lam), epsilon=0.5,
+            delta=1.0 / pair.train.size**2, epochs=5, batch_size=50,
+            radius=1 / lam, random_state=0,
+        )
+        accuracy = float(
+            np.mean(np.where(pair.test.features @ report.model >= 0, 1, -1)
+                    == pair.test.labels)
+        )
+        assert accuracy > 0.8

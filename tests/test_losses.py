@@ -1,0 +1,251 @@
+"""Unit and property tests for the loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.losses import (
+    HingeLoss,
+    HuberSVMLoss,
+    LeastSquaresLoss,
+    LogisticLoss,
+)
+
+FINITE_W = st.lists(
+    st.floats(-3.0, 3.0, allow_nan=False), min_size=3, max_size=3
+).map(lambda ws: np.asarray(ws))
+
+
+def numeric_gradient(loss, w, x, y, h=1e-6):
+    grad = np.zeros_like(w)
+    for i in range(len(w)):
+        up = w.copy()
+        down = w.copy()
+        up[i] += h
+        down[i] -= h
+        grad[i] = (loss.value(up, x, y) - loss.value(down, x, y)) / (2 * h)
+    return grad
+
+
+class TestLogisticLoss:
+    def test_value_at_zero_is_log2(self):
+        loss = LogisticLoss()
+        w = np.zeros(3)
+        assert loss.value(w, np.array([1.0, 0.0, 0.0]), 1.0) == pytest.approx(np.log(2))
+
+    def test_value_large_positive_margin_small(self):
+        loss = LogisticLoss()
+        w = np.array([10.0, 0.0, 0.0])
+        assert loss.value(w, np.array([1.0, 0.0, 0.0]), 1.0) < 1e-4
+
+    def test_value_large_negative_margin_linear(self):
+        # phi(z) ~ -z for very negative z
+        loss = LogisticLoss()
+        w = np.array([50.0, 0.0, 0.0])
+        value = loss.value(w, np.array([1.0, 0.0, 0.0]), -1.0)
+        assert value == pytest.approx(50.0, rel=1e-6)
+
+    def test_gradient_matches_numeric(self):
+        loss = LogisticLoss(regularization=0.1)
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=4)
+        x = rng.normal(size=4)
+        x /= 2 * np.linalg.norm(x)
+        got = loss.gradient(w, x, -1.0)
+        want = numeric_gradient(loss, w, x, -1.0)
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_batch_gradient_is_mean_of_gradients(self):
+        loss = LogisticLoss(regularization=0.01)
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(7, 3)) / 3
+        y = np.where(rng.random(7) > 0.5, 1.0, -1.0)
+        w = rng.normal(size=3)
+        want = np.mean([loss.gradient(w, X[i], y[i]) for i in range(7)], axis=0)
+        np.testing.assert_allclose(loss.batch_gradient(w, X, y), want, atol=1e-12)
+
+    def test_batch_value_is_mean_of_values(self):
+        loss = LogisticLoss()
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(5, 3)) / 3
+        y = np.ones(5)
+        w = rng.normal(size=3)
+        want = np.mean([loss.value(w, X[i], y[i]) for i in range(5)])
+        assert loss.batch_value(w, X, y) == pytest.approx(want)
+
+    def test_properties_unregularized(self):
+        props = LogisticLoss().properties()
+        assert props.lipschitz == 1.0
+        assert props.smoothness == 1.0
+        assert props.strong_convexity == 0.0
+        assert not props.is_strongly_convex
+
+    def test_properties_tight_smoothness(self):
+        props = LogisticLoss(tight_smoothness=True).properties()
+        assert props.smoothness == 0.25
+
+    def test_properties_regularized_match_paper(self):
+        # Paper Section 2: L = 1 + lam*R, beta = 1 + lam, gamma = lam.
+        lam, R = 0.01, 100.0
+        props = LogisticLoss(regularization=lam).properties(radius=R)
+        assert props.lipschitz == pytest.approx(1 + lam * R)
+        assert props.smoothness == pytest.approx(1 + lam)
+        assert props.strong_convexity == pytest.approx(lam)
+        assert props.is_strongly_convex
+
+    def test_regularized_properties_require_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            LogisticLoss(regularization=0.1).properties()
+
+    @given(z=st.floats(-30, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_margin_derivative_bounded_by_one(self, z):
+        deriv = float(LogisticLoss().margin_derivative(np.asarray(z)))
+        assert -1.0 <= deriv <= 0.0
+
+    @given(z=st.floats(-700, 700))
+    @settings(max_examples=50, deadline=None)
+    def test_margin_loss_finite_and_nonnegative(self, z):
+        value = float(LogisticLoss().margin_loss(np.asarray(z)))
+        assert np.isfinite(value)
+        assert value >= 0.0
+
+    def test_gradient_norm_within_lipschitz(self, rng):
+        loss = LogisticLoss()
+        for _ in range(20):
+            w = rng.normal(size=6)
+            x = rng.normal(size=6)
+            x /= max(np.linalg.norm(x), 1.0)
+            assert np.linalg.norm(loss.gradient(w, x, 1.0)) <= 1.0 + 1e-12
+
+    def test_with_regularization_clone(self):
+        loss = LogisticLoss(tight_smoothness=True)
+        clone = loss.with_regularization(0.5)
+        assert clone.regularization == 0.5
+        assert clone.tight_smoothness is True
+        assert loss.regularization == 0.0
+
+    def test_predict_signs(self):
+        loss = LogisticLoss()
+        w = np.array([1.0, 0.0])
+        X = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_array_equal(loss.predict(w, X), [1.0, -1.0, 1.0])
+
+    def test_negative_regularization_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticLoss(regularization=-0.1)
+
+
+class TestHuberSVMLoss:
+    def test_regions(self):
+        loss = HuberSVMLoss(smoothing=0.5)
+        # z > 1 + h -> 0
+        assert float(loss.margin_loss(np.asarray(2.0))) == 0.0
+        # z < 1 - h -> 1 - z
+        assert float(loss.margin_loss(np.asarray(0.0))) == pytest.approx(1.0)
+        # quadratic region
+        assert float(loss.margin_loss(np.asarray(1.0))) == pytest.approx(
+            (1 + 0.5 - 1.0) ** 2 / (4 * 0.5)
+        )
+
+    def test_continuity_at_region_boundaries(self):
+        loss = HuberSVMLoss(smoothing=0.1)
+        h = 0.1
+        for z0 in (1 - h, 1 + h):
+            left = float(loss.margin_loss(np.asarray(z0 - 1e-9)))
+            right = float(loss.margin_loss(np.asarray(z0 + 1e-9)))
+            assert left == pytest.approx(right, abs=1e-6)
+
+    def test_derivative_continuity(self):
+        loss = HuberSVMLoss(smoothing=0.1)
+        h = 0.1
+        for z0 in (1 - h, 1 + h):
+            left = float(loss.margin_derivative(np.asarray(z0 - 1e-9)))
+            right = float(loss.margin_derivative(np.asarray(z0 + 1e-9)))
+            assert left == pytest.approx(right, abs=1e-6)
+
+    def test_gradient_matches_numeric(self):
+        loss = HuberSVMLoss(smoothing=0.2, regularization=0.05)
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=4) * 0.3
+        x = rng.normal(size=4)
+        x /= 2 * np.linalg.norm(x)
+        got = loss.gradient(w, x, 1.0)
+        want = numeric_gradient(loss, w, x, 1.0)
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_properties(self):
+        props = HuberSVMLoss(smoothing=0.1).properties()
+        assert props.lipschitz == 1.0
+        assert props.smoothness == pytest.approx(1.0 / 0.2)
+        assert props.strong_convexity == 0.0
+
+    def test_paper_appendix_b_constants(self):
+        # Appendix B: L <= 1 and beta <= 1/(2h).
+        for h in (0.05, 0.1, 0.5):
+            props = HuberSVMLoss(smoothing=h).properties()
+            assert props.lipschitz <= 1.0
+            assert props.smoothness == pytest.approx(1.0 / (2 * h))
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            HuberSVMLoss(smoothing=0.0)
+
+    @given(z=st.floats(-5, 5), h=st.floats(0.01, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_derivative_bounded(self, z, h):
+        deriv = float(HuberSVMLoss(smoothing=h).margin_derivative(np.asarray(z)))
+        assert -1.0 - 1e-12 <= deriv <= 0.0 + 1e-12
+
+    @given(z=st.floats(-5, 5), h=st.floats(0.01, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_loss_nonnegative_and_convexish(self, z, h):
+        loss = HuberSVMLoss(smoothing=h)
+        assert float(loss.margin_loss(np.asarray(z))) >= 0.0
+
+
+class TestLeastSquaresLoss:
+    def test_margin_form(self):
+        loss = LeastSquaresLoss()
+        # (1 - z)^2 / 2 at z = 0 -> 0.5
+        assert float(loss.margin_loss(np.asarray(0.0))) == pytest.approx(0.5)
+
+    def test_lipschitz_requires_bound(self):
+        assert LeastSquaresLoss().margin_lipschitz() == float("inf")
+        assert LeastSquaresLoss(margin_bound=2.0).margin_lipschitz() == 3.0
+
+    def test_properties_resolve_radius(self):
+        props = LeastSquaresLoss().properties(radius=5.0)
+        assert props.lipschitz == pytest.approx(6.0)
+
+    def test_gradient_matches_numeric(self):
+        loss = LeastSquaresLoss(regularization=0.1)
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=3)
+        x = rng.normal(size=3)
+        x /= 2 * np.linalg.norm(x)
+        got = loss.gradient(w, x, -1.0)
+        want = numeric_gradient(loss, w, x, -1.0)
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+
+class TestHingeLoss:
+    def test_values(self):
+        loss = HingeLoss()
+        assert float(loss.margin_loss(np.asarray(2.0))) == 0.0
+        assert float(loss.margin_loss(np.asarray(0.0))) == 1.0
+        assert float(loss.margin_loss(np.asarray(-1.0))) == 2.0
+
+    def test_smoothness_is_infinite(self):
+        assert HingeLoss().margin_smoothness() == float("inf")
+
+    def test_sensitivity_refuses_hinge(self):
+        # The library must refuse to compute a privacy bound for a
+        # non-smooth loss rather than silently produce a wrong one.
+        from repro.core.sensitivity import convex_constant_step
+
+        with pytest.raises(ValueError, match="smooth"):
+            convex_constant_step(HingeLoss().properties(), eta=0.1, passes=1)

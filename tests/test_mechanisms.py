@@ -1,0 +1,196 @@
+"""Tests for the noise mechanisms (Theorems 1–3 and Appendix E)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mechanisms import (
+    GaussianMechanism,
+    PrivacyParameters,
+    SphericalLaplaceMechanism,
+    mechanism_for,
+)
+
+
+class TestPrivacyParameters:
+    def test_pure(self):
+        p = PrivacyParameters(1.0)
+        assert p.is_pure
+        assert p.delta == 0.0
+
+    def test_approximate(self):
+        p = PrivacyParameters(0.5, 1e-6)
+        assert not p.is_pure
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyParameters(0.0)
+        with pytest.raises(ValueError):
+            PrivacyParameters(-1.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            PrivacyParameters(1.0, 1.0)
+        with pytest.raises(ValueError):
+            PrivacyParameters(1.0, -0.1)
+
+    def test_split(self):
+        p = PrivacyParameters(1.0, 1e-4).split(10)
+        assert p.epsilon == pytest.approx(0.1)
+        assert p.delta == pytest.approx(1e-5)
+
+    def test_str(self):
+        assert str(PrivacyParameters(0.5)) == "0.5-DP"
+        assert "1e-06" in str(PrivacyParameters(0.5, 1e-6))
+
+
+class TestSphericalLaplace:
+    def test_supports_pure_only(self):
+        mech = SphericalLaplaceMechanism()
+        assert mech.supports(PrivacyParameters(1.0))
+        assert not mech.supports(PrivacyParameters(1.0, 1e-6))
+
+    def test_sample_shape(self, rng):
+        mech = SphericalLaplaceMechanism()
+        noise = mech.sample(7, 0.5, PrivacyParameters(1.0), rng)
+        assert noise.shape == (7,)
+
+    def test_norm_is_gamma_distributed(self, rng):
+        # ||kappa|| ~ Gamma(d, Delta/eps): check mean and variance.
+        d, sens, eps = 5, 0.2, 2.0
+        mech = SphericalLaplaceMechanism()
+        privacy = PrivacyParameters(eps)
+        norms = np.array(
+            [np.linalg.norm(mech.sample(d, sens, privacy, rng)) for _ in range(4000)]
+        )
+        scale = sens / eps
+        assert norms.mean() == pytest.approx(d * scale, rel=0.05)
+        assert norms.var() == pytest.approx(d * scale**2, rel=0.15)
+
+    def test_direction_is_uniform(self, rng):
+        # Mean direction of many draws should vanish.
+        mech = SphericalLaplaceMechanism()
+        privacy = PrivacyParameters(1.0)
+        samples = np.array(
+            [mech.sample(3, 1.0, privacy, rng) for _ in range(4000)]
+        )
+        directions = samples / np.linalg.norm(samples, axis=1, keepdims=True)
+        assert np.linalg.norm(directions.mean(axis=0)) < 0.06
+
+    def test_expected_norm_formula(self):
+        mech = SphericalLaplaceMechanism()
+        assert mech.expected_norm(10, 0.5, PrivacyParameters(2.0)) == pytest.approx(
+            10 * 0.5 / 2.0
+        )
+
+    def test_theorem2_tail_bound(self, rng):
+        # With prob >= 1 - gamma, ||kappa|| <= d ln(d/gamma) Delta/eps.
+        d, sens, eps, gamma = 4, 1.0, 1.0, 0.05
+        mech = SphericalLaplaceMechanism()
+        radius = mech.norm_tail_bound(d, sens, eps, gamma)
+        privacy = PrivacyParameters(eps)
+        norms = np.array(
+            [np.linalg.norm(mech.sample(d, sens, privacy, rng)) for _ in range(2000)]
+        )
+        violations = float(np.mean(norms > radius))
+        assert violations <= gamma  # the bound is loose; violations ~ 0
+
+    def test_noise_scales_with_sensitivity(self, rng):
+        mech = SphericalLaplaceMechanism()
+        privacy = PrivacyParameters(1.0)
+        small = np.mean(
+            [np.linalg.norm(mech.sample(5, 0.1, privacy, rng)) for _ in range(500)]
+        )
+        large = np.mean(
+            [np.linalg.norm(mech.sample(5, 1.0, privacy, rng)) for _ in range(500)]
+        )
+        assert large / small == pytest.approx(10.0, rel=0.2)
+
+    def test_privatize_adds_noise(self, rng):
+        mech = SphericalLaplaceMechanism()
+        vector = np.ones(4)
+        out = mech.privatize(vector, 0.5, PrivacyParameters(1.0), rng)
+        assert out.shape == (4,)
+        assert not np.array_equal(out, vector)
+
+    def test_privatize_wrong_mechanism_raises(self, rng):
+        mech = SphericalLaplaceMechanism()
+        with pytest.raises(ValueError, match="cannot provide"):
+            mech.privatize(np.ones(3), 0.5, PrivacyParameters(1.0, 1e-6), rng)
+
+
+class TestGaussianMechanism:
+    def test_supports_approximate_only(self):
+        mech = GaussianMechanism()
+        assert mech.supports(PrivacyParameters(0.5, 1e-6))
+        assert not mech.supports(PrivacyParameters(0.5))
+
+    def test_strict_mode_enforces_theorem3(self):
+        strict = GaussianMechanism(strict=True)
+        assert strict.supports(PrivacyParameters(0.5, 1e-6))
+        assert not strict.supports(PrivacyParameters(2.0, 1e-6))
+        with pytest.raises(ValueError, match="epsilon in \\(0, 1\\)"):
+            strict.noise_scale(1.0, PrivacyParameters(2.0, 1e-6))
+
+    def test_sigma_calibration(self):
+        # sigma = Delta sqrt(2 ln(1.25/delta)) / eps
+        mech = GaussianMechanism()
+        sens, eps, delta = 0.5, 0.2, 1e-5
+        expected = sens * math.sqrt(2 * math.log(1.25 / delta)) / eps
+        assert mech.noise_scale(sens, PrivacyParameters(eps, delta)) == pytest.approx(
+            expected
+        )
+
+    def test_sample_statistics(self, rng):
+        mech = GaussianMechanism()
+        privacy = PrivacyParameters(0.5, 1e-5)
+        sigma = mech.noise_scale(1.0, privacy)
+        samples = np.concatenate(
+            [mech.sample(10, 1.0, privacy, rng) for _ in range(400)]
+        )
+        assert samples.std() == pytest.approx(sigma, rel=0.05)
+        assert abs(samples.mean()) < 3 * sigma / math.sqrt(len(samples)) * 2
+
+    def test_expected_norm_close_to_sqrt_d(self, rng):
+        mech = GaussianMechanism()
+        privacy = PrivacyParameters(0.5, 1e-5)
+        d = 50
+        expected = mech.expected_norm(d, 1.0, privacy)
+        sigma = mech.noise_scale(1.0, privacy)
+        # chi mean ~ sigma sqrt(d) for large d
+        assert expected == pytest.approx(sigma * math.sqrt(d), rel=0.02)
+        norms = np.array(
+            [np.linalg.norm(mech.sample(d, 1.0, privacy, rng)) for _ in range(500)]
+        )
+        assert norms.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_requires_delta(self):
+        mech = GaussianMechanism()
+        with pytest.raises(ValueError, match="delta > 0"):
+            mech.noise_scale(1.0, PrivacyParameters(1.0))
+
+    def test_dimension_advantage_over_laplace(self):
+        # The paper's remark: Gaussian noise scales as sqrt(d) vs d ln d.
+        d = 100
+        laplace = SphericalLaplaceMechanism().expected_norm(
+            d, 1.0, PrivacyParameters(1.0)
+        )
+        gaussian = GaussianMechanism().expected_norm(
+            d, 1.0, PrivacyParameters(1.0, 1e-6)
+        )
+        assert gaussian < laplace
+
+
+class TestMechanismFor:
+    def test_pure_gets_laplace(self):
+        assert isinstance(
+            mechanism_for(PrivacyParameters(1.0)), SphericalLaplaceMechanism
+        )
+
+    def test_approx_gets_gaussian(self):
+        assert isinstance(
+            mechanism_for(PrivacyParameters(1.0, 1e-6)), GaussianMechanism
+        )

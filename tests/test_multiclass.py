@@ -1,0 +1,119 @@
+"""Tests for one-vs-rest multiclass training with budget splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accountant import PrivacyAccountant, PrivacyBudgetExceeded
+from repro.core.bolton import private_convex_psgd
+from repro.core.mechanisms import PrivacyParameters
+from repro.data.synthetic import gaussian_clusters_multiclass
+from repro.multiclass.ovr import train_one_vs_rest
+from repro.optim.losses import LogisticLoss
+
+
+def trainer(X, y, epsilon, delta, random_state):
+    return private_convex_psgd(
+        X, y, LogisticLoss(), epsilon=epsilon, delta=delta, passes=3,
+        batch_size=20, random_state=random_state,
+    )
+
+
+@pytest.fixture(scope="module")
+def multiclass_pair():
+    return gaussian_clusters_multiclass(
+        "mc", 1500, 500, 12, num_classes=4, cluster_spread=1.0, random_state=0
+    )
+
+
+class TestOneVsRest:
+    def test_one_model_per_class(self, multiclass_pair):
+        pair = multiclass_pair
+        result = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=8.0,
+            random_state=0,
+        )
+        assert len(result.models) == 4
+        assert result.classes == [0, 1, 2, 3]
+
+    def test_budget_split_evenly(self, multiclass_pair):
+        pair = multiclass_pair
+        result = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=8.0,
+            delta=4e-4, random_state=0,
+        )
+        assert result.per_model_privacy.epsilon == pytest.approx(2.0)
+        assert result.per_model_privacy.delta == pytest.approx(1e-4)
+        assert result.privacy.epsilon == 8.0
+
+    def test_sub_results_have_split_epsilon(self, multiclass_pair):
+        pair = multiclass_pair
+        result = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=8.0,
+            random_state=0,
+        )
+        for sub in result.sub_results:
+            assert sub.privacy.epsilon == pytest.approx(2.0)
+
+    def test_predict_shape_and_range(self, multiclass_pair):
+        pair = multiclass_pair
+        result = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=40.0,
+            random_state=0,
+        )
+        predictions = result.predict(pair.test.features)
+        assert predictions.shape == (500,)
+        assert set(np.unique(predictions)) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_learns_at_large_epsilon(self, multiclass_pair):
+        pair = multiclass_pair
+        result = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=400.0,
+            random_state=0,
+        )
+        accuracy = result.accuracy(pair.test.features, pair.test.labels)
+        assert accuracy > 0.6  # well above the 0.25 chance level
+
+    def test_accountant_integration(self, multiclass_pair):
+        pair = multiclass_pair
+        acct = PrivacyAccountant(budget=PrivacyParameters(8.0))
+        train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=8.0,
+            random_state=0, accountant=acct,
+        )
+        eps, _ = acct.total()
+        assert eps == pytest.approx(8.0)
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.spend(PrivacyParameters(0.1))
+
+    def test_explicit_classes(self, multiclass_pair):
+        pair = multiclass_pair
+        result = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=8.0,
+            classes=[0, 2], random_state=0,
+        )
+        assert result.classes == [0, 2]
+        predictions = result.predict(pair.test.features)
+        assert set(np.unique(predictions)) <= {0.0, 2.0}
+
+    def test_deterministic(self, multiclass_pair):
+        pair = multiclass_pair
+        a = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=8.0,
+            random_state=5,
+        )
+        b = train_one_vs_rest(
+            pair.train.features, pair.train.labels, trainer, epsilon=8.0,
+            random_state=5,
+        )
+        for wa, wb in zip(a.models, b.models):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_single_class_rejected(self, multiclass_pair):
+        pair = multiclass_pair
+        with pytest.raises(ValueError, match="two classes"):
+            train_one_vs_rest(
+                pair.train.features, pair.train.labels, trainer, epsilon=1.0,
+                classes=[1], random_state=0,
+            )

@@ -1,0 +1,156 @@
+"""Tests for gradient-update operators: Lemmas 1–4 made executable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.optim.losses import HuberSVMLoss, LogisticLoss
+from repro.optim.operators import (
+    BatchGradientUpdate,
+    GradientUpdate,
+    OperatorBounds,
+    boundedness_bound,
+    empirical_boundedness,
+    empirical_expansiveness,
+    expansiveness_bound,
+    growth_recursion_step,
+    operator_bounds,
+)
+
+unit_x = st.lists(st.floats(-1.0, 1.0), min_size=4, max_size=4).map(
+    lambda vals: np.asarray(vals) / max(np.linalg.norm(vals), 1.0)
+)
+hypothesis_w = st.lists(st.floats(-5.0, 5.0), min_size=4, max_size=4).map(np.asarray)
+
+
+class TestExpansivenessBounds:
+    def test_convex_is_one_expansive(self):
+        props = LogisticLoss().properties()
+        assert expansiveness_bound(props, eta=1.0) == 1.0  # eta <= 2/beta = 2
+
+    def test_convex_step_too_large_raises(self):
+        props = LogisticLoss().properties()
+        with pytest.raises(ValueError, match="2/beta"):
+            expansiveness_bound(props, eta=2.5)
+
+    def test_strongly_convex_contraction(self):
+        # Lemma 2: eta <= 1/beta -> (1 - eta*gamma)-expansive.
+        props = LogisticLoss(regularization=0.1).properties(radius=10.0)
+        eta = 0.5 / props.smoothness
+        assert expansiveness_bound(props, eta) == pytest.approx(
+            1.0 - eta * props.strong_convexity
+        )
+
+    def test_strongly_convex_lemma1_regime(self):
+        # Between 1/beta and 2/(beta+gamma): Lemma 1.2's bound.
+        props = LogisticLoss(regularization=0.5).properties(radius=2.0)
+        beta, gamma = props.smoothness, props.strong_convexity
+        eta = 1.5 / (beta + gamma)
+        expected = 1.0 - 2.0 * eta * beta * gamma / (beta + gamma)
+        assert expansiveness_bound(props, eta) == pytest.approx(expected)
+
+    def test_strongly_convex_step_too_large_raises(self):
+        props = LogisticLoss(regularization=0.5).properties(radius=2.0)
+        with pytest.raises(ValueError, match="2/\\(beta\\+gamma\\)|2/"):
+            expansiveness_bound(props, eta=3.0)
+
+    def test_nonsmooth_raises(self):
+        from repro.optim.losses import HingeLoss
+
+        with pytest.raises(ValueError, match="smooth"):
+            expansiveness_bound(HingeLoss().properties(), eta=0.1)
+
+
+class TestBoundednessBounds:
+    def test_eta_l(self):
+        props = LogisticLoss().properties()
+        assert boundedness_bound(props, eta=0.3) == pytest.approx(0.3)
+
+    def test_infinite_lipschitz_raises(self):
+        from repro.optim.losses import LeastSquaresLoss
+
+        with pytest.raises(ValueError, match="Lipschitz"):
+            boundedness_bound(LeastSquaresLoss().properties(), eta=0.1)
+
+    def test_operator_bounds_combines(self):
+        props = LogisticLoss().properties()
+        bounds = operator_bounds(props, eta=0.5)
+        assert bounds == OperatorBounds(expansiveness=1.0, boundedness=0.5)
+
+
+class TestEmpiricalProperties:
+    """The measured behaviour must respect the closed-form bounds."""
+
+    @given(x=unit_x, w1=hypothesis_w, w2=hypothesis_w, y=st.sampled_from([-1.0, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_convex_update_never_expands(self, x, w1, w2, y):
+        update = GradientUpdate(LogisticLoss(), x, y, eta=1.0)
+        assert empirical_expansiveness(update, w1, w2) <= 1.0 + 1e-9
+
+    @given(x=unit_x, w1=hypothesis_w, w2=hypothesis_w, y=st.sampled_from([-1.0, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_strongly_convex_update_contracts(self, x, w1, w2, y):
+        # Guard against denormal underflow: ||w1 - w2||^2 below ~1e-308
+        # loses precision inside the norm and corrupts the measured ratio.
+        assume(float(np.linalg.norm(np.asarray(w1) - np.asarray(w2))) > 1e-100)
+        lam = 0.2
+        loss = LogisticLoss(regularization=lam)
+        props = loss.properties(radius=10.0)
+        eta = 1.0 / props.smoothness
+        update = GradientUpdate(loss, x, y, eta=eta)
+        rho = expansiveness_bound(props, eta)
+        assert empirical_expansiveness(update, w1, w2) <= rho + 1e-9
+
+    @given(x=unit_x, w=hypothesis_w, y=st.sampled_from([-1.0, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_boundedness_holds(self, x, w, y):
+        eta = 0.7
+        update = GradientUpdate(LogisticLoss(), x, y, eta=eta)
+        assert empirical_boundedness(update, w) <= eta * 1.0 + 1e-9
+
+    @given(x=unit_x, w1=hypothesis_w, w2=hypothesis_w)
+    @settings(max_examples=50, deadline=None)
+    def test_huber_update_never_expands(self, x, w1, w2):
+        loss = HuberSVMLoss(smoothing=0.25)
+        props = loss.properties()
+        eta = 2.0 / props.smoothness
+        update = GradientUpdate(loss, x, 1.0, eta=eta)
+        assert empirical_expansiveness(update, w1, w2) <= 1.0 + 1e-9
+
+    def test_batch_update_equals_mean_of_updates(self, rng):
+        # Section 3.2.3: the mini-batch step is the average of the
+        # individual gradient-update operators.
+        loss = LogisticLoss()
+        X = rng.normal(size=(6, 4))
+        X /= np.maximum(np.linalg.norm(X, axis=1, keepdims=True), 1.0)
+        y = np.where(rng.random(6) > 0.5, 1.0, -1.0)
+        w = rng.normal(size=4)
+        eta = 0.5
+        batch = BatchGradientUpdate(loss, X, y, eta)(w)
+        singles = np.mean(
+            [GradientUpdate(loss, X[i], y[i], eta)(w) for i in range(6)], axis=0
+        )
+        np.testing.assert_allclose(batch, singles, atol=1e-12)
+
+
+class TestGrowthRecursionStep:
+    def test_same_operator_contracts(self):
+        bounds = OperatorBounds(expansiveness=0.9, boundedness=0.5)
+        assert growth_recursion_step(1.0, bounds, same_operator=True) == pytest.approx(0.9)
+
+    def test_different_operator_adds_two_sigma(self):
+        bounds = OperatorBounds(expansiveness=1.0, boundedness=0.5)
+        assert growth_recursion_step(1.0, bounds, same_operator=False) == pytest.approx(2.0)
+
+    def test_different_operator_uses_min_rho_one(self):
+        bounds = OperatorBounds(expansiveness=1.5, boundedness=0.1)
+        # min(rho, 1) * delta + 2 sigma = 1*1 + 0.2
+        assert growth_recursion_step(1.0, bounds, same_operator=False) == pytest.approx(1.2)
+
+    def test_negative_delta_rejected(self):
+        bounds = OperatorBounds(expansiveness=1.0, boundedness=0.5)
+        with pytest.raises(ValueError):
+            growth_recursion_step(-0.1, bounds, same_operator=True)

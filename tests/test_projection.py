@@ -1,0 +1,96 @@
+"""Tests for the projection operators, centred on non-expansiveness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.projection import BoxProjection, IdentityProjection, L2BallProjection
+
+vec = st.lists(st.floats(-20.0, 20.0), min_size=3, max_size=3).map(np.asarray)
+
+
+class TestIdentityProjection:
+    def test_passthrough(self):
+        w = np.array([3.0, -4.0])
+        np.testing.assert_array_equal(IdentityProjection()(w), w)
+
+    def test_contains_everything(self):
+        assert IdentityProjection().contains(np.array([1e9, -1e9]))
+
+    def test_infinite_radius(self):
+        assert IdentityProjection().radius == float("inf")
+
+
+class TestL2BallProjection:
+    def test_inside_untouched(self):
+        proj = L2BallProjection(5.0)
+        w = np.array([3.0, 0.0])
+        np.testing.assert_array_equal(proj(w), w)
+
+    def test_outside_scaled_to_boundary(self):
+        proj = L2BallProjection(5.0)
+        w = np.array([30.0, 40.0])  # norm 50
+        result = proj(w)
+        assert np.linalg.norm(result) == pytest.approx(5.0)
+        # Direction preserved
+        np.testing.assert_allclose(result / 5.0, w / 50.0)
+
+    def test_contains(self):
+        proj = L2BallProjection(1.0)
+        assert proj.contains(np.array([0.6, 0.8]))
+        assert not proj.contains(np.array([1.0, 1.0]))
+
+    def test_radius_property(self):
+        assert L2BallProjection(2.5).radius == 2.5
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            L2BallProjection(0.0)
+
+    @given(u=vec, v=vec, radius=st.floats(0.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_nonexpansive(self, u, v, radius):
+        # ||Pi(u) - Pi(v)|| <= ||u - v|| — the property the paper's
+        # constrained-optimization extension rests on (Section 3.2.3).
+        proj = L2BallProjection(radius)
+        assert np.linalg.norm(proj(u) - proj(v)) <= np.linalg.norm(u - v) + 1e-9
+
+    @given(w=vec, radius=st.floats(0.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, w, radius):
+        proj = L2BallProjection(radius)
+        once = proj(w)
+        np.testing.assert_allclose(proj(once), once, atol=1e-12)
+
+
+class TestBoxProjection:
+    def test_clipping(self):
+        proj = BoxProjection(-1.0, 1.0)
+        np.testing.assert_array_equal(
+            proj(np.array([2.0, -3.0, 0.5])), np.array([1.0, -1.0, 0.5])
+        )
+
+    def test_contains(self):
+        proj = BoxProjection(0.0, 1.0)
+        assert proj.contains(np.array([0.5, 1.0]))
+        assert not proj.contains(np.array([-0.1, 0.5]))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoxProjection(1.0, 1.0)
+
+    @given(u=vec, v=vec)
+    @settings(max_examples=100, deadline=None)
+    def test_nonexpansive(self, u, v):
+        proj = BoxProjection(-2.0, 3.0)
+        assert np.linalg.norm(proj(u) - proj(v)) <= np.linalg.norm(u - v) + 1e-9
+
+    @given(w=vec)
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, w):
+        proj = BoxProjection(-1.5, 1.5)
+        once = proj(w)
+        np.testing.assert_allclose(proj(once), once)

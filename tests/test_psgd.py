@@ -1,0 +1,256 @@
+"""Tests for the PSGD engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.losses import LogisticLoss
+from repro.optim.projection import L2BallProjection
+from repro.optim.psgd import PSGD, PSGDConfig, minibatch_slices, run_psgd
+from repro.optim.schedules import ConstantSchedule, InverseTSchedule
+
+
+class TestMinibatchSlices:
+    def test_even_split(self):
+        slices = minibatch_slices(10, 5)
+        assert slices == [slice(0, 5), slice(5, 10)]
+
+    def test_ragged_tail(self):
+        slices = minibatch_slices(10, 4)
+        assert slices == [slice(0, 4), slice(4, 8), slice(8, 10)]
+
+    def test_batch_larger_than_m(self):
+        assert minibatch_slices(3, 10) == [slice(0, 3)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            minibatch_slices(0, 1)
+
+
+class TestPSGDBasics:
+    def test_deterministic_given_seed(self, medium_data):
+        X, y = medium_data
+        a = run_psgd(LogisticLoss(), X, y, ConstantSchedule(0.1), passes=2, random_state=42)
+        b = run_psgd(LogisticLoss(), X, y, ConstantSchedule(0.1), passes=2, random_state=42)
+        np.testing.assert_array_equal(a.model, b.model)
+
+    def test_different_seeds_differ(self, medium_data):
+        X, y = medium_data
+        a = run_psgd(LogisticLoss(), X, y, ConstantSchedule(0.1), passes=1, random_state=1)
+        b = run_psgd(LogisticLoss(), X, y, ConstantSchedule(0.1), passes=1, random_state=2)
+        assert not np.array_equal(a.model, b.model)
+
+    def test_learns_separable_data(self, medium_data):
+        X, y = medium_data
+        result = run_psgd(
+            LogisticLoss(), X, y, ConstantSchedule(0.5), passes=10, batch_size=10,
+            random_state=0,
+        )
+        accuracy = float(np.mean(LogisticLoss().predict(result.model, X) == y))
+        assert accuracy > 0.9
+
+    def test_update_count(self, small_data):
+        X, y = small_data  # 60 examples
+        result = run_psgd(
+            LogisticLoss(), X, y, ConstantSchedule(0.1), passes=3, batch_size=7,
+            random_state=0,
+        )
+        assert result.updates == 3 * int(np.ceil(60 / 7))
+        assert result.passes_completed == 3
+
+    def test_fixed_permutation_is_replayable(self, small_data):
+        X, y = small_data
+        perm = list(reversed(range(60)))
+        a = run_psgd(
+            LogisticLoss(), X, y, ConstantSchedule(0.1), passes=2,
+            permutation=perm, random_state=1,
+        )
+        b = run_psgd(
+            LogisticLoss(), X, y, ConstantSchedule(0.1), passes=2,
+            permutation=perm, random_state=999,
+        )
+        np.testing.assert_array_equal(a.model, b.model)
+
+    def test_bad_permutation_rejected(self, small_data):
+        X, y = small_data
+        with pytest.raises(ValueError, match="permutation"):
+            run_psgd(
+                LogisticLoss(), X, y, ConstantSchedule(0.1), permutation=[0] * 60
+            )
+
+    def test_initial_hypothesis_respected(self, small_data):
+        X, y = small_data
+        config = PSGDConfig(schedule=ConstantSchedule(1e-12), passes=1)
+        start = np.ones(5)
+        result = PSGD(LogisticLoss(), config).run(X, y, initial=start, random_state=0)
+        np.testing.assert_allclose(result.model, start, atol=1e-9)
+
+    def test_initial_shape_mismatch(self, small_data):
+        X, y = small_data
+        config = PSGDConfig(schedule=ConstantSchedule(0.1))
+        with pytest.raises(ValueError, match="shape"):
+            PSGD(LogisticLoss(), config).run(X, y, initial=np.zeros(3))
+
+    def test_projection_keeps_iterates_inside(self, medium_data):
+        X, y = medium_data
+        radius = 0.05
+        config = PSGDConfig(
+            schedule=ConstantSchedule(0.5),
+            passes=3,
+            projection=L2BallProjection(radius),
+            record_iterates=True,
+        )
+        result = PSGD(LogisticLoss(), config).run(X, y, random_state=0)
+        for w in result.iterates:
+            assert np.linalg.norm(w) <= radius + 1e-9
+
+
+class TestModelAveraging:
+    def test_uniform_average_matches_iterates(self, small_data):
+        X, y = small_data
+        config = PSGDConfig(
+            schedule=ConstantSchedule(0.2), passes=2, average="uniform",
+            record_iterates=True,
+        )
+        result = PSGD(LogisticLoss(), config).run(X, y, random_state=3)
+        np.testing.assert_allclose(
+            result.model, np.mean(result.iterates, axis=0), atol=1e-12
+        )
+
+    def test_suffix_average_uses_tail(self, small_data):
+        X, y = small_data
+        config = PSGDConfig(
+            schedule=ConstantSchedule(0.2), passes=1, average="suffix",
+            record_iterates=True,
+        )
+        result = PSGD(LogisticLoss(), config).run(X, y, random_state=3)
+        total = len(result.iterates)
+        tail = max(1, int(np.ceil(np.log2(max(2, total)))))
+        np.testing.assert_allclose(
+            result.model, np.mean(result.iterates[-tail:], axis=0), atol=1e-12
+        )
+
+    def test_no_average_returns_final(self, small_data):
+        X, y = small_data
+        config = PSGDConfig(schedule=ConstantSchedule(0.2), passes=1)
+        result = PSGD(LogisticLoss(), config).run(X, y, random_state=3)
+        np.testing.assert_array_equal(result.model, result.final_iterate)
+
+    def test_invalid_average_mode(self):
+        with pytest.raises(ValueError, match="average"):
+            PSGDConfig(schedule=ConstantSchedule(0.1), average="median")
+
+
+class TestEarlyStopping:
+    def test_converges_early_on_plateau(self, medium_data):
+        X, y = medium_data
+        config = PSGDConfig(
+            schedule=InverseTSchedule(gamma=1.0),
+            passes=50,
+            batch_size=10,
+            convergence_tolerance=1e-3,
+        )
+        result = PSGD(LogisticLoss(regularization=0.1), config).run(
+            X, y, random_state=0
+        )
+        assert result.converged_early
+        assert result.passes_completed < 50
+        assert len(result.pass_losses) == result.passes_completed
+
+    def test_track_loss_without_stopping(self, small_data):
+        X, y = small_data
+        config = PSGDConfig(schedule=ConstantSchedule(0.1), passes=3, track_loss=True)
+        result = PSGD(LogisticLoss(), config).run(X, y, random_state=0)
+        assert len(result.pass_losses) == 3
+        assert not result.converged_early
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            PSGDConfig(schedule=ConstantSchedule(0.1), convergence_tolerance=0.0)
+
+
+class TestHooks:
+    def test_gradient_noise_hook_called_per_update(self, small_data):
+        X, y = small_data
+        calls = []
+
+        def noise(t, d, rng):
+            calls.append(t)
+            return np.zeros(d)
+
+        config = PSGDConfig(schedule=ConstantSchedule(0.1), passes=2, batch_size=10)
+        PSGD(LogisticLoss(), config, gradient_noise=noise).run(X, y, random_state=0)
+        assert calls == list(range(1, 13))  # 2 passes * 6 batches
+
+    def test_zero_noise_equals_plain_run(self, small_data):
+        X, y = small_data
+        config = PSGDConfig(schedule=ConstantSchedule(0.1), passes=2)
+        plain = PSGD(LogisticLoss(), config).run(X, y, random_state=5)
+        noisy = PSGD(
+            LogisticLoss(), config, gradient_noise=lambda t, d, rng: np.zeros(d)
+        ).run(X, y, random_state=5)
+        np.testing.assert_allclose(plain.model, noisy.model)
+
+    def test_example_sampler_overrides_permutation(self, small_data):
+        X, y = small_data
+        seen = []
+
+        def sampler(t, m, rng):
+            seen.append(t)
+            return np.array([0])  # always the first example
+
+        config = PSGDConfig(schedule=ConstantSchedule(0.1), passes=1, batch_size=1)
+        result = PSGD(LogisticLoss(), config, example_sampler=sampler).run(
+            X, y, random_state=0
+        )
+        assert len(seen) == 60
+        # Training on a single repeated example: model parallel to +-x0.
+        x0 = X[0] / np.linalg.norm(X[0])
+        direction = result.model / np.linalg.norm(result.model)
+        assert abs(abs(float(np.dot(direction, x0))) - 1.0) < 1e-9
+
+
+class TestFreshPermutation:
+    def test_fresh_permutation_changes_trajectory(self, medium_data):
+        X, y = medium_data
+        base = PSGDConfig(schedule=ConstantSchedule(0.3), passes=4)
+        fresh = PSGDConfig(
+            schedule=ConstantSchedule(0.3), passes=4, fresh_permutation_each_pass=True
+        )
+        a = PSGD(LogisticLoss(), base).run(X, y, random_state=9)
+        b = PSGD(LogisticLoss(), fresh).run(X, y, random_state=9)
+        assert not np.array_equal(a.model, b.model)
+
+    def test_single_pass_unaffected(self, small_data):
+        X, y = small_data
+        base = PSGDConfig(schedule=ConstantSchedule(0.3), passes=1)
+        fresh = PSGDConfig(
+            schedule=ConstantSchedule(0.3), passes=1, fresh_permutation_each_pass=True
+        )
+        a = PSGD(LogisticLoss(), base).run(X, y, random_state=9)
+        b = PSGD(LogisticLoss(), fresh).run(X, y, random_state=9)
+        np.testing.assert_array_equal(a.model, b.model)
+
+
+class TestValidation:
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            run_psgd(
+                LogisticLoss(), np.zeros((5, 2)), np.zeros(4), ConstantSchedule(0.1)
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            run_psgd(
+                LogisticLoss(), np.zeros((0, 2)), np.zeros(0), ConstantSchedule(0.1)
+            )
+
+    def test_rejects_nonfinite(self):
+        X = np.array([[np.nan, 0.0]])
+        with pytest.raises(ValueError):
+            run_psgd(LogisticLoss(), X, np.array([1.0]), ConstantSchedule(0.1))
+
+    def test_rejects_bad_passes(self):
+        with pytest.raises(ValueError):
+            PSGDConfig(schedule=ConstantSchedule(0.1), passes=0)

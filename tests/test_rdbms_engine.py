@@ -1,0 +1,183 @@
+"""Tests for catalog, executor, and UDA layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.losses import LogisticLoss
+from repro.optim.schedules import ConstantSchedule
+from repro.rdbms.catalog import Catalog
+from repro.rdbms.executor import SeqScan, Shuffle, ShuffleOnce, run_aggregate
+from repro.rdbms.storage import BufferPool, MaterializedHeapFile
+from repro.rdbms.uda import AvgUDA, SGDUDA
+
+
+def make_table(catalog, name="t", m=120, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(m, d))
+    X /= np.maximum(np.linalg.norm(X, axis=1, keepdims=True), 1.0)
+    y = np.where(rng.random(m) > 0.5, 1.0, -1.0)
+    return catalog.create_table_from_arrays(name, X, y), X, y
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog)
+        assert catalog.get("t").num_tuples == 120
+        assert "t" in catalog
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        make_table(catalog)
+        with pytest.raises(ValueError, match="already exists"):
+            catalog.create_table_from_arrays("t", np.zeros((1, 2)), np.zeros(1))
+
+    def test_invalid_name(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError, match="invalid"):
+            catalog.create_table_from_arrays("bad name!", np.zeros((1, 2)), np.zeros(1))
+
+    def test_drop(self):
+        catalog = Catalog()
+        make_table(catalog)
+        catalog.drop_table("t")
+        assert "t" not in catalog
+        with pytest.raises(KeyError):
+            catalog.drop_table("t")
+
+    def test_missing_table(self):
+        with pytest.raises(KeyError, match="no such table"):
+            Catalog().get("ghost")
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        make_table(catalog, "zeta")
+        make_table(catalog, "alpha", seed=1)
+        assert catalog.table_names() == ["alpha", "zeta"]
+
+
+class TestSeqScan:
+    def test_yields_all_tuples_in_order(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog)
+        pool = BufferPool(100)
+        rows = list(SeqScan(info, pool))
+        assert len(rows) == 120
+        np.testing.assert_array_equal(rows[0][0], X[0])
+        assert rows[0][1] == y[0]
+        np.testing.assert_array_equal(rows[-1][0], X[-1])
+
+
+class TestShuffle:
+    def test_yields_all_tuples_in_permuted_order(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog)
+        pool = BufferPool(100)
+        shuffle = Shuffle(info, pool, random_state=5)
+        labels = [label for _, label in shuffle]
+        assert len(labels) == 120
+        assert sorted(labels) == sorted(y.tolist())
+
+    def test_shuffle_once_replays_same_order(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog)
+        pool = BufferPool(100)
+        shuffle = ShuffleOnce(info, pool, random_state=5)
+        first = [tuple(f) for f, _ in shuffle]
+        second = [tuple(f) for f, _ in shuffle]
+        assert first == second
+
+    def test_reshuffle_changes_order(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog)
+        pool = BufferPool(100)
+        shuffle = ShuffleOnce(info, pool, random_state=5)
+        first = [tuple(f) for f, _ in shuffle]
+        shuffle.reshuffle()
+        second = [tuple(f) for f, _ in shuffle]
+        assert first != second
+        assert sorted(first) == sorted(second)
+
+    def test_permutation_covers_everything(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog)
+        pool = BufferPool(100)
+        shuffle = ShuffleOnce(info, pool, random_state=1)
+        assert sorted(shuffle.permutation.tolist()) == list(range(120))
+
+
+class TestAvgUDA:
+    def test_avg_matches_numpy(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog)
+        pool = BufferPool(100)
+        result = run_aggregate(SeqScan(info, pool), AvgUDA())
+        assert result == pytest.approx(float(np.mean(y)))
+
+    def test_empty_aggregate_rejected(self):
+        uda = AvgUDA()
+        state = uda.initialize()
+        with pytest.raises(ValueError, match="zero tuples"):
+            uda.terminate(state)
+
+
+class TestSGDUDA:
+    def test_one_epoch_matches_library_psgd(self):
+        """The UDA epoch must produce exactly the same model as the plain
+        PSGD engine on the same permutation — the substrate and the
+        library are the same algorithm."""
+        from repro.optim.psgd import run_psgd
+
+        catalog = Catalog()
+        info, X, y = make_table(catalog, m=90, d=5, seed=3)
+        pool = BufferPool(100)
+        loss = LogisticLoss()
+        schedule = ConstantSchedule(0.1)
+
+        shuffle = ShuffleOnce(info, pool, random_state=7)
+        uda = SGDUDA(loss, schedule, batch_size=10)
+        model_uda = run_aggregate(shuffle, uda, dimension=5)
+
+        reference = run_psgd(
+            loss, X, y, schedule, passes=1, batch_size=10,
+            permutation=shuffle.permutation, random_state=0,
+        )
+        np.testing.assert_allclose(model_uda, reference.model, atol=1e-12)
+
+    def test_tail_batch_flushed(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog, m=95, d=5)
+        pool = BufferPool(100)
+        uda = SGDUDA(LogisticLoss(), ConstantSchedule(0.1), batch_size=10)
+        run_aggregate(SeqScan(info, pool), uda, dimension=5)
+        assert uda.updates_applied == 10  # ceil(95/10)
+
+    def test_epoch_chaining_continues_schedule(self):
+        catalog = Catalog()
+        info, X, y = make_table(catalog, m=20, d=4)
+        pool = BufferPool(100)
+        from repro.optim.schedules import InverseTSchedule
+
+        uda = SGDUDA(LogisticLoss(), InverseTSchedule(1.0), batch_size=5)
+        state = uda.initialize(dimension=4, global_step_offset=4)
+        assert state.next_step_index == 5
+
+    def test_initialize_needs_model_or_dimension(self):
+        uda = SGDUDA(LogisticLoss(), ConstantSchedule(0.1))
+        with pytest.raises(ValueError, match="model or a dimension"):
+            uda.initialize()
+
+    def test_projection_applied(self):
+        from repro.optim.projection import L2BallProjection
+
+        catalog = Catalog()
+        info, X, y = make_table(catalog, m=50, d=4)
+        pool = BufferPool(100)
+        uda = SGDUDA(
+            LogisticLoss(), ConstantSchedule(2.0), batch_size=1,
+            projection=L2BallProjection(0.1),
+        )
+        model = run_aggregate(SeqScan(info, pool), uda, dimension=4)
+        assert np.linalg.norm(model) <= 0.1 + 1e-9

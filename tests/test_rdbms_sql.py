@@ -1,0 +1,157 @@
+"""Tests for the SQL front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.losses import LogisticLoss
+from repro.optim.schedules import ConstantSchedule
+from repro.rdbms.catalog import Catalog
+from repro.rdbms.sql import (
+    CreateTable,
+    DropTable,
+    SelectAggregate,
+    SQLError,
+    SQLSession,
+    parse,
+    tokenize,
+)
+from repro.rdbms.storage import BufferPool
+from repro.rdbms.uda import SGDUDA
+from tests.conftest import make_binary_data
+
+
+class TestTokenizer:
+    def test_basic(self):
+        tokens = tokenize("SELECT avg(label) FROM t;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "keyword", "ident", "punct", "ident", "punct", "keyword",
+            "ident", "punct",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].kind == "keyword"
+        assert tokenize("SeLeCt")[0].kind == "keyword"
+
+    def test_bad_character(self):
+        with pytest.raises(SQLError, match="unexpected character"):
+            tokenize("SELECT @ FROM t")
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse("SELECT avg(label) FROM data")
+        assert isinstance(statement, SelectAggregate)
+        assert statement.aggregate == "avg"
+        assert statement.arguments == ["label"]
+        assert statement.table == "data"
+        assert not statement.shuffled
+
+    def test_order_by_random(self):
+        statement = parse(
+            "SELECT sgd_agg(features, label) FROM data ORDER BY RANDOM()"
+        )
+        assert statement.shuffled
+        assert statement.arguments == ["features", "label"]
+
+    def test_star_argument(self):
+        statement = parse("SELECT count(*) FROM t")
+        assert statement.arguments == ["*"]
+
+    def test_no_arguments(self):
+        statement = parse("SELECT f() FROM t")
+        assert statement.arguments == []
+
+    def test_semicolon_optional(self):
+        parse("SELECT avg(x) FROM t")
+        parse("SELECT avg(x) FROM t;")
+
+    def test_drop_table(self):
+        statement = parse("DROP TABLE old;")
+        assert isinstance(statement, DropTable)
+        assert statement.table == "old"
+
+    def test_create_table_parses(self):
+        assert isinstance(parse("CREATE TABLE t"), CreateTable)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT FROM t",
+            "SELECT avg(label) t",
+            "SELECT avg(label FROM t",
+            "SELECT avg(label) FROM t ORDER RANDOM()",
+            "SELECT avg(label) FROM t ORDER BY random",
+            "SELECT avg(label) FROM t extra",
+            "UPDATE t SET x = 1",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SQLError):
+            parse(bad)
+
+
+class TestSession:
+    def make_session(self, m=120, d=5, seed=0):
+        catalog = Catalog()
+        X, y = make_binary_data(m, d, seed=seed)
+        catalog.create_table_from_arrays("data", X, y)
+        return SQLSession(catalog, BufferPool(100), random_state=0), X, y
+
+    def test_avg_matches_numpy(self):
+        session, X, y = self.make_session()
+        result = session.execute("SELECT avg(label) FROM data")
+        assert result == pytest.approx(float(np.mean(y)))
+
+    def test_unknown_table(self):
+        session, _, _ = self.make_session()
+        with pytest.raises(SQLError, match="no such table"):
+            session.execute("SELECT avg(label) FROM ghost")
+
+    def test_unknown_aggregate(self):
+        session, _, _ = self.make_session()
+        with pytest.raises(SQLError, match="unknown aggregate"):
+            session.execute("SELECT median(label) FROM data")
+
+    def test_drop_table(self):
+        session, _, _ = self.make_session()
+        session.execute("DROP TABLE data")
+        with pytest.raises(SQLError):
+            session.execute("SELECT avg(label) FROM data")
+
+    def test_create_table_directs_to_api(self):
+        session, _, _ = self.make_session()
+        with pytest.raises(SQLError, match="load_table"):
+            session.execute("CREATE TABLE other")
+
+    def test_sgd_epoch_via_sql(self):
+        """The paper's epoch query: SELECT sgd(...) FROM t ORDER BY RANDOM()."""
+        session, X, y = self.make_session(m=200, d=5)
+        uda = SGDUDA(LogisticLoss(), ConstantSchedule(0.3), batch_size=10)
+        session.register_aggregate("sgd_epoch", uda, dimension=5)
+        model = session.execute(
+            "SELECT sgd_epoch(features, label) FROM data ORDER BY RANDOM()"
+        )
+        assert model.shape == (5,)
+        # One epoch over separable data should already beat chance.
+        accuracy = float(np.mean(np.where(X @ model >= 0, 1, -1) == y))
+        assert accuracy > 0.7
+
+    def test_registered_aggregate_name_validated(self):
+        session, _, _ = self.make_session()
+        uda = SGDUDA(LogisticLoss(), ConstantSchedule(0.1))
+        with pytest.raises(SQLError, match="invalid aggregate name"):
+            session.register_aggregate("bad name", uda)
+
+    def test_shuffled_vs_sequential_differ(self):
+        session, X, y = self.make_session(m=200, d=5)
+        uda = SGDUDA(LogisticLoss(), ConstantSchedule(0.3), batch_size=10)
+        session.register_aggregate("sgd_epoch", uda, dimension=5)
+        shuffled = session.execute(
+            "SELECT sgd_epoch(features, label) FROM data ORDER BY RANDOM()"
+        )
+        sequential = session.execute("SELECT sgd_epoch(features, label) FROM data")
+        assert not np.array_equal(shuffled, sequential)

@@ -1,0 +1,192 @@
+"""Tests for the storage layer: pages, heap files, buffer pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rdbms.storage import (
+    PAGE_SIZE_BYTES,
+    BufferPool,
+    MaterializedHeapFile,
+    VirtualHeapFile,
+    tuple_width_bytes,
+    tuples_per_page,
+)
+
+
+class TestTupleLayout:
+    def test_width(self):
+        # d floats + 1 label, 8 bytes each
+        assert tuple_width_bytes(50) == 51 * 8
+
+    def test_per_page(self):
+        per = tuples_per_page(50)
+        assert per == (PAGE_SIZE_BYTES - 16) // (51 * 8)
+        assert per >= 1
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError, match="too wide"):
+            tuples_per_page(5000)
+
+
+class TestMaterializedHeapFile:
+    def make(self, m=100, d=10, seed=0):
+        rng = np.random.default_rng(seed)
+        return MaterializedHeapFile(
+            rng.normal(size=(m, d)), np.where(rng.random(m) > 0.5, 1.0, -1.0)
+        )
+
+    def test_counts(self):
+        heap = self.make(m=100, d=10)
+        assert heap.num_tuples == 100
+        assert heap.dimension == 10
+        per = tuples_per_page(10)
+        assert heap.num_pages == -(-100 // per)
+
+    def test_pages_partition_rows(self):
+        heap = self.make(m=250, d=30)
+        seen = 0
+        for page_id in range(heap.num_pages):
+            page = heap.read_page(page_id)
+            seen += page.tuple_count
+        assert seen == 250
+
+    def test_roundtrip_content(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 6))
+        y = np.ones(40)
+        heap = MaterializedHeapFile(X, y)
+        per = tuples_per_page(6)
+        page = heap.read_page(0)
+        np.testing.assert_array_equal(page.features, X[:per])
+
+    def test_out_of_range_page(self):
+        heap = self.make()
+        with pytest.raises(IndexError):
+            heap.read_page(heap.num_pages)
+        with pytest.raises(IndexError):
+            heap.read_page(-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MaterializedHeapFile(np.zeros((0, 3)), np.zeros(0))
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            MaterializedHeapFile(np.zeros((5, 3)), np.zeros(4))
+
+    def test_size_bytes(self):
+        heap = self.make(m=1000, d=50)
+        assert heap.size_bytes == heap.num_pages * PAGE_SIZE_BYTES
+
+
+class TestVirtualHeapFile:
+    def make(self, m=1000, d=10):
+        def generate(page_id, count, dim):
+            rng = np.random.default_rng(page_id)
+            return rng.normal(size=(count, dim)), np.ones(count)
+
+        return VirtualHeapFile(m, d, generate)
+
+    def test_deterministic_pages(self):
+        heap = self.make()
+        a = heap.read_page(3)
+        b = heap.read_page(3)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_tail_page_short(self):
+        heap = self.make(m=1000, d=10)
+        per = tuples_per_page(10)
+        last = heap.read_page(heap.num_pages - 1)
+        assert last.tuple_count == 1000 - per * (heap.num_pages - 1)
+
+    def test_bad_generator_shapes_detected(self):
+        def bad(page_id, count, dim):
+            return np.zeros((count + 1, dim)), np.zeros(count)
+
+        heap = VirtualHeapFile(100, 5, bad)
+        with pytest.raises(ValueError, match="wrong shapes"):
+            heap.read_page(0)
+
+    def test_large_virtual_table_is_cheap(self):
+        # A "447 GB" table should not allocate anything until read.
+        heap = self.make(m=1_200_000_000, d=50)
+        assert heap.size_bytes > 4e11
+        page = heap.read_page(heap.num_pages // 2)
+        assert page.tuple_count == tuples_per_page(50)
+
+
+class TestBufferPool:
+    def make_heap(self, m=500, d=10):
+        rng = np.random.default_rng(2)
+        return MaterializedHeapFile(rng.normal(size=(m, d)), np.ones(m))
+
+    def test_cold_scan_all_misses(self):
+        heap = self.make_heap()
+        pool = BufferPool(capacity_pages=100)
+        list(pool.scan(heap))
+        assert pool.stats.cache_misses == heap.num_pages
+        assert pool.stats.cache_hits == 0
+
+    def test_warm_scan_all_hits(self):
+        heap = self.make_heap()
+        pool = BufferPool(capacity_pages=100)
+        list(pool.scan(heap))
+        pool.stats.reset()
+        list(pool.scan(heap))
+        assert pool.stats.cache_hits == heap.num_pages
+        assert pool.stats.cache_misses == 0
+
+    def test_undersized_pool_thrashes_on_repeat_scans(self):
+        # The disk-based regime of Figure 2(b): table larger than memory,
+        # every sequential scan misses every page.
+        heap = self.make_heap(m=2000)
+        assert heap.num_pages > 3
+        pool = BufferPool(capacity_pages=2)
+        list(pool.scan(heap))
+        pool.stats.reset()
+        list(pool.scan(heap))
+        assert pool.stats.cache_misses == heap.num_pages
+
+    def test_lru_eviction_order(self):
+        heap = self.make_heap(m=2000)
+        pool = BufferPool(capacity_pages=2)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 1)
+        pool.get_page(heap, 0)  # touch 0 -> 1 becomes LRU
+        pool.get_page(heap, 2)  # evicts 1
+        pool.stats.reset()
+        pool.get_page(heap, 0)
+        assert pool.stats.cache_hits == 1
+        pool.get_page(heap, 1)
+        assert pool.stats.cache_misses == 1
+
+    def test_eviction_counter(self):
+        heap = self.make_heap(m=2000)
+        pool = BufferPool(capacity_pages=1)
+        list(pool.scan(heap))
+        assert pool.stats.evictions == heap.num_pages - 1
+
+    def test_hit_rate(self):
+        heap = self.make_heap()
+        pool = BufferPool(capacity_pages=100)
+        list(pool.scan(heap))
+        list(pool.scan(heap))
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+
+    def test_clear(self):
+        heap = self.make_heap()
+        pool = BufferPool(capacity_pages=100)
+        list(pool.scan(heap))
+        pool.clear()
+        assert pool.resident_pages == 0
+
+    def test_distinct_heaps_do_not_collide(self):
+        heap_a = self.make_heap(m=100)
+        heap_b = self.make_heap(m=100)
+        pool = BufferPool(capacity_pages=10)
+        page_a = pool.get_page(heap_a, 0)
+        page_b = pool.get_page(heap_b, 0)
+        assert pool.stats.cache_misses == 2
+        assert page_a is not page_b

@@ -1,0 +1,60 @@
+"""Additional coverage for reporting and misc utility edges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import format_series, format_table, series_summary
+from repro.utils.rng import spawn_generators
+
+
+class TestFormatTableEdges:
+    def test_mixed_types(self):
+        rows = [{"name": "a", "count": 3, "rate": 0.12345, "flag": True}]
+        text = format_table(rows)
+        assert "0.1235" in text  # floats get 4 decimals
+        assert "3" in text
+        assert "True" in text
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert text.count("\n") == 3  # header + rule + 2 rows
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_wide_values_align(self):
+        rows = [{"x": "short"}, {"x": "a-much-longer-value"}]
+        lines = format_table(rows).splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+
+class TestFormatSeriesEdges:
+    def test_multiple_series_columns(self):
+        text = format_series(
+            "t", "x", [1.0, 2.0], {"a": [0.1, 0.2], "b": [0.3, 0.4]}
+        )
+        header = text.splitlines()[1]
+        assert "a" in header and "b" in header
+
+    def test_series_summary_empty_series_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            series_summary({"a": []})
+
+
+class TestSpawnFromGenerator:
+    def test_children_from_generator_are_reproducible_from_state(self):
+        parent_a = np.random.default_rng(1)
+        parent_b = np.random.default_rng(1)
+        kids_a = spawn_generators(parent_a, 3)
+        kids_b = spawn_generators(parent_b, 3)
+        for ka, kb in zip(kids_a, kids_b):
+            np.testing.assert_array_equal(ka.random(4), kb.random(4))
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []

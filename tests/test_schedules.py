@@ -1,0 +1,132 @@
+"""Tests for the step-size schedules (Table 4 and Corollaries 2–3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.schedules import (
+    BST14Schedule,
+    CappedInverseTSchedule,
+    ConstantSchedule,
+    DecreasingSchedule,
+    InverseSqrtTSchedule,
+    InverseTSchedule,
+    SquareRootSchedule,
+    validate_convex_step_size,
+    validate_strongly_convex_step_size,
+)
+
+
+class TestConstantSchedule:
+    def test_rate_is_constant(self):
+        schedule = ConstantSchedule(0.05)
+        assert schedule.rate(1) == schedule.rate(1000) == 0.05
+
+    def test_for_dataset_matches_paper(self):
+        # Table 4: eta = 1/sqrt(m).
+        assert ConstantSchedule.for_dataset(10000).eta == pytest.approx(0.01)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+    def test_one_based_indexing(self):
+        with pytest.raises(ValueError, match="1-based"):
+            ConstantSchedule(0.1).rate(0)
+
+    def test_rates_vector(self):
+        np.testing.assert_allclose(ConstantSchedule(0.1).rates(3), [0.1, 0.1, 0.1])
+
+
+class TestInverseTSchedule:
+    def test_values(self):
+        schedule = InverseTSchedule(gamma=0.5)
+        assert schedule.rate(1) == pytest.approx(2.0)
+        assert schedule.rate(4) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        rates = InverseTSchedule(0.1).rates(50)
+        assert np.all(np.diff(rates) < 0)
+
+
+class TestCappedInverseTSchedule:
+    def test_cap_applies_early(self):
+        # min(1/beta, 1/(gamma t)): early iterations capped at 1/beta.
+        schedule = CappedInverseTSchedule(beta=2.0, gamma=0.01)
+        assert schedule.rate(1) == pytest.approx(0.5)  # 1/beta
+        assert schedule.rate(10) == pytest.approx(0.5)
+        # After t > beta/gamma = 200 the 1/(gamma t) branch wins.
+        assert schedule.rate(400) == pytest.approx(1.0 / (0.01 * 400))
+
+    def test_crossover_point(self):
+        beta, gamma = 1.0, 0.1
+        schedule = CappedInverseTSchedule(beta, gamma)
+        crossover = int(np.ceil(beta / gamma))
+        assert schedule.rate(crossover) == pytest.approx(
+            min(1 / beta, 1 / (gamma * crossover))
+        )
+
+    def test_never_exceeds_one_over_beta(self):
+        schedule = CappedInverseTSchedule(beta=4.0, gamma=0.001)
+        assert schedule.max_rate(1000) <= 0.25 + 1e-15
+
+
+class TestInverseSqrtTSchedule:
+    def test_values(self):
+        schedule = InverseSqrtTSchedule()
+        assert schedule.rate(4) == pytest.approx(0.5)
+
+    def test_eta0_scaling(self):
+        assert InverseSqrtTSchedule(2.0).rate(1) == pytest.approx(2.0)
+
+
+class TestDecreasingSchedule:
+    def test_formula(self):
+        # eta_t = 2 / (beta (t + m^c))
+        schedule = DecreasingSchedule(beta=2.0, m=100, c=0.5)
+        assert schedule.rate(1) == pytest.approx(2.0 / (2.0 * (1 + 10.0)))
+
+    def test_c_range_enforced(self):
+        with pytest.raises(ValueError):
+            DecreasingSchedule(beta=1.0, m=100, c=1.0)
+
+    def test_c_zero_allowed(self):
+        schedule = DecreasingSchedule(beta=1.0, m=100, c=0.0)
+        assert schedule.offset == 1.0
+
+
+class TestSquareRootSchedule:
+    def test_formula(self):
+        schedule = SquareRootSchedule(beta=1.0, m=100, c=0.5)
+        assert schedule.rate(4) == pytest.approx(2.0 / (np.sqrt(4) + 10.0))
+
+    def test_slower_decay_than_decreasing(self):
+        dec = DecreasingSchedule(beta=1.0, m=100, c=0.5)
+        sqrt_s = SquareRootSchedule(beta=1.0, m=100, c=0.5)
+        assert sqrt_s.rate(100) > dec.rate(100)
+
+
+class TestBST14Schedule:
+    def test_formula(self):
+        schedule = BST14Schedule(radius=2.0, gradient_bound=4.0)
+        assert schedule.rate(1) == pytest.approx(1.0)
+        assert schedule.rate(4) == pytest.approx(0.5)
+
+
+class TestValidators:
+    def test_convex_validator_accepts_legal(self):
+        validate_convex_step_size(ConstantSchedule(1.9), beta=1.0, total=10)
+
+    def test_convex_validator_rejects_illegal(self):
+        with pytest.raises(ValueError, match="2/beta"):
+            validate_convex_step_size(ConstantSchedule(2.1), beta=1.0, total=10)
+
+    def test_strongly_convex_validator(self):
+        validate_strongly_convex_step_size(ConstantSchedule(0.9), beta=1.0, total=10)
+        with pytest.raises(ValueError, match="1/beta"):
+            validate_strongly_convex_step_size(ConstantSchedule(1.1), beta=1.0, total=10)
+
+    def test_capped_schedule_passes_strongly_convex_validator(self):
+        schedule = CappedInverseTSchedule(beta=2.0, gamma=0.01)
+        validate_strongly_convex_step_size(schedule, beta=2.0, total=500)

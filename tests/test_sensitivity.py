@@ -1,0 +1,350 @@
+"""Tests for the L2-sensitivity closed forms — the paper's core claim.
+
+Three layers of verification:
+
+1. unit tests of the formulas against hand-computed values;
+2. closed form vs the executable growth recursion of
+   :mod:`repro.optim.growth` (the closed form must dominate it);
+3. **empirical**: run PSGD twice with *identical* permutations on datasets
+   differing in one example and check ``||w - w'|| <= Delta_2`` — the
+   literal statement of ``sup_S~S' sup_r delta_T <= Delta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sensitivity import (
+    convex_constant_step,
+    convex_decreasing_step,
+    convex_decreasing_step_simplified,
+    convex_square_root_step,
+    sensitivity_for_schedule,
+    strongly_convex_constant_step,
+    strongly_convex_decreasing_step,
+)
+from repro.optim.growth import divergence_bound, worst_case_divergence_bound
+from repro.optim.losses import LogisticLoss
+from repro.optim.psgd import run_psgd
+from repro.optim.schedules import (
+    CappedInverseTSchedule,
+    ConstantSchedule,
+    DecreasingSchedule,
+    InverseSqrtTSchedule,
+    SquareRootSchedule,
+)
+from tests.conftest import make_binary_data
+
+
+def paired_divergence(
+    loss,
+    schedule,
+    m: int,
+    d: int,
+    passes: int,
+    batch_size: int = 1,
+    differ_at: int = 0,
+    seed: int = 0,
+    projection=None,
+) -> float:
+    """||w_T - w'_T|| of two PSGD runs on neighbouring datasets sharing a
+    permutation — the quantity the sensitivity bounds cap."""
+    X, y = make_binary_data(m, d, seed=seed)
+    X2 = X.copy()
+    y2 = y.copy()
+    rng = np.random.default_rng(seed + 1)
+    replacement = rng.standard_normal(d)
+    replacement /= max(np.linalg.norm(replacement), 1.0)
+    X2[differ_at] = replacement
+    y2[differ_at] = -y[differ_at]
+
+    perm = np.random.default_rng(seed + 2).permutation(m)
+    a = run_psgd(
+        loss, X, y, schedule, passes=passes, batch_size=batch_size,
+        permutation=perm, projection=projection, random_state=0,
+    )
+    b = run_psgd(
+        loss, X2, y2, schedule, passes=passes, batch_size=batch_size,
+        permutation=perm, projection=projection, random_state=0,
+    )
+    return float(np.linalg.norm(a.model - b.model))
+
+
+class TestConvexConstantStep:
+    def test_corollary1_formula(self):
+        # Delta = 2 k L eta
+        props = LogisticLoss().properties()
+        bound = convex_constant_step(props, eta=0.1, passes=5)
+        assert bound.value == pytest.approx(2 * 5 * 1.0 * 0.1)
+
+    def test_minibatch_divides_by_b(self):
+        props = LogisticLoss().properties()
+        single = convex_constant_step(props, eta=0.1, passes=5, batch_size=1)
+        batched = convex_constant_step(props, eta=0.1, passes=5, batch_size=10)
+        assert batched.value == pytest.approx(single.value / 10)
+
+    def test_step_size_precondition(self):
+        props = LogisticLoss().properties()  # beta = 1
+        with pytest.raises(ValueError, match="2/beta"):
+            convex_constant_step(props, eta=2.5, passes=1)
+
+    def test_matches_growth_recursion(self):
+        props = LogisticLoss().properties()
+        eta, m, k = 0.05, 20, 3
+        closed = convex_constant_step(props, eta, k).value
+        recursion = worst_case_divergence_bound(
+            props, ConstantSchedule(eta), m, k
+        )
+        assert closed == pytest.approx(recursion, rel=1e-9)
+
+    @given(
+        m=st.integers(10, 40),
+        passes=st.integers(1, 3),
+        eta=st.floats(0.01, 0.5),
+        seed=st.integers(0, 10_000),
+        differ_at=st.integers(0, 9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_empirical_divergence_within_bound(self, m, passes, eta, seed, differ_at):
+        loss = LogisticLoss()
+        bound = convex_constant_step(loss.properties(), eta, passes).value
+        measured = paired_divergence(
+            loss, ConstantSchedule(eta), m, 5, passes, differ_at=differ_at, seed=seed
+        )
+        assert measured <= bound + 1e-9
+
+    @given(
+        m=st.integers(12, 36),
+        batch=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_empirical_minibatch_divergence_within_bound(self, m, batch, seed):
+        loss = LogisticLoss()
+        eta, passes = 0.2, 2
+        bound = convex_constant_step(loss.properties(), eta, passes, batch).value
+        measured = paired_divergence(
+            loss, ConstantSchedule(eta), m, 4, passes, batch_size=batch, seed=seed
+        )
+        assert measured <= bound + 1e-9
+
+
+class TestConvexDecreasingStep:
+    def test_exact_below_simplified(self):
+        props = LogisticLoss().properties()
+        for k in (1, 2, 5, 10):
+            exact = convex_decreasing_step(props, m=1000, passes=k).value
+            simplified = convex_decreasing_step_simplified(props, m=1000, passes=k)
+            assert exact <= simplified * (1 + 1e-9)
+
+    def test_single_pass_value(self):
+        # k = 1: 2L * eta_1 with eta_1 = 2/(beta(1 + m^c))
+        props = LogisticLoss().properties()
+        m, c = 100, 0.5
+        bound = convex_decreasing_step(props, m, passes=1, c=c)
+        assert bound.value == pytest.approx(2 * 2.0 / (1.0 * (1 + m**c)))
+
+    def test_dispatch_through_schedule(self):
+        props = LogisticLoss().properties()
+        schedule = DecreasingSchedule(beta=1.0, m=200, c=0.5)
+        bound = sensitivity_for_schedule(props, schedule, m=200, passes=2)
+        assert bound.regime.startswith("convex-decreasing")
+
+    @given(m=st.integers(10, 40), passes=st.integers(1, 3), seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_empirical_divergence_within_bound(self, m, passes, seed):
+        loss = LogisticLoss()
+        props = loss.properties()
+        schedule = DecreasingSchedule(beta=props.smoothness, m=m, c=0.5)
+        bound = convex_decreasing_step(props, m, passes).value
+        measured = paired_divergence(loss, schedule, m, 5, passes, seed=seed)
+        assert measured <= bound + 1e-9
+
+
+class TestConvexSquareRootStep:
+    def test_corollary3_formula(self):
+        props = LogisticLoss().properties()
+        m, k, c = 100, 3, 0.5
+        expected = (4 * 1.0 / 1.0) * sum(
+            1.0 / (np.sqrt(j * m + 1) + m**c) for j in range(k)
+        )
+        assert convex_square_root_step(props, m, k, c).value == pytest.approx(expected)
+
+    @given(m=st.integers(10, 40), passes=st.integers(1, 3), seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_empirical_divergence_within_bound(self, m, passes, seed):
+        loss = LogisticLoss()
+        props = loss.properties()
+        schedule = SquareRootSchedule(beta=props.smoothness, m=m, c=0.5)
+        bound = convex_square_root_step(props, m, passes).value
+        measured = paired_divergence(loss, schedule, m, 5, passes, seed=seed)
+        assert measured <= bound + 1e-9
+
+
+class TestStronglyConvexConstantStep:
+    def test_lemma7_formula(self):
+        props = LogisticLoss(regularization=0.1).properties(radius=5.0)
+        eta, m = 0.5 / props.smoothness, 50
+        bound = strongly_convex_constant_step(props, eta, m, passes=3)
+        contraction = 1 - eta * props.strong_convexity
+        expected = 2 * eta * props.lipschitz / (1 - contraction**m)
+        assert bound.value == pytest.approx(expected)
+
+    def test_pass_independent(self):
+        props = LogisticLoss(regularization=0.1).properties(radius=5.0)
+        eta = 0.5 / props.smoothness
+        b1 = strongly_convex_constant_step(props, eta, 50, passes=1)
+        b9 = strongly_convex_constant_step(props, eta, 50, passes=9)
+        assert b1.value == pytest.approx(b9.value)
+
+    def test_requires_strong_convexity(self):
+        with pytest.raises(ValueError, match="strongly convex"):
+            strongly_convex_constant_step(
+                LogisticLoss().properties(), eta=0.1, m=10, passes=1
+            )
+
+    def test_step_size_precondition(self):
+        props = LogisticLoss(regularization=0.1).properties(radius=5.0)
+        with pytest.raises(ValueError, match="1/beta"):
+            strongly_convex_constant_step(
+                props, eta=2.0 / props.smoothness, m=10, passes=1
+            )
+
+    @given(m=st.integers(10, 30), passes=st.integers(1, 4), seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_empirical_divergence_within_bound(self, m, passes, seed):
+        lam = 0.2
+        loss = LogisticLoss(regularization=lam)
+        props = loss.properties(radius=1.0 / lam)
+        eta = 1.0 / props.smoothness
+        bound = strongly_convex_constant_step(props, eta, m, passes).value
+        from repro.optim.projection import L2BallProjection
+
+        measured = paired_divergence(
+            loss, ConstantSchedule(eta), m, 5, passes, seed=seed,
+            projection=L2BallProjection(1.0 / lam),
+        )
+        assert measured <= bound + 1e-9
+
+
+class TestStronglyConvexDecreasingStep:
+    def test_lemma8_formula(self):
+        # Delta = 2L/(gamma m)
+        props = LogisticLoss(regularization=0.01).properties(radius=100.0)
+        bound = strongly_convex_decreasing_step(props, m=1000, passes=7)
+        assert bound.value == pytest.approx(
+            2 * props.lipschitz / (props.strong_convexity * 1000)
+        )
+
+    def test_pass_independence_is_the_headline(self):
+        props = LogisticLoss(regularization=0.01).properties(radius=100.0)
+        values = {
+            strongly_convex_decreasing_step(props, 1000, k).value for k in (1, 5, 20)
+        }
+        assert len(values) == 1
+
+    def test_contrast_with_convex_case(self):
+        # Theorems 4 vs 5: convex sensitivity grows with k, strongly convex
+        # does not.
+        convex_props = LogisticLoss().properties()
+        sc_props = LogisticLoss(regularization=0.01).properties(radius=100.0)
+        convex_1 = convex_constant_step(convex_props, eta=0.1, passes=1).value
+        convex_9 = convex_constant_step(convex_props, eta=0.1, passes=9).value
+        assert convex_9 == pytest.approx(9 * convex_1)
+        sc_1 = strongly_convex_decreasing_step(sc_props, 1000, 1).value
+        sc_9 = strongly_convex_decreasing_step(sc_props, 1000, 9).value
+        assert sc_9 == sc_1
+
+    @given(
+        m=st.integers(10, 30),
+        passes=st.integers(1, 4),
+        lam=st.floats(0.05, 0.5),
+        seed=st.integers(0, 500),
+        differ_at=st.integers(0, 9),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_empirical_divergence_within_bound(self, m, passes, lam, seed, differ_at):
+        loss = LogisticLoss(regularization=lam)
+        radius = 1.0 / lam
+        props = loss.properties(radius=radius)
+        schedule = CappedInverseTSchedule(props.smoothness, props.strong_convexity)
+        bound = strongly_convex_decreasing_step(props, m, passes).value
+        from repro.optim.projection import L2BallProjection
+
+        measured = paired_divergence(
+            loss, schedule, m, 5, passes, differ_at=differ_at, seed=seed,
+            projection=L2BallProjection(radius),
+        )
+        assert measured <= bound + 1e-9
+
+
+class TestDispatch:
+    def test_constant_convex(self):
+        props = LogisticLoss().properties()
+        bound = sensitivity_for_schedule(props, ConstantSchedule(0.1), 100, 2)
+        assert bound.regime.startswith("convex-constant")
+
+    def test_constant_strongly_convex(self):
+        props = LogisticLoss(regularization=0.1).properties(radius=10.0)
+        eta = 0.5 / props.smoothness
+        bound = sensitivity_for_schedule(props, ConstantSchedule(eta), 100, 2)
+        assert bound.regime.startswith("strongly-convex-constant")
+
+    def test_capped_schedule_requires_strong_convexity(self):
+        props = LogisticLoss().properties()
+        with pytest.raises(ValueError, match="strongly convex"):
+            sensitivity_for_schedule(
+                props, CappedInverseTSchedule(1.0, 0.1), 100, 2
+            )
+
+    def test_unknown_schedule_rejected(self):
+        props = LogisticLoss().properties()
+        with pytest.raises(TypeError, match="no sensitivity result"):
+            sensitivity_for_schedule(props, InverseSqrtTSchedule(), 100, 2)
+
+    def test_decreasing_rejects_strongly_convex(self):
+        props = LogisticLoss(regularization=0.1).properties(radius=10.0)
+        with pytest.raises(ValueError, match="convex case only"):
+            sensitivity_for_schedule(
+                props, DecreasingSchedule(props.smoothness, 100), 100, 2
+            )
+
+    def test_averaging_scales_bound(self):
+        props = LogisticLoss().properties()
+        bound = convex_constant_step(props, eta=0.1, passes=2)
+        assert bound.scaled_by_averaging(1.0).value == pytest.approx(bound.value)
+        assert bound.scaled_by_averaging(0.5).value == pytest.approx(bound.value / 2)
+
+
+class TestGrowthRecursionConsistency:
+    """The closed forms must dominate the exact per-position recursion."""
+
+    def test_convex_positions(self):
+        props = LogisticLoss().properties()
+        eta, m, k = 0.1, 12, 2
+        closed = convex_constant_step(props, eta, k).value
+        for position in range(m):
+            recursion = divergence_bound(
+                props, ConstantSchedule(eta), m, k, position
+            )
+            assert recursion <= closed + 1e-12
+
+    def test_strongly_convex_positions(self):
+        lam = 0.3
+        props = LogisticLoss(regularization=lam).properties(radius=1 / lam)
+        schedule = CappedInverseTSchedule(props.smoothness, props.strong_convexity)
+        m, k = 12, 3
+        closed = strongly_convex_decreasing_step(props, m, k).value
+        for position in range(m):
+            recursion = divergence_bound(props, schedule, m, k, position)
+            assert recursion <= closed + 1e-12
+
+    def test_minibatch_recursion_scales(self):
+        props = LogisticLoss().properties()
+        eta, m, k = 0.1, 12, 1
+        full = worst_case_divergence_bound(props, ConstantSchedule(eta), m, k, 1)
+        batched = worst_case_divergence_bound(props, ConstantSchedule(eta), m, k, 3)
+        assert batched == pytest.approx(full / 3)

@@ -1,0 +1,99 @@
+"""Sensitivity property tests for the Huber SVM loss.
+
+The core empirical sensitivity tests use logistic regression; the paper's
+Appendix B claims the same analysis covers the Huber-smoothed hinge
+(L <= 1, beta <= 1/(2h)). These tests replay the neighbouring-dataset
+verification with the Huber loss across smoothing widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sensitivity import (
+    convex_constant_step,
+    strongly_convex_decreasing_step,
+)
+from repro.optim.losses import HuberSVMLoss
+from repro.optim.projection import L2BallProjection
+from repro.optim.schedules import CappedInverseTSchedule, ConstantSchedule
+from tests.test_sensitivity import paired_divergence
+
+
+class TestHuberConstants:
+    @given(h=st.floats(0.01, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_appendix_b_bounds(self, h):
+        props = HuberSVMLoss(smoothing=h).properties()
+        assert props.lipschitz <= 1.0
+        assert props.smoothness == pytest.approx(1.0 / (2.0 * h))
+
+    def test_step_size_regime_depends_on_h(self):
+        # eta <= 2/beta = 4h: a small h forces small steps.
+        props = HuberSVMLoss(smoothing=0.05).properties()
+        with pytest.raises(ValueError, match="2/beta"):
+            convex_constant_step(props, eta=0.5, passes=1)
+        convex_constant_step(props, eta=0.1, passes=1)  # 0.1 <= 0.2 is fine
+
+
+class TestHuberConvexSensitivity:
+    @given(
+        m=st.integers(10, 30),
+        passes=st.integers(1, 3),
+        h=st.floats(0.1, 0.5),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_empirical_divergence_within_bound(self, m, passes, h, seed):
+        loss = HuberSVMLoss(smoothing=h)
+        props = loss.properties()
+        eta = min(0.3, 2.0 / props.smoothness)
+        bound = convex_constant_step(props, eta, passes).value
+        measured = paired_divergence(
+            loss, ConstantSchedule(eta), m, 5, passes, seed=seed
+        )
+        assert measured <= bound + 1e-9
+
+    @given(m=st.integers(12, 30), batch=st.integers(2, 5), seed=st.integers(0, 300))
+    @settings(max_examples=12, deadline=None)
+    def test_minibatch_bound(self, m, batch, seed):
+        loss = HuberSVMLoss(smoothing=0.25)
+        props = loss.properties()
+        eta = 2.0 / props.smoothness
+        bound = convex_constant_step(props, eta, 2, batch).value
+        measured = paired_divergence(
+            loss, ConstantSchedule(eta), m, 4, 2, batch_size=batch, seed=seed
+        )
+        assert measured <= bound + 1e-9
+
+
+class TestHuberStronglyConvexSensitivity:
+    @given(
+        m=st.integers(10, 30),
+        passes=st.integers(1, 3),
+        lam=st.floats(0.05, 0.5),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_empirical_divergence_within_lemma8(self, m, passes, lam, seed):
+        loss = HuberSVMLoss(smoothing=0.25, regularization=lam)
+        radius = 1.0 / lam
+        props = loss.properties(radius=radius)
+        schedule = CappedInverseTSchedule(props.smoothness, props.strong_convexity)
+        bound = strongly_convex_decreasing_step(props, m, passes).value
+        measured = paired_divergence(
+            loss, schedule, m, 5, passes, seed=seed,
+            projection=L2BallProjection(radius),
+        )
+        assert measured <= bound + 1e-9
+
+    def test_lemma8_value_for_huber(self):
+        lam = 0.01
+        loss = HuberSVMLoss(smoothing=0.1, regularization=lam)
+        props = loss.properties(radius=1 / lam)
+        bound = strongly_convex_decreasing_step(props, m=1000, passes=5)
+        # L = 1 + lam*R = 2, gamma = lam -> 2*2/(0.01*1000) = 0.4
+        assert bound.value == pytest.approx(0.4)

@@ -1,0 +1,179 @@
+"""Tests for hyper-parameter tuning (grid, public, private Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accountant import PrivacyAccountant
+from repro.core.bolton import private_strongly_convex_psgd
+from repro.core.mechanisms import PrivacyParameters
+from repro.optim.losses import LogisticLoss
+from repro.tuning.grid import ParameterGrid, paper_grid
+from repro.tuning.private import (
+    exponential_mechanism_probabilities,
+    partition_dataset,
+    privately_tuned_sgd,
+)
+from repro.tuning.public import tune_on_public_data
+from tests.conftest import make_binary_data
+
+
+class TestParameterGrid:
+    def test_cross_product(self):
+        grid = ParameterGrid({"k": [5, 10], "lam": [0.1, 0.2, 0.3]})
+        assert len(grid) == 6
+        assert {"k": 5, "lam": 0.1} in grid.candidates()
+
+    def test_deterministic_order(self):
+        grid = ParameterGrid({"b": [1], "a": [2, 3]})
+        assert grid.candidates() == [{"a": 2, "b": 1}, {"a": 3, "b": 1}]
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({})
+        with pytest.raises(ValueError):
+            ParameterGrid({"k": []})
+
+    def test_paper_grid_contents(self):
+        # Sections 4.1/4.5: k in {5, 10}, lambda in {1e-4, 1e-3, 1e-2}.
+        grid = paper_grid()
+        assert len(grid) == 6
+        passes = {c["passes"] for c in grid}
+        lams = {c["regularization"] for c in grid}
+        assert passes == {5, 10}
+        assert lams == {0.0001, 0.001, 0.01}
+
+    def test_paper_grid_convex_variant(self):
+        grid = paper_grid(include_regularization=False)
+        assert len(grid) == 2
+        assert all("regularization" not in c for c in grid)
+
+
+class TestExponentialMechanism:
+    def test_probabilities_normalized(self):
+        p = exponential_mechanism_probabilities([3, 1, 4], epsilon=1.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_lower_error_more_likely(self):
+        p = exponential_mechanism_probabilities([10, 0, 10], epsilon=1.0)
+        assert p[1] > p[0]
+        assert p[1] > p[2]
+
+    def test_paper_formula(self):
+        # p_i = exp(-eps chi_i / 2) / sum_j exp(-eps chi_j / 2)
+        chi = [2, 5]
+        eps = 0.8
+        p = exponential_mechanism_probabilities(chi, eps)
+        raw = np.exp([-eps * 2 / 2, -eps * 5 / 2])
+        np.testing.assert_allclose(p, raw / raw.sum())
+
+    def test_large_counts_stable(self):
+        p = exponential_mechanism_probabilities([100000, 100001], epsilon=1.0)
+        assert np.all(np.isfinite(p))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_epsilon_zero_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([1, 2], epsilon=0.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([1, -1], epsilon=1.0)
+
+    def test_selection_frequencies_match_probabilities(self, rng):
+        # DP smoke test: the empirical selection histogram must match the
+        # exponential-mechanism distribution.
+        chi = [0, 2, 6]
+        eps = 1.0
+        p = exponential_mechanism_probabilities(chi, eps)
+        draws = rng.choice(3, size=20000, p=p)
+        freq = np.bincount(draws, minlength=3) / 20000
+        np.testing.assert_allclose(freq, p, atol=0.02)
+
+
+class TestPartition:
+    def test_disjoint_and_complete(self, rng):
+        X, y = make_binary_data(103, 4, seed=0)
+        portions = partition_dataset(X, y, 4, rng)
+        assert len(portions) == 4
+        total = sum(px.shape[0] for px, _ in portions)
+        assert total == 103
+        sizes = [px.shape[0] for px, _ in portions]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_few_examples(self, rng):
+        X, y = make_binary_data(3, 2, seed=0)
+        with pytest.raises(ValueError):
+            partition_dataset(X, y, 5, rng)
+
+
+def _factory(theta):
+    def trainer(X, y, epsilon, delta, random_state):
+        return private_strongly_convex_psgd(
+            X, y, LogisticLoss(regularization=theta["regularization"]),
+            epsilon=epsilon, delta=delta if delta > 0 else 0.0,
+            passes=theta["passes"], batch_size=10, random_state=random_state,
+        )
+
+    return trainer
+
+
+class TestPrivateTuning:
+    def test_end_to_end(self):
+        X, y = make_binary_data(700, 6, seed=1)
+        grid = ParameterGrid({"passes": [2, 5], "regularization": [0.01, 0.1]})
+        outcome = privately_tuned_sgd(
+            X, y, _factory, grid, epsilon=2.0, random_state=0
+        )
+        assert outcome.chosen_parameters in grid.candidates()
+        assert len(outcome.unreleased_error_counts) == 4
+        assert outcome.unreleased_probabilities.sum() == pytest.approx(1.0)
+        assert 0.0 <= outcome.accuracy(X, y) <= 1.0
+
+    def test_deterministic_given_seed(self):
+        X, y = make_binary_data(700, 6, seed=1)
+        grid = ParameterGrid({"passes": [2, 5], "regularization": [0.01]})
+        a = privately_tuned_sgd(X, y, _factory, grid, epsilon=2.0, random_state=9)
+        b = privately_tuned_sgd(X, y, _factory, grid, epsilon=2.0, random_state=9)
+        assert a.chosen_index == b.chosen_index
+        np.testing.assert_array_equal(a.model_result.model, b.model_result.model)
+
+    def test_accountant_records_stages(self):
+        X, y = make_binary_data(700, 6, seed=1)
+        grid = ParameterGrid({"passes": [2], "regularization": [0.01, 0.1]})
+        acct = PrivacyAccountant(budget=PrivacyParameters(4.0))
+        privately_tuned_sgd(
+            X, y, _factory, grid, epsilon=2.0, random_state=0, accountant=acct
+        )
+        eps, _ = acct.total()
+        # parallel training (2.0 once) + selection (2.0) = 4.0
+        assert eps == pytest.approx(4.0)
+
+    def test_good_parameters_usually_selected(self):
+        """With a grid containing one sane and one terrible setting, the
+        mechanism should pick the sane one most of the time at large eps."""
+        X, y = make_binary_data(900, 6, seed=2)
+        grid = ParameterGrid({"passes": [5], "regularization": [0.01, 49.0]})
+        wins = 0
+        for seed in range(10):
+            outcome = privately_tuned_sgd(
+                X, y, _factory, grid, epsilon=5.0, random_state=seed
+            )
+            if outcome.chosen_parameters["regularization"] == 0.01:
+                wins += 1
+        assert wins >= 7
+
+
+class TestPublicTuning:
+    def test_end_to_end(self):
+        X, y = make_binary_data(600, 6, seed=3)
+        Xp, yp = make_binary_data(600, 6, seed=4)
+        grid = ParameterGrid({"passes": [2, 5], "regularization": [0.01]})
+        outcome = tune_on_public_data(
+            Xp[:400], yp[:400], Xp[400:], yp[400:], _factory, grid,
+            epsilon=2.0, random_state=0,
+        )
+        assert outcome.best_parameters in grid.candidates()
+        assert len(outcome.scores) == 2
+        assert outcome.best_accuracy == max(s for _, s in outcome.scores)
