@@ -4,13 +4,34 @@ The figure benches report *simulated* engine seconds; these benchmark the
 actual Python implementation with repeated timed rounds so regressions in
 the optimizer or the mechanisms show up directly:
 
-* one PSGD epoch (the per-epoch unit every experiment multiplies),
+* one PSGD epoch on each execution path — "vectorized" (block mini-batch
+  matrices, the default) vs "scalar" (the per-example reference the
+  equivalence suite pins the fast path to),
 * one mini-batch gradient,
 * one spherical-Laplace draw vs one epoch's worth of per-batch Gaussian
   draws — the bolt-on-vs-white-box runtime story at its smallest scale.
+
+Run directly as ``python benchmarks/bench_hotloops.py --compare-paths`` to
+time scalar vs vectorized epochs at the standard shape (m=5000, d=50,
+b=50), print the measured speedup, and **exit 1 if the vectorized path
+falls below 3x** — the CI gate that keeps per-example loops from creeping
+back into the hot path.
 """
 
 from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+# Direct script execution (`python benchmarks/bench_hotloops.py`) puts only
+# benchmarks/ on sys.path; make the package and tests.conftest importable
+# the same way conftest.py does for pytest runs.
+_here = pathlib.Path(__file__).resolve().parent
+for _path in (str(_here.parent / "src"), str(_here.parent)):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
 
 import numpy as np
 
@@ -28,14 +49,24 @@ M, D, BATCH = 5000, 50, 50
 X, Y = make_binary_data(M, D, seed=77)
 LOSS = LogisticLoss()
 
+#: --compare-paths fails below this vectorized-over-scalar speedup.
+SPEEDUP_FLOOR = 3.0
+
+
+def _run_epoch(execution: str):
+    return run_psgd(
+        LOSS, X, Y, ConstantSchedule(0.01), passes=1, batch_size=BATCH,
+        random_state=0, execution=execution,
+    )
+
 
 def bench_psgd_epoch(benchmark):
-    result = benchmark(
-        lambda: run_psgd(
-            LOSS, X, Y, ConstantSchedule(0.01), passes=1, batch_size=BATCH,
-            random_state=0,
-        )
-    )
+    result = benchmark(lambda: _run_epoch("vectorized"))
+    assert result.updates == M // BATCH
+
+
+def bench_psgd_epoch_scalar(benchmark):
+    result = benchmark(lambda: _run_epoch("scalar"))
     assert result.updates == M // BATCH
 
 
@@ -69,3 +100,69 @@ def bench_whitebox_noise_total(benchmark):
 
     draws = benchmark(per_epoch)
     assert len(draws) == draws_per_epoch
+
+
+# -- the scalar-vs-vectorized CI gate ----------------------------------------
+
+
+def _best_of(fn, rounds: int = 3, warmup: int = 1) -> float:
+    """Minimum wall-clock seconds of ``fn`` over ``rounds`` timed runs."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def compare_paths(rounds: int = 3) -> float:
+    """Time one PSGD epoch per execution path and report the speedup.
+
+    Also asserts the two paths agree on the model they produce — a timing
+    comparison of divergent computations would be meaningless.
+    """
+    vectorized = _run_epoch("vectorized")
+    scalar = _run_epoch("scalar")
+    max_diff = float(np.abs(vectorized.model - scalar.model).max())
+    assert max_diff <= 1e-12, f"paths diverged: max |dw| = {max_diff:.3e}"
+
+    scalar_s = _best_of(lambda: _run_epoch("scalar"), rounds)
+    vectorized_s = _best_of(lambda: _run_epoch("vectorized"), rounds)
+    speedup = scalar_s / vectorized_s
+    print(f"hot-loop shape: m={M}, d={D}, b={BATCH} (one epoch, best of {rounds})")
+    print(f"scalar epoch:     {scalar_s * 1e3:8.2f} ms")
+    print(f"vectorized epoch: {vectorized_s * 1e3:8.2f} ms")
+    print(f"speedup:          {speedup:8.2f}x  (gate: >= {SPEEDUP_FLOOR}x)")
+    print(f"path agreement:   max |dw| = {max_diff:.3e} (<= 1e-12)")
+    return speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compare-paths",
+        action="store_true",
+        help="time scalar vs vectorized PSGD epochs and fail (exit 1) if "
+        f"the vectorized path is below {SPEEDUP_FLOOR}x",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timed rounds per path (default 3)"
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error(f"--rounds must be a positive integer, got {args.rounds}")
+    if not args.compare_paths:
+        parser.print_help()
+        return 0
+    speedup = compare_paths(args.rounds)
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: vectorized path regressed below {SPEEDUP_FLOOR}x")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,27 @@ class SensitivityBound:
         )
 
 
+def effective_minibatch_divisor(m: int, batch_size: int) -> int:
+    """The *safe* divisor for the Section 3.2.3 mini-batch refinement.
+
+    The paper divides the sensitivity by b assuming b | m "for
+    simplicity". Our engine keeps the short tail batch when b does not
+    divide m, and a mean-gradient update over a tail of ``m mod b``
+    examples weights each of them ``1/(m mod b)`` — *more* than ``1/b``.
+    The worst case over the differing example's position is therefore
+    ``min(b, m mod b)`` (which also handles b > m, where the single batch
+    has all m examples). Dividing by anything larger silently
+    under-reports sensitivity — a privacy violation, and one the
+    empirical divergence tests actually caught.
+    """
+    check_positive_int(m, "m")
+    check_positive_int(batch_size, "batch_size")
+    remainder = m % batch_size
+    if remainder == 0:
+        return batch_size
+    return min(batch_size, remainder)
+
+
 def _finite_lipschitz(properties: LossProperties) -> float:
     lipschitz = properties.lipschitz
     if not np.isfinite(lipschitz):
@@ -279,8 +300,36 @@ def sensitivity_for_schedule(
     schedule, and the library picks the matching paper result. Unknown
     schedule types raise rather than guessing — a wrong sensitivity is a
     silent privacy violation.
+
+    The mini-batch refinement is applied through
+    :func:`effective_minibatch_divisor`: when b does not divide m, the
+    engine's short tail batch weights its examples by more than 1/b, so
+    the bound divides by the worst-case ``min(b, m mod b)`` instead. The
+    returned bound's ``batch_size`` field records the *configured* b (the
+    provenance a log reader expects); when the tail divisor kicked in, the
+    regime string says so.
     """
     total = passes * int(np.ceil(m / batch_size))
+    divisor = effective_minibatch_divisor(m, batch_size)
+    bound = _dispatch_closed_form(properties, schedule, m, passes, total, divisor)
+    if divisor == batch_size:
+        return bound
+    return SensitivityBound(
+        value=bound.value,
+        regime=f"{bound.regime}+tail-batch-divisor-{divisor}",
+        passes=bound.passes,
+        batch_size=batch_size,
+    )
+
+
+def _dispatch_closed_form(
+    properties: LossProperties,
+    schedule: StepSizeSchedule,
+    m: int,
+    passes: int,
+    total: int,
+    batch_size: int,
+) -> SensitivityBound:
     if isinstance(schedule, ConstantSchedule):
         if properties.is_strongly_convex:
             validate_strongly_convex_step_size(schedule, properties.smoothness, total)

@@ -18,6 +18,7 @@ from repro.optim.losses import (
     LogisticLoss,
     Loss,
     LossProperties,
+    MarginLoss,
 )
 from repro.optim.operators import (
     BatchGradientUpdate,
@@ -58,6 +59,7 @@ from repro.optim.schedules import (
 
 __all__ = [
     "Loss",
+    "MarginLoss",
     "LossProperties",
     "LogisticLoss",
     "HuberSVMLoss",

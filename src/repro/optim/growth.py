@@ -70,10 +70,13 @@ def divergence_bound(
             bounds = operator_bounds(properties, schedule.rate(t))
             if position == differing_position:
                 # Differing example seen once per pass: boundedness term,
-                # shrunk by the batch size (factor-b improvement).
+                # shrunk by the *actual* size of this position's batch —
+                # the tail batch (when b does not divide m) holds fewer
+                # examples, so each is weighted more heavily, not less.
+                actual_batch = min(batch_size, m - position * batch_size)
                 scaled = type(bounds)(
                     expansiveness=bounds.expansiveness,
-                    boundedness=bounds.boundedness / batch_size,
+                    boundedness=bounds.boundedness / actual_batch,
                 )
                 delta = growth_recursion_step(delta, scaled, same_operator=False)
             else:
@@ -138,9 +141,11 @@ def averaged_divergence_bound(
             t += 1
             bounds = operator_bounds(properties, schedule.rate(t))
             if position == differing_position:
+                # Same tail-batch correction as divergence_bound above.
+                actual_batch = min(batch_size, m - position * batch_size)
                 scaled = type(bounds)(
                     expansiveness=bounds.expansiveness,
-                    boundedness=bounds.boundedness / batch_size,
+                    boundedness=bounds.boundedness / actual_batch,
                 )
                 delta = growth_recursion_step(delta, scaled, same_operator=False)
             else:

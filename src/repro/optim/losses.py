@@ -7,13 +7,35 @@ per-example loss ``l(w, (x, y))`` over the hypothesis space ``W``:
 * ``beta`` — smoothness, a tight upper bound on ``||Hessian l||``;
 * ``gamma`` — strong convexity, the largest value with ``H - gamma*I >= 0``.
 
-Each :class:`Loss` subclass documents and implements its own derivation,
-matching the worked examples in the paper (L2-regularized logistic
-regression in Section 2, Huber SVM in Appendix B). All losses assume the
-standard preprocessing ``||x|| <= 1`` and, when regularized, a hypothesis
-bound ``||w|| <= R``.
+Each loss subclass documents and implements its own derivation, matching
+the worked examples in the paper (L2-regularized logistic regression in
+Section 2, Huber SVM in Appendix B). All losses assume the standard
+preprocessing ``||x|| <= 1`` and, when regularized, a hypothesis bound
+``||w|| <= R``.
 
 Labels follow the paper's convention ``y in {-1, +1}``.
+
+Two execution paths
+-------------------
+
+Every loss exposes the same contract twice over:
+
+* the **scalar path** — ``value(w, x, y)`` / ``gradient(w, x, y)`` on one
+  example at a time, the reference semantics the privacy proof reasons
+  about;
+* the **batch path** — ``batch_value(w, X, y)`` / ``batch_gradient(w, X, y)``
+  on an ``(n, d)`` block, the form the vectorized PSGD engine and the
+  chunked RDBMS executor consume.
+
+:class:`Loss` is the minimal base: subclasses only have to provide the
+scalar pair, and the defaulted batch methods fall back to a row loop so a
+third-party loss keeps working on the fast engines (just without the
+matrix speedup). :class:`MarginLoss` is the margin-form specialization all
+built-in losses use — ``l(w,(x,y)) = phi(y <w,x>) + (lam/2)||w||^2`` — and
+overrides the batch pair with true NumPy matrix arithmetic. The two paths
+agree to floating-point rounding (a mean of per-row gradients versus one
+``X.T @ coef`` contraction), which the vectorized-equivalence test suite
+pins down at ``atol=1e-12``.
 """
 
 from __future__ import annotations
@@ -45,13 +67,15 @@ class LossProperties:
 
 
 class Loss(abc.ABC):
-    """A convex per-example loss ``l(w, (x, y))``.
+    """A convex per-example loss ``l(w, (x, y))`` — the scalar contract.
 
-    Subclasses implement the scalar *margin form*: every loss in the paper
-    can be written ``l(w, (x, y)) = phi(y <w, x>) + (lam/2) ||w||^2``, which
-    is also the form required by Shamir's convergence theorems (Section
-    3.2.4). The gradient is then ``y phi'(z) x + lam w`` with
-    ``z = y <w, x>``.
+    Subclasses must provide the per-example :meth:`value` and
+    :meth:`gradient`. The batch methods default to a row loop over the
+    scalar pair, so a loss that only defines the scalar methods still runs
+    on the vectorized PSGD engine and the chunked RDBMS executor; losses
+    that can express themselves in matrix form should subclass
+    :class:`MarginLoss` (or override the batch pair directly) to get the
+    actual speedup.
     """
 
     #: L2 regularization coefficient (lambda in the paper); 0 when absent.
@@ -59,6 +83,92 @@ class Loss(abc.ABC):
 
     def __init__(self, regularization: float = 0.0):
         self.regularization = check_non_negative(regularization, "regularization")
+
+    # -- scalar contract -------------------------------------------------------
+
+    @abc.abstractmethod
+    def value(self, w: np.ndarray, x: np.ndarray, y: float) -> float:
+        """Per-example loss ``l(w, (x, y))`` (including any regularizer)."""
+
+    @abc.abstractmethod
+    def gradient(self, w: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        """Per-example gradient ``grad_w l(w, (x, y))``."""
+
+    # -- batch contract (scalar fallback) --------------------------------------
+
+    def batch_value(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss over a batch (the empirical risk ``L_S(w)`` when the
+        batch is the whole training set).
+
+        Default: a row loop over :meth:`value`. Matrix-form losses override
+        this with one vectorized expression.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        total = 0.0
+        for row in range(X.shape[0]):
+            total += self.value(w, X[row], float(y[row]))
+        return total / X.shape[0]
+
+    def batch_gradient(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Mean gradient over a batch — the update direction of mini-batch
+        SGD (Section 3.2.3).
+
+        Default: accumulate :meth:`gradient` row by row and divide by the
+        batch size, exactly the semantics the scalar reference engine uses.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        total = np.zeros_like(np.asarray(w, dtype=np.float64))
+        for row in range(X.shape[0]):
+            total += self.gradient(w, X[row], float(y[row]))
+        return total / X.shape[0]
+
+    # -- analytic constants ---------------------------------------------------
+
+    def properties(self, radius: float | None = None) -> LossProperties:
+        """Derive the ``(L, beta, gamma)`` triple of Definition 1.
+
+        Only losses that know their analytic constants (notably
+        :class:`MarginLoss` subclasses) can answer; a scalar-only loss is
+        trainable but not privately releasable, and says so loudly instead
+        of under-reporting sensitivity.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose the (L, beta, gamma) "
+            "constants the sensitivity calculation needs; implement "
+            "properties() (or subclass MarginLoss) before using this loss "
+            "with the private training APIs"
+        )
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, w: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Sign predictions in {-1, +1} (zero margin counts as +1)."""
+        scores = np.asarray(X, dtype=np.float64) @ np.asarray(w, dtype=np.float64)
+        return np.where(scores >= 0.0, 1.0, -1.0)
+
+    def with_regularization(self, regularization: float) -> "Loss":
+        """Return a copy of this loss with a different lambda."""
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        Loss.__init__(clone, regularization)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(regularization={self.regularization!r})"
+
+
+class MarginLoss(Loss):
+    """A loss in the paper's *margin form*.
+
+    Every loss the paper analyses can be written
+    ``l(w, (x, y)) = phi(y <w, x>) + (lam/2) ||w||^2``, which is also the
+    form required by Shamir's convergence theorems (Section 3.2.4). The
+    gradient is then ``y phi'(z) x + lam w`` with ``z = y <w, x>``, and a
+    whole mini-batch collapses to one matrix contraction
+    ``X.T @ (phi'(z) * y) / n + lam w`` — the vectorized batch path.
+    """
 
     # -- scalar margin form -------------------------------------------------
 
@@ -78,7 +188,7 @@ class Loss(abc.ABC):
     def margin_smoothness(self) -> float:
         """Tight bound on ``|phi''|`` (the un-regularized smoothness)."""
 
-    # -- vector interface ----------------------------------------------------
+    # -- scalar contract ------------------------------------------------------
 
     def value(self, w: np.ndarray, x: np.ndarray, y: float) -> float:
         """Per-example loss ``phi(y <w, x>) + (lam/2)||w||^2``."""
@@ -92,16 +202,14 @@ class Loss(abc.ABC):
         coef = float(self.margin_derivative(np.asarray(z))) * float(y)
         return coef * np.asarray(x, dtype=np.float64) + self.regularization * w
 
+    # -- vectorized batch contract --------------------------------------------
+
     def batch_value(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
-        """Mean loss over a batch (the empirical risk ``L_S(w)`` when the
-        batch is the whole training set)."""
         z = y * (X @ w)
         reg = 0.5 * self.regularization * float(np.dot(w, w))
         return float(np.mean(self.margin_loss(z))) + reg
 
     def batch_gradient(self, w: np.ndarray, X: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Mean gradient over a batch — the update direction of mini-batch
-        SGD (Section 3.2.3)."""
         z = y * (X @ w)
         coef = self.margin_derivative(z) * y
         return (X.T @ coef) / X.shape[0] + self.regularization * w
@@ -134,25 +242,8 @@ class Loss(abc.ABC):
             strong_convexity=self.regularization,
         )
 
-    # -- prediction ------------------------------------------------------------
 
-    def predict(self, w: np.ndarray, X: np.ndarray) -> np.ndarray:
-        """Sign predictions in {-1, +1} (zero margin counts as +1)."""
-        scores = np.asarray(X, dtype=np.float64) @ np.asarray(w, dtype=np.float64)
-        return np.where(scores >= 0.0, 1.0, -1.0)
-
-    def with_regularization(self, regularization: float) -> "Loss":
-        """Return a copy of this loss with a different lambda."""
-        clone = type(self).__new__(type(self))
-        clone.__dict__.update(self.__dict__)
-        Loss.__init__(clone, regularization)
-        return clone
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}(regularization={self.regularization!r})"
-
-
-class LogisticLoss(Loss):
+class LogisticLoss(MarginLoss):
     """Logistic loss ``ln(1 + exp(-y <w, x>))`` with optional L2 term.
 
     Equation (1) of the paper. ``|phi'(z)| = 1/(1+e^z) <= 1`` and
@@ -187,7 +278,7 @@ class LogisticLoss(Loss):
         return 0.25 if self.tight_smoothness else 1.0
 
 
-class HuberSVMLoss(Loss):
+class HuberSVMLoss(MarginLoss):
     """Huber-smoothed hinge loss (Appendix B of the paper).
 
     With ``z = y <w, x>`` and smoothing width ``h``::
@@ -223,7 +314,7 @@ class HuberSVMLoss(Loss):
         return 1.0 / (2.0 * self.smoothing)
 
 
-class LeastSquaresLoss(Loss):
+class LeastSquaresLoss(MarginLoss):
     """Squared loss ``(1 - y <w, x>)^2 / 2`` in margin form.
 
     For binary labels in {-1, +1}, ``(y - <w,x>)^2/2 = (1 - z)^2/2`` with
@@ -263,7 +354,7 @@ class LeastSquaresLoss(Loss):
         return super().properties(radius)
 
 
-class HingeLoss(Loss):
+class HingeLoss(MarginLoss):
     """The (non-smooth) hinge loss, provided for reference only.
 
     The paper's analysis requires smoothness, which the hinge loss lacks

@@ -24,6 +24,31 @@ The engine is deliberately *deterministic given its generator*: the paper's
 privacy proof (Lemma 5) fixes the randomness sequence r and compares runs on
 neighbouring datasets, and our sensitivity tests do exactly that by passing
 an explicit permutation.
+
+Two execution paths
+-------------------
+
+``PSGDConfig.execution`` selects how each mini-batch gradient is computed:
+
+* ``"vectorized"`` (default) — the permuted dataset is materialized once
+  per pass as contiguous ``(X[order], y[order])`` blocks; each update
+  slices one mini-batch matrix out of it and takes a single
+  ``Loss.batch_gradient`` step. This is the block-at-a-time discipline that
+  makes an epoch run at NumPy speed instead of interpreter speed.
+* ``"scalar"`` — the per-example reference semantics: every gradient is an
+  individual ``Loss.gradient`` call, accumulated and averaged per batch.
+  This path exists so the equivalence test suite can pin the fast path to
+  the semantics the privacy proof reasons about.
+
+**Determinism contract**: both paths consume the generator identically
+(permutations first, then one optional ``example_sampler`` and one optional
+``gradient_noise`` call per update, in update order), visit examples in the
+same permutation order, and average each mini-batch before stepping. Given
+the same randomness the two paths therefore produce the same iterate
+sequence up to floating-point rounding of the batch sum, which
+``tests/test_vectorized_equivalence.py`` bounds at ``atol=1e-12``. Run
+``python benchmarks/bench_hotloops.py --compare-paths`` for the measured
+speedup (and the regression gate).
 """
 
 from __future__ import annotations
@@ -88,6 +113,9 @@ class PSGDConfig:
     convergence_tolerance: Optional[float] = None
     track_loss: bool = False
     record_iterates: bool = False
+    #: "vectorized" takes one matrix step per mini-batch; "scalar" replays
+    #: the per-example reference semantics (see module docstring).
+    execution: str = "vectorized"
 
     def __post_init__(self) -> None:
         check_positive_int(self.passes, "passes")
@@ -95,6 +123,10 @@ class PSGDConfig:
         if self.average not in (None, "uniform", "suffix"):
             raise ValueError(
                 f"average must be None, 'uniform' or 'suffix', got {self.average!r}"
+            )
+        if self.execution not in ("vectorized", "scalar"):
+            raise ValueError(
+                f"execution must be 'vectorized' or 'scalar', got {self.execution!r}"
             )
         if self.convergence_tolerance is not None:
             if self.convergence_tolerance <= 0:
@@ -105,9 +137,12 @@ def minibatch_slices(m: int, batch_size: int) -> List[slice]:
     """Partition ``range(m)`` into consecutive chunks of size ``batch_size``.
 
     The final chunk may be smaller when b does not divide m; the paper
-    assumes divisibility "for simplicity" and a short tail batch only makes
-    its boundedness contribution *smaller*, so the sensitivity bounds still
-    hold.
+    assumes divisibility "for simplicity". Note a short tail batch weights
+    each of its examples by ``1/(m mod b)`` — *more* than ``1/b`` — so the
+    mini-batch sensitivity refinement must divide by the worst-case
+    ``min(b, m mod b)``; :func:`repro.core.sensitivity.
+    effective_minibatch_divisor` is the single source of truth for that
+    divisor.
     """
     check_positive_int(m, "m")
     check_positive_int(batch_size, "batch_size")
@@ -177,12 +212,24 @@ class PSGD:
         passes_completed = 0
         order = self._resolve_permutation(permutation, m, rng)
 
+        # The vectorized path gathers the permuted dataset into contiguous
+        # blocks once per permutation, so every mini-batch below is a cheap
+        # slice view instead of a fancy-indexed copy. (With an
+        # example_sampler the batch rows are unknowable up front, so the
+        # gather happens per update in _batch_arrays instead.)
+        use_blocks = cfg.execution == "vectorized" and self.example_sampler is None
+        Xp = X[order] if use_blocks else None
+        yp = y[order] if use_blocks else None
+
         for pass_index in range(cfg.passes):
             if cfg.fresh_permutation_each_pass and permutation is None and pass_index > 0:
                 order = rng.permutation(m)
+                if use_blocks:
+                    Xp, yp = X[order], y[order]
             for sl in slices:
                 t += 1
-                w = self._update(w, X, y, order[sl], t, rng)
+                batch_X, batch_y = self._batch_arrays(X, y, Xp, yp, order, sl, t, rng)
+                w = self._update(w, batch_X, batch_y, t, rng)
                 averager.observe(t, w)
                 if iterates is not None:
                     iterates.append(w.copy())
@@ -228,24 +275,58 @@ class PSGD:
             raise ValueError("permutation must be a rearrangement of range(m)")
         return order
 
-    def _update(
+    def _batch_arrays(
         self,
-        w: np.ndarray,
         X: np.ndarray,
         y: np.ndarray,
-        batch_indices: np.ndarray,
+        Xp: Optional[np.ndarray],
+        yp: Optional[np.ndarray],
+        order: np.ndarray,
+        sl: slice,
         t: int,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the mini-batch for update ``t``.
+
+        All three sources yield identical row values, so the execution paths
+        see the same batch: the sampler hook (one rng call, both paths),
+        contiguous slices of the pre-permuted blocks (vectorized), or a
+        per-batch gather through the permutation (scalar reference).
+        """
         if self.example_sampler is not None:
             batch_indices = np.atleast_1d(
                 np.asarray(self.example_sampler(t, X.shape[0], rng), dtype=np.int64)
             )
+            return X[batch_indices], y[batch_indices]
+        if Xp is not None:
+            assert yp is not None
+            return Xp[sl], yp[sl]
+        batch_indices = order[sl]
+        return X[batch_indices], y[batch_indices]
+
+    def _update(
+        self,
+        w: np.ndarray,
+        batch_X: np.ndarray,
+        batch_y: np.ndarray,
+        t: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         eta = self.config.schedule.rate(t)
-        gradient = self.loss.batch_gradient(w, X[batch_indices], y[batch_indices])
+        gradient = self._batch_gradient(w, batch_X, batch_y)
         if self.gradient_noise is not None:
             gradient = gradient + self.gradient_noise(t, w.shape[0], rng)
         return self.config.projection(w - eta * gradient)
+
+    def _batch_gradient(
+        self, w: np.ndarray, batch_X: np.ndarray, batch_y: np.ndarray
+    ) -> np.ndarray:
+        if self.config.execution == "vectorized":
+            return self.loss.batch_gradient(w, batch_X, batch_y)
+        # Scalar reference: the Loss base-class row loop (one gradient call
+        # per example, accumulated then averaged — the semantics Lemma 5's
+        # proof walks through), bypassing any vectorized override.
+        return Loss.batch_gradient(self.loss, w, batch_X, batch_y)
 
     @staticmethod
     def _should_stop(pass_losses: List[float], tolerance: Optional[float]) -> bool:
@@ -311,6 +392,7 @@ def run_psgd(
     average: Optional[str] = None,
     random_state: RandomState = None,
     permutation: Optional[Sequence[int]] = None,
+    execution: str = "vectorized",
 ) -> PSGDResult:
     """Convenience function: one-call PSGD with the common options."""
     config = PSGDConfig(
@@ -319,6 +401,7 @@ def run_psgd(
         batch_size=batch_size,
         projection=projection if projection is not None else IdentityProjection(),
         average=average,
+        execution=execution,
     )
     return PSGD(loss, config).run(
         X, y, random_state=random_state, permutation=permutation

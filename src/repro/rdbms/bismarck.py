@@ -154,12 +154,18 @@ class BismarckSession:
         fresh_permutation_each_epoch: bool = False,
         random_state: RandomState = None,
         algorithm_label: str = "noiseless",
+        chunk_size: Optional[int] = None,
     ) -> TrainingReport:
         """The front-end controller: shuffle once, one UDA query per epoch.
 
         The convergence test mirrors the paper's Python controller: after
         each epoch, evaluate the training loss and stop when its relative
         decrease falls below ``convergence_tolerance``.
+
+        ``chunk_size`` selects the executor path: ``None`` streams tuples
+        one at a time through ``UDA.transition``; a positive value streams
+        array blocks through ``scan_chunks``/``transition_batch`` — same
+        permutation, same page accounting, same model, vectorized hot loop.
         """
         check_positive_int(epochs, "epochs")
         table = self.catalog.get(table_name)
@@ -184,6 +190,7 @@ class BismarckSession:
             model = run_aggregate(
                 shuffle,
                 uda,
+                chunk_size=chunk_size,
                 model=model,
                 dimension=table.dimension,
                 global_step_offset=global_step_offset,
@@ -240,6 +247,7 @@ class BismarckSession:
         projection: Optional[Projection] = None,
         random_state: RandomState = None,
         convergence_tolerance: Optional[float] = None,
+        chunk_size: Optional[int] = None,
     ) -> TrainingReport:
         """Regular Bismarck (Figure 1 (A))."""
         uda = SGDUDA(loss, schedule, batch_size, projection)
@@ -250,6 +258,7 @@ class BismarckSession:
             convergence_tolerance=convergence_tolerance,
             random_state=random_state,
             algorithm_label="noiseless",
+            chunk_size=chunk_size,
         )
 
     def run_bolton_private(
@@ -265,6 +274,7 @@ class BismarckSession:
         radius: Optional[float] = None,
         random_state: RandomState = None,
         convergence_tolerance: Optional[float] = None,
+        chunk_size: Optional[int] = None,
     ) -> TrainingReport:
         """Our algorithms as integrated into Bismarck (Figure 1 (B)).
 
@@ -306,6 +316,7 @@ class BismarckSession:
             convergence_tolerance=convergence_tolerance,
             random_state=sgd_rng,
             algorithm_label="bolton",
+            chunk_size=chunk_size,
         )
 
         # ---- the bolt-on addition: this is the entire integration ----
@@ -336,6 +347,7 @@ class BismarckSession:
         radius: Optional[float] = None,
         eta0: float = 1.0,
         random_state: RandomState = None,
+        chunk_size: Optional[int] = None,
     ) -> TrainingReport:
         """SCS13 inside the engine (Figure 1 (C)) — per-batch noise."""
         from repro.baselines.scs13 import scs13_gaussian_sigma, scs13_noise_scale
@@ -372,7 +384,8 @@ class BismarckSession:
             loss, InverseSqrtTSchedule(eta0), noise_sampler, batch_size, projection
         )
         return self.run_sgd(
-            table_name, uda, epochs, random_state=sgd_rng, algorithm_label="scs13"
+            table_name, uda, epochs, random_state=sgd_rng, algorithm_label="scs13",
+            chunk_size=chunk_size,
         )
 
     def run_bst14(
@@ -386,6 +399,7 @@ class BismarckSession:
         batch_size: int = 1,
         radius: float = 1.0,
         random_state: RandomState = None,
+        chunk_size: Optional[int] = None,
     ) -> TrainingReport:
         """BST14 (constant-epoch extension) inside the engine."""
         from repro.baselines.bst14 import bst14_noise_sigma, per_iteration_sensitivity
@@ -414,20 +428,23 @@ class BismarckSession:
             loss, schedule, noise_sampler, batch_size, L2BallProjection(radius)
         )
         return self.run_sgd(
-            table_name, uda, epochs, random_state=sgd_rng, algorithm_label="bst14"
+            table_name, uda, epochs, random_state=sgd_rng, algorithm_label="bst14",
+            chunk_size=chunk_size,
         )
 
     # -- internals -------------------------------------------------------------------
 
     def _training_loss(self, table: TableInfo, loss: Loss, model: np.ndarray) -> float:
+        # Tuple-count-weighted mean of per-page batch_value calls: for any
+        # Loss whose batch_value is a mean of per-example values plus a
+        # state-only regularizer, this equals the full-table batch_value —
+        # vectorized page-at-a-time and generic over scalar-only losses.
         total = 0.0
         count = 0
         for page in self.pool.scan(table.heap):
-            z = page.labels * (page.features @ model)
-            total += float(np.sum(loss.margin_loss(z)))
+            total += page.tuple_count * loss.batch_value(model, page.features, page.labels)
             count += page.tuple_count
-        reg = 0.5 * loss.regularization * float(np.dot(model, model))
-        return total / count + reg
+        return total / count
 
 
 def integration_report() -> dict:

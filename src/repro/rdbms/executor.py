@@ -15,6 +15,24 @@ This module provides the corresponding physical operators:
 
 Operators expose the counters the cost model charges: tuples produced,
 pages requested, comparison work for the shuffle.
+
+Two execution paths
+-------------------
+
+Every operator can deliver its tuples two ways:
+
+* **per-tuple** (``__iter__``) — the classic Volcano-style
+  ``(features_row, label)`` stream that feeds ``UDA.transition``;
+* **chunked** (``scan_chunks(chunk_size)``) — ``(X_block, y_block)`` array
+  pairs of up to ``chunk_size`` rows that feed ``UDA.transition_batch``,
+  letting the SGD UDA take NumPy-speed mini-batch steps.
+
+**Determinism contract**: both paths visit tuples in exactly the same
+order (storage order for :class:`SeqScan`, the drawn permutation for the
+shuffles) and request pages through the buffer pool at exactly the same
+points, so ``OperatorStats`` — including ``pages_requested`` — and the
+resulting model are path-independent; the golden tests in
+``tests/test_rdbms_engine.py`` lock both invariants in.
 """
 
 from __future__ import annotations
@@ -28,9 +46,13 @@ from repro.rdbms.catalog import TableInfo
 from repro.rdbms.storage import BufferPool, tuples_per_page
 from repro.rdbms.uda import UDA
 from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
 
 #: A tuple stream item: (features row, label).
 TupleItem = Tuple[np.ndarray, float]
+
+#: A chunk stream item: (features block, labels block), up to chunk_size rows.
+ChunkItem = Tuple[np.ndarray, np.ndarray]
 
 
 @dataclass
@@ -56,6 +78,36 @@ class SeqScan:
             for row in range(page.tuple_count):
                 self.stats.tuples_produced += 1
                 yield page.features[row], float(page.labels[row])
+
+    def scan_chunks(self, chunk_size: int) -> Iterator[ChunkItem]:
+        """Storage-order scan emitting ``(X_block, y_block)`` arrays.
+
+        Pages are requested exactly as in the per-tuple path (once each,
+        through the buffer pool); chunks simply re-slice page contents, so
+        they may span page boundaries.
+        """
+        check_positive_int(chunk_size, "chunk_size")
+        d = self.table.dimension
+        X_block = np.empty((chunk_size, d), dtype=np.float64)
+        y_block = np.empty(chunk_size, dtype=np.float64)
+        fill = 0
+        for page in self.pool.scan(self.table.heap):
+            self.stats.pages_requested += 1
+            self.stats.tuples_produced += page.tuple_count
+            start = 0
+            while start < page.tuple_count:
+                take = min(chunk_size - fill, page.tuple_count - start)
+                X_block[fill : fill + take] = page.features[start : start + take]
+                y_block[fill : fill + take] = page.labels[start : start + take]
+                fill += take
+                start += take
+                if fill == chunk_size:
+                    yield X_block, y_block
+                    X_block = np.empty((chunk_size, d), dtype=np.float64)
+                    y_block = np.empty(chunk_size, dtype=np.float64)
+                    fill = 0
+        if fill > 0:
+            yield X_block[:fill], y_block[:fill]
 
 
 class Shuffle:
@@ -92,6 +144,17 @@ class Shuffle:
             self.stats.pages_requested += 1
             self.stats.tuples_produced += 1
             yield page.features[row], float(page.labels[row])
+
+    def scan_chunks(self, chunk_size: int) -> Iterator[ChunkItem]:
+        """Permuted scan emitting ``(X_block, y_block)`` arrays.
+
+        Draws a fresh permutation (like ``__iter__``) and gathers each run
+        of ``chunk_size`` permuted tuples into a block; every tuple still
+        costs one page request, matching the per-tuple path's counters.
+        """
+        yield from _gather_permuted_chunks(
+            self.table, self.pool, self.stats, self.permutation(), chunk_size
+        )
 
 
 class ShuffleOnce:
@@ -144,10 +207,63 @@ class ShuffleOnce:
             row = int(rows[tuple_index])
             yield page.features[row], float(page.labels[row])
 
+    def scan_chunks(self, chunk_size: int) -> Iterator[ChunkItem]:
+        """Replay the stored permutation as ``(X_block, y_block)`` arrays.
 
-def run_aggregate(source, uda: UDA, **initialize_kwargs: Any) -> Any:
-    """Evaluate ``SELECT uda(...) FROM source``: the aggregate pipeline."""
+        Same order and same one-page-request-per-tuple accounting as the
+        per-tuple replay, so epochs are path-independent.
+        """
+        yield from _gather_permuted_chunks(
+            self.table, self.pool, self.stats, self.permutation, chunk_size
+        )
+
+
+def _gather_permuted_chunks(
+    table: TableInfo,
+    pool: BufferPool,
+    stats: OperatorStats,
+    permutation: np.ndarray,
+    chunk_size: int,
+) -> Iterator[ChunkItem]:
+    """Gather permuted tuples into blocks, charging one page request each.
+
+    Shared by the two shuffle operators: the chunked path must preserve
+    both the visit order and the page-request accounting of the per-tuple
+    path, only the delivery granularity changes.
+    """
+    check_positive_int(chunk_size, "chunk_size")
+    per_page = tuples_per_page(table.dimension)
+    d = table.dimension
+    m = len(permutation)
+    for start in range(0, m, chunk_size):
+        ids = permutation[start : start + chunk_size]
+        X_block = np.empty((len(ids), d), dtype=np.float64)
+        y_block = np.empty(len(ids), dtype=np.float64)
+        for j, tuple_id in enumerate(ids):
+            page_id, row = divmod(int(tuple_id), per_page)
+            page = pool.get_page(table.heap, page_id)
+            stats.pages_requested += 1
+            stats.tuples_produced += 1
+            X_block[j] = page.features[row]
+            y_block[j] = page.labels[row]
+        yield X_block, y_block
+
+
+def run_aggregate(
+    source, uda: UDA, *, chunk_size: Optional[int] = None, **initialize_kwargs: Any
+) -> Any:
+    """Evaluate ``SELECT uda(...) FROM source``: the aggregate pipeline.
+
+    ``chunk_size=None`` streams per-tuple through ``UDA.transition``;
+    a positive ``chunk_size`` streams ``source.scan_chunks(chunk_size)``
+    blocks through ``UDA.transition_batch`` — same tuples, same order,
+    same result, vectorized.
+    """
     state = uda.initialize(**initialize_kwargs)
-    for features, label in source:
-        state = uda.transition(state, features, label)
+    if chunk_size is None:
+        for features, label in source:
+            state = uda.transition(state, features, label)
+    else:
+        for features, labels in source.scan_chunks(chunk_size):
+            state = uda.transition_batch(state, features, labels)
     return uda.terminate(state)

@@ -31,7 +31,16 @@ from repro.utils.validation import check_positive_int
 
 
 class UDA(abc.ABC):
-    """The three-function aggregate contract."""
+    """The three-function aggregate contract.
+
+    ``transition_batch`` is the optional fourth function the vectorized
+    executor path calls with ``(X_block, y_block)`` chunks from
+    ``scan_chunks``. Its default folds the block one tuple at a time
+    through :meth:`transition`, so every existing UDA — including the
+    private-baseline UDAs in :mod:`repro.rdbms.bismarck` — works unchanged
+    on the chunked stream; aggregates with a matrix form override it for
+    the actual speedup.
+    """
 
     @abc.abstractmethod
     def initialize(self, **kwargs: Any) -> Any:
@@ -40,6 +49,18 @@ class UDA(abc.ABC):
     @abc.abstractmethod
     def transition(self, state: Any, features: np.ndarray, label: float) -> Any:
         """Fold one tuple into the state; returns the updated state."""
+
+    def transition_batch(
+        self, state: Any, features: np.ndarray, labels: np.ndarray
+    ) -> Any:
+        """Fold a block of tuples into the state; returns the updated state.
+
+        Default: a per-tuple loop over :meth:`transition` (identical
+        semantics, no speedup).
+        """
+        for row in range(features.shape[0]):
+            state = self.transition(state, features[row], float(labels[row]))
+        return state
 
     @abc.abstractmethod
     def terminate(self, state: Any) -> Any:
@@ -58,6 +79,12 @@ class AvgUDA(UDA):
     ) -> tuple[float, int]:
         total, count = state
         return (total + float(label), count + 1)
+
+    def transition_batch(
+        self, state: tuple[float, int], features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, int]:
+        total, count = state
+        return (total + float(np.sum(labels)), count + int(labels.shape[0]))
 
     def terminate(self, state: tuple[float, int]) -> float:
         total, count = state
@@ -135,6 +162,34 @@ class SGDUDA(UDA):
         state.examples_in_batch += 1
         if state.examples_in_batch >= self.batch_size:
             self._apply_batch(state)
+        return state
+
+    def transition_batch(
+        self, state: SGDState, features: np.ndarray, labels: np.ndarray
+    ) -> SGDState:
+        """Fold a tuple block in mini-batch-sized vectorized steps.
+
+        Each segment stops at the next mini-batch boundary, so the model is
+        stepped at exactly the same tuple positions — and through the same
+        ``_apply_batch``/``_adjust_gradient`` machinery, preserving the
+        noisy-UDA hook and all counters — as the per-tuple path. The only
+        difference is that a segment's gradient sum is one
+        ``Loss.batch_gradient`` contraction instead of per-tuple calls,
+        which agrees with the scalar accumulation to floating-point
+        rounding.
+        """
+        n = int(features.shape[0])
+        start = 0
+        while start < n:
+            take = min(self.batch_size - state.examples_in_batch, n - start)
+            segment_X = features[start : start + take]
+            segment_y = labels[start : start + take]
+            mean = self.loss.batch_gradient(state.model, segment_X, segment_y)
+            state.accumulated_gradient += mean * take
+            state.examples_in_batch += take
+            start += take
+            if state.examples_in_batch >= self.batch_size:
+                self._apply_batch(state)
         return state
 
     def terminate(self, state: SGDState) -> np.ndarray:

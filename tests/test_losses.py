@@ -12,6 +12,8 @@ from repro.optim.losses import (
     HuberSVMLoss,
     LeastSquaresLoss,
     LogisticLoss,
+    Loss,
+    MarginLoss,
 )
 
 FINITE_W = st.lists(
@@ -249,3 +251,70 @@ class TestHingeLoss:
 
         with pytest.raises(ValueError, match="smooth"):
             convex_constant_step(HingeLoss().properties(), eta=0.1, passes=1)
+
+
+class TestLossHierarchy:
+    """The scalar-first base / margin-form specialization split."""
+
+    @pytest.mark.parametrize(
+        "loss",
+        [
+            LogisticLoss(),
+            HuberSVMLoss(smoothing=0.2),
+            LeastSquaresLoss(margin_bound=2.0),
+            HingeLoss(),
+        ],
+    )
+    def test_builtin_losses_are_margin_losses(self, loss):
+        assert isinstance(loss, MarginLoss)
+        assert isinstance(loss, Loss)
+
+    def test_scalar_only_subclass_instantiates_and_batches(self):
+        """A third-party Loss defining only value/gradient must work: the
+        defaulted batch methods loop over rows."""
+
+        class TinyQuadraticLoss(Loss):
+            def value(self, w, x, y):
+                return 0.5 * (float(np.dot(w, x)) - float(y)) ** 2
+
+            def gradient(self, w, x, y):
+                return (float(np.dot(w, x)) - float(y)) * np.asarray(
+                    x, dtype=np.float64
+                )
+
+        loss = TinyQuadraticLoss()
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(9, 4))
+        y = np.where(rng.random(9) > 0.5, 1.0, -1.0)
+        w = rng.normal(size=4)
+        want_grad = np.mean([loss.gradient(w, X[i], y[i]) for i in range(9)], axis=0)
+        want_val = np.mean([loss.value(w, X[i], y[i]) for i in range(9)])
+        np.testing.assert_allclose(loss.batch_gradient(w, X, y), want_grad, atol=1e-12)
+        assert loss.batch_value(w, X, y) == pytest.approx(want_val)
+
+    def test_scalar_only_subclass_has_no_properties(self):
+        class OpaqueLoss(Loss):
+            def value(self, w, x, y):
+                return 0.0
+
+            def gradient(self, w, x, y):
+                return np.zeros_like(w)
+
+        with pytest.raises(NotImplementedError, match="MarginLoss"):
+            OpaqueLoss().properties()
+
+    def test_margin_batch_gradient_matches_row_loop(self):
+        """The vectorized MarginLoss batch pair agrees with the base-class
+        row-loop fallback on the same instance."""
+        loss = LogisticLoss(regularization=0.05)
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(15, 5))
+        X /= np.maximum(np.linalg.norm(X, axis=1, keepdims=True), 1.0)
+        y = np.where(rng.random(15) > 0.5, 1.0, -1.0)
+        w = rng.normal(size=5)
+        vectorized = loss.batch_gradient(w, X, y)
+        fallback = Loss.batch_gradient(loss, w, X, y)
+        np.testing.assert_allclose(vectorized, fallback, rtol=0, atol=1e-12)
+        assert loss.batch_value(w, X, y) == pytest.approx(
+            Loss.batch_value(loss, w, X, y), abs=1e-12
+        )

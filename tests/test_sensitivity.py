@@ -22,12 +22,13 @@ from repro.core.sensitivity import (
     convex_decreasing_step,
     convex_decreasing_step_simplified,
     convex_square_root_step,
+    effective_minibatch_divisor,
     sensitivity_for_schedule,
     strongly_convex_constant_step,
     strongly_convex_decreasing_step,
 )
 from repro.optim.growth import divergence_bound, worst_case_divergence_bound
-from repro.optim.losses import LogisticLoss
+from repro.optim.losses import LogisticLoss, LossProperties
 from repro.optim.psgd import run_psgd
 from repro.optim.schedules import (
     CappedInverseTSchedule,
@@ -49,9 +50,14 @@ def paired_divergence(
     differ_at: int = 0,
     seed: int = 0,
     projection=None,
+    execution: str = "vectorized",
 ) -> float:
     """||w_T - w'_T|| of two PSGD runs on neighbouring datasets sharing a
-    permutation — the quantity the sensitivity bounds cap."""
+    permutation — the quantity the sensitivity bounds cap.
+
+    ``execution`` selects the engine path; the bounds are statements about
+    the algorithm, so they must hold (and be observed to hold) on both.
+    """
     X, y = make_binary_data(m, d, seed=seed)
     X2 = X.copy()
     y2 = y.copy()
@@ -65,10 +71,12 @@ def paired_divergence(
     a = run_psgd(
         loss, X, y, schedule, passes=passes, batch_size=batch_size,
         permutation=perm, projection=projection, random_state=0,
+        execution=execution,
     )
     b = run_psgd(
         loss, X2, y2, schedule, passes=passes, batch_size=batch_size,
         permutation=perm, projection=projection, random_state=0,
+        execution=execution,
     )
     return float(np.linalg.norm(a.model - b.model))
 
@@ -123,9 +131,13 @@ class TestConvexConstantStep:
     )
     @settings(max_examples=15, deadline=None)
     def test_empirical_minibatch_divergence_within_bound(self, m, batch, seed):
+        # The /b refinement is only valid with the worst-case tail divisor
+        # (min(b, m mod b)); hypothesis found m=13, b=4 violating a plain
+        # /b bound — see TestTailBatchDivisor for the regression.
         loss = LogisticLoss()
         eta, passes = 0.2, 2
-        bound = convex_constant_step(loss.properties(), eta, passes, batch).value
+        divisor = effective_minibatch_divisor(m, batch)
+        bound = convex_constant_step(loss.properties(), eta, passes, divisor).value
         measured = paired_divergence(
             loss, ConstantSchedule(eta), m, 4, passes, batch_size=batch, seed=seed
         )
@@ -348,3 +360,197 @@ class TestGrowthRecursionConsistency:
         full = worst_case_divergence_bound(props, ConstantSchedule(eta), m, k, 1)
         batched = worst_case_divergence_bound(props, ConstantSchedule(eta), m, k, 3)
         assert batched == pytest.approx(full / 3)
+
+
+class TestTailBatchDivisor:
+    """Regression: the mini-batch refinement must use the worst-case tail
+    divisor when b does not divide m.
+
+    Hypothesis found (m=13, b=4, seed=94): the tail batch holds one
+    example, which a mean-gradient step weights 1/1 rather than 1/4, and
+    the measured divergence 0.252 exceeded the optimistic 2*k*L*eta/b = 0.2
+    bound. A bound that under-reports sensitivity is a silent privacy
+    violation, so the dispatch and growth recursion now divide by
+    ``min(b, m mod b)``.
+    """
+
+    def test_effective_divisor_cases(self):
+        assert effective_minibatch_divisor(12, 4) == 4  # divisible: b
+        assert effective_minibatch_divisor(13, 4) == 1  # tail of 1
+        assert effective_minibatch_divisor(14, 4) == 2  # tail of 2
+        assert effective_minibatch_divisor(15, 4) == 3  # tail of 3
+        assert effective_minibatch_divisor(3, 10) == 3  # b > m: one batch of m
+        assert effective_minibatch_divisor(10, 10) == 10
+
+    def test_dispatch_applies_tail_divisor(self):
+        props = LogisticLoss().properties()
+        eta, passes = 0.2, 2
+        divisible = sensitivity_for_schedule(
+            props, ConstantSchedule(eta), 12, passes, batch_size=4
+        )
+        tail = sensitivity_for_schedule(
+            props, ConstantSchedule(eta), 13, passes, batch_size=4
+        )
+        assert divisible.value == pytest.approx(2 * passes * eta / 4)
+        assert tail.value == pytest.approx(2 * passes * eta / 1)
+
+    def test_hypothesis_falsifying_example_within_corrected_bound(self):
+        m, batch, seed = 13, 4, 94
+        loss = LogisticLoss()
+        eta, passes = 0.2, 2
+        bound = sensitivity_for_schedule(
+            loss.properties(), ConstantSchedule(eta), m, passes, batch_size=batch
+        ).value
+        for execution in ("scalar", "vectorized"):
+            measured = paired_divergence(
+                loss, ConstantSchedule(eta), m, 4, passes, batch_size=batch,
+                seed=seed, execution=execution,
+            )
+            assert measured <= bound + 1e-9
+
+    def test_growth_recursion_tail_position_dominates(self):
+        """The recursion's worst case over positions must now be the tail
+        position, and the corrected closed form must dominate it."""
+        props = LogisticLoss().properties()
+        eta, m, k, batch = 0.2, 13, 2, 4
+        recursion = worst_case_divergence_bound(
+            props, ConstantSchedule(eta), m, k, batch
+        )
+        divisor = effective_minibatch_divisor(m, batch)
+        closed = convex_constant_step(props, eta, k, divisor).value
+        assert recursion <= closed + 1e-12
+        # And the tail genuinely dominates a full batch's position.
+        tail_position = -(-m // batch) - 1
+        tail = divergence_bound(
+            props, ConstantSchedule(eta), m, k, tail_position, batch
+        )
+        full = divergence_bound(props, ConstantSchedule(eta), m, k, 0, batch)
+        assert tail > full
+
+
+class TestBoundMonotonicity:
+    """Property tests: the closed-form bounds are monotone in L and eta.
+
+    Increasing the Lipschitz constant (gradients can be bigger) or the
+    step size (each update moves further) can only widen the worst-case
+    divergence; a dispatch path that violated this would be under-reporting
+    sensitivity somewhere.
+    """
+
+    @given(
+        l_small=st.floats(0.1, 5.0),
+        l_factor=st.floats(1.0, 4.0),
+        eta=st.floats(0.01, 1.9),
+        passes=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_convex_dispatch_monotone_in_lipschitz(self, l_small, l_factor, eta, passes):
+        small = LossProperties(lipschitz=l_small, smoothness=1.0, strong_convexity=0.0)
+        large = LossProperties(
+            lipschitz=l_small * l_factor, smoothness=1.0, strong_convexity=0.0
+        )
+        schedule = ConstantSchedule(eta)
+        bound_small = sensitivity_for_schedule(small, schedule, 50, passes).value
+        bound_large = sensitivity_for_schedule(large, schedule, 50, passes).value
+        assert bound_large >= bound_small
+
+    @given(
+        eta_small=st.floats(0.01, 0.9),
+        eta_factor=st.floats(1.0, 2.0),
+        passes=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_convex_dispatch_monotone_in_eta(self, eta_small, eta_factor, passes):
+        props = LogisticLoss().properties()
+        eta_large = min(eta_small * eta_factor, 2.0 / props.smoothness)
+        bound_small = sensitivity_for_schedule(
+            props, ConstantSchedule(eta_small), 50, passes
+        ).value
+        bound_large = sensitivity_for_schedule(
+            props, ConstantSchedule(eta_large), 50, passes
+        ).value
+        assert bound_large >= bound_small
+
+    @given(
+        l_small=st.floats(0.1, 5.0),
+        l_factor=st.floats(1.0, 4.0),
+        gamma=st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_strongly_convex_monotone_in_lipschitz(self, l_small, l_factor, gamma):
+        beta = 1.0 + gamma
+        small = LossProperties(lipschitz=l_small, smoothness=beta, strong_convexity=gamma)
+        large = LossProperties(
+            lipschitz=l_small * l_factor, smoothness=beta, strong_convexity=gamma
+        )
+        eta = 0.5 / beta
+        bound_small = strongly_convex_constant_step(small, eta, 30, passes=2).value
+        bound_large = strongly_convex_constant_step(large, eta, 30, passes=2).value
+        assert bound_large >= bound_small
+
+    @given(
+        eta_small=st.floats(0.01, 0.45),
+        eta_factor=st.floats(1.0, 2.0),
+        gamma=st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_strongly_convex_monotone_in_eta(self, eta_small, eta_factor, gamma):
+        beta = 1.0 + gamma
+        props = LossProperties(lipschitz=1.0, smoothness=beta, strong_convexity=gamma)
+        eta_small = eta_small / beta
+        eta_large = min(eta_small * eta_factor, 1.0 / beta)
+        bound_small = strongly_convex_constant_step(props, eta_small, 30, passes=2).value
+        bound_large = strongly_convex_constant_step(props, eta_large, 30, passes=2).value
+        assert bound_large >= bound_small + (-1e-12)
+
+
+class TestEngineInvariance:
+    """The sensitivity claim is engine-independent: the measured divergence
+    of neighbouring fixed-permutation runs stays within Delta_2 on *both*
+    execution paths, and the two paths measure (essentially) the same
+    divergence."""
+
+    @given(
+        m=st.integers(10, 36),
+        passes=st.integers(1, 3),
+        eta=st.floats(0.01, 0.5),
+        batch=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_convex_bound_holds_on_both_paths(self, m, passes, eta, batch, seed):
+        loss = LogisticLoss()
+        divisor = effective_minibatch_divisor(m, batch)
+        bound = convex_constant_step(loss.properties(), eta, passes, divisor).value
+        measured = {
+            execution: paired_divergence(
+                loss, ConstantSchedule(eta), m, 5, passes, batch_size=batch,
+                seed=seed, execution=execution,
+            )
+            for execution in ("scalar", "vectorized")
+        }
+        assert measured["scalar"] <= bound + 1e-9
+        assert measured["vectorized"] <= bound + 1e-9
+        assert measured["vectorized"] == pytest.approx(measured["scalar"], abs=1e-10)
+
+    @given(
+        m=st.integers(10, 30),
+        passes=st.integers(1, 3),
+        lam=st.floats(0.05, 0.5),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_strongly_convex_bound_holds_on_both_paths(self, m, passes, lam, seed):
+        from repro.optim.projection import L2BallProjection
+
+        loss = LogisticLoss(regularization=lam)
+        radius = 1.0 / lam
+        props = loss.properties(radius=radius)
+        schedule = CappedInverseTSchedule(props.smoothness, props.strong_convexity)
+        bound = strongly_convex_decreasing_step(props, m, passes).value
+        for execution in ("scalar", "vectorized"):
+            measured = paired_divergence(
+                loss, schedule, m, 5, passes, seed=seed,
+                projection=L2BallProjection(radius), execution=execution,
+            )
+            assert measured <= bound + 1e-9

@@ -1,0 +1,278 @@
+"""Exact-equivalence suite: vectorized execution == scalar reference.
+
+The vectorized engines (block PSGD, chunked RDBMS execution) are only
+admissible because they are *the same algorithm* as the per-example
+reference the privacy proof (Lemma 5) reasons about: same permutation,
+same mini-batch boundaries, same randomness consumption, same iterates up
+to floating-point rounding of the batch sum. This suite is the lock on
+that contract — every loss, every schedule regime, every engine feature
+(multiple passes, mini-batching, projection, model averaging, fresh
+permutations, the baseline hooks) is run on both paths under an explicit
+permutation and compared at ``np.allclose(rtol=0, atol=1e-12)``.
+
+If a change makes these tests fail, the fast path has stopped computing
+PSGD — fix the path, never the tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.losses import (
+    HingeLoss,
+    HuberSVMLoss,
+    LeastSquaresLoss,
+    LogisticLoss,
+    Loss,
+)
+from repro.optim.projection import L2BallProjection
+from repro.optim.psgd import PSGD, PSGDConfig, run_psgd
+from repro.optim.schedules import (
+    CappedInverseTSchedule,
+    ConstantSchedule,
+    DecreasingSchedule,
+    InverseSqrtTSchedule,
+    SquareRootSchedule,
+)
+from tests.conftest import make_binary_data
+
+ATOL = 1e-12
+
+#: Every loss family the paper covers (regularized and not).
+LOSSES = [
+    pytest.param(LogisticLoss(), id="logistic"),
+    pytest.param(LogisticLoss(regularization=0.05), id="logistic-l2"),
+    pytest.param(LogisticLoss(tight_smoothness=True), id="logistic-tight"),
+    pytest.param(HuberSVMLoss(smoothing=0.1), id="huber"),
+    pytest.param(HuberSVMLoss(smoothing=0.3, regularization=0.02), id="huber-l2"),
+    pytest.param(LeastSquaresLoss(margin_bound=2.0), id="least-squares"),
+    pytest.param(HingeLoss(), id="hinge"),
+]
+
+#: One schedule per analysed step-size regime (Table 4 + Corollaries 2-3).
+REGIMES = [
+    pytest.param(ConstantSchedule(0.1), id="constant"),
+    pytest.param(DecreasingSchedule(beta=1.0, m=80, c=0.5), id="decreasing"),
+    pytest.param(SquareRootSchedule(beta=1.0, m=80, c=0.5), id="square-root"),
+    pytest.param(CappedInverseTSchedule(beta=1.05, gamma=0.05), id="capped-inverse-t"),
+    pytest.param(InverseSqrtTSchedule(0.2), id="inverse-sqrt-t"),
+]
+
+
+def run_both(loss, schedule, m=80, d=6, seed=0, permutation="fixed", **kwargs):
+    """Run PSGD on both execution paths with identical randomness."""
+    X, y = make_binary_data(m, d, seed=seed)
+    perm = (
+        np.random.default_rng(seed + 100).permutation(m)
+        if permutation == "fixed"
+        else None
+    )
+    results = []
+    for execution in ("scalar", "vectorized"):
+        results.append(
+            run_psgd(
+                loss, X, y, schedule, permutation=perm,
+                random_state=seed, execution=execution, **kwargs,
+            )
+        )
+    return results
+
+
+def assert_equivalent(scalar, vectorized):
+    """The full result must match: model, final iterate, and bookkeeping."""
+    np.testing.assert_allclose(vectorized.model, scalar.model, rtol=0, atol=ATOL)
+    np.testing.assert_allclose(
+        vectorized.final_iterate, scalar.final_iterate, rtol=0, atol=ATOL
+    )
+    assert vectorized.updates == scalar.updates
+    assert vectorized.passes_completed == scalar.passes_completed
+
+
+class TestLossByRegime:
+    """The core matrix: every loss x every schedule regime."""
+
+    @pytest.mark.parametrize("loss", LOSSES)
+    @pytest.mark.parametrize("schedule", REGIMES)
+    def test_single_pass(self, loss, schedule):
+        scalar, vectorized = run_both(loss, schedule, passes=1, batch_size=1)
+        assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize("loss", LOSSES)
+    def test_k_passes_minibatched(self, loss):
+        scalar, vectorized = run_both(
+            loss, ConstantSchedule(0.1), passes=4, batch_size=7
+        )
+        assert_equivalent(scalar, vectorized)
+
+
+class TestEngineFeatures:
+    """Every engine feature rides both paths identically."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 8, 80, 100])
+    def test_batch_sizes_including_tail_and_oversized(self, batch_size):
+        scalar, vectorized = run_both(
+            LogisticLoss(), ConstantSchedule(0.1), passes=2, batch_size=batch_size
+        )
+        assert_equivalent(scalar, vectorized)
+
+    def test_projection(self):
+        scalar, vectorized = run_both(
+            LogisticLoss(regularization=0.1),
+            ConstantSchedule(0.2),
+            passes=3,
+            batch_size=5,
+            projection=L2BallProjection(0.5),
+        )
+        assert_equivalent(scalar, vectorized)
+
+    @pytest.mark.parametrize("average", ["uniform", "suffix"])
+    def test_model_averaging(self, average):
+        scalar, vectorized = run_both(
+            LogisticLoss(), ConstantSchedule(0.1), passes=3, batch_size=4,
+            average=average,
+        )
+        assert_equivalent(scalar, vectorized)
+        # The averaged model differs from the final iterate, so this case
+        # genuinely exercises the averager on both paths.
+        assert not np.allclose(scalar.model, scalar.final_iterate)
+
+    def test_fresh_permutation_each_pass_same_generator(self):
+        """Without an explicit permutation both paths must *sample* the same
+        permutations — the determinism contract covers internal randomness
+        too."""
+        X, y = make_binary_data(60, 5, seed=3)
+        results = []
+        for execution in ("scalar", "vectorized"):
+            config = PSGDConfig(
+                schedule=ConstantSchedule(0.1),
+                passes=3,
+                batch_size=5,
+                fresh_permutation_each_pass=True,
+                execution=execution,
+            )
+            results.append(PSGD(LogisticLoss(), config).run(X, y, random_state=42))
+        assert_equivalent(*results)
+
+    def test_track_loss_pass_losses_match(self):
+        X, y = make_binary_data(50, 4, seed=9)
+        perm = np.random.default_rng(0).permutation(50)
+        losses = []
+        for execution in ("scalar", "vectorized"):
+            config = PSGDConfig(
+                schedule=ConstantSchedule(0.1), passes=3, batch_size=5,
+                track_loss=True, execution=execution,
+            )
+            result = PSGD(LogisticLoss(), config).run(X, y, permutation=perm)
+            losses.append(result.pass_losses)
+        np.testing.assert_allclose(losses[1], losses[0], rtol=0, atol=ATOL)
+
+    def test_recorded_iterates_match_stepwise(self):
+        """Not just the endpoint: every intermediate iterate agrees."""
+        X, y = make_binary_data(40, 4, seed=7)
+        perm = np.random.default_rng(1).permutation(40)
+        iterates = []
+        for execution in ("scalar", "vectorized"):
+            config = PSGDConfig(
+                schedule=ConstantSchedule(0.2), passes=2, batch_size=6,
+                record_iterates=True, execution=execution,
+            )
+            result = PSGD(LogisticLoss(), config).run(X, y, permutation=perm)
+            iterates.append(result.iterates)
+        assert len(iterates[0]) == len(iterates[1])
+        for w_scalar, w_vectorized in zip(iterates[0], iterates[1]):
+            np.testing.assert_allclose(w_vectorized, w_scalar, rtol=0, atol=ATOL)
+
+
+class TestBaselineHooks:
+    """SCS13/BST14 ride the same fast engine: the hooks consume the
+    generator identically on both paths."""
+
+    def test_gradient_noise_hook(self):
+        X, y = make_binary_data(60, 5, seed=2)
+        perm = np.random.default_rng(5).permutation(60)
+        results = []
+        for execution in ("scalar", "vectorized"):
+            noise_rng = np.random.default_rng(77)
+
+            def gradient_noise(t, dimension, rng, _nr=noise_rng):
+                return _nr.normal(0.0, 0.01, size=dimension)
+
+            config = PSGDConfig(
+                schedule=InverseSqrtTSchedule(0.5), passes=2, batch_size=4,
+                execution=execution,
+            )
+            engine = PSGD(LogisticLoss(), config, gradient_noise=gradient_noise)
+            results.append(engine.run(X, y, permutation=perm))
+        assert_equivalent(*results)
+
+    def test_example_sampler_hook(self):
+        """BST14-style i.i.d. sampling: both paths must gather the sampled
+        rows and consume one rng call per update."""
+        X, y = make_binary_data(60, 5, seed=4)
+        results = []
+        for execution in ("scalar", "vectorized"):
+            def sampler(t, m, rng):
+                return rng.integers(0, m, size=4)
+
+            config = PSGDConfig(
+                schedule=ConstantSchedule(0.1), passes=2, batch_size=4,
+                execution=execution,
+            )
+            engine = PSGD(LogisticLoss(), config, example_sampler=sampler)
+            results.append(engine.run(X, y, random_state=13))
+        assert_equivalent(*results)
+
+
+class _ScalarOnlyAbsLoss(Loss):
+    """A third-party loss defining *only* the scalar contract.
+
+    A smoothed absolute-margin loss: ``l = sqrt(1 + (1 - y<w,x>)^2) - 1``.
+    No margin-form methods, no batch overrides — it must ride both engines
+    through the defaulted row-loop batch methods.
+    """
+
+    def value(self, w, x, y):
+        margin = 1.0 - float(y) * float(np.dot(w, x))
+        return float(np.sqrt(1.0 + margin**2) - 1.0)
+
+    def gradient(self, w, x, y):
+        margin = 1.0 - float(y) * float(np.dot(w, x))
+        coef = -float(y) * margin / float(np.sqrt(1.0 + margin**2))
+        return coef * np.asarray(x, dtype=np.float64)
+
+
+class TestScalarOnlyLossSubclass:
+    """The defaulted batch methods keep scalar-only losses working."""
+
+    def test_batch_gradient_is_mean_of_scalar_gradients(self):
+        loss = _ScalarOnlyAbsLoss()
+        X, y = make_binary_data(12, 4, seed=6)
+        w = np.full(4, 0.3)
+        want = np.mean([loss.gradient(w, X[i], y[i]) for i in range(12)], axis=0)
+        np.testing.assert_allclose(loss.batch_gradient(w, X, y), want, rtol=0, atol=ATOL)
+
+    def test_batch_value_is_mean_of_scalar_values(self):
+        loss = _ScalarOnlyAbsLoss()
+        X, y = make_binary_data(12, 4, seed=6)
+        w = np.full(4, 0.3)
+        want = np.mean([loss.value(w, X[i], y[i]) for i in range(12)])
+        assert loss.batch_value(w, X, y) == pytest.approx(want, abs=ATOL)
+
+    def test_trains_identically_on_both_engines(self):
+        scalar, vectorized = run_both(
+            _ScalarOnlyAbsLoss(), ConstantSchedule(0.1), passes=2, batch_size=5
+        )
+        assert_equivalent(scalar, vectorized)
+        # And it actually learned something (the engine really ran).
+        assert float(np.linalg.norm(scalar.model)) > 0.0
+
+    def test_properties_refuses_loudly(self):
+        with pytest.raises(NotImplementedError, match="sensitivity"):
+            _ScalarOnlyAbsLoss().properties()
+
+
+class TestInvalidExecution:
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ValueError, match="execution"):
+            PSGDConfig(schedule=ConstantSchedule(0.1), execution="simd")
