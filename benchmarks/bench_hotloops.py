@@ -11,16 +11,25 @@ the optimizer or the mechanisms show up directly:
 * one spherical-Laplace draw vs one epoch's worth of per-batch Gaussian
   draws — the bolt-on-vs-white-box runtime story at its smallest scale.
 
-Run directly as ``python benchmarks/bench_hotloops.py --compare-paths`` to
-time scalar vs vectorized epochs at the standard shape (m=5000, d=50,
-b=50), print the measured speedup, and **exit 1 if the vectorized path
-falls below 3x** — the CI gate that keeps per-example loops from creeping
-back into the hot path.
+Two CLI modes gate the perf story in CI:
+
+* ``--compare-paths`` times scalar vs vectorized epochs at the standard
+  shape (m=5000, d=50, b=50) and **exits 1 below 3x** — per-example loops
+  must not creep back into the hot path;
+* ``--multi-model`` times fused K-model grid training
+  (:class:`repro.optim.MultiModelPSGD`) against K sequential vectorized
+  runs at K in {4, 16, 64} and **exits 1 if fused falls below 3x at
+  K=16** — the second multiplicative speedup stacked on vectorization.
+
+Both modes write every timing to ``BENCH_hotloops.json`` next to the repo
+root (scalar / vectorized / fused), so future PRs inherit a
+machine-readable perf trajectory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -41,7 +50,7 @@ from repro.core.mechanisms import (
     SphericalLaplaceMechanism,
 )
 from repro.optim.losses import LogisticLoss
-from repro.optim.psgd import run_psgd
+from repro.optim.psgd import ModelSpec, MultiModelPSGD, PSGD, PSGDConfig, run_psgd
 from repro.optim.schedules import ConstantSchedule
 from tests.conftest import make_binary_data
 
@@ -51,6 +60,14 @@ LOSS = LogisticLoss()
 
 #: --compare-paths fails below this vectorized-over-scalar speedup.
 SPEEDUP_FLOOR = 3.0
+
+#: --multi-model fails below this fused-over-sequential speedup at K=16.
+FUSED_SPEEDUP_FLOOR = 3.0
+FUSED_GATE_K = 16
+MULTI_MODEL_KS = (4, 16, 64)
+
+#: Machine-readable perf trajectory, written by both CLI modes.
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotloops.json"
 
 
 def _run_epoch(execution: str):
@@ -136,7 +153,99 @@ def compare_paths(rounds: int = 3) -> float:
     print(f"vectorized epoch: {vectorized_s * 1e3:8.2f} ms")
     print(f"speedup:          {speedup:8.2f}x  (gate: >= {SPEEDUP_FLOOR}x)")
     print(f"path agreement:   max |dw| = {max_diff:.3e} (<= 1e-12)")
+    _write_results(
+        scalar_epoch_s=scalar_s,
+        vectorized_epoch_s=vectorized_s,
+        vectorized_speedup=speedup,
+    )
     return speedup
+
+
+# -- the fused-vs-sequential multi-model gate ---------------------------------
+
+
+def _grid_specs(k: int) -> list:
+    """K grid candidates: a regularization sweep at the standard shape."""
+    lambdas = np.logspace(-4, -1, k)
+    return [
+        ModelSpec(LogisticLoss(regularization=float(lam)), ConstantSchedule(0.01))
+        for lam in lambdas
+    ]
+
+
+def _run_sequential_grid(specs, perm):
+    results = []
+    for spec in specs:
+        config = PSGDConfig(schedule=spec.schedule, passes=1, batch_size=BATCH)
+        results.append(PSGD(spec.loss, config).run(X, Y, permutation=perm))
+    return results
+
+
+def _run_fused_grid(specs, perm):
+    return MultiModelPSGD(specs, passes=1, batch_size=BATCH).run(X, Y, permutation=perm)
+
+
+def multi_model(rounds: int = 3) -> float:
+    """Time fused K-model grid training against K sequential runs.
+
+    Returns the fused speedup at the gate size K=16. Both paths train the
+    same candidates over the same permutation, and their models are
+    checked to agree at 1e-12 first — the fused path must be the same
+    algorithm, only faster.
+    """
+    perm = np.random.default_rng(7).permutation(M)
+    print(f"multi-model shape: m={M}, d={D}, b={BATCH} (one epoch, best of {rounds})")
+    gate_speedup = float("nan")
+    table = {}
+    for k in MULTI_MODEL_KS:
+        specs = _grid_specs(k)
+        fused = _run_fused_grid(specs, perm)
+        sequential = _run_sequential_grid(specs, perm)
+        max_diff = max(
+            float(np.abs(fused.models[i] - sequential[i].model).max())
+            for i in range(k)
+        )
+        assert max_diff <= 1e-12, f"fused diverged at K={k}: {max_diff:.3e}"
+
+        sequential_s = _best_of(lambda: _run_sequential_grid(specs, perm), rounds)
+        fused_s = _best_of(lambda: _run_fused_grid(specs, perm), rounds)
+        speedup = sequential_s / fused_s
+        table[k] = {
+            "sequential_s": sequential_s,
+            "fused_s": fused_s,
+            "speedup": speedup,
+            "max_model_diff": max_diff,
+        }
+        gate = f"  (gate: >= {FUSED_SPEEDUP_FLOOR}x)" if k == FUSED_GATE_K else ""
+        print(
+            f"K={k:3d}: sequential {sequential_s * 1e3:8.2f} ms"
+            f"   fused {fused_s * 1e3:8.2f} ms"
+            f"   speedup {speedup:6.2f}x{gate}"
+        )
+        if k == FUSED_GATE_K:
+            gate_speedup = speedup
+    _write_results(multi_model=table)
+    return gate_speedup
+
+
+def _write_results(**updates) -> None:
+    """Merge timings into the BENCH_hotloops.json perf trajectory."""
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload.setdefault("shape", {"m": M, "d": D, "batch_size": BATCH})
+    for key, value in updates.items():
+        if isinstance(value, dict):
+            merged = payload.get(key, {})
+            merged.update({str(inner): item for inner, item in value.items()})
+            payload[key] = merged
+        else:
+            payload[key] = value
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULTS_PATH.name}")
 
 
 def main(argv=None) -> int:
@@ -148,17 +257,36 @@ def main(argv=None) -> int:
         f"the vectorized path is below {SPEEDUP_FLOOR}x",
     )
     parser.add_argument(
+        "--multi-model",
+        action="store_true",
+        help="time fused vs sequential K-model grid training at K in "
+        f"{MULTI_MODEL_KS} and fail (exit 1) if fused is below "
+        f"{FUSED_SPEEDUP_FLOOR}x at K={FUSED_GATE_K}",
+    )
+    parser.add_argument(
         "--rounds", type=int, default=3, help="timed rounds per path (default 3)"
     )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error(f"--rounds must be a positive integer, got {args.rounds}")
-    if not args.compare_paths:
+    if not args.compare_paths and not args.multi_model:
         parser.print_help()
         return 0
-    speedup = compare_paths(args.rounds)
-    if speedup < SPEEDUP_FLOOR:
-        print(f"FAIL: vectorized path regressed below {SPEEDUP_FLOOR}x")
+    failed = False
+    if args.compare_paths:
+        speedup = compare_paths(args.rounds)
+        if speedup < SPEEDUP_FLOOR:
+            print(f"FAIL: vectorized path regressed below {SPEEDUP_FLOOR}x")
+            failed = True
+    if args.multi_model:
+        fused_speedup = multi_model(args.rounds)
+        if fused_speedup < FUSED_SPEEDUP_FLOOR:
+            print(
+                f"FAIL: fused multi-model path below {FUSED_SPEEDUP_FLOOR}x "
+                f"at K={FUSED_GATE_K}"
+            )
+            failed = True
+    if failed:
         return 1
     print("PASS")
     return 0

@@ -38,7 +38,9 @@ Subpackages
 """
 
 from repro.core import (
+    BoltOnCandidate,
     BoltOnPrivateClassifier,
+    BoltOnTrainerFactory,
     GaussianMechanism,
     PrivateHuberSVM,
     PrivateLogisticRegression,
@@ -50,7 +52,9 @@ from repro.core import (
     noiseless_psgd,
     private_convex_psgd,
     private_psgd,
+    private_psgd_fleet,
     private_strongly_convex_psgd,
+    train_bolt_on,
 )
 from repro.optim import (
     HingeLoss,
@@ -58,6 +62,8 @@ from repro.optim import (
     LeastSquaresLoss,
     LogisticLoss,
     Loss,
+    ModelSpec,
+    MultiModelPSGD,
     PSGD,
     PSGDConfig,
     run_psgd,
@@ -88,4 +94,10 @@ __all__ = [
     "PSGD",
     "PSGDConfig",
     "run_psgd",
+    "ModelSpec",
+    "MultiModelPSGD",
+    "BoltOnCandidate",
+    "BoltOnTrainerFactory",
+    "private_psgd_fleet",
+    "train_bolt_on",
 ]

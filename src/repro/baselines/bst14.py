@@ -41,13 +41,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.common import BaselineResult
+from repro.baselines.common import BaselineResult, EpochNoiseBuffer
 from repro.core.mechanisms import PrivacyParameters
 from repro.optim.losses import Loss
 from repro.optim.projection import L2BallProjection
 from repro.optim.psgd import PSGD, PSGDConfig
 from repro.optim.schedules import BST14Schedule, InverseTSchedule
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import (
     check_matrix_labels,
     check_positive,
@@ -203,12 +203,21 @@ def bst14_train(
         gradient_bound = math.sqrt(d * sigma**2 + batch_size**2 * lipschitz**2)
         schedule = BST14Schedule(radius=radius, gradient_bound=gradient_bound)
 
-    draws = 0
+    sgd_rng, noise_rng = spawn_generators(random_state, 2)
+
+    # Noise draws come from the dedicated ``noise_rng`` stream (spawned
+    # above), not the engine's generator: the engine stream interleaves the
+    # per-update index sampling, and only an independent noise stream lets
+    # an epoch's Gaussian draws be blocked into one ``(n, d)`` RNG call
+    # (stream-identical to per-step draws from that same stream — the
+    # sample_batch contract). Each update still pays one logical draw.
+    buffer = EpochNoiseBuffer(
+        lambda n, block_rng: block_rng.normal(0.0, effective_sigma, size=(n, d)),
+        steps_per_epoch=-(-m // batch_size),
+    )
 
     def gradient_noise(t: int, dimension: int, rng: np.random.Generator) -> np.ndarray:
-        nonlocal draws
-        draws += 1
-        return rng.normal(0.0, effective_sigma, size=dimension)
+        return buffer.next(noise_rng)
 
     def example_sampler(t: int, size: int, rng: np.random.Generator) -> np.ndarray:
         # BST14 samples uniformly with replacement (line 10 of Algorithm 4).
@@ -223,7 +232,7 @@ def bst14_train(
     engine = PSGD(
         loss, config, gradient_noise=gradient_noise, example_sampler=example_sampler
     )
-    result = engine.run(X, y, random_state=as_generator(random_state))
+    result = engine.run(X, y, random_state=sgd_rng)
     return BaselineResult(
         model=result.model,
         privacy=privacy,
@@ -231,5 +240,5 @@ def bst14_train(
         psgd=result,
         loss=loss,
         per_step_noise_scale=effective_sigma,
-        noise_draws=draws,
+        noise_draws=buffer.rows_served,
     )

@@ -1,16 +1,64 @@
-"""Shared result type for the white-box baseline algorithms."""
+"""Shared result type and noise plumbing for the white-box baselines."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.core.mechanisms import PrivacyParameters
 from repro.optim.losses import Loss
 from repro.optim.psgd import PSGDResult
-from repro.utils.validation import check_matrix_labels
+from repro.utils.validation import check_matrix_labels, check_positive_int
+
+
+class EpochNoiseBuffer:
+    """Serve per-update noise rows out of per-epoch blocked draws.
+
+    The white-box algorithms pay one "sophisticated distribution" draw per
+    mini-batch; drawing them one Python call at a time is pure overhead.
+    This buffer pre-draws an epoch's worth (``steps_per_epoch`` rows) via
+    a block sampler and hands out rows on demand. Every block sampler
+    used with it honours the :meth:`NoiseMechanism.sample_batch` contract:
+    the blocked draw consumes *its* generator identically to per-step
+    draws from that same generator. For SCS13 — whose noise stream was
+    already the only per-update consumer of its generator — buffering
+    therefore releases exactly the same model as the historical per-step
+    code for any seed (regression-tested); BST14's noise instead moved
+    onto a dedicated spawned stream (its old stream interleaved index
+    sampling, which no blocked draw can replay), so its seeded outputs
+    changed once, deliberately, when the buffer landed.
+
+    ``draw_block(count, rng) -> (count, d) array``; ``next(rng)`` returns
+    the next row, refilling at epoch boundaries.
+    """
+
+    def __init__(
+        self,
+        draw_block: Callable[[int, np.random.Generator], np.ndarray],
+        steps_per_epoch: int,
+    ):
+        self._draw_block = draw_block
+        self._steps = check_positive_int(steps_per_epoch, "steps_per_epoch")
+        self._buffer: Optional[np.ndarray] = None
+        self._position = 0
+        #: Rows handed out — the per-update draw count the cost model sees.
+        self.rows_served = 0
+
+    def next(self, rng: np.random.Generator) -> np.ndarray:
+        if self._buffer is None or self._position == self._buffer.shape[0]:
+            self._buffer = np.asarray(self._draw_block(self._steps, rng))
+            if self._buffer.ndim != 2 or self._buffer.shape[0] != self._steps:
+                raise ValueError(
+                    f"draw_block must return ({self._steps}, d), "
+                    f"got {self._buffer.shape}"
+                )
+            self._position = 0
+        row = self._buffer[self._position]
+        self._position += 1
+        self.rows_served += 1
+        return row
 
 
 @dataclass

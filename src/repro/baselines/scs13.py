@@ -29,13 +29,17 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.common import BaselineResult
-from repro.core.mechanisms import PrivacyParameters
+from repro.baselines.common import BaselineResult, EpochNoiseBuffer
+from repro.core.mechanisms import (
+    GaussianMechanism,
+    NoiseMechanism,
+    PrivacyParameters,
+    SphericalLaplaceMechanism,
+)
 from repro.optim.losses import Loss
 from repro.optim.projection import IdentityProjection, L2BallProjection, Projection
 from repro.optim.psgd import PSGD, PSGDConfig
 from repro.optim.schedules import InverseSqrtTSchedule
-from repro.utils.linalg import random_unit_vector
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import (
     check_matrix_labels,
@@ -118,34 +122,35 @@ def scs13_train(
         raise ValueError("SCS13 requires a finite Lipschitz constant")
 
     epsilon_per_pass = epsilon / passes
-    draws = 0
+    m, d = X.shape
 
+    # Per-update noise == one mechanism draw at sensitivity 2L/b and the
+    # per-pass budget. Routing it through the mechanism's ``sample_batch``
+    # blocks a whole epoch's draws into vectorized RNG calls while
+    # consuming the generator identically to the historical per-step code
+    # (the sample_batch contract) — every update's only stream consumption
+    # here is its noise draw, so a seeded run releases the same model.
+    sensitivity = 2.0 * lipschitz / batch_size
     if privacy.is_pure:
-        scale = scs13_noise_scale(lipschitz, epsilon_per_pass, batch_size)
-
-        def gradient_noise(
-            t: int, dimension: int, rng: np.random.Generator
-        ) -> np.ndarray:
-            nonlocal draws
-            draws += 1
-            direction = random_unit_vector(dimension, rng)
-            magnitude = rng.gamma(shape=dimension, scale=scale)
-            return magnitude * direction
-
-        per_step_scale = scale
+        mechanism: NoiseMechanism = SphericalLaplaceMechanism()
+        noise_privacy = PrivacyParameters(epsilon_per_pass)
+        per_step_scale = scs13_noise_scale(lipschitz, epsilon_per_pass, batch_size)
     else:
-        sigma = scs13_gaussian_sigma(
+        mechanism = GaussianMechanism()
+        noise_privacy = PrivacyParameters(epsilon_per_pass, delta / passes)
+        per_step_scale = scs13_gaussian_sigma(
             lipschitz, epsilon_per_pass, delta / passes, batch_size
         )
 
-        def gradient_noise(
-            t: int, dimension: int, rng: np.random.Generator
-        ) -> np.ndarray:
-            nonlocal draws
-            draws += 1
-            return rng.normal(0.0, sigma, size=dimension)
+    buffer = EpochNoiseBuffer(
+        lambda n, block_rng: mechanism.sample_batch(
+            n, d, sensitivity, noise_privacy, block_rng
+        ),
+        steps_per_epoch=-(-m // batch_size),
+    )
 
-        per_step_scale = sigma
+    def gradient_noise(t: int, dimension: int, rng: np.random.Generator) -> np.ndarray:
+        return buffer.next(rng)
 
     config = PSGDConfig(
         schedule=InverseSqrtTSchedule(eta0),
@@ -162,5 +167,5 @@ def scs13_train(
         psgd=result,
         loss=loss,
         per_step_noise_scale=per_step_scale,
-        noise_draws=draws,
+        noise_draws=buffer.rows_served,
     )

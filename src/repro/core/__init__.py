@@ -26,11 +26,15 @@ from repro.core.accountant import (
     split_evenly,
 )
 from repro.core.bolton import (
+    BoltOnCandidate,
+    BoltOnTrainerFactory,
     PrivateTrainingResult,
     noiseless_psgd,
     private_convex_psgd,
     private_psgd,
+    private_psgd_fleet,
     private_strongly_convex_psgd,
+    train_bolt_on,
 )
 from repro.core.estimators import (
     BoltOnPrivateClassifier,
@@ -77,6 +81,10 @@ __all__ = [
     "private_strongly_convex_psgd",
     "private_psgd",
     "noiseless_psgd",
+    "BoltOnCandidate",
+    "BoltOnTrainerFactory",
+    "private_psgd_fleet",
+    "train_bolt_on",
     "PrivacyParameters",
     "NoiseMechanism",
     "SphericalLaplaceMechanism",

@@ -24,7 +24,7 @@ it would void the guarantee, and the docstring says so.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,7 +36,13 @@ from repro.core.mechanisms import (
 from repro.core.sensitivity import SensitivityBound, sensitivity_for_schedule
 from repro.optim.losses import Loss, LossProperties
 from repro.optim.projection import IdentityProjection, L2BallProjection, Projection
-from repro.optim.psgd import PSGD, PSGDConfig, PSGDResult
+from repro.optim.psgd import (
+    PSGD,
+    ModelSpec,
+    MultiModelPSGD,
+    PSGDConfig,
+    PSGDResult,
+)
 from repro.optim.schedules import (
     CappedInverseTSchedule,
     ConstantSchedule,
@@ -134,6 +140,7 @@ def private_convex_psgd(
     fresh_permutation_each_pass: bool = False,
     mechanism: Optional[NoiseMechanism] = None,
     random_state: RandomState = None,
+    permutation: Optional[Sequence[int]] = None,
 ) -> PrivateTrainingResult:
     """Algorithm 1 — Private Convex Permutation-based SGD.
 
@@ -178,7 +185,9 @@ def private_convex_psgd(
         average=average,
         fresh_permutation_each_pass=fresh_permutation_each_pass,
     )
-    result = PSGD(loss, config).run(X, y, random_state=perm_rng)
+    result = PSGD(loss, config).run(
+        X, y, random_state=perm_rng, permutation=permutation
+    )
     return _finish(loss, result, sensitivity, privacy, mechanism, noise_rng)
 
 
@@ -197,6 +206,7 @@ def private_strongly_convex_psgd(
     convergence_tolerance: Optional[float] = None,
     mechanism: Optional[NoiseMechanism] = None,
     random_state: RandomState = None,
+    permutation: Optional[Sequence[int]] = None,
 ) -> PrivateTrainingResult:
     """Algorithm 2 — Private Strongly Convex Permutation-based SGD.
 
@@ -249,7 +259,9 @@ def private_strongly_convex_psgd(
         fresh_permutation_each_pass=fresh_permutation_each_pass,
         convergence_tolerance=convergence_tolerance,
     )
-    result = PSGD(loss, config).run(X, y, random_state=perm_rng)
+    result = PSGD(loss, config).run(
+        X, y, random_state=perm_rng, permutation=permutation
+    )
     return _finish(loss, result, sensitivity, privacy, mechanism, noise_rng)
 
 
@@ -267,6 +279,7 @@ def private_psgd(
     average: Optional[str] = None,
     mechanism: Optional[NoiseMechanism] = None,
     random_state: RandomState = None,
+    permutation: Optional[Sequence[int]] = None,
 ) -> PrivateTrainingResult:
     """Generic bolt-on private PSGD for any analysed step-size schedule.
 
@@ -293,7 +306,9 @@ def private_psgd(
         projection=proj,
         average=average,
     )
-    result = PSGD(loss, config).run(X, y, random_state=perm_rng)
+    result = PSGD(loss, config).run(
+        X, y, random_state=perm_rng, permutation=permutation
+    )
     return _finish(loss, result, sensitivity, privacy, mechanism, noise_rng)
 
 
@@ -319,3 +334,307 @@ def noiseless_psgd(
         average=average,
     )
     return PSGD(loss, config).run(X, y, random_state=random_state)
+
+
+# -- fused multi-model bolt-on training ---------------------------------------
+
+
+@dataclass
+class BoltOnCandidate:
+    """Structural description of one bolt-on private PSGD training run.
+
+    The opaque-callable trainer contract (`trainer(X, y, epsilon=...,
+    ...)`) cannot be fused — the engine must see *inside* a candidate to
+    share its data scan with the others. This dataclass is that view: the
+    per-candidate knobs of Algorithms 1/2, with the same defaulting rules
+    (strongly convex losses get the capped 1/(gamma t) schedule and
+    ``R = 1/lambda``; convex losses get the constant ``eta = 1/sqrt(m)``
+    step). It is accepted directly by :func:`train_bolt_on` (sequential
+    reference), :func:`private_psgd_fleet` (fused), and the fused paths of
+    the tuning and one-vs-rest consumers.
+    """
+
+    loss: Loss
+    passes: int = 1
+    batch_size: int = 1
+    eta: Optional[float] = None
+    radius: Optional[float] = None
+    average: Optional[str] = None
+
+    def resolve(self, m: int) -> tuple[StepSizeSchedule, Projection, LossProperties]:
+        """Algorithm 1/2 parameter resolution for a dataset of m rows."""
+        if self.radius is not None:
+            radius: Optional[float] = self.radius
+        elif self.loss.regularization > 0.0:
+            # Algorithm 2's convention: R = 1/lambda.
+            radius = 1.0 / self.loss.regularization
+        else:
+            radius = None
+        if radius is not None:
+            projection: Projection = L2BallProjection(radius)
+            properties = self.loss.properties(radius=radius)
+        else:
+            projection = IdentityProjection()
+            properties = self.loss.properties()
+        if properties.is_strongly_convex:
+            schedule: StepSizeSchedule = CappedInverseTSchedule(
+                properties.smoothness, properties.strong_convexity
+            )
+        else:
+            step = self.eta if self.eta is not None else 1.0 / np.sqrt(m)
+            schedule = ConstantSchedule(step)
+        return schedule, projection, properties
+
+
+def train_bolt_on(
+    X: np.ndarray,
+    y: np.ndarray,
+    candidate: BoltOnCandidate,
+    epsilon: float,
+    *,
+    delta: float = 0.0,
+    random_state: RandomState = None,
+    permutation: Optional[Sequence[int]] = None,
+) -> PrivateTrainingResult:
+    """Train one :class:`BoltOnCandidate` sequentially (the reference path).
+
+    Dispatches to Algorithm 2 when the candidate's loss is regularized
+    (strongly convex) and Algorithm 1 otherwise — the same resolution the
+    fused fleet applies, so a candidate means the same thing on both
+    paths.
+    """
+    if candidate.loss.regularization > 0.0:
+        return private_strongly_convex_psgd(
+            X, y, candidate.loss, epsilon, delta=delta,
+            passes=candidate.passes, batch_size=candidate.batch_size,
+            radius=candidate.radius, average=candidate.average,
+            random_state=random_state, permutation=permutation,
+        )
+    projection = (
+        L2BallProjection(candidate.radius) if candidate.radius is not None else None
+    )
+    return private_convex_psgd(
+        X, y, candidate.loss, epsilon, delta=delta,
+        passes=candidate.passes, eta=candidate.eta,
+        batch_size=candidate.batch_size, projection=projection,
+        average=candidate.average, random_state=random_state,
+        permutation=permutation,
+    )
+
+
+def private_psgd_fleet(
+    X: np.ndarray,
+    y: np.ndarray,
+    candidates: Sequence[BoltOnCandidate],
+    epsilon,
+    *,
+    delta=0.0,
+    random_states: Optional[Sequence[RandomState]] = None,
+    scan_random_state: RandomState = None,
+    permutation: Optional[np.ndarray] = None,
+) -> List[PrivateTrainingResult]:
+    """Train K bolt-on private models in **one data scan** (per batch size).
+
+    The fused form of K :func:`train_bolt_on` calls. Two data layouts:
+
+    * shared — ``X`` is ``(m, d)``; every candidate reads the same rows
+      (``y`` may be a ``(K, m)`` per-candidate label matrix — one-vs-rest).
+      Candidates sharing a batch size ride one
+      :class:`~repro.optim.psgd.MultiModelPSGD` scan under one shared
+      permutation drawn from ``scan_random_state``.
+    * stacked — ``X`` is ``(K, m, d)`` with ``y`` ``(K, m)``: per-candidate
+      datasets (disjoint tuning partitions). Permutations are then
+      per-candidate, drawn exactly as each candidate's standalone run
+      would have drawn them, so the fused results match sequential
+      training to the engines' 1e-12 equivalence bound.
+
+    ``epsilon``/``delta`` may be scalars (every candidate gets the full
+    budget — parallel composition over disjoint data, or a shared public
+    set) or per-candidate sequences (the one-vs-rest budget split).
+    ``random_states`` supplies one stream per candidate; each is consumed
+    exactly as :func:`train_bolt_on` would (spawn permutation stream, then
+    noise stream), so per-candidate noise draws are bit-identical to the
+    standalone trainers'.
+
+    The PSGD phase is unchanged-black-box; everything privacy-specific is
+    still the bolt-on epilogue: one sensitivity bound and one mechanism
+    draw per candidate.
+    """
+    candidates = list(candidates)
+    K = len(candidates)
+    if K == 0:
+        raise ValueError("at least one candidate is required")
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    stacked = X.ndim == 3
+    # The same fail-loud preconditions every sequential trainer applies:
+    # valid shapes, finite values, and rows inside the unit ball.
+    if stacked:
+        if X.shape[0] != K or y.shape != X.shape[:2]:
+            raise ValueError(
+                f"stacked fleet data must be X ({K}, m, d) with y ({K}, m); "
+                f"got {X.shape} and {y.shape}"
+            )
+        for Xk, yk in zip(X, y):
+            check_matrix_labels(Xk, yk)
+            check_unit_ball(Xk)
+    else:
+        if y.ndim == 2:
+            if X.ndim != 2 or y.shape != (K, X.shape[0]):
+                raise ValueError(
+                    f"per-candidate labels must have shape ({K}, m); "
+                    f"got X {X.shape} and y {y.shape}"
+                )
+            for yk in y:
+                check_matrix_labels(X, yk)
+        else:
+            X, y = check_matrix_labels(X, y)
+        check_unit_ball(X)
+    m = X.shape[1] if stacked else X.shape[0]
+    d = X.shape[-1]
+
+    epsilons = list(epsilon) if np.ndim(epsilon) else [float(epsilon)] * K
+    deltas = list(delta) if np.ndim(delta) else [float(delta)] * K
+    if len(epsilons) != K or len(deltas) != K:
+        raise ValueError("per-candidate epsilon/delta lists must have K entries")
+    privacies = [PrivacyParameters(e, dl) for e, dl in zip(epsilons, deltas)]
+
+    master = as_generator(scan_random_state)
+    if random_states is None:
+        random_states = spawn_generators(master, K)
+    elif len(random_states) != K:
+        raise ValueError(f"random_states must have {K} entries, got {len(random_states)}")
+    # Consume each candidate's stream exactly as train_bolt_on would:
+    # (permutation stream, noise stream).
+    perm_rngs = []
+    noise_rngs = []
+    for state in random_states:
+        perm_rng, noise_rng = spawn_generators(state, 2)
+        perm_rngs.append(perm_rng)
+        noise_rngs.append(noise_rng)
+
+    resolved = [candidate.resolve(m) for candidate in candidates]
+    sensitivities = [
+        sensitivity_for_schedule(
+            properties, schedule, m, candidates[k].passes, candidates[k].batch_size
+        )
+        for k, (schedule, projection, properties) in enumerate(resolved)
+    ]
+
+    # One fused engine run per distinct batch size (batch boundaries define
+    # the shared scan; a homogeneous grid is a single run).
+    by_batch: Dict[int, List[int]] = {}
+    for k, candidate in enumerate(candidates):
+        by_batch.setdefault(candidate.batch_size, []).append(k)
+
+    results: List[Optional[PrivateTrainingResult]] = [None] * K
+    for batch_size, indices in by_batch.items():
+        specs = [
+            ModelSpec(
+                loss=candidates[k].loss,
+                schedule=resolved[k][0],
+                projection=resolved[k][1],
+                passes=candidates[k].passes,
+                average=candidates[k].average,
+            )
+            for k in indices
+        ]
+        engine = MultiModelPSGD(specs, batch_size=batch_size)
+        if stacked:
+            group_X = X[indices]
+            group_y = y[indices]
+            group_perm = (
+                np.stack([perm_rngs[k].permutation(m) for k in indices])
+                if permutation is None
+                else np.asarray(permutation)[indices]
+            )
+        else:
+            group_X = X
+            group_y = y if y.ndim == 1 else y[indices]
+            group_perm = master.permutation(m) if permutation is None else permutation
+        fused = engine.run(group_X, group_y, permutation=group_perm)
+        for position, k in enumerate(indices):
+            noiseless = fused.models[position]
+            privacy = privacies[k]
+            mechanism = mechanism_for(privacy)
+            noise = mechanism.sample(d, sensitivities[k].value, privacy, noise_rngs[k])
+            psgd_view = PSGDResult(
+                model=noiseless,
+                final_iterate=fused.final_iterates[position],
+                updates=int(fused.updates_per_model[position]),
+                passes_completed=candidates[k].passes,
+            )
+            results[k] = PrivateTrainingResult(
+                model=noiseless + noise,
+                privacy=privacy,
+                sensitivity=sensitivities[k],
+                noise_norm=float(np.linalg.norm(noise)),
+                unreleased_noiseless_model=noiseless,
+                psgd=psgd_view,
+                loss=candidates[k].loss,
+            )
+    assert all(result is not None for result in results)
+    return results
+
+
+class BoltOnTrainerFactory:
+    """A ``TrainerFactory`` whose candidates the fused engine can fuse.
+
+    Calling the factory with a grid point returns the classic sequential
+    trainer closure (so it drops into any code expecting the opaque
+    contract), while :meth:`candidate` exposes the structural
+    :class:`BoltOnCandidate` the fused tuning paths consume. Grid keys
+    ``passes``, ``regularization`` (via ``loss_builder``), ``batch_size``
+    and ``eta`` are honoured; everything else is fixed at construction.
+
+    >>> factory = BoltOnTrainerFactory(
+    ...     lambda theta: LogisticLoss(theta.get("regularization", 0.0)))
+    """
+
+    def __init__(
+        self,
+        loss_builder: Callable[[Dict], Loss],
+        *,
+        batch_size: int = 50,
+        default_passes: int = 1,
+        eta: Optional[float] = None,
+        radius: Optional[float] = None,
+        average: Optional[str] = None,
+    ):
+        self.loss_builder = loss_builder
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.default_passes = check_positive_int(default_passes, "default_passes")
+        self.eta = eta
+        self.radius = radius
+        self.average = average
+
+    def candidate(self, theta: Dict) -> BoltOnCandidate:
+        """The structural description of one grid point."""
+        return BoltOnCandidate(
+            loss=self.loss_builder(theta),
+            passes=check_positive_int(
+                theta.get("passes", self.default_passes), "passes"
+            ),
+            batch_size=check_positive_int(
+                theta.get("batch_size", self.batch_size), "batch_size"
+            ),
+            eta=theta.get("eta", self.eta),
+            radius=self.radius,
+            average=self.average,
+        )
+
+    def __call__(self, theta: Dict) -> Callable[..., PrivateTrainingResult]:
+        candidate = self.candidate(theta)
+
+        def trainer(
+            X: np.ndarray,
+            y: np.ndarray,
+            epsilon: float,
+            delta: float = 0.0,
+            random_state: RandomState = None,
+        ) -> PrivateTrainingResult:
+            return train_bolt_on(
+                X, y, candidate, epsilon, delta=delta, random_state=random_state
+            )
+
+        return trainer

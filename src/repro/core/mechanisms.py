@@ -27,6 +27,7 @@ from repro.utils.linalg import random_unit_vector
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import (
     check_in_range,
+    check_non_negative_int,
     check_positive,
     check_positive_int,
 )
@@ -75,6 +76,38 @@ class NoiseMechanism(abc.ABC):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Draw one noise vector kappa."""
+
+    def sample_batch(
+        self,
+        count: int,
+        dimension: int,
+        sensitivity: float,
+        privacy: PrivacyParameters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw ``count`` noise vectors at once; returns ``(count, d)``.
+
+        **Contract**: row ``i`` equals the ``i``-th of ``count`` successive
+        :meth:`sample` calls on the same generator — the batch form must
+        consume the RNG stream identically to the per-step path, so the
+        white-box baselines can pre-draw an epoch's noise without changing
+        a single released model (the mechanism regression tests pin this).
+
+        Default: a loop over :meth:`sample` (identical by construction).
+        :class:`GaussianMechanism` overrides it with one vectorized draw —
+        NumPy fills a ``(n, d)`` normal block from the same bit stream as
+        ``n`` size-``d`` calls. The spherical Laplace mechanism keeps the
+        loop: each of its samples interleaves a direction block with a
+        magnitude draw, and no blocked request can replay that
+        interleaving, so a vectorized form would (silently) change every
+        seeded run.
+        """
+        check_non_negative_int(count, "count")
+        if count == 0:
+            return np.empty((0, dimension), dtype=np.float64)
+        return np.stack(
+            [self.sample(dimension, sensitivity, privacy, rng) for _ in range(count)]
+        )
 
     @abc.abstractmethod
     def expected_norm(
@@ -194,6 +227,27 @@ class GaussianMechanism(NoiseMechanism):
         check_positive_int(dimension, "dimension")
         sigma = self.noise_scale(sensitivity, privacy)
         return rng.normal(0.0, sigma, size=dimension)
+
+    def sample_batch(
+        self,
+        count: int,
+        dimension: int,
+        sensitivity: float,
+        privacy: PrivacyParameters,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """All ``count`` draws in one RNG call.
+
+        ``Generator.normal`` consumes the bit stream element-by-element,
+        so a ``(count, d)`` request yields exactly the same floats as
+        ``count`` successive ``(d,)`` requests — this is the batched form
+        the white-box baselines use to amortize per-step draw overhead
+        without perturbing any seeded result.
+        """
+        check_non_negative_int(count, "count")
+        check_positive_int(dimension, "dimension")
+        sigma = self.noise_scale(sensitivity, privacy)
+        return rng.normal(0.0, sigma, size=(count, dimension))
 
     def expected_norm(
         self, dimension: int, sensitivity: float, privacy: PrivacyParameters

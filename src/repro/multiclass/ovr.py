@@ -5,16 +5,24 @@ each digit") and, because each model reads the whole training set, splits
 the privacy budget evenly across them using basic sequential composition
 (Section 4.3). This module packages that pattern for any trainer with the
 library's common signature.
+
+Every class's model reads the *same* feature rows — only the ±1
+relabeling differs — which makes OvR a one-scan workload: pass a
+structural :class:`repro.core.bolton.BoltOnCandidate` as the trainer and
+all C classes train fused, with the per-class relabeling expressed as one
+``(C, m)`` label matrix instead of C relabeled copies. Opaque trainer
+callables keep the sequential per-class path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.accountant import PrivacyAccountant, split_evenly
+from repro.core.bolton import BoltOnCandidate, private_psgd_fleet, train_bolt_on
 from repro.core.mechanisms import PrivacyParameters
 from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import check_matrix_labels
@@ -48,25 +56,45 @@ class OneVsRestResult:
         return float(np.mean(self.predict(X) == y))
 
 
+def class_label_matrix(y: np.ndarray, classes: Sequence[int]) -> np.ndarray:
+    """The ``(C, m)`` one-vs-rest relabeling: row c is ``±1`` for class c.
+
+    One vectorized comparison instead of C relabeled copies — the form the
+    fused engine consumes directly.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    class_column = np.asarray(list(classes), dtype=np.float64)[:, None]
+    return np.where(y[None, :] == class_column, 1.0, -1.0)
+
+
 def train_one_vs_rest(
     X: np.ndarray,
     y: np.ndarray,
-    trainer: BinaryTrainer,
+    trainer: Union[BinaryTrainer, BoltOnCandidate],
     epsilon: float,
     *,
     delta: float = 0.0,
     classes: Optional[Sequence[int]] = None,
     random_state: RandomState = None,
     accountant: Optional[PrivacyAccountant] = None,
+    fused: Optional[bool] = None,
 ) -> OneVsRestResult:
     """Train one private binary model per class on an even budget split.
 
-    ``trainer`` is called as ``trainer(X, y_pm1, epsilon=eps_i,
-    delta=delta_i, random_state=rng)`` and must return an object exposing
-    ``model`` (all of :func:`repro.core.private_convex_psgd`,
+    ``trainer`` is either the classic callable — invoked as ``trainer(X,
+    y_pm1, epsilon=eps_i, delta=delta_i, random_state=rng)``, returning an
+    object exposing ``model`` (all of
+    :func:`repro.core.private_convex_psgd`,
     :func:`repro.core.private_strongly_convex_psgd`,
-    :func:`repro.baselines.scs13_train` qualify via a small lambda for the
-    positional arguments).
+    :func:`repro.baselines.scs13_train` qualify via a small lambda) — or a
+    structural :class:`repro.core.bolton.BoltOnCandidate`.
+
+    With a candidate, ``fused=None`` (the default) trains **all classes in
+    one data scan**: the per-class relabelings become one ``(C, m)`` label
+    matrix feeding the fused engine, each class keeps its own noise stream
+    and its ε/C budget share, and the sensitivity/noise epilogue is
+    per-class exactly as in the sequential path. ``fused=False`` trains a
+    candidate sequentially; fusing an opaque callable raises.
 
     When an ``accountant`` is supplied every sub-model's spend is recorded
     against it (and the call fails loudly if the budget would overflow).
@@ -78,20 +106,53 @@ def train_one_vs_rest(
     if len(classes) < 2:
         raise ValueError(f"need at least two classes, got {classes}")
 
+    is_candidate = isinstance(trainer, BoltOnCandidate)
+    if fused is None:
+        fused = is_candidate
+    if fused and not is_candidate:
+        raise ValueError(
+            "fused one-vs-rest needs a structural BoltOnCandidate trainer; "
+            "pass fused=False to train an opaque callable sequentially"
+        )
+
     shares = split_evenly(total, len(classes))
-    rngs = spawn_generators(random_state, len(classes))
 
     models: List[np.ndarray] = []
     sub_results: List[object] = []
-    for cls, share, rng in zip(classes, shares, rngs):
-        y_binary = np.where(y == cls, 1.0, -1.0)
-        result = trainer(
-            X, y_binary, epsilon=share.epsilon, delta=share.delta, random_state=rng
+    if fused:
+        rngs = spawn_generators(random_state, len(classes) + 1)
+        results = private_psgd_fleet(
+            X,
+            class_label_matrix(y, classes),
+            [trainer] * len(classes),
+            [share.epsilon for share in shares],
+            delta=[share.delta for share in shares],
+            random_states=rngs[:-1],
+            scan_random_state=rngs[-1],
         )
-        if accountant is not None:
-            accountant.spend(share, label=f"ovr-class-{cls}")
-        models.append(np.asarray(result.model, dtype=np.float64))
-        sub_results.append(result)
+        for cls, share, result in zip(classes, shares, results):
+            if accountant is not None:
+                accountant.spend(share, label=f"ovr-class-{cls}")
+            models.append(np.asarray(result.model, dtype=np.float64))
+            sub_results.append(result)
+    else:
+        rngs = spawn_generators(random_state, len(classes))
+        for cls, share, rng in zip(classes, shares, rngs):
+            y_binary = np.where(y == cls, 1.0, -1.0)
+            if is_candidate:
+                result: object = train_bolt_on(
+                    X, y_binary, trainer, share.epsilon,
+                    delta=share.delta, random_state=rng,
+                )
+            else:
+                result = trainer(
+                    X, y_binary, epsilon=share.epsilon, delta=share.delta,
+                    random_state=rng,
+                )
+            if accountant is not None:
+                accountant.spend(share, label=f"ovr-class-{cls}")
+            models.append(np.asarray(result.model, dtype=np.float64))
+            sub_results.append(result)
 
     return OneVsRestResult(
         models=models,

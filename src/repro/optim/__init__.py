@@ -19,6 +19,7 @@ from repro.optim.losses import (
     Loss,
     LossProperties,
     MarginLoss,
+    fusion_groups,
 )
 from repro.optim.operators import (
     BatchGradientUpdate,
@@ -35,9 +36,13 @@ from repro.optim.projection import (
     IdentityProjection,
     L2BallProjection,
     Projection,
+    rows_projector,
 )
 from repro.optim.psgd import (
     PSGD,
+    ModelSpec,
+    MultiModelPSGD,
+    MultiModelResult,
     PSGDConfig,
     PSGDResult,
     minibatch_slices,
@@ -90,6 +95,11 @@ __all__ = [
     "PSGD",
     "PSGDConfig",
     "PSGDResult",
+    "ModelSpec",
+    "MultiModelPSGD",
+    "MultiModelResult",
+    "fusion_groups",
+    "rows_projector",
     "SVRG",
     "SAG",
     "VarianceReducedResult",

@@ -124,6 +124,107 @@ class Loss(abc.ABC):
             total += self.gradient(w, X[row], float(y[row]))
         return total / X.shape[0]
 
+    # -- multi-model batch contract (scalar fallback) --------------------------
+
+    def batch_value_multi(
+        self,
+        W: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        regularization: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Mean loss of ``K`` models at once; returns a ``(K,)`` vector.
+
+        ``W`` is a ``(K, d)`` weight matrix. ``X`` is either one shared
+        ``(n, d)`` batch (all models read the same rows — grid search, OvR)
+        or a stacked ``(K, n, d)`` tensor of per-model batches (disjoint
+        partitions). ``y`` broadcasts the same way: ``(n,)`` shared or
+        ``(K, n)`` per-model. ``regularization`` optionally overrides this
+        loss's lambda per model (the fused engine trains a heterogeneous
+        regularization grid through one representative loss instance).
+
+        Default: a row loop over models through :meth:`batch_value` —
+        identical semantics for scalar-only losses, no speedup.
+        :class:`MarginLoss` overrides the pair with single einsum/matmul
+        contractions.
+        """
+        W, X, Y, losses = self._multi_args(W, X, y, regularization)
+        return np.array(
+            [
+                losses[k].batch_value(W[k], X[k], Y[k])
+                for k in range(W.shape[0])
+            ],
+            dtype=np.float64,
+        )
+
+    def batch_gradient_multi(
+        self,
+        W: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        regularization: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Mean gradients of ``K`` models at once; returns ``(K, d)``.
+
+        Shapes and semantics as in :meth:`batch_value_multi`. Default: a
+        row loop over models through :meth:`batch_gradient` (the fallback
+        that keeps scalar-only losses working on the fused engine).
+        """
+        W, X, Y, losses = self._multi_args(W, X, y, regularization)
+        return np.stack(
+            [
+                losses[k].batch_gradient(W[k], X[k], Y[k])
+                for k in range(W.shape[0])
+            ]
+        )
+
+    def _multi_args(
+        self,
+        W: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        regularization: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list["Loss"]]:
+        """Canonicalize multi-model arguments for the row-loop fallback.
+
+        Returns ``(W (K,d), X (K,n,d) view, Y (K,n) view, losses)`` where
+        ``losses[k]`` is this loss re-regularized for model ``k`` (or
+        ``self`` when no per-model override was given). Broadcasting uses
+        views, so the shared-``X`` case does not copy the batch K times.
+        """
+        W = np.asarray(W, dtype=np.float64)
+        if W.ndim != 2:
+            raise ValueError(f"W must be a (K, d) matrix, got shape {W.shape}")
+        K, d = W.shape
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 2:
+            X = np.broadcast_to(X, (K,) + X.shape)
+        elif X.ndim != 3 or X.shape[0] != K:
+            raise ValueError(
+                f"X must be (n, d) or (K, n, d) with K={K}, got shape {X.shape}"
+            )
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = np.broadcast_to(y, (K,) + y.shape)
+        elif y.ndim != 2 or y.shape[0] != K:
+            raise ValueError(
+                f"y must be (n,) or (K, n) with K={K}, got shape {y.shape}"
+            )
+        if regularization is None:
+            losses: list[Loss] = [self] * K
+        else:
+            lam = np.asarray(regularization, dtype=np.float64)
+            if lam.shape != (K,):
+                raise ValueError(
+                    f"regularization must have shape ({K},), got {lam.shape}"
+                )
+            losses = [
+                self if lam[k] == self.regularization
+                else self.with_regularization(float(lam[k]))
+                for k in range(K)
+            ]
+        return W, X, y, losses
+
     # -- analytic constants ---------------------------------------------------
 
     def properties(self, radius: float | None = None) -> LossProperties:
@@ -155,8 +256,63 @@ class Loss(abc.ABC):
         Loss.__init__(clone, regularization)
         return clone
 
+    def fusion_key(self) -> tuple | None:
+        """Hashable identity of this loss *up to regularization*.
+
+        Two losses with equal keys compute the same per-example loss apart
+        from their L2 term, so the fused multi-model engine may evaluate
+        them through one representative instance with a per-model lambda
+        vector (see :meth:`batch_gradient_multi`). Returns ``None`` when
+        the loss carries state the key cannot capture — such losses are
+        still trainable, just never grouped.
+        """
+        try:
+            items = tuple(
+                sorted(
+                    (name, value)
+                    for name, value in vars(self).items()
+                    if name != "regularization"
+                )
+            )
+            hash(items)
+        except TypeError:
+            return None
+        return (type(self), items)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(regularization={self.regularization!r})"
+
+
+def fusion_groups(
+    losses: "list[Loss] | tuple[Loss, ...]",
+) -> list[tuple["Loss", np.ndarray, np.ndarray]]:
+    """Partition model indices into fusable gradient groups.
+
+    Returns ``(representative, indices, lambdas)`` triples: all models in
+    a group share a :meth:`Loss.fusion_key`, so one
+    ``representative.batch_gradient_multi(W[indices], ...,
+    regularization=lambdas)`` call evaluates the whole group. Losses whose
+    key is ``None`` form singleton groups (served by their own multi
+    method — the row-loop fallback for scalar-only losses). Both the
+    fused PSGD engine and the fused SGD UDA build their execution plan
+    from this.
+    """
+    keyed: dict = {}
+    singletons: list[list[int]] = []
+    for index, loss in enumerate(losses):
+        key = loss.fusion_key()
+        if key is None:
+            singletons.append([index])
+        else:
+            keyed.setdefault(key, []).append(index)
+    groups = []
+    for indices in list(keyed.values()) + singletons:
+        representative = losses[indices[0]]
+        lambdas = np.array(
+            [losses[k].regularization for k in indices], dtype=np.float64
+        )
+        groups.append((representative, np.asarray(indices, dtype=np.int64), lambdas))
+    return groups
 
 
 class MarginLoss(Loss):
@@ -213,6 +369,90 @@ class MarginLoss(Loss):
         z = y * (X @ w)
         coef = self.margin_derivative(z) * y
         return (X.T @ coef) / X.shape[0] + self.regularization * w
+
+    # -- vectorized multi-model batch contract ---------------------------------
+
+    def batch_value_multi(
+        self,
+        W: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        regularization: np.ndarray | None = None,
+    ) -> np.ndarray:
+        W, X, Y, Z, shared = self._multi_margin_terms(W, X, y)
+        lam = self._lambda_vector(W.shape[0], regularization)
+        reg = 0.5 * lam * np.einsum("kd,kd->k", W, W)
+        return np.mean(self.margin_loss(Z), axis=1) + reg
+
+    def batch_gradient_multi(
+        self,
+        W: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        regularization: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """All K mean gradients in one contraction.
+
+        With margins ``Z = Y * (W X^T)`` (shape ``(K, n)``) the stacked
+        gradient is ``(phi'(Z) * Y) X / n + lam * W`` — one GEMM for a
+        shared batch, one ``kn,knd->kd`` einsum for per-model batches.
+        Per-model row k equals :meth:`batch_gradient` of the corresponding
+        single model up to BLAS summation order (the multi-model
+        equivalence suite bounds the difference at 1e-12 over whole
+        training runs).
+        """
+        W, X, Y, Z, shared = self._multi_margin_terms(W, X, y)
+        lam = self._lambda_vector(W.shape[0], regularization)
+        coef = self.margin_derivative(Z) * Y
+        n = Z.shape[1]
+        if shared:
+            G = (coef @ X) / n
+        else:
+            G = np.einsum("kn,knd->kd", coef, X) / n
+        return G + lam[:, None] * W
+
+    def _multi_margin_terms(
+        self, W: np.ndarray, X: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+        """Shared shape handling: returns ``(W, X, Y, Z, shared)``.
+
+        ``Z`` is the ``(K, n)`` signed-margin matrix ``y_i <w_k, x_i>``;
+        ``shared`` says whether ``X`` stayed a single ``(n, d)`` batch (one
+        GEMM serves all models) or is a ``(K, n, d)`` per-model stack.
+        """
+        W = np.asarray(W, dtype=np.float64)
+        if W.ndim != 2:
+            raise ValueError(f"W must be a (K, d) matrix, got shape {W.shape}")
+        K = W.shape[0]
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 2:
+            Z = W @ X.T
+            shared = True
+        elif X.ndim == 3 and X.shape[0] == K:
+            Z = np.einsum("kd,knd->kn", W, X)
+            shared = False
+        else:
+            raise ValueError(
+                f"X must be (n, d) or (K, n, d) with K={K}, got shape {X.shape}"
+            )
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            Y = np.broadcast_to(y, Z.shape)
+        elif y.shape == Z.shape:
+            Y = y
+        else:
+            raise ValueError(
+                f"y must be (n,) or (K, n) matching Z {Z.shape}, got {y.shape}"
+            )
+        return W, X, Y, Z * Y, shared
+
+    def _lambda_vector(self, K: int, regularization: np.ndarray | None) -> np.ndarray:
+        if regularization is None:
+            return np.full(K, self.regularization, dtype=np.float64)
+        lam = np.asarray(regularization, dtype=np.float64)
+        if lam.shape != (K,):
+            raise ValueError(f"regularization must have shape ({K},), got {lam.shape}")
+        return lam
 
     # -- analytic constants ---------------------------------------------------
 

@@ -9,6 +9,7 @@ property test asserting exactly that inequality.
 from __future__ import annotations
 
 import abc
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -112,3 +113,41 @@ class BoxProjection(Projection):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BoxProjection(low={self.low!r}, high={self.high!r})"
+
+
+def rows_projector(
+    projections: Sequence[Projection],
+) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    """Compile per-model projections into one row-wise matrix projector.
+
+    The fused multi-model engines step a ``(K, d)`` weight matrix and must
+    then project each row onto its own constraint set. Returns ``None``
+    when every projection is the identity (the common unconstrained case —
+    callers skip the call entirely); a vectorized norm-and-rescale when
+    every constraint is an L2 ball (or identity, radius = inf); and a
+    plain row loop otherwise. The rescale computes ``w * (radius/norm)``
+    exactly as :class:`L2BallProjection` does, so fused and sequential
+    runs project to identical floats. The projector mutates its argument
+    in place and returns it.
+    """
+    projections = list(projections)
+    if all(isinstance(p, IdentityProjection) for p in projections):
+        return None
+    if all(isinstance(p, (IdentityProjection, L2BallProjection)) for p in projections):
+        radii = np.array([p.radius for p in projections], dtype=np.float64)
+
+        def project_l2(W: np.ndarray) -> np.ndarray:
+            norms = np.linalg.norm(W, axis=1)
+            violating = norms > radii
+            if np.any(violating):
+                W[violating] *= (radii[violating] / norms[violating])[:, None]
+            return W
+
+        return project_l2
+
+    def project_rows(W: np.ndarray) -> np.ndarray:
+        for i, projection in enumerate(projections):
+            W[i] = projection(W[i])
+        return W
+
+    return project_rows

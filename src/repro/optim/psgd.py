@@ -58,10 +58,10 @@ from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.optim.losses import Loss
-from repro.optim.projection import IdentityProjection, Projection
+from repro.optim.losses import Loss, fusion_groups
+from repro.optim.projection import IdentityProjection, Projection, rows_projector
 from repro.optim.schedules import StepSizeSchedule
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, spawn_generators
 from repro.utils.validation import check_matrix_labels, check_positive_int
 
 #: Signature of the per-update noise hook: (t, dimension, rng) -> noise vector.
@@ -201,6 +201,10 @@ class PSGD:
         w = self._initial_hypothesis(initial, d)
         slices = minibatch_slices(m, cfg.batch_size)
         total_updates = cfg.passes * len(slices)
+        # One vectorized schedule evaluation per run instead of a Python
+        # rate(t) call per step; rates(n)[t-1] == rate(t) exactly (the
+        # schedule property tests pin that), so this is a pure speedup.
+        rates = cfg.schedule.rates(total_updates)
 
         averager = _ModelAverager(cfg.average, total_updates)
         iterates: Optional[List[np.ndarray]] = [] if cfg.record_iterates else None
@@ -229,7 +233,7 @@ class PSGD:
             for sl in slices:
                 t += 1
                 batch_X, batch_y = self._batch_arrays(X, y, Xp, yp, order, sl, t, rng)
-                w = self._update(w, batch_X, batch_y, t, rng)
+                w = self._update(w, batch_X, batch_y, t, float(rates[t - 1]), rng)
                 averager.observe(t, w)
                 if iterates is not None:
                     iterates.append(w.copy())
@@ -310,9 +314,9 @@ class PSGD:
         batch_X: np.ndarray,
         batch_y: np.ndarray,
         t: int,
+        eta: float,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        eta = self.config.schedule.rate(t)
         gradient = self._batch_gradient(w, batch_X, batch_y)
         if self.gradient_noise is not None:
             gradient = gradient + self.gradient_noise(t, w.shape[0], rng)
@@ -379,6 +383,353 @@ class _ModelAverager:
             length = self.total - self._suffix_start
             coeffs[self._suffix_start :] = 1.0 / length
         return coeffs
+
+
+@dataclass
+class ModelSpec:
+    """One model of a fused multi-model run (its *per-model* knobs).
+
+    The fused engine shares the scan (permutation order, mini-batch
+    boundaries, pass count cap) across models; everything that may vary
+    per model lives here. ``passes`` may undercut the engine's scan passes
+    (a k-grid trains k=5 and k=10 candidates in one 10-pass scan: the k=5
+    rows simply freeze after their fifth pass). ``gradient_noise`` is the
+    same hook as on :class:`PSGD`, called once per update with the model's
+    *own* generator so each model's noise stream is exactly what its
+    standalone run would have consumed.
+    """
+
+    loss: Loss
+    schedule: StepSizeSchedule
+    projection: Projection = field(default_factory=IdentityProjection)
+    passes: Optional[int] = None
+    average: Optional[str] = None
+    gradient_noise: Optional[GradientNoise] = None
+
+
+@dataclass
+class MultiModelResult:
+    """Everything a caller may want to know about one fused run."""
+
+    #: Released models, one row per spec (averaged where requested).
+    models: np.ndarray
+    #: Final iterates regardless of averaging; shape (K, d).
+    final_iterates: np.ndarray
+    #: Gradient updates each model performed (differs when passes do).
+    updates_per_model: np.ndarray
+    #: Scan-level update steps (the max over models).
+    updates: int
+    #: Scan passes completed.
+    passes_completed: int
+
+    def __len__(self) -> int:
+        return self.models.shape[0]
+
+
+class MultiModelPSGD:
+    """Train K models in **one data scan** — the fused execution engine.
+
+    The paper's workloads are inherently many-model (hyper-parameter
+    grids, per-partition private tuning, one-vs-rest multiclass), yet each
+    model classically pays for its own pass over the data. This engine
+    carries a ``(K, d)`` weight matrix instead: one scan feeds every
+    model, and each mini-batch becomes a single batched contraction
+    (``Loss.batch_gradient_multi``) rather than K small per-model calls —
+    K scans + K·(m/b) GEMVs turn into 1 scan + (m/b) GEMMs.
+
+    Two data layouts are supported:
+
+    * **shared** — ``X`` is ``(m, d)`` and every model reads the same rows
+      (labels may still differ per model via a ``(K, m)`` matrix — the OvR
+      relabeling). All models follow one shared permutation; the batched
+      gradient is a true GEMM.
+    * **stacked** — ``X`` is ``(K, m, d)``: per-model datasets of equal
+      size (disjoint tuning partitions). Permutations are per-model, and
+      the contraction is the ``kn,knd->kd`` einsum.
+
+    **Determinism contract.** Models whose losses share a
+    :meth:`~repro.optim.losses.Loss.fusion_key` are evaluated through one
+    representative instance with a per-model regularization vector;
+    everything else (schedules via exact ``rates`` vectors, projections,
+    per-model noise generators consumed once per update in update order)
+    reproduces K independent vectorized PSGD runs on the same
+    permutation(s). ``tests/test_multimodel_equivalence.py`` pins fused ==
+    sequential at ``rtol=0, atol=1e-12`` across losses × schedules ×
+    noisy/noiseless × heterogeneous per-model hyper-parameters.
+
+    Unsupported (use per-model :class:`PSGD`, the reference oracle):
+    ``example_sampler``, convergence-tolerance early stopping, loss
+    tracking, and per-model batch sizes (batch boundaries define the
+    shared scan).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ModelSpec],
+        passes: Optional[int] = None,
+        batch_size: int = 1,
+        fresh_permutation_each_pass: bool = False,
+    ):
+        if len(specs) == 0:
+            raise ValueError("at least one ModelSpec is required")
+        self.specs = list(specs)
+        declared = [spec.passes for spec in self.specs if spec.passes is not None]
+        for value in declared:
+            check_positive_int(value, "ModelSpec.passes")
+        if passes is None:
+            passes = max(declared) if declared else 1
+        self.passes = check_positive_int(passes, "passes")
+        if any(value > self.passes for value in declared):
+            raise ValueError(
+                "a ModelSpec.passes exceeds the engine's scan passes "
+                f"({self.passes}); raise the engine passes"
+            )
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.fresh_permutation_each_pass = bool(fresh_permutation_each_pass)
+        for spec in self.specs:
+            if spec.average not in (None, "uniform", "suffix"):
+                raise ValueError(
+                    f"average must be None, 'uniform' or 'suffix', got {spec.average!r}"
+                )
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        initial: Optional[np.ndarray] = None,
+        random_state: RandomState = None,
+        permutation: Optional[np.ndarray] = None,
+        noise_random_states: Optional[Sequence[RandomState]] = None,
+    ) -> MultiModelResult:
+        """Run the fused scan and return all K models.
+
+        ``random_state`` drives the scan permutation(s). Per-model noise
+        generators come from ``noise_random_states`` (one entry per spec);
+        when omitted they are spawned from the master generator *before*
+        any permutation is drawn. ``permutation`` fixes the scan order for
+        replay: a single ``(m,)`` arrangement (required form for shared
+        ``X``) or a ``(K, m)`` matrix of per-model arrangements for
+        stacked ``X``.
+        """
+        X, Y, y_shared, stacked, m, d = self._canonicalize_data(X, y)
+        K = len(self.specs)
+        rng = as_generator(random_state)
+        noise_rngs = self._resolve_noise_rngs(noise_random_states, rng)
+
+        W = self._initial_matrix(initial, K, d)
+        slices = minibatch_slices(m, self.batch_size)
+        n_batches = len(slices)
+        passes_per_model = np.array(
+            [spec.passes if spec.passes is not None else self.passes for spec in self.specs],
+            dtype=np.int64,
+        )
+        updates_per_model = passes_per_model * n_batches
+        etas = np.zeros((K, self.passes * n_batches), dtype=np.float64)
+        for k, spec in enumerate(self.specs):
+            etas[k, : updates_per_model[k]] = spec.schedule.rates(int(updates_per_model[k]))
+
+        averagers = [
+            _ModelAverager(spec.average, int(updates_per_model[k]))
+            for k, spec in enumerate(self.specs)
+        ]
+        # Only models that actually average need the per-step observe call;
+        # the common average=None fleet skips the loop entirely.
+        averaging_models = np.array(
+            [k for k, spec in enumerate(self.specs) if spec.average is not None],
+            dtype=np.int64,
+        )
+
+        orders = self._resolve_permutations(permutation, m, K, stacked, rng)
+        Xp, Yp = self._gather(X, Y, y_shared, stacked, orders)
+
+        t = 0
+        passes_completed = 0
+        groups: Optional[list] = None
+        active_count = -1
+        for pass_index in range(self.passes):
+            if (
+                self.fresh_permutation_each_pass
+                and permutation is None
+                and pass_index > 0
+            ):
+                orders = self._resolve_permutations(None, m, K, stacked, rng)
+                Xp, Yp = self._gather(X, Y, y_shared, stacked, orders)
+            active = np.flatnonzero(passes_per_model > pass_index)
+            if active.size == 0:
+                break
+            if active.size != active_count:
+                groups = self._build_groups(active)
+                active_count = int(active.size)
+            observing = [
+                int(k) for k in np.intersect1d(averaging_models, active)
+            ]
+            for sl in slices:
+                t += 1
+                self._fused_step(
+                    W, Xp, Yp, y_shared, stacked, sl, t, etas, groups, noise_rngs
+                )
+                for k in observing:
+                    averagers[k].observe(t, W[k])
+            passes_completed += 1
+
+        final = W.copy()
+        models = np.stack(
+            [
+                averagers[k].result() if spec.average else final[k]
+                for k, spec in enumerate(self.specs)
+            ]
+        )
+        return MultiModelResult(
+            models=models,
+            final_iterates=final,
+            updates_per_model=updates_per_model,
+            updates=t,
+            passes_completed=passes_completed,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _canonicalize_data(self, X, y):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        K = len(self.specs)
+        if X.ndim == 2:
+            m, d = X.shape
+            stacked = False
+            if y.ndim == 1:
+                if y.shape != (m,):
+                    raise ValueError(f"labels must have shape ({m},), got {y.shape}")
+                return X, y, True, stacked, m, d
+            if y.shape != (K, m):
+                raise ValueError(
+                    f"per-model labels must have shape ({K}, {m}), got {y.shape}"
+                )
+            return X, y, False, stacked, m, d
+        if X.ndim == 3:
+            if X.shape[0] != K:
+                raise ValueError(
+                    f"stacked features must have shape ({K}, m, d), got {X.shape}"
+                )
+            m, d = X.shape[1], X.shape[2]
+            if y.shape != (K, m):
+                raise ValueError(
+                    f"stacked labels must have shape ({K}, {m}), got {y.shape}"
+                )
+            return X, y, False, True, m, d
+        raise ValueError(f"X must be (m, d) or (K, m, d), got shape {X.shape}")
+
+    def _resolve_noise_rngs(
+        self, noise_random_states: Optional[Sequence[RandomState]], rng: np.random.Generator
+    ) -> list:
+        K = len(self.specs)
+        if not any(spec.gradient_noise is not None for spec in self.specs):
+            return [None] * K
+        if noise_random_states is None:
+            return spawn_generators(rng, K)
+        if len(noise_random_states) != K:
+            raise ValueError(
+                f"noise_random_states must have one entry per model ({K}), "
+                f"got {len(noise_random_states)}"
+            )
+        return [as_generator(state) for state in noise_random_states]
+
+    def _initial_matrix(self, initial: Optional[np.ndarray], K: int, d: int) -> np.ndarray:
+        if initial is None:
+            W = np.zeros((K, d), dtype=np.float64)
+        else:
+            W = np.array(initial, dtype=np.float64, copy=True)
+            if W.shape != (K, d):
+                raise ValueError(
+                    f"initial hypotheses have shape {W.shape}, expected ({K}, {d})"
+                )
+        for k, spec in enumerate(self.specs):
+            W[k] = spec.projection(W[k])
+        return W
+
+    def _resolve_permutations(
+        self,
+        permutation: Optional[np.ndarray],
+        m: int,
+        K: int,
+        stacked: bool,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return the scan order: (m,) shared, or (K, m) when stacked."""
+        if permutation is None:
+            if stacked:
+                return np.stack([rng.permutation(m) for _ in range(K)])
+            return rng.permutation(m)
+        order = np.asarray(permutation, dtype=np.int64)
+        expected = list(range(m))
+        if stacked and order.ndim == 2:
+            if order.shape != (K, m):
+                raise ValueError(f"permutation matrix must be ({K}, {m}), got {order.shape}")
+            for row in order:
+                if sorted(row.tolist()) != expected:
+                    raise ValueError("each permutation row must rearrange range(m)")
+            return order
+        if order.shape != (m,) or sorted(order.tolist()) != expected:
+            raise ValueError("permutation must be a rearrangement of range(m)")
+        if stacked:
+            return np.broadcast_to(order, (K, m))
+        return order
+
+    def _gather(self, X, Y, y_shared, stacked, orders):
+        """Materialize permuted contiguous blocks, once per permutation."""
+        if stacked:
+            Xp = np.stack([X[k][orders[k]] for k in range(X.shape[0])])
+            Yp = np.stack([Y[k][orders[k]] for k in range(X.shape[0])])
+            return Xp, Yp
+        Xp = X[orders]
+        Yp = Y[orders] if y_shared else Y[:, orders]
+        return Xp, Yp
+
+    def _build_groups(self, active: np.ndarray) -> list:
+        """Partition active model indices into fusable gradient groups.
+
+        Delegates to :func:`repro.optim.losses.fusion_groups`: models whose
+        losses share a fusion key are evaluated through one
+        ``batch_gradient_multi`` call with a per-model lambda vector; a
+        ``None`` key keeps a model in its own singleton group (still served
+        by its own loss's multi method — the row-loop fallback for
+        scalar-only losses). Each group also carries its compiled row
+        projector.
+        """
+        groups = []
+        for rep, relative, lams in fusion_groups([self.specs[k].loss for k in active]):
+            idx = active[relative]
+            projector = rows_projector([self.specs[k].projection for k in idx])
+            groups.append((rep, idx, lams, projector))
+        return groups
+
+    def _fused_step(self, W, Xp, Yp, y_shared, stacked, sl, t, etas, groups, noise_rngs):
+        """One mini-batch update of every active model (grouped GEMMs)."""
+        if stacked:
+            Xb = Xp[:, sl]
+            Yb = Yp[:, sl]
+        else:
+            Xb = Xp[sl]
+            Yb = Yp[sl] if y_shared else Yp[:, sl]
+        d = W.shape[1]
+        for rep, idx, lams, projector in groups:
+            if stacked:
+                Xg, Yg = Xb[idx], Yb[idx]
+            elif y_shared:
+                Xg, Yg = Xb, Yb
+            else:
+                Xg, Yg = Xb, Yb[idx]
+            Wg = W[idx]
+            Gg = rep.batch_gradient_multi(Wg, Xg, Yg, regularization=lams)
+            for i, k in enumerate(idx.tolist()):
+                noise_hook = self.specs[k].gradient_noise
+                if noise_hook is not None:
+                    Gg[i] = Gg[i] + noise_hook(t, d, noise_rngs[k])
+            Wg = Wg - etas[idx, t - 1][:, None] * Gg
+            if projector is not None:
+                Wg = projector(Wg)
+            W[idx] = Wg
 
 
 def run_psgd(

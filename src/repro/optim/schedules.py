@@ -37,10 +37,27 @@ class StepSizeSchedule(abc.ABC):
         """Learning rate at iteration ``t`` (``t >= 1``)."""
 
     def rates(self, total: int) -> np.ndarray:
-        """Vector of the first ``total`` rates; handy for sensitivity sums."""
+        """Vector of the first ``total`` rates.
+
+        Used by the sensitivity sums and, since the hot loops stopped
+        calling ``rate(t)`` per step, cached once per run/epoch by the PSGD
+        engine and the SGD UDA. Overrides must satisfy
+        ``rates(n)[t - 1] == rate(t)`` *exactly* (same floating-point
+        values, not just close) — the schedule property tests enforce this,
+        and the engines' equivalence guarantees rely on it. Every built-in
+        schedule overrides this with a vectorized closed form whose
+        element-wise operations are identical to the scalar path.
+        """
         if total < 0:
             raise ValueError(f"total must be non-negative, got {total}")
         return np.array([self.rate(t) for t in range(1, total + 1)], dtype=np.float64)
+
+    @staticmethod
+    def _indices(total: int) -> np.ndarray:
+        """The 1-based iteration indices ``[1, ..., total]`` as float64."""
+        if total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        return np.arange(1, total + 1, dtype=np.float64)
 
     def max_rate(self, total: int) -> float:
         """Largest rate over the first ``total`` iterations."""
@@ -69,6 +86,11 @@ class ConstantSchedule(StepSizeSchedule):
         self._check_t(t)
         return self.eta
 
+    def rates(self, total: int) -> np.ndarray:
+        if total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        return np.full(total, self.eta, dtype=np.float64)
+
     @classmethod
     def for_dataset(cls, m: int) -> "ConstantSchedule":
         """The paper's default convex setting ``eta = 1/sqrt(m)``."""
@@ -88,6 +110,9 @@ class InverseTSchedule(StepSizeSchedule):
     def rate(self, t: int) -> float:
         self._check_t(t)
         return 1.0 / (self.gamma * t)
+
+    def rates(self, total: int) -> np.ndarray:
+        return 1.0 / (self.gamma * self._indices(total))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"InverseTSchedule(gamma={self.gamma!r})"
@@ -109,6 +134,9 @@ class CappedInverseTSchedule(StepSizeSchedule):
         self._check_t(t)
         return min(1.0 / self.beta, 1.0 / (self.gamma * t))
 
+    def rates(self, total: int) -> np.ndarray:
+        return np.minimum(1.0 / self.beta, 1.0 / (self.gamma * self._indices(total)))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CappedInverseTSchedule(beta={self.beta!r}, gamma={self.gamma!r})"
 
@@ -122,6 +150,9 @@ class InverseSqrtTSchedule(StepSizeSchedule):
     def rate(self, t: int) -> float:
         self._check_t(t)
         return self.eta0 / np.sqrt(t)
+
+    def rates(self, total: int) -> np.ndarray:
+        return self.eta0 / np.sqrt(self._indices(total))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"InverseSqrtTSchedule(eta0={self.eta0!r})"
@@ -144,6 +175,9 @@ class DecreasingSchedule(StepSizeSchedule):
         self._check_t(t)
         return 2.0 / (self.beta * (t + self.offset))
 
+    def rates(self, total: int) -> np.ndarray:
+        return 2.0 / (self.beta * (self._indices(total) + self.offset))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DecreasingSchedule(beta={self.beta!r}, m={self.m!r}, c={self.c!r})"
 
@@ -164,6 +198,9 @@ class SquareRootSchedule(StepSizeSchedule):
         self._check_t(t)
         return 2.0 / (self.beta * (np.sqrt(t) + self.offset))
 
+    def rates(self, total: int) -> np.ndarray:
+        return 2.0 / (self.beta * (np.sqrt(self._indices(total)) + self.offset))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SquareRootSchedule(beta={self.beta!r}, m={self.m!r}, c={self.c!r})"
 
@@ -182,6 +219,9 @@ class BST14Schedule(StepSizeSchedule):
     def rate(self, t: int) -> float:
         self._check_t(t)
         return 2.0 * self.radius / (self.gradient_bound * np.sqrt(t))
+
+    def rates(self, total: int) -> np.ndarray:
+        return 2.0 * self.radius / (self.gradient_bound * np.sqrt(self._indices(total)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

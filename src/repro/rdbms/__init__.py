@@ -19,6 +19,7 @@ Layers (bottom to top):
 from repro.rdbms.bismarck import (
     BismarckSession,
     EpochReport,
+    MultiTrainingReport,
     NoisySGDUDA,
     TrainingReport,
     integration_report,
@@ -30,7 +31,13 @@ from repro.rdbms.cost_model import (
     RuntimeBreakdown,
     WorkCounters,
 )
-from repro.rdbms.executor import SeqScan, Shuffle, ShuffleOnce, run_aggregate
+from repro.rdbms.executor import (
+    SeqScan,
+    Shuffle,
+    ShuffleOnce,
+    run_aggregate,
+    run_aggregates,
+)
 from repro.rdbms.storage import (
     PAGE_SIZE_BYTES,
     BufferPool,
@@ -48,7 +55,14 @@ from repro.rdbms.synthesizer import (
     dataset_size_gb,
     synthesize_heap,
 )
-from repro.rdbms.uda import UDA, AvgUDA, SGDState, SGDUDA
+from repro.rdbms.uda import (
+    UDA,
+    AvgUDA,
+    MultiSGDState,
+    MultiSGDUDA,
+    SGDState,
+    SGDUDA,
+)
 
 __all__ = [
     "PAGE_SIZE_BYTES",
@@ -66,8 +80,12 @@ __all__ = [
     "Shuffle",
     "ShuffleOnce",
     "run_aggregate",
+    "run_aggregates",
     "UDA",
     "AvgUDA",
+    "MultiSGDState",
+    "MultiSGDUDA",
+    "MultiTrainingReport",
     "SGDUDA",
     "SGDState",
     "BismarckSession",

@@ -38,9 +38,9 @@ from repro.optim.schedules import (
 )
 from repro.rdbms.catalog import Catalog, TableInfo
 from repro.rdbms.cost_model import CostModel, RuntimeBreakdown, WorkCounters
-from repro.rdbms.executor import ShuffleOnce, run_aggregate
+from repro.rdbms.executor import ShuffleOnce, run_aggregate, run_aggregates
 from repro.rdbms.storage import BufferPool
-from repro.rdbms.uda import SGDState, SGDUDA
+from repro.rdbms.uda import MultiSGDUDA, SGDState, SGDUDA
 from repro.utils.rng import RandomState, as_generator, spawn_generators
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -63,6 +63,39 @@ class TrainingReport:
     converged_early: bool = False
     algorithm: str = "noiseless"
     noise_draws: int = 0
+
+    @property
+    def total_runtime(self) -> RuntimeBreakdown:
+        total = RuntimeBreakdown()
+        for epoch in self.epochs:
+            total = total + epoch.runtime
+        return total
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.total_runtime.total
+
+
+@dataclass
+class MultiTrainingReport:
+    """The outcome of one fused K-model in-RDBMS training run.
+
+    ``models`` is the ``(K, d)`` matrix of trained models. The per-epoch
+    runtime reports charge the scan — tuples streamed, pages requested,
+    shuffle work — **once**, while gradient/update/noise work is charged
+    K-fold; contrast with K separate :class:`TrainingReport` runs, whose
+    totals repeat the scan K times. That difference is exactly the
+    shared-scan amortization the cost model quantifies.
+    """
+
+    models: np.ndarray
+    epochs: List[EpochReport] = field(default_factory=list)
+    algorithm: str = "noiseless-multi"
+    noise_draws: int = 0
+
+    @property
+    def num_models(self) -> int:
+        return int(self.models.shape[0])
 
     @property
     def total_runtime(self) -> RuntimeBreakdown:
@@ -233,6 +266,116 @@ class BismarckSession:
             converged_early=converged,
             algorithm=algorithm_label,
             noise_draws=total_noise_draws,
+        )
+
+    def run_sgd_multi(
+        self,
+        table_name: str,
+        uda: MultiSGDUDA,
+        epochs: int,
+        *,
+        fresh_permutation_each_epoch: bool = False,
+        random_state: RandomState = None,
+        algorithm_label: str = "noiseless-multi",
+        chunk_size: Optional[int] = None,
+    ) -> MultiTrainingReport:
+        """Train K models in one table scan per epoch — the fused controller.
+
+        Same front-end discipline as :meth:`run_sgd` (shuffle once, one
+        aggregate query per epoch), but the query is the fused
+        :class:`~repro.rdbms.uda.MultiSGDUDA`: the scan streams each tuple
+        block once and every model folds it, so the epoch's page requests
+        and executor work are charged once while gradient/update/noise
+        work is charged per model. This is the Bismarck
+        many-aggregates-one-scan pattern applied to model training.
+        """
+        check_positive_int(epochs, "epochs")
+        table = self.catalog.get(table_name)
+        rng = as_generator(random_state)
+        shuffle = ShuffleOnce(table, self.pool, random_state=rng)
+        K = uda.num_models
+
+        models: Optional[np.ndarray] = None
+        reports: List[EpochReport] = []
+        global_step_offset = 0
+        total_noise_draws = 0
+
+        for epoch in range(1, epochs + 1):
+            if fresh_permutation_each_epoch and epoch > 1:
+                shuffle.reshuffle()
+            hits_before = self.pool.stats.cache_hits
+            misses_before = self.pool.stats.cache_misses
+            updates_before = uda.updates_applied
+            noise_before = uda.noise_draws
+
+            models = run_aggregate(
+                shuffle,
+                uda,
+                chunk_size=chunk_size,
+                models=models,
+                dimension=table.dimension,
+                global_step_offset=global_step_offset,
+            )
+            global_step_offset += -(-table.num_tuples // uda.batch_size)
+
+            scan_updates = uda.updates_applied - updates_before
+            epoch_noise = uda.noise_draws - noise_before
+            total_noise_draws += epoch_noise
+            work = WorkCounters(
+                # The scan is shared: tuples stream (and pages are
+                # requested) once per epoch regardless of K...
+                tuples_processed=table.num_tuples,
+                shuffled_tuples=table.num_tuples
+                if epoch == 1 or fresh_permutation_each_epoch
+                else 0,
+                page_hits=self.pool.stats.cache_hits - hits_before,
+                page_misses=self.pool.stats.cache_misses - misses_before,
+                # ...while per-model arithmetic is honestly charged K-fold.
+                gradient_evaluations=table.num_tuples * K,
+                batch_updates=scan_updates * K,
+                noise_draws=epoch_noise,
+                dimension=table.dimension,
+            )
+            reports.append(
+                EpochReport(
+                    epoch=epoch,
+                    loss_value=None,
+                    runtime=self.cost_model.charge(work),
+                )
+            )
+
+        assert models is not None
+        return MultiTrainingReport(
+            models=models,
+            epochs=reports,
+            algorithm=algorithm_label,
+            noise_draws=total_noise_draws,
+        )
+
+    def run_noiseless_multi(
+        self,
+        table_name: str,
+        losses,
+        schedules,
+        epochs: int,
+        batch_size: int = 1,
+        projections=None,
+        random_state: RandomState = None,
+        chunk_size: Optional[int] = None,
+    ) -> MultiTrainingReport:
+        """Fused grid training: K (loss, schedule) candidates, one scan.
+
+        The convenience wrapper the tuning workloads use — build the fused
+        UDA from per-candidate losses/schedules and run it through
+        :meth:`run_sgd_multi`.
+        """
+        uda = MultiSGDUDA(losses, schedules, batch_size, projections)
+        return self.run_sgd_multi(
+            table_name,
+            uda,
+            epochs,
+            random_state=random_state,
+            chunk_size=chunk_size,
         )
 
     # -- the three algorithm entry points -------------------------------------------

@@ -38,7 +38,7 @@ resulting model are path-independent; the golden tests in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -218,6 +218,12 @@ class ShuffleOnce:
         )
 
 
+#: Average tuples per distinct page above which a chunk is "dense" enough
+#: for the grouped per-page row gather to beat scalar row copies (below
+#: it, per-group NumPy call overhead exceeds the copies it replaces).
+_DENSE_GATHER_THRESHOLD = 4
+
+
 def _gather_permuted_chunks(
     table: TableInfo,
     pool: BufferPool,
@@ -225,27 +231,68 @@ def _gather_permuted_chunks(
     permutation: np.ndarray,
     chunk_size: int,
 ) -> Iterator[ChunkItem]:
-    """Gather permuted tuples into blocks, charging one page request each.
+    """Gather permuted tuples into blocks with page-grouped row copies.
 
-    Shared by the two shuffle operators: the chunked path must preserve
-    both the visit order and the page-request accounting of the per-tuple
-    path, only the delivery granularity changes.
+    Shared by the two shuffle operators. Every tuple still pins its page
+    through the buffer pool in visit order — one ``get_page`` per tuple —
+    so ``OperatorStats``, the pool's hit/miss/eviction counters, and the
+    LRU recency state are *exactly* the per-tuple path's in every regime,
+    resident or thrashing (the golden tests in
+    ``tests/test_rdbms_engine.py`` and the eviction-regime test in
+    ``tests/test_multimodel_equivalence.py`` lock this in).
+
+    The speedup comes from the row copies: ``divmod`` is vectorized for
+    the whole chunk, and when the chunk is *dense* — at least
+    ``_DENSE_GATHER_THRESHOLD`` tuples per distinct page on average
+    (clustered permutations, or chunks spanning a small table, e.g. every
+    golden-test and Bismarck-example configuration) — each page's rows
+    land in the block via one fancy-indexed gather instead of scalar
+    copies. Sparse chunks (a random permutation over a many-page table)
+    keep the scalar copy per tuple, which measures faster there than any
+    grouped form: with ~1 tuple per page there is nothing to batch.
     """
     check_positive_int(chunk_size, "chunk_size")
     per_page = tuples_per_page(table.dimension)
     d = table.dimension
+    heap = table.heap
+    get_page = pool.get_page
     m = len(permutation)
     for start in range(0, m, chunk_size):
-        ids = permutation[start : start + chunk_size]
-        X_block = np.empty((len(ids), d), dtype=np.float64)
-        y_block = np.empty(len(ids), dtype=np.float64)
-        for j, tuple_id in enumerate(ids):
-            page_id, row = divmod(int(tuple_id), per_page)
-            page = pool.get_page(table.heap, page_id)
-            stats.pages_requested += 1
-            stats.tuples_produced += 1
-            X_block[j] = page.features[row]
-            y_block[j] = page.labels[row]
+        ids = np.asarray(permutation[start : start + chunk_size], dtype=np.int64)
+        n = len(ids)
+        page_ids, rows = np.divmod(ids, per_page)
+        X_block = np.empty((n, d), dtype=np.float64)
+        y_block = np.empty(n, dtype=np.float64)
+
+        # Stable sort groups equal pages while preserving visit order
+        # inside each group; group starts are the boundaries.
+        order = np.argsort(page_ids, kind="stable")
+        sorted_pages = page_ids[order]
+        boundaries = np.flatnonzero(
+            np.r_[True, sorted_pages[1:] != sorted_pages[:-1]]
+        )
+        boundaries = np.r_[boundaries, n]
+        distinct = len(boundaries) - 1
+
+        if n >= _DENSE_GATHER_THRESHOLD * distinct:
+            pages = {}
+            for page_id in page_ids.tolist():
+                pages[page_id] = get_page(heap, page_id)
+            for group in range(distinct):
+                members = order[boundaries[group] : boundaries[group + 1]]
+                page = pages[int(sorted_pages[boundaries[group]])]
+                page_rows = rows[members]
+                X_block[members] = page.features[page_rows]
+                y_block[members] = page.labels[page_rows]
+        else:
+            row_list = rows.tolist()
+            for j, page_id in enumerate(page_ids.tolist()):
+                page = get_page(heap, page_id)
+                row = row_list[j]
+                X_block[j] = page.features[row]
+                y_block[j] = page.labels[row]
+        stats.pages_requested += n
+        stats.tuples_produced += n
         yield X_block, y_block
 
 
@@ -267,3 +314,48 @@ def run_aggregate(
         for features, labels in source.scan_chunks(chunk_size):
             state = uda.transition_batch(state, features, labels)
     return uda.terminate(state)
+
+
+def run_aggregates(
+    source,
+    udas: Sequence[UDA],
+    *,
+    chunk_size: Optional[int] = None,
+    initialize_kwargs: Optional[Any] = None,
+) -> list:
+    """Evaluate ``SELECT uda_1(...), ..., uda_K(...) FROM source``.
+
+    The Bismarck shared-scan form: K aggregates fold the *same* tuple
+    stream, so the scan — and every page request it makes — is paid once
+    instead of K times. ``initialize_kwargs`` is either one dict shared by
+    every UDA or a sequence of K per-UDA dicts. Returns the K terminate
+    values in UDA order.
+
+    (A :class:`repro.rdbms.uda.MultiSGDUDA` additionally fuses the models'
+    arithmetic into one state; this function is the generic form that
+    shares the scan across arbitrary independent aggregates.)
+    """
+    udas = list(udas)
+    if len(udas) == 0:
+        raise ValueError("at least one UDA is required")
+    if initialize_kwargs is None:
+        kwargs_list = [{} for _ in udas]
+    elif isinstance(initialize_kwargs, dict):
+        kwargs_list = [initialize_kwargs for _ in udas]
+    else:
+        kwargs_list = list(initialize_kwargs)
+        if len(kwargs_list) != len(udas):
+            raise ValueError(
+                f"initialize_kwargs must match the {len(udas)} UDAs, "
+                f"got {len(kwargs_list)} entries"
+            )
+    states = [uda.initialize(**kwargs) for uda, kwargs in zip(udas, kwargs_list)]
+    if chunk_size is None:
+        for features, label in source:
+            for i, uda in enumerate(udas):
+                states[i] = uda.transition(states[i], features, label)
+    else:
+        for features, labels in source.scan_chunks(chunk_size):
+            for i, uda in enumerate(udas):
+                states[i] = uda.transition_batch(states[i], features, labels)
+    return [uda.terminate(state) for uda, state in zip(udas, states)]

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.optim.losses import Loss
-from repro.optim.projection import IdentityProjection, Projection
+from repro.optim.losses import Loss, fusion_groups
+from repro.optim.projection import IdentityProjection, Projection, rows_projector
 from repro.optim.schedules import StepSizeSchedule
 from repro.utils.validation import check_positive_int
 
@@ -138,6 +138,12 @@ class SGDUDA(UDA):
         #: Gradient updates applied during the lifetime of this UDA object;
         #: the cost model charges per-update work through this counter.
         self.updates_applied = 0
+        # Cached schedule.rates vector, grown geometrically: the streaming
+        # UDA does not know its total step count up front, but
+        # rates(n)[t-1] == rate(t) exactly (schedule property tests), so
+        # serving steps from the cache instead of a per-step rate(t) call
+        # is a pure speedup.
+        self._rates_cache: Optional[np.ndarray] = None
 
     def initialize(
         self, model: Optional[np.ndarray] = None, dimension: Optional[int] = None,
@@ -199,8 +205,16 @@ class SGDUDA(UDA):
 
     # -- internals ------------------------------------------------------------
 
+    def _rate(self, t: int) -> float:
+        """Step size for update ``t``, served from the cached rates vector."""
+        cache = self._rates_cache
+        if cache is None or t > cache.shape[0]:
+            total = max(t, 64 if cache is None else 2 * cache.shape[0])
+            self._rates_cache = cache = self.schedule.rates(total)
+        return float(cache[t - 1])
+
     def _apply_batch(self, state: SGDState) -> None:
-        eta = self.schedule.rate(state.next_step_index)
+        eta = self._rate(state.next_step_index)
         mean_gradient = state.accumulated_gradient / state.examples_in_batch
         mean_gradient = self._adjust_gradient(state, mean_gradient)
         state.model = self.projection(state.model - eta * mean_gradient)
@@ -216,4 +230,213 @@ class SGDUDA(UDA):
         algorithms need to modify — see Figure 1 (C) and
         :class:`repro.rdbms.bismarck.NoisySGDUDA`.
         """
+        return gradient
+
+
+@dataclass
+class MultiSGDState:
+    """The fused K-model SGD aggregation state.
+
+    The per-model ``model``/``accumulated_gradient`` vectors of
+    :class:`SGDState` become ``(K, d)`` matrices; the batch counters stay
+    scalar because the fused scan steps every model at the same tuple
+    positions (shared batch size — that lockstep is what lets one scan
+    feed K models).
+    """
+
+    models: np.ndarray
+    accumulated_gradient: np.ndarray
+    examples_in_batch: int
+    batches_completed: int
+    global_step_offset: int
+
+    @property
+    def next_step_index(self) -> int:
+        """1-based global index of the *next* mini-batch update."""
+        return self.global_step_offset + self.batches_completed + 1
+
+    @property
+    def num_models(self) -> int:
+        return int(self.models.shape[0])
+
+
+class MultiSGDUDA(UDA):
+    """K SGD epochs as ONE aggregate — the Bismarck shared-scan trick.
+
+    Classic in-RDBMS analytics amortizes table scans by evaluating many
+    aggregates over one tuple stream; this UDA does the same for SGD
+    models: a single ``SELECT multi_sgd_agg(...)`` trains a whole
+    hyper-parameter grid, paying the scan (and its page requests) once
+    instead of K times. Per-model heterogeneity mirrors
+    :class:`repro.optim.psgd.ModelSpec`: each model has its own loss
+    (regularization), step-size schedule, projection, and optional
+    per-batch ``noise_sampler`` (the white-box baselines' hook,
+    ``(step_index, dimension) -> vector``). The batch size is shared — it
+    defines the lockstep mini-batch boundaries of the scan.
+
+    Per model, the result is identical (to floating-point rounding of the
+    batched contractions, bounded at 1e-12 by the multi-model equivalence
+    suite) to running K separate :class:`SGDUDA` epochs over the same
+    shuffled stream.
+    """
+
+    def __init__(
+        self,
+        losses: Sequence[Loss],
+        schedules: Sequence[StepSizeSchedule],
+        batch_size: int = 1,
+        projections: Optional[Sequence[Optional[Projection]]] = None,
+        noise_samplers: Optional[Sequence[Optional[Callable[[int, int], np.ndarray]]]] = None,
+    ):
+        self.losses = list(losses)
+        self.schedules = list(schedules)
+        if len(self.losses) == 0:
+            raise ValueError("at least one model is required")
+        if len(self.schedules) != len(self.losses):
+            raise ValueError(
+                f"got {len(self.losses)} losses but {len(self.schedules)} schedules"
+            )
+        K = len(self.losses)
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        if projections is None:
+            projections = [None] * K
+        if len(projections) != K:
+            raise ValueError(f"projections must have {K} entries")
+        self.projections: list[Projection] = [
+            p if p is not None else IdentityProjection() for p in projections
+        ]
+        if noise_samplers is None:
+            noise_samplers = [None] * K
+        if len(noise_samplers) != K:
+            raise ValueError(f"noise_samplers must have {K} entries")
+        self.noise_samplers = list(noise_samplers)
+        #: Scan-level mini-batch updates applied (each steps all K models).
+        self.updates_applied = 0
+        #: Total noise-sampler invocations across models.
+        self.noise_draws = 0
+        # Execution plan: fusable gradient groups + compiled row projector
+        # + per-model cached rate vectors (grown on demand).
+        self._groups = fusion_groups(self.losses)
+        self._projector = rows_projector(self.projections)
+        self._rates_matrix: Optional[np.ndarray] = None
+
+    @property
+    def num_models(self) -> int:
+        return len(self.losses)
+
+    # -- the three-function contract -------------------------------------------
+
+    def initialize(
+        self,
+        models: Optional[np.ndarray] = None,
+        dimension: Optional[int] = None,
+        global_step_offset: int = 0,
+        **kwargs: Any,
+    ) -> MultiSGDState:
+        K = self.num_models
+        if models is None:
+            if dimension is None:
+                raise ValueError("initialize needs either models or a dimension")
+            models = np.zeros((K, int(dimension)), dtype=np.float64)
+        models = np.array(models, dtype=np.float64, copy=True)
+        if models.ndim != 2 or models.shape[0] != K:
+            raise ValueError(
+                f"models must have shape ({K}, d), got {models.shape}"
+            )
+        if self._projector is not None:
+            models = self._projector(models)
+        return MultiSGDState(
+            models=models,
+            accumulated_gradient=np.zeros_like(models),
+            examples_in_batch=0,
+            batches_completed=0,
+            global_step_offset=int(global_step_offset),
+        )
+
+    def transition(
+        self, state: MultiSGDState, features: np.ndarray, label: float
+    ) -> MultiSGDState:
+        """Per-tuple reference path: one scalar gradient per model."""
+        for k, loss in enumerate(self.losses):
+            state.accumulated_gradient[k] += loss.gradient(
+                state.models[k], features, label
+            )
+        state.examples_in_batch += 1
+        if state.examples_in_batch >= self.batch_size:
+            self._apply_batch(state)
+        return state
+
+    def transition_batch(
+        self, state: MultiSGDState, features: np.ndarray, labels: np.ndarray
+    ) -> MultiSGDState:
+        """Fold a tuple block in mini-batch-sized *fused* steps.
+
+        Same segment discipline as :meth:`SGDUDA.transition_batch` — the
+        models step at exactly the same tuple positions as the per-tuple
+        path — but each segment's K gradient sums collapse into the
+        grouped ``batch_gradient_multi`` contractions.
+        """
+        n = int(features.shape[0])
+        start = 0
+        while start < n:
+            take = min(self.batch_size - state.examples_in_batch, n - start)
+            segment_X = features[start : start + take]
+            segment_y = labels[start : start + take]
+            for rep, idx, lams in self._groups:
+                mean = rep.batch_gradient_multi(
+                    state.models[idx], segment_X, segment_y, regularization=lams
+                )
+                state.accumulated_gradient[idx] += mean * take
+            state.examples_in_batch += take
+            start += take
+            if state.examples_in_batch >= self.batch_size:
+                self._apply_batch(state)
+        return state
+
+    def terminate(self, state: MultiSGDState) -> np.ndarray:
+        if state.examples_in_batch > 0:
+            self._apply_batch(state)
+        return state.models
+
+    # -- internals ------------------------------------------------------------
+
+    def _rates(self, t: int) -> np.ndarray:
+        """The (K,) step-size column for update ``t`` (cached, grown)."""
+        matrix = self._rates_matrix
+        if matrix is None or t > matrix.shape[1]:
+            total = max(t, 64 if matrix is None else 2 * matrix.shape[1])
+            self._rates_matrix = matrix = np.stack(
+                [schedule.rates(total) for schedule in self.schedules]
+            )
+        return matrix[:, t - 1]
+
+    def _apply_batch(self, state: MultiSGDState) -> None:
+        step = state.next_step_index
+        eta = self._rates(step)
+        mean_gradient = state.accumulated_gradient / state.examples_in_batch
+        mean_gradient = self._adjust_gradient(state, mean_gradient)
+        models = state.models - eta[:, None] * mean_gradient
+        if self._projector is not None:
+            models = self._projector(models)
+        state.models = models
+        state.accumulated_gradient[:] = 0.0
+        state.examples_in_batch = 0
+        state.batches_completed += 1
+        self.updates_applied += 1
+
+    def _adjust_gradient(
+        self, state: MultiSGDState, gradient: np.ndarray
+    ) -> np.ndarray:
+        """Per-model noise hook — the white-box integration surface.
+
+        Each model's sampler fires once per completed mini-batch with the
+        same ``(step_index, dimension)`` arguments its standalone
+        :class:`repro.rdbms.bismarck.NoisySGDUDA` would have seen.
+        """
+        for k, sampler in enumerate(self.noise_samplers):
+            if sampler is not None:
+                self.noise_draws += 1
+                gradient[k] = gradient[k] + sampler(
+                    state.next_step_index, gradient.shape[1]
+                )
         return gradient

@@ -39,6 +39,26 @@ from repro.utils.validation import check_matrix_labels, check_positive
 TrainerFactory = Callable[[Dict], Callable[..., object]]
 
 
+def resolve_fused(trainer_factory: TrainerFactory, fused: Optional[bool]) -> bool:
+    """Shared fused-path dispatch for the two tuning entry points.
+
+    ``fused=None`` fuses exactly when the factory is *structural* (exposes
+    ``candidate(theta)`` — the :class:`repro.core.bolton.
+    BoltOnTrainerFactory` contract); forcing ``fused=True`` on an opaque
+    factory raises, since the engine cannot see inside a trainer closure.
+    """
+    fusable = hasattr(trainer_factory, "candidate")
+    if fused is None:
+        return fusable
+    if fused and not fusable:
+        raise ValueError(
+            "fused tuning needs a structural factory exposing "
+            "candidate(theta) — e.g. repro.core.bolton.BoltOnTrainerFactory; "
+            "pass fused=False to train opaque trainers sequentially"
+        )
+    return fused
+
+
 @dataclass
 class TuningOutcome:
     """The released model plus full (private-safe) diagnostics."""
@@ -106,6 +126,7 @@ def privately_tuned_sgd(
     delta: float = 0.0,
     random_state: RandomState = None,
     accountant: Optional[PrivacyAccountant] = None,
+    fused: Optional[bool] = None,
 ) -> TuningOutcome:
     """Run Algorithm 3 end to end.
 
@@ -114,6 +135,15 @@ def privately_tuned_sgd(
     result exposes ``predict``. Each candidate trains on its own disjoint
     slice with the full (ε, δ) (parallel composition); selection uses the
     exponential mechanism at ε.
+
+    ``fused=None`` (default) trains all partitions' models through the
+    fused engine whenever the factory is structural (exposes
+    ``candidate(theta)``): the near-equal partitions are stacked into
+    ``(K, m_i, d)`` tensors (one fused run per distinct partition size —
+    ``array_split`` produces at most two) and every candidate keeps its
+    own permutation and noise streams, so the fused result matches the
+    sequential path to the engines' 1e-12 equivalence bound. Opaque
+    trainers keep the sequential reference path.
     """
     X, y = check_matrix_labels(X, y)
     privacy = PrivacyParameters(epsilon, delta)
@@ -126,14 +156,44 @@ def privately_tuned_sgd(
     portions = partition_dataset(X, y, l + 1, master)
     X_val, y_val = portions[-1]
 
-    results = []
-    error_counts: List[int] = []
-    for theta, (X_i, y_i), rng in zip(candidates, portions[:-1], trainer_rngs):
-        trainer = trainer_factory(theta)
-        result = trainer(X_i, y_i, epsilon=epsilon, delta=delta, random_state=rng)
+    fused = resolve_fused(trainer_factory, fused)
+    if fused:
+        from repro.core.bolton import private_psgd_fleet
+
+        specs = [trainer_factory.candidate(theta) for theta in candidates]
+        by_size: dict[int, List[int]] = {}
+        for index, (X_i, _) in enumerate(portions[:-1]):
+            by_size.setdefault(X_i.shape[0], []).append(index)
+        results: List = [None] * l
+        for indices in by_size.values():
+            fleet = private_psgd_fleet(
+                np.stack([portions[i][0] for i in indices]),
+                np.stack([portions[i][1] for i in indices]),
+                [specs[i] for i in indices],
+                epsilon,
+                delta=delta,
+                random_states=[trainer_rngs[i] for i in indices],
+            )
+            for i, result in zip(indices, fleet):
+                results[i] = result
         if accountant is not None:
-            accountant.spend_parallel(privacy, group="tuning-train", label=str(theta))
-        results.append(result)
+            for theta in candidates:
+                accountant.spend_parallel(
+                    privacy, group="tuning-train", label=str(theta)
+                )
+    else:
+        results = []
+        for theta, (X_i, y_i), rng in zip(candidates, portions[:-1], trainer_rngs):
+            trainer = trainer_factory(theta)
+            result = trainer(X_i, y_i, epsilon=epsilon, delta=delta, random_state=rng)
+            if accountant is not None:
+                accountant.spend_parallel(
+                    privacy, group="tuning-train", label=str(theta)
+                )
+            results.append(result)
+
+    error_counts: List[int] = []
+    for result in results:
         predictions = result.predict(X_val)
         error_counts.append(int(np.sum(predictions != y_val)))
 

@@ -5,17 +5,25 @@ privacy needs to be spent on tuning: train each candidate on the public
 training split, score on the public validation split, and use the best
 parameters when training the *private* model on the private data. This is
 the setting behind Figure 3 (and Figure 8).
+
+All candidates read the same public training split, which makes this the
+textbook fused workload: with a structural factory (one exposing
+``candidate(theta)``, e.g. :class:`repro.core.bolton.BoltOnTrainerFactory`)
+the whole grid trains in **one data scan** through
+:func:`repro.core.bolton.private_psgd_fleet` — the default whenever the
+factory supports it. Opaque trainer callables keep the sequential
+reference path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.tuning.grid import ParameterGrid
-from repro.tuning.private import TrainerFactory
+from repro.tuning.private import TrainerFactory, resolve_fused
 from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import check_matrix_labels
 
@@ -40,6 +48,7 @@ def tune_on_public_data(
     *,
     delta: float = 0.0,
     random_state: RandomState = None,
+    fused: Optional[bool] = None,
 ) -> PublicTuningOutcome:
     """Exhaustive grid search on public data.
 
@@ -47,20 +56,43 @@ def tune_on_public_data(
     run will use so the selected hyper-parameters account for the noise
     level they will face (matching the paper's methodology of evaluating
     each algorithm at each ε).
+
+    ``fused=None`` (the default) trains the whole grid in one fused data
+    scan whenever ``trainer_factory`` exposes ``candidate(theta)`` (the
+    structural contract of :class:`repro.core.bolton.BoltOnTrainerFactory`)
+    and falls back to per-candidate sequential training otherwise;
+    ``fused=False`` forces the sequential reference path.
     """
     X_train, y_train = check_matrix_labels(X_train, y_train)
     X_val, y_val = check_matrix_labels(X_val, y_val)
     candidates = grid.candidates()
-    rngs = spawn_generators(random_state, len(candidates))
+    fused = resolve_fused(trainer_factory, fused)
+    if fused:
+        from repro.core.bolton import private_psgd_fleet
+
+        rngs = spawn_generators(random_state, len(candidates) + 1)
+        results = private_psgd_fleet(
+            X_train,
+            y_train,
+            [trainer_factory.candidate(theta) for theta in candidates],
+            epsilon,
+            delta=delta,
+            random_states=rngs[:-1],
+            scan_random_state=rngs[-1],
+        )
+    else:
+        rngs = spawn_generators(random_state, len(candidates))
+        results = [
+            trainer_factory(theta)(
+                X_train, y_train, epsilon=epsilon, delta=delta, random_state=rng
+            )
+            for theta, rng in zip(candidates, rngs)
+        ]
 
     scores: List[tuple[Dict, float]] = []
     best_parameters: Dict = {}
     best_accuracy = -1.0
-    for theta, rng in zip(candidates, rngs):
-        trainer = trainer_factory(theta)
-        result = trainer(
-            X_train, y_train, epsilon=epsilon, delta=delta, random_state=rng
-        )
+    for theta, result in zip(candidates, results):
         accuracy = float(np.mean(result.predict(X_val) == y_val))
         scores.append((theta, accuracy))
         if accuracy > best_accuracy:

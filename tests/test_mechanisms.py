@@ -194,3 +194,39 @@ class TestMechanismFor:
         assert isinstance(
             mechanism_for(PrivacyParameters(1.0, 1e-6)), GaussianMechanism
         )
+
+
+class TestSampleBatch:
+    """The blocked-draw contract: ``sample_batch(n)`` == n ``sample`` calls.
+
+    This is what lets the white-box baselines pre-draw an epoch's noise
+    without changing any seeded run: row i of the batch must be exactly
+    the i-th per-step draw from the same generator state.
+    """
+
+    def test_gaussian_batch_matches_per_step_stream(self):
+        mech = GaussianMechanism()
+        privacy = PrivacyParameters(0.7, 1e-6)
+        batch = mech.sample_batch(23, 9, 0.31, privacy, np.random.default_rng(42))
+        rng = np.random.default_rng(42)
+        singles = np.stack([mech.sample(9, 0.31, privacy, rng) for _ in range(23)])
+        assert batch.shape == (23, 9)
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_spherical_laplace_batch_matches_per_step_stream(self):
+        mech = SphericalLaplaceMechanism()
+        privacy = PrivacyParameters(0.9)
+        batch = mech.sample_batch(17, 6, 0.05, privacy, np.random.default_rng(7))
+        rng = np.random.default_rng(7)
+        singles = np.stack([mech.sample(6, 0.05, privacy, rng) for _ in range(17)])
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_zero_count(self):
+        mech = GaussianMechanism()
+        privacy = PrivacyParameters(1.0, 1e-6)
+        assert mech.sample_batch(0, 4, 1.0, privacy, np.random.default_rng(0)).shape == (0, 4)
+
+    def test_negative_count_rejected(self):
+        mech = SphericalLaplaceMechanism()
+        with pytest.raises(ValueError, match="non-negative"):
+            mech.sample_batch(-1, 4, 1.0, PrivacyParameters(1.0), np.random.default_rng(0))

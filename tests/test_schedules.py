@@ -130,3 +130,46 @@ class TestValidators:
     def test_capped_schedule_passes_strongly_convex_validator(self):
         schedule = CappedInverseTSchedule(beta=2.0, gamma=0.01)
         validate_strongly_convex_step_size(schedule, beta=2.0, total=500)
+
+
+class TestRatesExactness:
+    """``rates(n)[t-1] == rate(t)`` *exactly* for every schedule subclass.
+
+    The hot loops (PSGD, SGDUDA, the fused multi-model engine) cache the
+    ``rates`` vector once per run instead of calling ``rate(t)`` per step;
+    the caching is only sound because the vectorized closed forms produce
+    bit-identical floats. Covers every concrete subclass in the module —
+    a new subclass with a mismatched override fails here.
+    """
+
+    SCHEDULES = [
+        pytest.param(ConstantSchedule(0.0731), id="constant"),
+        pytest.param(InverseTSchedule(gamma=0.137), id="inverse-t"),
+        pytest.param(CappedInverseTSchedule(beta=1.7, gamma=0.013), id="capped-inverse-t"),
+        pytest.param(InverseSqrtTSchedule(eta0=0.83), id="inverse-sqrt-t"),
+        pytest.param(DecreasingSchedule(beta=1.3, m=197, c=0.41), id="decreasing"),
+        pytest.param(SquareRootSchedule(beta=0.7, m=511, c=0.77), id="square-root"),
+        pytest.param(BST14Schedule(radius=3.1, gradient_bound=17.3), id="bst14"),
+    ]
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    @pytest.mark.parametrize("total", [0, 1, 7, 255])
+    def test_rates_bitwise_equal_scalar_path(self, schedule, total):
+        vector = schedule.rates(total)
+        assert vector.shape == (total,)
+        assert vector.dtype == np.float64
+        scalar = np.array([schedule.rate(t) for t in range(1, total + 1)])
+        # Exact equality, not allclose: the engines substitute the cached
+        # vector for the per-step calls.
+        assert np.array_equal(vector, scalar)
+
+    def test_all_subclasses_covered(self):
+        from repro.optim.schedules import StepSizeSchedule
+
+        covered = {type(p.values[0]) for p in self.SCHEDULES}
+        assert set(StepSizeSchedule.__subclasses__()) <= covered
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_negative_total_rejected(self, schedule):
+        with pytest.raises(ValueError, match="non-negative"):
+            schedule.rates(-1)
