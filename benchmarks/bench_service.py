@@ -1,0 +1,157 @@
+"""Service-level benchmark: fused vs sequential dispatch at 32 jobs.
+
+The shared-scan scheduler's win is I/O amortization: a window of K
+compatible jobs costs one job's page requests instead of K. This bench
+measures that on the standard service shape — **32 concurrent jobs on
+one table** — plus wall-clock jobs/sec for both dispatch modes, and it
+gates CI on the structural claim:
+
+* ``python benchmarks/bench_service.py --gate`` **exits 1 unless the
+  fused dispatch makes at least 3x fewer page requests** than the
+  sequential dispatch for the same 32-job workload (the measured ratio
+  is 32x: one shared scan vs 32 scans), and unless every fused job's
+  weights are bitwise-identical to its sequential twin's.
+
+Timings and page counts append to ``BENCH_hotloops.json`` under the
+``"service"`` key, extending the machine-readable perf trajectory
+(scalar → vectorized → fused → shared-scan service).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+# Direct script execution (`python benchmarks/bench_service.py`) puts only
+# benchmarks/ on sys.path; make the package, tests.conftest, and the
+# sibling bench module importable the same way conftest.py does.
+_here = pathlib.Path(__file__).resolve().parent
+for _path in (str(_here.parent / "src"), str(_here.parent), str(_here)):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import numpy as np
+
+from bench_hotloops import _write_results
+from repro.optim.losses import LogisticLoss
+from repro.service import JobStatus, TrainingService
+from tests.conftest import make_binary_data
+
+#: The standard service shape: 32 concurrent jobs on one m x d table.
+JOBS, M, D = 32, 5000, 50
+PASSES, BATCH = 2, 50
+EPS = 0.05
+
+#: --gate fails below this sequential-over-fused page-request ratio.
+PAGE_RATIO_FLOOR = 3.0
+
+
+def _build_service(fuse: bool) -> TrainingService:
+    X, y = make_binary_data(M, D, seed=77)
+    service = TrainingService(fuse=fuse, scan_seed=11, batching_window=JOBS)
+    service.register_table("bench", X, y)
+    service.open_budget("bench-tenant", "bench", JOBS * EPS + 1e-9)
+    return service
+
+
+def _submit_workload(service: TrainingService) -> list:
+    lambdas = np.logspace(-4, -1, 8)
+    return [
+        service.submit(
+            "bench-tenant",
+            "bench",
+            LogisticLoss(regularization=float(lambdas[j % len(lambdas)])),
+            epsilon=EPS,
+            passes=PASSES,
+            batch_size=BATCH,
+            seed=7000 + j,
+        )
+        for j in range(JOBS)
+    ]
+
+
+def _run(fuse: bool) -> dict:
+    service = _build_service(fuse)
+    records = _submit_workload(service)
+    pages_before = service.page_reads
+    start = time.perf_counter()
+    service.drain()
+    elapsed = time.perf_counter() - start
+    pages = service.page_reads - pages_before
+    assert all(record.status is JobStatus.COMPLETED for record in records)
+    return {
+        "mode": "fused" if fuse else "sequential",
+        "jobs": JOBS,
+        "seconds": elapsed,
+        "jobs_per_second": JOBS / elapsed,
+        "pages": pages,
+        "pages_per_job": pages / JOBS,
+        "models": np.stack([record.model for record in records]),
+    }
+
+
+def bench_service(gate: bool) -> int:
+    print(f"service shape: {JOBS} jobs, m={M}, d={D}, b={BATCH}, k={PASSES}")
+    fused = _run(fuse=True)
+    sequential = _run(fuse=False)
+
+    bitwise = all(
+        np.array_equal(fused["models"][j], sequential["models"][j])
+        for j in range(JOBS)
+    )
+    ratio = sequential["pages"] / fused["pages"]
+    single_job_pages = PASSES * M
+
+    for row in (fused, sequential):
+        print(
+            f"{row['mode']:>10}: {row['seconds'] * 1e3:8.1f} ms"
+            f"   {row['jobs_per_second']:7.1f} jobs/s"
+            f"   {row['pages']:>7} pages ({row['pages_per_job']:.0f}/job)"
+        )
+    print(f"page ratio:   {ratio:6.1f}x fewer requests fused"
+          f"  (gate: >= {PAGE_RATIO_FLOOR}x)")
+    print(f"one job alone: {single_job_pages} pages "
+          f"-> fused window costs {fused['pages'] / single_job_pages:.2f}x that")
+    print(f"bitwise fused == sequential per job: {bitwise}")
+
+    _write_results(
+        service={
+            "jobs": JOBS,
+            "fused_s": fused["seconds"],
+            "sequential_s": sequential["seconds"],
+            "fused_jobs_per_s": fused["jobs_per_second"],
+            "sequential_jobs_per_s": sequential["jobs_per_second"],
+            "fused_pages": fused["pages"],
+            "sequential_pages": sequential["pages"],
+            "page_ratio": ratio,
+            "single_job_pages": single_job_pages,
+            "bitwise_equal": bitwise,
+        }
+    )
+
+    if gate and (ratio < PAGE_RATIO_FLOOR or not bitwise):
+        if ratio < PAGE_RATIO_FLOOR:
+            print(f"FAIL: fused dispatch below {PAGE_RATIO_FLOOR}x fewer pages")
+        if not bitwise:
+            print("FAIL: fused weights diverged from sequential twins")
+        return 1
+    print("PASS")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 unless fused dispatch makes >= "
+        f"{PAGE_RATIO_FLOOR}x fewer page requests (and stays bitwise-equal)",
+    )
+    args = parser.parse_args(argv)
+    return bench_service(args.gate)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

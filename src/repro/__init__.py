@@ -35,6 +35,9 @@ Subpackages
     One-vs-rest training with privacy-budget splitting.
 ``repro.evaluation``
     The experiment harness regenerating every table and figure.
+``repro.service``
+    The multi-tenant training service: concurrent job scheduling with
+    shared-scan fusion and a two-phase privacy-budget ledger.
 """
 
 from repro.core import (
@@ -56,6 +59,7 @@ from repro.core import (
     private_strongly_convex_psgd,
     train_bolt_on,
 )
+from repro.service import TrainingJob, TrainingService
 from repro.optim import (
     HingeLoss,
     HuberSVMLoss,
@@ -100,4 +104,6 @@ __all__ = [
     "BoltOnTrainerFactory",
     "private_psgd_fleet",
     "train_bolt_on",
+    "TrainingService",
+    "TrainingJob",
 ]

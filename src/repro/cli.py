@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Two subcommands::
+Four subcommands::
 
     python -m repro train --dataset protein --epsilon 0.2 [--delta auto]
         Train a bolt-on private model on a registry dataset and report
@@ -10,6 +10,17 @@ Two subcommands::
         Regenerate one of the cheap paper artefacts and print it. (The
         accuracy figures take minutes; run the benchmark harness for
         those: ``pytest benchmarks/ --benchmark-only``.)
+
+    python -m repro submit --dataset protein --epsilon 0.2 [--budget 1.0]
+        Drive one job through the multi-tenant training service — budget
+        reservation, scheduling, the bolt-on release, the receipt — and
+        report the job record.
+
+    python -m repro serve --jobs 32 --tenants 4 [--no-fuse]
+        The shared-scan scheduling demo: a synthetic mixed-tenant
+        workload against one table, reporting fused-vs-sequential page
+        requests, per-status job counts, and every tenant's budget
+        statement.
 
 The CLI is intentionally a thin shell over the library — everything it
 does is one public API call.
@@ -65,6 +76,44 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "artefact", choices=("table2", "table3", "table4", "fig1", "fig2"),
     )
+
+    submit = sub.add_parser(
+        "submit", help="run one job through the training service"
+    )
+    submit.add_argument(
+        "--dataset", choices=sorted(REGISTRY), default="protein",
+        help="registry dataset (synthetic stand-in)",
+    )
+    submit.add_argument("--epsilon", type=float, required=True)
+    submit.add_argument("--delta", type=float, default=0.0)
+    submit.add_argument(
+        "--budget", type=float, default=None,
+        help="the principal's epsilon cap on the table (default: 2x epsilon)",
+    )
+    submit.add_argument("--principal", default="analyst")
+    submit.add_argument("--passes", type=int, default=5)
+    submit.add_argument("--batch-size", type=int, default=50)
+    submit.add_argument("--regularization", type=float, default=1e-3)
+    submit.add_argument("--scale", type=float, default=None)
+    submit.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="demo the shared-scan scheduler on a mixed-tenant workload"
+    )
+    serve.add_argument("--jobs", type=int, default=32, help="jobs to submit")
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument("--rows", type=int, default=2000)
+    serve.add_argument("--dim", type=int, default=20)
+    serve.add_argument("--passes", type=int, default=2)
+    serve.add_argument("--batch-size", type=int, default=50)
+    serve.add_argument(
+        "--epsilon", type=float, default=0.05, help="epsilon per job"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--no-fuse", action="store_true",
+        help="force the sequential dispatch path (the reference)",
+    )
     return parser
 
 
@@ -119,10 +168,123 @@ def _reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _submit(args: argparse.Namespace) -> int:
+    from repro.optim.losses import LogisticLoss as _Logistic
+    from repro.service import JobStatus, TrainingService
+
+    pair = load_experiment_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    train_ds, test_ds = pair.train, pair.test
+    if train_ds.num_classes != 2:
+        print(
+            f"{args.dataset} is multiclass; the service CLI submits binary "
+            "jobs — use repro.service.TrainingService from Python",
+            file=sys.stderr,
+        )
+        return 2
+    budget = args.budget if args.budget is not None else 2.0 * args.epsilon
+    table_name = train_ds.name.replace("-", "_")  # catalog names are [A-Za-z0-9_]
+
+    service = TrainingService(scan_seed=args.seed)
+    service.register_table(table_name, train_ds.features, train_ds.labels)
+    service.open_budget(args.principal, table_name, budget, args.delta)
+    record = service.submit(
+        args.principal,
+        table_name,
+        _Logistic(regularization=args.regularization),
+        epsilon=args.epsilon,
+        delta=args.delta,
+        passes=args.passes,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    service.drain()
+
+    print(f"job             : {record.job_id} ({args.principal} on {table_name})")
+    print(f"status          : {record.status}")
+    if record.status is JobStatus.COMPLETED:
+        loss = record.job.candidate.loss
+        accuracy = float(
+            (loss.predict(record.model, test_ds.features) == test_ds.labels).mean()
+        )
+        print(f"dispatch        : {record.dispatch} (group of {record.group_size})")
+        print(f"pages charged   : {record.group_pages}")
+        print(f"sensitivity     : {record.sensitivity:.6g}")
+        print(f"noise norm      : {record.noise_norm:.6g}")
+        print(f"receipt         : #{record.receipt.sequence} for {record.receipt.parameters}")
+        print(f"test accuracy   : {accuracy:.4f}")
+    elif record.error:
+        print(f"reason          : {record.error}")
+    statement = service.budgets()[0]
+    print(
+        f"budget          : cap {statement.cap}, spent "
+        f"({statement.spent[0]:g}, {statement.spent[1]:g}), "
+        f"available eps {statement.available_epsilon:g}"
+    )
+    return 0 if record.status is JobStatus.COMPLETED else 1
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data.synthetic import linearly_separable_binary
+    from repro.optim.losses import LogisticLoss as _Logistic
+    from repro.service import TrainingService
+
+    pair = linearly_separable_binary(
+        "served", args.rows, 10, args.dim, random_state=args.seed
+    )
+    table = pair.train
+    service = TrainingService(fuse=not args.no_fuse, scan_seed=args.seed)
+    service.register_table("shared", table.features, table.labels)
+
+    tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
+    jobs_per_tenant = -(-args.jobs // len(tenants))
+    for index, tenant in enumerate(tenants):
+        # The last tenant gets roughly half the allowance it needs, so the
+        # tail of its submissions exercises admission-control rejection.
+        share = jobs_per_tenant if index < len(tenants) - 1 else max(1, jobs_per_tenant // 2)
+        service.open_budget(tenant, "shared", args.epsilon * share + 1e-9)
+
+    lambdas = np.logspace(-4, -2, 5)
+    for j in range(args.jobs):
+        service.submit(
+            tenants[j % len(tenants)],
+            "shared",
+            _Logistic(regularization=float(lambdas[j % len(lambdas)])),
+            epsilon=args.epsilon,
+            passes=args.passes,
+            batch_size=args.batch_size,
+            seed=1000 + j,
+        )
+    service.drain()
+
+    counts = service.registry.counts()
+    single_scan_pages = args.passes * table.size
+    executed = sum(pages for _, _, pages in service.scheduler.dispatch_log)
+    completed = max(counts["completed"], 1)
+    print(f"workload        : {args.jobs} jobs, {len(tenants)} tenants, "
+          f"m={table.size}, d={table.features.shape[1]}")
+    print(f"dispatch mode   : {'sequential (forced)' if args.no_fuse else 'fused'}")
+    print(f"job statuses    : " + ", ".join(
+        f"{name}={count}" for name, count in sorted(counts.items()) if count
+    ))
+    print(f"scan groups     : {len(service.scheduler.dispatch_log)}")
+    print(f"page requests   : {executed} total, {executed / completed:.1f} per "
+          f"completed job ({single_scan_pages} = one job alone)")
+    for statement in service.budgets():
+        print(f"  {statement.principal:>10}: spent eps {statement.spent[0]:.3f} "
+              f"of {statement.cap.epsilon:.3f}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "train":
         return _train(args)
+    if args.command == "submit":
+        return _submit(args)
+    if args.command == "serve":
+        return _serve(args)
     return _reproduce(args)
 
 

@@ -24,6 +24,23 @@ class PrivacyBudgetExceeded(RuntimeError):
     """Raised when a requested spend would exceed the remaining budget."""
 
 
+def would_overflow(budget: PrivacyParameters, epsilon: float, delta: float) -> bool:
+    """Would a cumulative spend of ``(epsilon, delta)`` exceed ``budget``?
+
+    The single source of truth for the accountant's tolerance rule: a
+    relative 1e-12 slack on both coordinates so that splitting a budget
+    into floating-point shares (``split_evenly``) and spending them all
+    back never trips on rounding, plus an absolute 1e-18 slack on delta
+    when the budget is pure (``delta == 0`` would otherwise make *any*
+    rounding dust a violation). The budget ledger of the training service
+    applies the same rule to ``spent + reserved`` so admission control and
+    commit-time accounting can never disagree.
+    """
+    return epsilon > budget.epsilon * (1 + 1e-12) or delta > (
+        budget.delta * (1 + 1e-12) + (1e-18 if budget.delta == 0 else 0)
+    )
+
+
 @dataclass
 class PrivacySpend:
     """A recorded expenditure with a human-readable label."""
@@ -46,14 +63,19 @@ class PrivacyAccountant:
     spends: List[PrivacySpend] = field(default_factory=list)
     _parallel_groups: dict = field(default_factory=dict)
 
+    def can_spend(self, parameters: PrivacyParameters) -> bool:
+        """Would :meth:`spend` of ``parameters`` succeed right now?"""
+        eps, delta = self.total()
+        return not would_overflow(
+            self.budget, eps + parameters.epsilon, delta + parameters.delta
+        )
+
     def spend(self, parameters: PrivacyParameters, label: str = "") -> None:
         """Record a sequential spend, raising if the budget would overflow."""
         eps, delta = self.total()
         new_eps = eps + parameters.epsilon
         new_delta = delta + parameters.delta
-        if new_eps > self.budget.epsilon * (1 + 1e-12) or new_delta > self.budget.delta * (
-            1 + 1e-12
-        ) + (1e-18 if self.budget.delta == 0 else 0):
+        if would_overflow(self.budget, new_eps, new_delta):
             raise PrivacyBudgetExceeded(
                 f"spend {parameters} (label={label!r}) would exceed the "
                 f"budget {self.budget}; already spent ({eps:g}, {delta:g})"
@@ -76,9 +98,7 @@ class PrivacyAccountant:
         if current is not None:
             eps -= current.epsilon
             delta -= current.delta
-        if eps + new_eps > self.budget.epsilon * (1 + 1e-12) or delta + new_delta > (
-            self.budget.delta * (1 + 1e-12) + (1e-18 if self.budget.delta == 0 else 0)
-        ):
+        if would_overflow(self.budget, eps + new_eps, delta + new_delta):
             raise PrivacyBudgetExceeded(
                 f"parallel spend {parameters} in group {group!r} would exceed "
                 f"the budget {self.budget}"

@@ -41,10 +41,25 @@ class OneVsRestResult:
     per_model_privacy: PrivacyParameters
     sub_results: List[object] = field(repr=False, default_factory=list)
 
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """The ``(C, d)`` stacked model matrix.
+
+        Rebuilt from ``models`` on each access (stacking C small vectors
+        is noise next to the score GEMM), so mutating ``models`` is
+        always reflected — no stale cache.
+        """
+        return np.stack([np.asarray(w, dtype=np.float64) for w in self.models])
+
     def decision_scores(self, X: np.ndarray) -> np.ndarray:
-        """Margin <w_c, x> per class; shape (n, C)."""
+        """Margin <w_c, x> per class; shape (n, C).
+
+        One GEMM against the stacked ``(C, d)`` weight matrix — the same
+        margin-matrix form the fused training engine uses — instead of a
+        per-class loop of C matrix-vector products.
+        """
         X = np.asarray(X, dtype=np.float64)
-        return np.column_stack([X @ w for w in self.models])
+        return X @ self.weight_matrix.T
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Class with the largest margin."""

@@ -385,6 +385,31 @@ class _ModelAverager:
         return coeffs
 
 
+def scan_compatibility_key(
+    batch_size: int,
+    passes: int,
+    fresh_permutation_each_pass: bool = False,
+) -> tuple:
+    """Hashable signature of the scan-lockstep knobs of a fused run.
+
+    Two training requests can ride ONE fused :class:`MultiModelPSGD` /
+    :class:`~repro.rdbms.uda.MultiSGDUDA` scan iff they agree on
+    everything that defines the scan *itself*: the mini-batch boundaries
+    (``batch_size``), the number of passes the scan makes, and whether the
+    permutation refreshes each pass. Everything else — loss,
+    regularization, schedule, projection, averaging, noise streams — is
+    per-model state (:class:`ModelSpec`) and never blocks fusion. The
+    training service's shared-scan scheduler groups queued jobs by this
+    key (plus the target table); anything not sharing a key falls back to
+    a sequential dispatch.
+    """
+    return (
+        check_positive_int(batch_size, "batch_size"),
+        check_positive_int(passes, "passes"),
+        bool(fresh_permutation_each_pass),
+    )
+
+
 @dataclass
 class ModelSpec:
     """One model of a fused multi-model run (its *per-model* knobs).

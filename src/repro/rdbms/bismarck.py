@@ -151,6 +151,10 @@ class BismarckSession:
         self.catalog = Catalog()
         self.pool = BufferPool(buffer_pool_pages)
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        # Per-table ShuffleOnce operators kept alive across training runs
+        # (see shared_scan): the session-reuse hook the training service
+        # relies on so every job on a table replays ONE permutation.
+        self._shared_scans: dict[str, ShuffleOnce] = {}
 
     # -- data loading -----------------------------------------------------------
 
@@ -174,6 +178,26 @@ class BismarckSession:
         for _ in self.pool.scan(table.heap):
             pass
 
+    def shared_scan(self, table_name: str, random_state: RandomState = None) -> ShuffleOnce:
+        """Get-or-create the table's *persistent* shuffle operator.
+
+        Bismarck materializes a shuffled copy of each table once and
+        replays it for every epoch; this extends that discipline across
+        *runs*: the first caller fixes the table's permutation (drawn from
+        ``random_state``) and every later training run on the table —
+        fused or standalone, in any order — replays exactly the same tuple
+        order. That permutation-stability is what lets the training
+        service promise bitwise-identical per-job models regardless of how
+        jobs were grouped into scans. Pass the returned operator to
+        :meth:`run_sgd` / :meth:`run_sgd_multi` via ``shuffle=``.
+        """
+        scan = self._shared_scans.get(table_name)
+        if scan is None:
+            table = self.catalog.get(table_name)
+            scan = ShuffleOnce(table, self.pool, random_state=as_generator(random_state))
+            self._shared_scans[table_name] = scan
+        return scan
+
     # -- core epoch loop ----------------------------------------------------------
 
     def run_sgd(
@@ -188,6 +212,7 @@ class BismarckSession:
         random_state: RandomState = None,
         algorithm_label: str = "noiseless",
         chunk_size: Optional[int] = None,
+        shuffle: Optional[ShuffleOnce] = None,
     ) -> TrainingReport:
         """The front-end controller: shuffle once, one UDA query per epoch.
 
@@ -199,11 +224,17 @@ class BismarckSession:
         one at a time through ``UDA.transition``; a positive value streams
         array blocks through ``scan_chunks``/``transition_batch`` — same
         permutation, same page accounting, same model, vectorized hot loop.
+
+        ``shuffle`` reuses an existing operator (typically from
+        :meth:`shared_scan`) instead of drawing a fresh permutation —
+        don't combine it with ``fresh_permutation_each_epoch``, which
+        would reshuffle the shared order under other callers.
         """
         check_positive_int(epochs, "epochs")
         table = self.catalog.get(table_name)
-        rng = as_generator(random_state)
-        shuffle = ShuffleOnce(table, self.pool, random_state=rng)
+        if shuffle is None:
+            rng = as_generator(random_state)
+            shuffle = ShuffleOnce(table, self.pool, random_state=rng)
 
         model: Optional[np.ndarray] = None
         reports: List[EpochReport] = []
@@ -278,6 +309,7 @@ class BismarckSession:
         random_state: RandomState = None,
         algorithm_label: str = "noiseless-multi",
         chunk_size: Optional[int] = None,
+        shuffle: Optional[ShuffleOnce] = None,
     ) -> MultiTrainingReport:
         """Train K models in one table scan per epoch — the fused controller.
 
@@ -291,8 +323,9 @@ class BismarckSession:
         """
         check_positive_int(epochs, "epochs")
         table = self.catalog.get(table_name)
-        rng = as_generator(random_state)
-        shuffle = ShuffleOnce(table, self.pool, random_state=rng)
+        if shuffle is None:
+            rng = as_generator(random_state)
+            shuffle = ShuffleOnce(table, self.pool, random_state=rng)
         K = uda.num_models
 
         models: Optional[np.ndarray] = None

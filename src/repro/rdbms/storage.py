@@ -223,8 +223,22 @@ class BufferPool:
         self._cache: "OrderedDict[tuple[int, int], Page]" = OrderedDict()
         self.stats = BufferPoolStats()
 
-    def get_page(self, heap: HeapFile, page_id: int) -> Page:
-        """Fetch a page through the cache, updating LRU order and stats."""
+    def get_page(
+        self,
+        heap: HeapFile,
+        page_id: int,
+        reader: Optional[Callable[[int], Page]] = None,
+    ) -> Page:
+        """Fetch a page through the cache, updating LRU order and stats.
+
+        ``reader`` optionally replaces ``heap.read_page`` as the miss
+        handler. Accounting is identical either way — the request, the
+        hit/miss classification, the LRU update, and any eviction happen
+        exactly as without it — only the *materialization* of a missed
+        page is delegated. Scan operators use this to memoize synthesized
+        pages (``VirtualHeapFile`` generators are deterministic, so a page
+        materialized moments ago in the same chunk is the same page).
+        """
         key = (id(heap), page_id)
         self.stats.page_reads += 1
         cached = self._cache.get(key)
@@ -233,7 +247,7 @@ class BufferPool:
             self._cache.move_to_end(key)
             return cached
         self.stats.cache_misses += 1
-        page = heap.read_page(page_id)
+        page = heap.read_page(page_id) if reader is None else reader(page_id)
         self._cache[key] = page
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)

@@ -1,0 +1,40 @@
+"""The multi-tenant training service (the serving layer over the engine).
+
+The paper runs private SGD *inside* the data platform; this package is
+the subsystem that makes the platform a long-lived, multi-tenant server:
+jobs arrive from many principals, a shared-scan scheduler fuses
+compatible jobs into single table scans (cross-tenant amortization of
+PR 2's K-models-one-scan engine), and a two-phase privacy-budget ledger
+guarantees that no tenant can exceed their per-dataset (ε, δ) allowance
+— over-budget jobs are rejected before touching data, failed jobs refund
+their reservation, and only released models commit a spend.
+
+Entry point: :class:`TrainingService` (see :mod:`repro.service.server`).
+"""
+
+from repro.service.jobs import JobQueue, JobStatus, TrainingJob
+from repro.service.ledger import (
+    AccountStatement,
+    BudgetDenied,
+    BudgetReceipt,
+    BudgetReservation,
+    PrivacyBudgetLedger,
+)
+from repro.service.registry import JobRecord, ModelRegistry
+from repro.service.scheduler import SharedScanScheduler
+from repro.service.server import TrainingService
+
+__all__ = [
+    "TrainingService",
+    "TrainingJob",
+    "JobQueue",
+    "JobStatus",
+    "JobRecord",
+    "ModelRegistry",
+    "SharedScanScheduler",
+    "PrivacyBudgetLedger",
+    "BudgetDenied",
+    "BudgetReceipt",
+    "BudgetReservation",
+    "AccountStatement",
+]

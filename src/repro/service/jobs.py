@@ -1,0 +1,140 @@
+"""The training service's job model and admission queue.
+
+A :class:`TrainingJob` is one tenant's request to train one bolt-on
+private model against a registered table: *what* to train (a structural
+:class:`~repro.core.bolton.BoltOnCandidate`), *where* (the table name),
+*under which guarantee* (the (ε, δ) the tenant is willing to spend from
+their per-(principal, table) budget account), and *with which randomness*
+(a deterministic seed that fixes the job's private noise stream).
+
+Determinism contract
+--------------------
+
+A job's released weights are a pure function of ``(table contents, the
+table's service-wide scan permutation, candidate, seed)`` — notably *not*
+of the other jobs it shares a scan with, its queue position, or its
+arrival time. The scheduler upholds this by training fused groups in the
+engine's bitwise-``exact`` mode over the session's per-table shared scan
+and by drawing each job's noise from its own seed-spawned stream; the
+scheduler test suite locks the contract in at ``atol=0``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.bolton import BoltOnCandidate
+from repro.core.mechanisms import PrivacyParameters
+from repro.optim.psgd import scan_compatibility_key
+from repro.utils.rng import spawn_generators
+from repro.utils.validation import check_positive
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a submitted job."""
+
+    #: Admitted (budget reserved) and waiting for a scan.
+    QUEUED = "queued"
+    #: Currently part of a dispatched scan.
+    RUNNING = "running"
+    #: Trained and released; budget committed, model in the registry.
+    COMPLETED = "completed"
+    #: Training raised; budget refunded, error recorded.
+    FAILED = "failed"
+    #: Denied at admission (over budget / unknown account); nothing ran,
+    #: nothing was charged — zero pages, zero ε.
+    REJECTED = "rejected"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class TrainingJob:
+    """One tenant's private-training request.
+
+    ``priority`` orders dispatch only (higher first; FIFO within a
+    priority level) — by the determinism contract it can never change
+    what any job's weights are, only when they become available.
+    ``seed`` fixes the job's private randomness: resubmitting the same
+    job with the same seed reproduces the same release, and two jobs
+    that must be independent should carry different seeds.
+    """
+
+    principal: str
+    table: str
+    candidate: BoltOnCandidate
+    epsilon: float
+    delta: float = 0.0
+    priority: int = 0
+    seed: int = 0
+    #: Assigned by the service at submission.
+    job_id: str = ""
+    #: Logical arrival tick assigned at submission (FIFO tiebreak).
+    arrival: int = -1
+
+    def __post_init__(self) -> None:
+        check_positive(self.epsilon, "epsilon")
+        if not self.principal:
+            raise ValueError("a job needs a non-empty principal")
+        if not self.table:
+            raise ValueError("a job needs a target table")
+
+    @property
+    def privacy(self) -> PrivacyParameters:
+        """The (ε, δ) this job spends from its account."""
+        return PrivacyParameters(self.epsilon, self.delta)
+
+    def fusion_key(self) -> tuple:
+        """What the shared-scan scheduler groups by.
+
+        The target table plus the scan-lockstep signature
+        (:func:`repro.optim.psgd.scan_compatibility_key`): jobs sharing
+        this key can train in ONE fused scan; loss/regularization/
+        schedule/ε differences never block fusion.
+        """
+        return (self.table,) + scan_compatibility_key(
+            self.candidate.batch_size, self.candidate.passes
+        )
+
+    def spawn_streams(self):
+        """The job's two private generators: ``(sgd_rng, noise_rng)``.
+
+        Mirrors :func:`repro.core.bolton.train_bolt_on`'s consumption
+        order. The SGD stream is currently unused — the scan permutation
+        belongs to the *table*, not the job — but stays reserved so the
+        noise stream's identity survives future per-job randomness.
+        """
+        return spawn_generators(self.seed, 2)
+
+
+class JobQueue:
+    """Deterministic priority queue: ``(-priority, arrival)`` order.
+
+    A plain list kept unsorted until :meth:`pop_window` — windows are
+    small (the scheduler's batching window) and jobs arrive singly, so
+    sorting at pop keeps push O(1) and the order obviously deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: List[TrainingJob] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def push(self, job: TrainingJob) -> None:
+        self._jobs.append(job)
+
+    def pop_window(self, window: int) -> List[TrainingJob]:
+        """Remove and return the next up-to-``window`` jobs to dispatch."""
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        self._jobs.sort(key=lambda job: (-job.priority, job.arrival))
+        taken, self._jobs = self._jobs[:window], self._jobs[window:]
+        return taken
+
+    def pending(self) -> List[TrainingJob]:
+        """The queued jobs in dispatch order (non-destructive)."""
+        return sorted(self._jobs, key=lambda job: (-job.priority, job.arrival))

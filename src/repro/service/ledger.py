@@ -1,0 +1,239 @@
+"""The privacy-budget ledger: per-(principal, table) ε/δ accounts.
+
+:class:`~repro.core.accountant.PrivacyAccountant` answers "how much has
+this computation spent against one budget"; a multi-tenant service needs
+more: many accounts (one per principal × dataset), and a *two-phase*
+spend so that money and data move atomically:
+
+* :meth:`PrivacyBudgetLedger.reserve` — at admission, set the job's
+  (ε, δ) aside. Denied reservations raise :class:`BudgetDenied` **before
+  the job ever touches data** — the scheduler turns that into a
+  rejection with zero pages charged.
+* :meth:`PrivacyBudgetLedger.commit` — after the model is trained and
+  noised, convert the reservation into a recorded spend on the wrapped
+  accountant and hand back a :class:`BudgetReceipt`.
+* :meth:`PrivacyBudgetLedger.refund` — if training fails, return the
+  reservation untouched: failed jobs don't burn budget.
+
+Invariant (the property tests hammer every interleaving): for each
+account, ``spent + reserved <= cap`` at all times, under the same
+tolerance rule the accountant itself applies
+(:func:`repro.core.accountant.would_overflow`), and every mutation
+happens under one lock so concurrent submitters cannot double-spend.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.accountant import (
+    PrivacyAccountant,
+    PrivacyBudgetExceeded,
+    would_overflow,
+)
+from repro.core.mechanisms import PrivacyParameters
+
+
+class BudgetDenied(PrivacyBudgetExceeded):
+    """An admission-time denial: the reservation would overflow the cap
+    (or the account does not exist — no budget means no spend)."""
+
+
+@dataclass(frozen=True)
+class BudgetReceipt:
+    """Proof of one committed spend, stored with the job's results."""
+
+    principal: str
+    table: str
+    job_id: str
+    parameters: PrivacyParameters
+    #: Account-local commit sequence number (audit ordering).
+    sequence: int
+
+
+@dataclass
+class BudgetReservation:
+    """A pending hold on an account; exactly one of commit/refund may
+    consume it (the ledger enforces the state machine)."""
+
+    principal: str
+    table: str
+    job_id: str
+    parameters: PrivacyParameters
+    state: str = "reserved"  # -> "committed" | "refunded"
+
+
+@dataclass
+class _Account:
+    """One (principal, table) budget account."""
+
+    accountant: PrivacyAccountant
+    reserved_epsilon: float = 0.0
+    reserved_delta: float = 0.0
+    commits: int = 0
+    open_reservations: int = 0
+
+
+@dataclass(frozen=True)
+class AccountStatement:
+    """A read-only snapshot of one account (for status displays)."""
+
+    principal: str
+    table: str
+    cap: PrivacyParameters
+    spent: Tuple[float, float]
+    reserved: Tuple[float, float]
+
+    @property
+    def available_epsilon(self) -> float:
+        return max(self.cap.epsilon - self.spent[0] - self.reserved[0], 0.0)
+
+    @property
+    def available_delta(self) -> float:
+        return max(self.cap.delta - self.spent[1] - self.reserved[1], 0.0)
+
+
+class PrivacyBudgetLedger:
+    """Thread-safe two-phase budget accounting over many accounts."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[Tuple[str, str], _Account] = {}
+        self._lock = threading.RLock()
+
+    # -- account management ------------------------------------------------------
+
+    def open_account(
+        self, principal: str, table: str, epsilon: float, delta: float = 0.0
+    ) -> None:
+        """Grant ``principal`` a fresh (ε, δ) cap against ``table``."""
+        key = (principal, table)
+        with self._lock:
+            if key in self._accounts:
+                raise ValueError(
+                    f"account {key} already exists; budgets are immutable "
+                    "once granted (open a differently-named dataset view "
+                    "to extend a tenant's allowance)"
+                )
+            self._accounts[key] = _Account(
+                accountant=PrivacyAccountant(PrivacyParameters(epsilon, delta))
+            )
+
+    def has_account(self, principal: str, table: str) -> bool:
+        with self._lock:
+            return (principal, table) in self._accounts
+
+    def statement(self, principal: str, table: str) -> AccountStatement:
+        with self._lock:
+            account = self._require(principal, table)
+            return AccountStatement(
+                principal=principal,
+                table=table,
+                cap=account.accountant.budget,
+                spent=account.accountant.total(),
+                reserved=(account.reserved_epsilon, account.reserved_delta),
+            )
+
+    def statements(self) -> List[AccountStatement]:
+        with self._lock:
+            return [
+                self.statement(principal, table)
+                for (principal, table) in sorted(self._accounts)
+            ]
+
+    # -- the two-phase spend ----------------------------------------------------
+
+    def reserve(
+        self,
+        principal: str,
+        table: str,
+        parameters: PrivacyParameters,
+        job_id: str = "",
+    ) -> BudgetReservation:
+        """Atomically hold ``parameters`` against the account or deny.
+
+        Denial — unknown account, or ``spent + reserved + request``
+        overflowing the cap — raises :class:`BudgetDenied` and changes
+        nothing.
+        """
+        with self._lock:
+            key = (principal, table)
+            account = self._accounts.get(key)
+            if account is None:
+                raise BudgetDenied(
+                    f"no budget account for principal {principal!r} on "
+                    f"table {table!r}; open one before submitting jobs"
+                )
+            spent_eps, spent_delta = account.accountant.total()
+            if would_overflow(
+                account.accountant.budget,
+                spent_eps + account.reserved_epsilon + parameters.epsilon,
+                spent_delta + account.reserved_delta + parameters.delta,
+            ):
+                raise BudgetDenied(
+                    f"reserving {parameters} for job {job_id!r} would "
+                    f"overflow {principal!r}'s budget on {table!r}: cap "
+                    f"{account.accountant.budget}, spent ({spent_eps:g}, "
+                    f"{spent_delta:g}), already reserved "
+                    f"({account.reserved_epsilon:g}, {account.reserved_delta:g})"
+                )
+            account.reserved_epsilon += parameters.epsilon
+            account.reserved_delta += parameters.delta
+            account.open_reservations += 1
+            return BudgetReservation(
+                principal=principal,
+                table=table,
+                job_id=job_id,
+                parameters=parameters,
+            )
+
+    def commit(self, reservation: BudgetReservation) -> BudgetReceipt:
+        """Convert a reservation into a recorded spend (a receipt)."""
+        with self._lock:
+            account = self._consume(reservation, "committed")
+            # The hold comes off before the spend goes on, so the
+            # accountant's own cap check sees exactly spent + this job.
+            account.accountant.spend(
+                reservation.parameters,
+                label=f"job:{reservation.job_id} principal:{reservation.principal}",
+            )
+            account.commits += 1
+            return BudgetReceipt(
+                principal=reservation.principal,
+                table=reservation.table,
+                job_id=reservation.job_id,
+                parameters=reservation.parameters,
+                sequence=account.commits,
+            )
+
+    def refund(self, reservation: BudgetReservation) -> None:
+        """Release a reservation without spending (failed/cancelled job)."""
+        with self._lock:
+            self._consume(reservation, "refunded")
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require(self, principal: str, table: str) -> _Account:
+        account = self._accounts.get((principal, table))
+        if account is None:
+            raise KeyError(f"no budget account for ({principal!r}, {table!r})")
+        return account
+
+    def _consume(self, reservation: BudgetReservation, new_state: str) -> _Account:
+        """Transition a reservation out of 'reserved', releasing its hold."""
+        if reservation.state != "reserved":
+            raise ValueError(
+                f"reservation for job {reservation.job_id!r} is already "
+                f"{reservation.state}; commit/refund may be called once"
+            )
+        account = self._require(reservation.principal, reservation.table)
+        account.reserved_epsilon -= reservation.parameters.epsilon
+        account.reserved_delta -= reservation.parameters.delta
+        account.open_reservations -= 1
+        # Clamp rounding dust so long-lived accounts cannot drift below 0.
+        if account.open_reservations == 0:
+            account.reserved_epsilon = 0.0
+            account.reserved_delta = 0.0
+        reservation.state = new_state
+        return account

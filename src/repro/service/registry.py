@@ -1,0 +1,125 @@
+"""The model registry and results store.
+
+Every job the service has ever seen lives here as a :class:`JobRecord`:
+its status, the released weights (for completed jobs), the budget
+receipt that paid for them, and the execution metadata operators ask
+about (which dispatch ran it, with how many scan-mates, how many page
+requests its group charged). The registry is the *only* interface for
+reading results — the scheduler never hands weights back directly — so
+whatever queries later PRs need (per-tenant dashboards, model GC,
+lineage) have one place to grow.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.service.jobs import JobStatus, TrainingJob
+from repro.service.ledger import BudgetReceipt
+
+
+@dataclass
+class JobRecord:
+    """Everything the service knows about one job."""
+
+    job: TrainingJob
+    status: JobStatus
+    #: The differentially private release (None unless COMPLETED).
+    model: Optional[np.ndarray] = None
+    #: Proof of the committed spend (None unless COMPLETED).
+    receipt: Optional[BudgetReceipt] = None
+    #: L2-sensitivity the noise was calibrated to.
+    sensitivity: Optional[float] = None
+    #: Norm of the drawn noise vector (diagnostic).
+    noise_norm: Optional[float] = None
+    #: "fused" | "sequential" for executed jobs, "" otherwise.
+    dispatch: str = ""
+    #: How many jobs shared the scan (1 for sequential dispatch).
+    group_size: int = 0
+    #: Page requests the job's scan group made, total (shared, not split:
+    #: a 32-job fused group lists the same ~1-scan figure on every record,
+    #: because that IS what the group cost).
+    group_pages: int = 0
+    #: Epochs the scan ran (the job's candidate.passes).
+    epochs: int = 0
+    #: Human-readable failure/rejection reason.
+    error: str = ""
+    #: Logical service ticks (submission order / completion order).
+    submitted_at: int = -1
+    finished_at: int = -1
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+
+class ModelRegistry:
+    """Thread-safe store of job records, queryable by tenant/table/status."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def add(self, record: JobRecord) -> JobRecord:
+        with self._lock:
+            job_id = record.job.job_id
+            if not job_id:
+                raise ValueError("records need a job with an assigned job_id")
+            if job_id in self._records:
+                raise ValueError(f"job {job_id!r} is already registered")
+            self._records[job_id] = record
+            self._order.append(job_id)
+            return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            return record
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.get(job_id).status
+
+    def model(self, job_id: str) -> np.ndarray:
+        """The released weights; raises unless the job completed."""
+        record = self.get(job_id)
+        if record.status is not JobStatus.COMPLETED or record.model is None:
+            raise ValueError(
+                f"job {job_id!r} has no released model (status: {record.status})"
+            )
+        return record.model
+
+    def jobs(
+        self,
+        principal: Optional[str] = None,
+        table: Optional[str] = None,
+        status: Optional[JobStatus] = None,
+    ) -> List[JobRecord]:
+        """Records in submission order, filtered by any of the three axes."""
+        with self._lock:
+            records = [self._records[job_id] for job_id in self._order]
+        return [
+            record
+            for record in records
+            if (principal is None or record.job.principal == principal)
+            and (table is None or record.job.table == table)
+            and (status is None or record.status is status)
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Status histogram (keys are the status values, e.g. "completed")."""
+        histogram: Dict[str, int] = {status.value: 0 for status in JobStatus}
+        with self._lock:
+            for record in self._records.values():
+                histogram[record.status.value] += 1
+        return histogram

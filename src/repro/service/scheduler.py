@@ -1,0 +1,333 @@
+"""The shared-scan scheduler: many tenants' jobs, one table scan.
+
+PR 2 taught the engine to train K models in one scan
+(:class:`~repro.rdbms.uda.MultiSGDUDA`); this module turns that
+*intra-request* speedup into *cross-tenant* batching: queued jobs that
+target the same table and agree on the scan-lockstep knobs
+(:meth:`TrainingJob.fusion_key` — batch size and passes) are dispatched
+as ONE fused aggregate query, so a 32-job window costs one job's page
+requests instead of 32. Jobs nothing else matches fall back to the
+classic sequential dispatch; either way a job's weights are bitwise the
+same (the fused UDA runs in ``gradient_mode="exact"`` over the session's
+per-table shared scan, and each job's noise comes from its own
+seed-spawned stream).
+
+Admission control is budget-first: a job's (ε, δ) is **reserved** in the
+ledger at submission, *before* it can ever reach a scan. Denied jobs are
+rejected having charged zero pages and zero budget; failed jobs refund
+their reservation; only a successfully released model commits it.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.mechanisms import mechanism_for
+from repro.core.sensitivity import SensitivityBound, sensitivity_for_schedule
+from repro.rdbms.bismarck import BismarckSession
+from repro.rdbms.uda import MultiSGDUDA, SGDUDA
+from repro.service.jobs import JobQueue, JobStatus, TrainingJob
+from repro.service.ledger import (
+    BudgetDenied,
+    BudgetReservation,
+    PrivacyBudgetLedger,
+)
+from repro.service.registry import JobRecord, ModelRegistry
+from repro.utils.validation import check_positive_int
+
+
+class SharedScanScheduler:
+    """Groups compatible queued jobs and dispatches each group as one scan.
+
+    Parameters
+    ----------
+    session / ledger / registry:
+        The service's engine connection, budget ledger, and results store.
+    batching_window:
+        How many queued jobs one scheduling round considers (the fusion
+        opportunity window). Dispatch order is by (priority desc, arrival)
+        — deterministic, and by the bitwise-determinism contract it only
+        affects *when* a job completes, never what it computes.
+    chunk_size:
+        Executor block size for every dispatched scan (fused and
+        sequential must agree: chunking decides segment boundaries, and
+        bitwise equality needs identical segments).
+    fuse:
+        ``False`` forces the sequential fallback for every job — the
+        reference dispatch the benchmarks and equivalence tests compare
+        against.
+    scan_seed:
+        Seed of the per-table shared permutations. Each table's scan
+        order is drawn once from ``(scan_seed, table name)`` and replayed
+        by every job that ever trains on it, which is what makes a job's
+        result independent of scheduling.
+    """
+
+    def __init__(
+        self,
+        session: BismarckSession,
+        ledger: PrivacyBudgetLedger,
+        registry: ModelRegistry,
+        *,
+        batching_window: int = 32,
+        chunk_size: int = 256,
+        fuse: bool = True,
+        scan_seed: int = 0,
+    ) -> None:
+        self.session = session
+        self.ledger = ledger
+        self.registry = registry
+        self.batching_window = check_positive_int(batching_window, "batching_window")
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.fuse = bool(fuse)
+        self.scan_seed = int(scan_seed)
+        self.queue = JobQueue()
+        self._reservations: Dict[str, BudgetReservation] = {}
+        self._clock = 0
+        # Guards the admission path (clock, queue, reservation map) so
+        # concurrent submitters compose with the ledger's own lock;
+        # dispatch (run_pending) stays a single-threaded loop by design.
+        self._admission_lock = threading.Lock()
+        #: Dispatch telemetry: (key, job_ids, pages) per executed group.
+        self.dispatch_log: List[Tuple[tuple, List[str], int]] = []
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, job: TrainingJob) -> JobRecord:
+        """Admit (reserve budget + enqueue) or reject a stamped job.
+
+        Zero-cost rejection is the point: the ledger says no *here*, at
+        submission, so an over-budget job never appears in any scan group
+        and never causes a page request.
+        """
+        if not job.job_id or job.arrival < 0:
+            raise ValueError("submit needs a stamped job (job_id + arrival)")
+        # Fail fast on programming errors — unknown table, or an option
+        # the in-RDBMS dispatch cannot honor — so they raise instead of
+        # producing a REJECTED record (and before any budget moves).
+        self.session.catalog.get(job.table)
+        if job.candidate.average is not None:
+            raise ValueError(
+                "the service's in-RDBMS dispatch (SGDUDA/MultiSGDUDA) does "
+                "not support iterate averaging; submit with average=None or "
+                "train via repro.core.train_bolt_on directly"
+            )
+        with self._admission_lock:
+            self._clock += 1
+            record = JobRecord(
+                job=job, status=JobStatus.QUEUED, submitted_at=self._clock
+            )
+            try:
+                reservation = self.ledger.reserve(
+                    job.principal, job.table, job.privacy, job_id=job.job_id
+                )
+            except BudgetDenied as denial:
+                record.status = JobStatus.REJECTED
+                record.error = str(denial)
+                record.finished_at = self._clock
+                return self.registry.add(record)
+            try:
+                self.registry.add(record)
+            except Exception:
+                # Never leak a hold: if the record cannot be registered
+                # (e.g. a duplicate job id), the reservation comes back.
+                self.ledger.refund(reservation)
+                raise
+            self._reservations[job.job_id] = reservation
+            self.queue.push(job)
+            return record
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def run_pending(self) -> List[JobRecord]:
+        """Drain the queue: group each window by fusion key and dispatch.
+
+        Returns the records of every job that reached a terminal state
+        this call (completed + failed), in dispatch order.
+        """
+        finished: List[JobRecord] = []
+        while len(self.queue):
+            window = self.queue.pop_window(self.batching_window)
+            groups: Dict[tuple, List[TrainingJob]] = {}
+            for job in window:
+                groups.setdefault(job.fusion_key(), []).append(job)
+            for key, jobs in groups.items():
+                if self.fuse and len(jobs) > 1:
+                    self._dispatch_fused(key, jobs, finished)
+                else:
+                    for job in jobs:
+                        self._dispatch_sequential(key, job, finished)
+        return finished
+
+    # -- the two dispatch paths --------------------------------------------------
+
+    def _dispatch_fused(
+        self, key: tuple, jobs: List[TrainingJob], finished: List[JobRecord]
+    ) -> None:
+        """ONE fused scan for the whole group (pages charged once)."""
+        table = self.session.catalog.get(jobs[0].table)
+        prepared = []
+        for job in jobs:
+            resolved = self._prepare(job, table.num_tuples, finished)
+            if resolved is not None:
+                prepared.append((job,) + resolved)
+        if not prepared:
+            return
+        uda = MultiSGDUDA(
+            losses=[job.candidate.loss for job, *_ in prepared],
+            schedules=[schedule for _, schedule, _, _ in prepared],
+            batch_size=prepared[0][0].candidate.batch_size,
+            projections=[projection for _, _, projection, _ in prepared],
+            gradient_mode="exact",
+        )
+        for job, *_ in prepared:
+            self.registry.get(job.job_id).status = JobStatus.RUNNING
+        pages_before = self.session.pool.stats.page_reads
+        try:
+            report = self.session.run_sgd_multi(
+                jobs[0].table,
+                uda,
+                epochs=prepared[0][0].candidate.passes,
+                chunk_size=self.chunk_size,
+                shuffle=self._shared_scan(jobs[0].table),
+                algorithm_label="service-fused",
+            )
+        except Exception as error:  # engine failure: nobody pays
+            for job, *_ in prepared:
+                self._fail(job, error, finished)
+            return
+        pages = self.session.pool.stats.page_reads - pages_before
+        self.dispatch_log.append((key, [job.job_id for job, *_ in prepared], pages))
+        for position, (job, _, _, sensitivity) in enumerate(prepared):
+            self._release(
+                job,
+                report.models[position],
+                sensitivity,
+                dispatch="fused",
+                group_size=len(prepared),
+                group_pages=pages,
+                finished=finished,
+            )
+
+    def _dispatch_sequential(
+        self, key: tuple, job: TrainingJob, finished: List[JobRecord]
+    ) -> None:
+        """The classic one-job-one-scan fallback (unfusable or fuse=False)."""
+        table = self.session.catalog.get(job.table)
+        resolved = self._prepare(job, table.num_tuples, finished)
+        if resolved is None:
+            return
+        schedule, projection, sensitivity = resolved
+        uda = SGDUDA(
+            job.candidate.loss, schedule, job.candidate.batch_size, projection
+        )
+        self.registry.get(job.job_id).status = JobStatus.RUNNING
+        pages_before = self.session.pool.stats.page_reads
+        try:
+            report = self.session.run_sgd(
+                job.table,
+                uda,
+                epochs=job.candidate.passes,
+                chunk_size=self.chunk_size,
+                shuffle=self._shared_scan(job.table),
+                algorithm_label="service-sequential",
+            )
+        except Exception as error:
+            self._fail(job, error, finished)
+            return
+        pages = self.session.pool.stats.page_reads - pages_before
+        self.dispatch_log.append((key, [job.job_id], pages))
+        self._release(
+            job,
+            report.model,
+            sensitivity,
+            dispatch="sequential",
+            group_size=1,
+            group_pages=pages,
+            finished=finished,
+        )
+
+    # -- shared steps ------------------------------------------------------------
+
+    def _prepare(
+        self, job: TrainingJob, m: int, finished: List[JobRecord]
+    ) -> Optional[Tuple]:
+        """Resolve schedule/projection and the sensitivity bound, or fail
+        the job *before* it costs any I/O (non-releasable losses — e.g. a
+        non-smooth hinge — die here with their budget refunded)."""
+        try:
+            schedule, projection, properties = job.candidate.resolve(m)
+            sensitivity = sensitivity_for_schedule(
+                properties,
+                schedule,
+                m,
+                job.candidate.passes,
+                job.candidate.batch_size,
+            )
+        except Exception as error:
+            self._fail(job, error, finished)
+            return None
+        return schedule, projection, sensitivity
+
+    def _release(
+        self,
+        job: TrainingJob,
+        noiseless: np.ndarray,
+        sensitivity: SensitivityBound,
+        *,
+        dispatch: str,
+        group_size: int,
+        group_pages: int,
+        finished: List[JobRecord],
+    ) -> None:
+        """The bolt-on epilogue + budget commit for one trained job."""
+        _, noise_rng = job.spawn_streams()
+        mechanism = mechanism_for(job.privacy)
+        noise = mechanism.sample(
+            noiseless.shape[0], sensitivity.value, job.privacy, noise_rng
+        )
+        record = self.registry.get(job.job_id)
+        try:
+            receipt = self.ledger.commit(self._reservations.pop(job.job_id))
+        except Exception as error:  # pragma: no cover - reserve guarantees room
+            self._fail(job, error, finished)
+            return
+        self._clock += 1
+        record.status = JobStatus.COMPLETED
+        record.model = noiseless + noise
+        record.receipt = receipt
+        record.sensitivity = float(sensitivity.value)
+        record.noise_norm = float(np.linalg.norm(noise))
+        record.dispatch = dispatch
+        record.group_size = group_size
+        record.group_pages = group_pages
+        record.epochs = job.candidate.passes
+        record.finished_at = self._clock
+        finished.append(record)
+
+    def _fail(
+        self, job: TrainingJob, error: Exception, finished: List[JobRecord]
+    ) -> None:
+        """Terminal failure: refund the reservation, record the reason."""
+        reservation = self._reservations.pop(job.job_id, None)
+        if reservation is not None:
+            self.ledger.refund(reservation)
+        self._clock += 1
+        record = self.registry.get(job.job_id)
+        record.status = JobStatus.FAILED
+        record.error = f"{type(error).__name__}: {error}"
+        record.finished_at = self._clock
+        finished.append(record)
+
+    def _shared_scan(self, table_name: str):
+        """The table's service-wide permutation (seeded by table, not job)."""
+        return self.session.shared_scan(
+            table_name,
+            random_state=np.random.SeedSequence(
+                [self.scan_seed, zlib.crc32(table_name.encode("utf-8"))]
+            ),
+        )

@@ -1,0 +1,174 @@
+"""The training service façade — the paper's engine as a multi-tenant server.
+
+:class:`TrainingService` wires the four service components around one
+:class:`~repro.rdbms.bismarck.BismarckSession`:
+
+* a **job model + queue** (:mod:`repro.service.jobs`),
+* the **privacy-budget ledger** (:mod:`repro.service.ledger`),
+* the **shared-scan scheduler** (:mod:`repro.service.scheduler`),
+* the **model registry / results store** (:mod:`repro.service.registry`),
+
+and exposes the tenant-facing verbs: register a table, grant a budget,
+submit jobs, drain the queue, query results. It is deliberately an
+in-process server (no sockets): the contribution is the scheduling and
+accounting discipline, and an RPC front-end can wrap these verbs without
+touching them.
+
+>>> service = TrainingService()
+>>> service.register_table("ratings", X, y)
+>>> service.open_budget("alice", "ratings", epsilon=1.0)
+>>> record = service.submit("alice", "ratings", LogisticLoss(1e-3),
+...                         epsilon=0.1, passes=5, batch_size=50, seed=7)
+>>> service.drain()
+>>> service.model(record.job_id)  # the differentially private release
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.bolton import BoltOnCandidate
+from repro.optim.losses import Loss
+from repro.rdbms.bismarck import BismarckSession
+from repro.rdbms.catalog import TableInfo
+from repro.rdbms.cost_model import CostModel
+from repro.service.jobs import JobStatus, TrainingJob
+from repro.service.ledger import AccountStatement, PrivacyBudgetLedger
+from repro.service.registry import JobRecord, ModelRegistry
+from repro.service.scheduler import SharedScanScheduler
+
+
+class TrainingService:
+    """An in-process, multi-tenant private-SGD training service."""
+
+    def __init__(
+        self,
+        *,
+        buffer_pool_pages: int = 65536,
+        batching_window: int = 32,
+        chunk_size: int = 256,
+        fuse: bool = True,
+        scan_seed: int = 0,
+        cost_model: Optional[CostModel] = None,
+        session: Optional[BismarckSession] = None,
+    ) -> None:
+        self.session = (
+            session
+            if session is not None
+            else BismarckSession(buffer_pool_pages, cost_model)
+        )
+        self.ledger = PrivacyBudgetLedger()
+        self.registry = ModelRegistry()
+        self.scheduler = SharedScanScheduler(
+            self.session,
+            self.ledger,
+            self.registry,
+            batching_window=batching_window,
+            chunk_size=chunk_size,
+            fuse=fuse,
+            scan_seed=scan_seed,
+        )
+        self._submissions = 0
+        self._stamp_lock = threading.Lock()
+
+    # -- data & budget administration -------------------------------------------
+
+    def register_table(
+        self, name: str, features: np.ndarray, labels: np.ndarray
+    ) -> TableInfo:
+        """CREATE TABLE + COPY a dataset tenants may train against."""
+        return self.session.load_table(name, features, labels)
+
+    def register_heap(self, name: str, heap) -> TableInfo:
+        """Register an existing heap file (e.g. a synthesized virtual one)."""
+        return self.session.register_table(name, heap)
+
+    def open_budget(
+        self, principal: str, table: str, epsilon: float, delta: float = 0.0
+    ) -> None:
+        """Grant ``principal`` an (ε, δ) cap on ``table``."""
+        self.ledger.open_account(principal, table, epsilon, delta)
+
+    def budgets(self) -> List[AccountStatement]:
+        """Every account's cap/spent/reserved snapshot."""
+        return self.ledger.statements()
+
+    # -- the tenant verbs --------------------------------------------------------
+
+    def submit(
+        self,
+        principal: str,
+        table: str,
+        loss: Loss,
+        *,
+        epsilon: float,
+        delta: float = 0.0,
+        passes: int = 1,
+        batch_size: int = 50,
+        eta: Optional[float] = None,
+        radius: Optional[float] = None,
+        priority: int = 0,
+        seed: int = 0,
+    ) -> JobRecord:
+        """Build, stamp, and admit one job; returns its (live) record.
+
+        The returned record already reflects admission: status QUEUED with
+        the budget reserved, or REJECTED (over budget / no account) with
+        nothing charged and no data touched. (Iterate averaging is not
+        offered: the in-RDBMS dispatch releases the final iterate, and the
+        scheduler refuses candidates that ask otherwise.)
+        """
+        candidate = BoltOnCandidate(
+            loss=loss,
+            passes=passes,
+            batch_size=batch_size,
+            eta=eta,
+            radius=radius,
+        )
+        return self.submit_job(
+            TrainingJob(
+                principal=principal,
+                table=table,
+                candidate=candidate,
+                epsilon=epsilon,
+                delta=delta,
+                priority=priority,
+                seed=seed,
+            )
+        )
+
+    def submit_job(self, job: TrainingJob) -> JobRecord:
+        """Stamp (job id + arrival tick) and admit a prebuilt job."""
+        with self._stamp_lock:
+            self._submissions += 1
+            job.job_id = job.job_id or f"job-{self._submissions:05d}"
+            job.arrival = self._submissions
+        return self.scheduler.submit(job)
+
+    def drain(self) -> List[JobRecord]:
+        """Run every queued job to a terminal state; returns them."""
+        return self.scheduler.run_pending()
+
+    # -- queries -----------------------------------------------------------------
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.registry.status(job_id)
+
+    def result(self, job_id: str) -> JobRecord:
+        return self.registry.get(job_id)
+
+    def model(self, job_id: str) -> np.ndarray:
+        """The differentially private weights of a completed job."""
+        return self.registry.model(job_id)
+
+    def jobs(self, **filters) -> List[JobRecord]:
+        """Registry query passthrough (principal= / table= / status=)."""
+        return self.registry.jobs(**filters)
+
+    @property
+    def page_reads(self) -> int:
+        """Total page requests the service has made (all scans)."""
+        return self.session.pool.stats.page_reads

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.accountant import PrivacyAccountant
 from repro.core.mechanisms import PrivacyParameters
+from repro.optim.losses import Loss
 from repro.tuning.grid import ParameterGrid
 from repro.utils.rng import RandomState, as_generator, spawn_generators
 from repro.utils.validation import check_matrix_labels, check_positive
@@ -99,6 +100,36 @@ def exponential_mechanism_probabilities(
     logits -= logits.max()
     weights = np.exp(logits)
     return weights / weights.sum()
+
+
+def batched_error_counts(
+    results: Sequence[object], X_val: np.ndarray, y_val: np.ndarray
+) -> Optional[List[int]]:
+    """Line 3's ``chi_i`` for all candidates in one margin matrix, or None.
+
+    When every candidate result exposes a linear ``model`` whose loss uses
+    the standard sign-margin predictor, the l per-candidate prediction
+    loops collapse into one ``(n, l)`` score GEMM against the stacked
+    weight matrix — the same batching the fused training engine applies on
+    the way *in*. Candidates with bespoke predictors return ``None`` and
+    keep the generic per-result path.
+    """
+    models = []
+    for result in results:
+        model = getattr(result, "model", None)
+        loss = getattr(result, "loss", None)
+        if (
+            model is None
+            or loss is None
+            or type(loss).predict is not Loss.predict
+            or np.ndim(model) != 1
+        ):
+            return None
+        models.append(np.asarray(model, dtype=np.float64))
+    scores = np.asarray(X_val, dtype=np.float64) @ np.stack(models).T
+    predictions = np.where(scores >= 0.0, 1.0, -1.0)
+    mismatches = predictions != np.asarray(y_val, dtype=np.float64)[:, None]
+    return [int(count) for count in np.sum(mismatches, axis=0)]
 
 
 def partition_dataset(
@@ -192,10 +223,11 @@ def privately_tuned_sgd(
                 )
             results.append(result)
 
-    error_counts: List[int] = []
-    for result in results:
-        predictions = result.predict(X_val)
-        error_counts.append(int(np.sum(predictions != y_val)))
+    error_counts = batched_error_counts(results, X_val, y_val)
+    if error_counts is None:
+        error_counts = [
+            int(np.sum(result.predict(X_val) != y_val)) for result in results
+        ]
 
     probabilities = exponential_mechanism_probabilities(error_counts, epsilon)
     chosen = int(selection_rng.choice(l, p=probabilities))

@@ -80,3 +80,47 @@ class TestReproduceCommand:
         out = capsys.readouterr().out
         assert "Figure 2(a)" in out
         assert "scs13" in out
+
+
+class TestServiceCommands:
+    def test_submit_completes_and_prints_receipt(self, capsys):
+        code = main([
+            "submit", "--dataset", "protein", "--epsilon", "0.3",
+            "--scale", "0.01", "--passes", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status          : completed" in out
+        assert "receipt" in out
+        assert "pages charged" in out
+        assert "budget" in out
+
+    def test_submit_over_budget_is_rejected_exit_1(self, capsys):
+        code = main([
+            "submit", "--dataset", "protein", "--epsilon", "0.3",
+            "--budget", "0.1", "--scale", "0.01",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "status          : rejected" in out
+        assert "overflow" in out
+
+    def test_serve_reports_fusion_and_budgets(self, capsys):
+        code = main([
+            "serve", "--jobs", "6", "--tenants", "2", "--rows", "200",
+            "--dim", "6", "--passes", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dispatch mode   : fused" in out
+        assert "scan groups     : 1" in out
+        assert "tenant-0" in out and "tenant-1" in out
+
+    def test_serve_no_fuse_is_sequential(self, capsys):
+        code = main([
+            "serve", "--jobs", "4", "--tenants", "1", "--rows", "150",
+            "--dim", "5", "--passes", "1", "--no-fuse",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sequential (forced)" in out

@@ -9,7 +9,7 @@ from repro.core.accountant import PrivacyAccountant, PrivacyBudgetExceeded
 from repro.core.bolton import private_convex_psgd
 from repro.core.mechanisms import PrivacyParameters
 from repro.data.synthetic import gaussian_clusters_multiclass
-from repro.multiclass.ovr import train_one_vs_rest
+from repro.multiclass.ovr import OneVsRestResult, train_one_vs_rest
 from repro.optim.losses import LogisticLoss
 
 
@@ -117,3 +117,22 @@ class TestOneVsRest:
                 pair.train.features, pair.train.labels, trainer, epsilon=1.0,
                 classes=[1], random_state=0,
             )
+
+
+class TestBatchedDecisionScores:
+    def test_matches_per_class_loop(self):
+        rng = np.random.default_rng(4)
+        models = [rng.normal(size=7) for _ in range(5)]
+        result = OneVsRestResult(
+            models=models, classes=list(range(5)),
+            privacy=PrivacyParameters(1.0),
+            per_model_privacy=PrivacyParameters(0.2),
+        )
+        X = rng.normal(size=(40, 7))
+        scores = result.decision_scores(X)
+        assert scores.shape == (40, 5)
+        reference = np.column_stack([X @ w for w in models])
+        np.testing.assert_allclose(scores, reference, rtol=0, atol=1e-12)
+        assert result.weight_matrix.shape == (5, 7)
+        # The cached matrix serves repeated calls.
+        np.testing.assert_array_equal(result.decision_scores(X), scores)

@@ -308,3 +308,100 @@ class TestChunkedExecution:
         model_chunk, draws_chunk = run(32)
         np.testing.assert_allclose(model_chunk, model_ref, rtol=0, atol=1e-12)
         assert draws_chunk == draws_ref == 9
+
+
+class TestVirtualHeapChunkGather:
+    """Chunked shuffled scans of virtual tables: each page synthesized at
+    most once per chunk, with buffer-pool accounting path-invariant."""
+
+    D = 200  # 1608-byte tuples -> 5 tuples per page: many pages, small m
+
+    def _make_virtual(self, m):
+        from repro.rdbms.storage import VirtualHeapFile
+
+        synth_calls = {}
+
+        def generator(page_id, count, dimension):
+            synth_calls[page_id] = synth_calls.get(page_id, 0) + 1
+            rng = np.random.default_rng(page_id)
+            return (
+                rng.normal(size=(count, dimension)),
+                np.where(rng.random(count) > 0.5, 1.0, -1.0),
+            )
+
+        return VirtualHeapFile(m, self.D, generator), synth_calls
+
+    def _thrashing_permutation(self, m, per_page):
+        # Visit pages round-robin (tuple 0 of every page, then tuple 1 of
+        # every page, ...): with a small pool every revisit is a miss.
+        ids = np.arange(m).reshape(-1, per_page).T.ravel()
+        return ids
+
+    # chunk_size 50 takes the sparse (per-tuple copy) gather branch,
+    # 100 the dense (fancy-indexed) one; the memo must hold in both.
+    @pytest.mark.parametrize("chunk_size", [50, 100])
+    def test_synthesis_once_per_chunk_and_counters_invariant(self, chunk_size):
+        from repro.rdbms.storage import tuples_per_page
+
+        catalog = Catalog()
+        m = 100
+        heap, synth_calls = self._make_virtual(m)
+        info = catalog.create_table("virtual", heap)
+        per_page = tuples_per_page(self.D)
+        perm = self._thrashing_permutation(m, per_page)
+
+        # Per-tuple reference: counters + streamed values.
+        pool_ref = BufferPool(3)
+        shuffle_ref = ShuffleOnce(info, pool_ref)
+        shuffle_ref._permutation = perm.copy()
+        ref_rows = [(features.copy(), label) for features, label in shuffle_ref]
+        ref_stats = (pool_ref.stats.page_reads, pool_ref.stats.cache_hits,
+                     pool_ref.stats.cache_misses, pool_ref.stats.evictions)
+        ref_synth = dict(synth_calls)
+        assert sum(ref_synth.values()) > heap.num_pages  # thrash regime
+
+        # Chunked path on a fresh pool: identical accounting, bounded
+        # synthesis.
+        synth_calls.clear()
+        pool = BufferPool(3)
+        shuffle = ShuffleOnce(info, pool)
+        shuffle._permutation = perm.copy()
+        blocks = list(shuffle.scan_chunks(chunk_size))
+        chunk_stats = (pool.stats.page_reads, pool.stats.cache_hits,
+                       pool.stats.cache_misses, pool.stats.evictions)
+        assert chunk_stats == ref_stats
+
+        # Values identical to the per-tuple stream.
+        X_chunked = np.vstack([X_block for X_block, _ in blocks])
+        y_chunked = np.concatenate([y_block for _, y_block in blocks])
+        np.testing.assert_array_equal(
+            X_chunked, np.vstack([row for row, _ in ref_rows])
+        )
+        np.testing.assert_array_equal(
+            y_chunked, np.array([label for _, label in ref_rows])
+        )
+
+        # The satellite claim: at most one synthesis per (chunk, page) —
+        # far below the per-tuple path's miss-driven synthesis count.
+        chunks = -(-m // chunk_size)
+        assert sum(synth_calls.values()) <= chunks * heap.num_pages
+        assert sum(synth_calls.values()) < sum(ref_synth.values())
+        assert max(synth_calls.values()) <= chunks
+
+    def test_materialized_tables_unaffected(self):
+        """The memo is a pure optimization for materialized heaps too:
+        chunked output and counters unchanged (golden contract)."""
+        catalog = Catalog()
+        info, X, y = make_table(catalog, m=120, d=6, seed=9)
+        pool_a, pool_b = BufferPool(2), BufferPool(2)
+        sh_a = ShuffleOnce(info, pool_a, random_state=3)
+        perm = sh_a.permutation
+        sh_b = ShuffleOnce(info, pool_b)
+        sh_b._permutation = perm.copy()
+        rows = [(features.copy(), label) for features, label in sh_a]
+        blocks = list(sh_b.scan_chunks(17))
+        np.testing.assert_array_equal(
+            np.vstack([X_block for X_block, _ in blocks]),
+            np.vstack([row for row, _ in rows]),
+        )
+        assert pool_a.stats.__dict__ == pool_b.stats.__dict__

@@ -177,3 +177,36 @@ class TestPublicTuning:
         assert outcome.best_parameters in grid.candidates()
         assert len(outcome.scores) == 2
         assert outcome.best_accuracy == max(s for _, s in outcome.scores)
+
+
+class TestBatchedErrorCounts:
+    def test_matches_per_result_loop(self):
+        from types import SimpleNamespace
+
+        from repro.tuning.private import batched_error_counts
+
+        rng = np.random.default_rng(8)
+        X_val = rng.normal(size=(60, 6))
+        y_val = np.where(rng.random(60) > 0.5, 1.0, -1.0)
+        loss = LogisticLoss()
+        results = [
+            SimpleNamespace(model=rng.normal(size=6), loss=loss) for _ in range(4)
+        ]
+        counts = batched_error_counts(results, X_val, y_val)
+        reference = [
+            int(np.sum(loss.predict(r.model, X_val) != y_val)) for r in results
+        ]
+        assert counts == reference
+
+    def test_bespoke_predictors_fall_back(self):
+        from types import SimpleNamespace
+
+        from repro.tuning.private import batched_error_counts
+
+        class OddLoss(LogisticLoss):
+            def predict(self, w, X):  # non-sign predictor: not batchable
+                return np.ones(X.shape[0])
+
+        results = [SimpleNamespace(model=np.zeros(3), loss=OddLoss())]
+        assert batched_error_counts(results, np.zeros((2, 3)), np.ones(2)) is None
+        assert batched_error_counts([SimpleNamespace()], np.zeros((2, 3)), np.ones(2)) is None
