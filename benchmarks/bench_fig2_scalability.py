@@ -17,10 +17,9 @@ import numpy as np
 from repro.evaluation.figures import figure2_scalability
 from repro.evaluation.reporting import format_series
 from repro.optim.losses import LogisticLoss
-from repro.optim.schedules import ConstantSchedule
 from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.cost_model import CostModel
-from repro.rdbms.synthesizer import analytic_counters, dataset_size_gb
+from repro.rdbms.synthesizer import analytic_counters
 from tests.conftest import make_binary_data
 
 from bench_util import run_once, write_report

@@ -11,7 +11,6 @@ SCS13/BST14 markedly slower at small b, gap vanishing at b = 500+.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.evaluation.figures import (
     figure5_runtime_vs_batch,

@@ -58,6 +58,18 @@ M, D, BATCH = 5000, 50, 50
 X, Y = make_binary_data(M, D, seed=77)
 LOSS = LogisticLoss()
 
+#: --smoke shape: small enough for a CI runner's minute budget, big
+#: enough that the >= 3x gates still hold with margin (the speedups are
+#: structural — vectorization and scan fusion — not cache artefacts).
+SMOKE_M, SMOKE_D = 1200, 30
+
+
+def _set_shape(m: int, d: int) -> None:
+    """Swap the benchmark dataset (used by --smoke; batch size stays)."""
+    global M, D, X, Y
+    M, D = m, d
+    X, Y = make_binary_data(M, D, seed=77)
+
 #: --compare-paths fails below this vectorized-over-scalar speedup.
 SPEEDUP_FLOOR = 3.0
 
@@ -134,7 +146,7 @@ def _best_of(fn, rounds: int = 3, warmup: int = 1) -> float:
     return best
 
 
-def compare_paths(rounds: int = 3) -> float:
+def compare_paths(rounds: int = 3, write: bool = True) -> float:
     """Time one PSGD epoch per execution path and report the speedup.
 
     Also asserts the two paths agree on the model they produce — a timing
@@ -153,11 +165,12 @@ def compare_paths(rounds: int = 3) -> float:
     print(f"vectorized epoch: {vectorized_s * 1e3:8.2f} ms")
     print(f"speedup:          {speedup:8.2f}x  (gate: >= {SPEEDUP_FLOOR}x)")
     print(f"path agreement:   max |dw| = {max_diff:.3e} (<= 1e-12)")
-    _write_results(
-        scalar_epoch_s=scalar_s,
-        vectorized_epoch_s=vectorized_s,
-        vectorized_speedup=speedup,
-    )
+    if write:
+        _write_results(
+            scalar_epoch_s=scalar_s,
+            vectorized_epoch_s=vectorized_s,
+            vectorized_speedup=speedup,
+        )
     return speedup
 
 
@@ -185,7 +198,7 @@ def _run_fused_grid(specs, perm):
     return MultiModelPSGD(specs, passes=1, batch_size=BATCH).run(X, Y, permutation=perm)
 
 
-def multi_model(rounds: int = 3) -> float:
+def multi_model(rounds: int = 3, ks=MULTI_MODEL_KS, write: bool = True) -> float:
     """Time fused K-model grid training against K sequential runs.
 
     Returns the fused speedup at the gate size K=16. Both paths train the
@@ -197,7 +210,7 @@ def multi_model(rounds: int = 3) -> float:
     print(f"multi-model shape: m={M}, d={D}, b={BATCH} (one epoch, best of {rounds})")
     gate_speedup = float("nan")
     table = {}
-    for k in MULTI_MODEL_KS:
+    for k in ks:
         specs = _grid_specs(k)
         fused = _run_fused_grid(specs, perm)
         sequential = _run_sequential_grid(specs, perm)
@@ -224,7 +237,8 @@ def multi_model(rounds: int = 3) -> float:
         )
         if k == FUSED_GATE_K:
             gate_speedup = speedup
-    _write_results(multi_model=table)
+    if write:
+        _write_results(multi_model=table)
     return gate_speedup
 
 
@@ -266,20 +280,32 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=3, help="timed rounds per path (default 3)"
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI-sized run: shrink the shape to m={SMOKE_M}, d={SMOKE_D} "
+        "(and skip K=64) while still enforcing the >= 3x gates and the "
+        "path-agreement asserts; results are NOT written to "
+        "BENCH_hotloops.json",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error(f"--rounds must be a positive integer, got {args.rounds}")
     if not args.compare_paths and not args.multi_model:
         parser.print_help()
         return 0
+    if args.smoke:
+        _set_shape(SMOKE_M, SMOKE_D)
+        print(f"SMOKE mode: m={M}, d={D} (gates unchanged)")
     failed = False
     if args.compare_paths:
-        speedup = compare_paths(args.rounds)
+        speedup = compare_paths(args.rounds, write=not args.smoke)
         if speedup < SPEEDUP_FLOOR:
             print(f"FAIL: vectorized path regressed below {SPEEDUP_FLOOR}x")
             failed = True
     if args.multi_model:
-        fused_speedup = multi_model(args.rounds)
+        ks = tuple(k for k in MULTI_MODEL_KS if k <= 16) if args.smoke else MULTI_MODEL_KS
+        fused_speedup = multi_model(args.rounds, ks=ks, write=not args.smoke)
         if fused_speedup < FUSED_SPEEDUP_FLOOR:
             print(
                 f"FAIL: fused multi-model path below {FUSED_SPEEDUP_FLOOR}x "

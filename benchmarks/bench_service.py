@@ -1,4 +1,4 @@
-"""Service-level benchmark: fused vs sequential dispatch at 32 jobs.
+"""Service-level benchmark: fused vs sequential dispatch, sync vs async.
 
 The shared-scan scheduler's win is I/O amortization: a window of K
 compatible jobs costs one job's page requests instead of K. This bench
@@ -12,9 +12,19 @@ gates CI on the structural claim:
   is 32x: one shared scan vs 32 scans), and unless every fused job's
   weights are bitwise-identical to its sequential twin's.
 
+* ``--async`` benchmarks the background dispatch loop: submit latency
+  (admission only — never blocks on a scan) vs drain throughput with
+  4 workers, plus the cross-drain result cache (resubmitting the whole
+  workload must cost 0 pages and return bitwise-identical weights).
+
+* ``--smoke`` shrinks the workload for CI (12 jobs, m=600) while
+  keeping every gate assert — page ratio >= 3x and bitwise equality
+  are structural, not scale-dependent.
+
 Timings and page counts append to ``BENCH_hotloops.json`` under the
-``"service"`` key, extending the machine-readable perf trajectory
-(scalar → vectorized → fused → shared-scan service).
+``"service"`` and ``"service_async"`` keys (full shape only), extending
+the machine-readable perf trajectory (scalar → vectorized → fused →
+shared-scan service → async service).
 """
 
 from __future__ import annotations
@@ -43,33 +53,48 @@ from tests.conftest import make_binary_data
 JOBS, M, D = 32, 5000, 50
 PASSES, BATCH = 2, 50
 EPS = 0.05
+WORKERS = 4
+
+#: --smoke shrinks to this (the page-ratio and bitwise gates are
+#: structural, so they hold at any shape that still fuses a window).
+SMOKE_JOBS, SMOKE_M, SMOKE_D = 12, 600, 20
 
 #: --gate fails below this sequential-over-fused page-request ratio.
 PAGE_RATIO_FLOOR = 3.0
 
 
-def _build_service(fuse: bool) -> TrainingService:
+def _set_shape(jobs: int, m: int, d: int) -> None:
+    global JOBS, M, D
+    JOBS, M, D = jobs, m, d
+
+
+def _build_service(fuse: bool, workers: int = 1) -> TrainingService:
     X, y = make_binary_data(M, D, seed=77)
-    service = TrainingService(fuse=fuse, scan_seed=11, batching_window=JOBS)
+    service = TrainingService(
+        fuse=fuse, scan_seed=11, batching_window=JOBS, workers=workers
+    )
     service.register_table("bench", X, y)
-    service.open_budget("bench-tenant", "bench", JOBS * EPS + 1e-9)
+    # Room for the workload twice over: the async bench resubmits it to
+    # measure cache hits (which must spend nothing — the slack proves it).
+    service.open_budget("bench-tenant", "bench", 2 * JOBS * EPS + 1e-9)
     return service
 
 
-def _submit_workload(service: TrainingService) -> list:
+def _submit_workload_one(service: TrainingService, j: int):
     lambdas = np.logspace(-4, -1, 8)
-    return [
-        service.submit(
-            "bench-tenant",
-            "bench",
-            LogisticLoss(regularization=float(lambdas[j % len(lambdas)])),
-            epsilon=EPS,
-            passes=PASSES,
-            batch_size=BATCH,
-            seed=7000 + j,
-        )
-        for j in range(JOBS)
-    ]
+    return service.submit(
+        "bench-tenant",
+        "bench",
+        LogisticLoss(regularization=float(lambdas[j % len(lambdas)])),
+        epsilon=EPS,
+        passes=PASSES,
+        batch_size=BATCH,
+        seed=7000 + j,
+    )
+
+
+def _submit_workload(service: TrainingService) -> list:
+    return [_submit_workload_one(service, j) for j in range(JOBS)]
 
 
 def _run(fuse: bool) -> dict:
@@ -92,7 +117,7 @@ def _run(fuse: bool) -> dict:
     }
 
 
-def bench_service(gate: bool) -> int:
+def bench_service(gate: bool, write: bool = True) -> int:
     print(f"service shape: {JOBS} jobs, m={M}, d={D}, b={BATCH}, k={PASSES}")
     fused = _run(fuse=True)
     sequential = _run(fuse=False)
@@ -116,26 +141,95 @@ def bench_service(gate: bool) -> int:
           f"-> fused window costs {fused['pages'] / single_job_pages:.2f}x that")
     print(f"bitwise fused == sequential per job: {bitwise}")
 
-    _write_results(
-        service={
-            "jobs": JOBS,
-            "fused_s": fused["seconds"],
-            "sequential_s": sequential["seconds"],
-            "fused_jobs_per_s": fused["jobs_per_second"],
-            "sequential_jobs_per_s": sequential["jobs_per_second"],
-            "fused_pages": fused["pages"],
-            "sequential_pages": sequential["pages"],
-            "page_ratio": ratio,
-            "single_job_pages": single_job_pages,
-            "bitwise_equal": bitwise,
-        }
-    )
+    if write:
+        _write_results(
+            service={
+                "jobs": JOBS,
+                "fused_s": fused["seconds"],
+                "sequential_s": sequential["seconds"],
+                "fused_jobs_per_s": fused["jobs_per_second"],
+                "sequential_jobs_per_s": sequential["jobs_per_second"],
+                "fused_pages": fused["pages"],
+                "sequential_pages": sequential["pages"],
+                "page_ratio": ratio,
+                "single_job_pages": single_job_pages,
+                "bitwise_equal": bitwise,
+            }
+        )
 
     if gate and (ratio < PAGE_RATIO_FLOOR or not bitwise):
         if ratio < PAGE_RATIO_FLOOR:
             print(f"FAIL: fused dispatch below {PAGE_RATIO_FLOOR}x fewer pages")
         if not bitwise:
             print("FAIL: fused weights diverged from sequential twins")
+        return 1
+    print("PASS")
+    return 0
+
+
+def bench_async(gate: bool, write: bool = True) -> int:
+    """Submit-latency vs drain-throughput with the background loop, plus
+    the zero-cost cache-hit replay. Asserted invariants double as the
+    gate: async weights bitwise-equal to the synchronous drain, cache
+    replay charges 0 pages."""
+    print(f"\nasync service: {JOBS} jobs, {WORKERS} workers")
+    reference = _run(fuse=True)  # the synchronous fused drain
+
+    service = _build_service(fuse=True, workers=WORKERS)
+    service.start()
+    submit_seconds = []
+    start = time.perf_counter()
+    records = []
+    for j in range(JOBS):
+        t0 = time.perf_counter()
+        records.append(_submit_workload_one(service, j))
+        submit_seconds.append(time.perf_counter() - t0)
+    service.drain()
+    drain_elapsed = time.perf_counter() - start
+    bitwise = all(
+        np.array_equal(records[j].model, reference["models"][j])
+        for j in range(JOBS)
+    )
+
+    # The cross-drain cache: the same workload again is free.
+    pages_before = service.page_reads
+    t0 = time.perf_counter()
+    replays = _submit_workload(service)
+    cache_elapsed = time.perf_counter() - t0
+    cache_pages = service.page_reads - pages_before
+    cached = all(record.dispatch == "cached" for record in replays)
+    service.stop()
+
+    print(f"submit latency : max {max(submit_seconds) * 1e3:8.3f} ms, "
+          f"mean {np.mean(submit_seconds) * 1e3:.3f} ms (admission only)")
+    print(f"drain          : {drain_elapsed * 1e3:8.1f} ms submit->quiescent "
+          f"({JOBS / drain_elapsed:.1f} jobs/s, "
+          f"sync was {reference['jobs_per_second']:.1f})")
+    print(f"cache replay   : {JOBS} jobs in {cache_elapsed * 1e3:8.2f} ms, "
+          f"{cache_pages} pages ({'all cached' if cached else 'MISSES'})")
+    print(f"bitwise async == sync per job: {bitwise}")
+
+    if write:
+        _write_results(
+            service_async={
+                "jobs": JOBS,
+                "workers": WORKERS,
+                "submit_latency_max_s": max(submit_seconds),
+                "submit_latency_mean_s": float(np.mean(submit_seconds)),
+                "drain_s": drain_elapsed,
+                "jobs_per_s": JOBS / drain_elapsed,
+                "sync_jobs_per_s": reference["jobs_per_second"],
+                "cache_replay_s": cache_elapsed,
+                "cache_replay_pages": cache_pages,
+                "bitwise_equal_to_sync": bitwise,
+            }
+        )
+
+    if gate and not (bitwise and cached and cache_pages == 0):
+        if not bitwise:
+            print("FAIL: async weights diverged from the synchronous drain")
+        if not cached or cache_pages != 0:
+            print("FAIL: cache replay was not free (pages or misses)")
         return 1
     print("PASS")
     return 0
@@ -149,8 +243,27 @@ def main(argv=None) -> int:
         help="exit 1 unless fused dispatch makes >= "
         f"{PAGE_RATIO_FLOOR}x fewer page requests (and stays bitwise-equal)",
     )
+    parser.add_argument(
+        "--async",
+        dest="run_async",
+        action="store_true",
+        help="also benchmark background-worker dispatch (submit latency "
+        "vs drain throughput) and the zero-cost cache replay",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI-sized run ({SMOKE_JOBS} jobs, m={SMOKE_M}): same gates, "
+        "no BENCH_hotloops.json update",
+    )
     args = parser.parse_args(argv)
-    return bench_service(args.gate)
+    if args.smoke:
+        _set_shape(SMOKE_JOBS, SMOKE_M, SMOKE_D)
+        print(f"SMOKE mode: {JOBS} jobs, m={M}, d={D} (gates unchanged)")
+    status = bench_service(args.gate, write=not args.smoke)
+    if status == 0 and args.run_async:
+        status = bench_async(args.gate, write=not args.smoke)
+    return status
 
 
 if __name__ == "__main__":

@@ -13,4 +13,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

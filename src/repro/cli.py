@@ -16,11 +16,15 @@ Four subcommands::
         reservation, scheduling, the bolt-on release, the receipt — and
         report the job record.
 
-    python -m repro serve --jobs 32 --tenants 4 [--no-fuse]
-        The shared-scan scheduling demo: a synthetic mixed-tenant
-        workload against one table, reporting fused-vs-sequential page
-        requests, per-status job counts, and every tenant's budget
-        statement.
+    python -m repro serve --jobs 50 --workers 4 [--state-dir DIR] [--no-fuse]
+        The async scheduling demo: a synthetic mixed-tenant workload
+        submitted to a running dispatch loop (``submit()`` returns
+        immediately; background workers fuse and train the queue),
+        reporting submit latency, fused-vs-sequential page requests,
+        cache hits for resubmitted jobs, per-status job counts, and
+        every tenant's budget statement. With ``--state-dir`` the
+        registry + budgets autosave there and a restarted serve resumes
+        from the snapshot.
 
 The CLI is intentionally a thin shell over the library — everything it
 does is one public API call.
@@ -98,9 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
-        "serve", help="demo the shared-scan scheduler on a mixed-tenant workload"
+        "serve", help="demo the async shared-scan server on a mixed-tenant workload"
     )
-    serve.add_argument("--jobs", type=int, default=32, help="jobs to submit")
+    serve.add_argument("--jobs", type=int, default=50, help="jobs to submit")
     serve.add_argument("--tenants", type=int, default=4)
     serve.add_argument("--rows", type=int, default=2000)
     serve.add_argument("--dim", type=int, default=20)
@@ -110,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--epsilon", type=float, default=0.05, help="epsilon per job"
     )
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="background dispatch worker threads (the async loop)",
+    )
+    serve.add_argument(
+        "--state-dir", default=None,
+        help="autosave registry + budgets here and resume from a prior run",
+    )
     serve.add_argument(
         "--no-fuse", action="store_true",
         help="force the sequential dispatch path (the reference)",
@@ -224,29 +236,48 @@ def _submit(args: argparse.Namespace) -> int:
 
 
 def _serve(args: argparse.Namespace) -> int:
+    import time
+
     import numpy as np
 
     from repro.data.synthetic import linearly_separable_binary
     from repro.optim.losses import LogisticLoss as _Logistic
     from repro.service import TrainingService
 
+    if args.workers < 1:
+        print("serve needs at least one worker", file=sys.stderr)
+        return 2
     pair = linearly_separable_binary(
         "served", args.rows, 10, args.dim, random_state=args.seed
     )
     table = pair.train
-    service = TrainingService(fuse=not args.no_fuse, scan_seed=args.seed)
+    service = TrainingService(
+        fuse=not args.no_fuse,
+        scan_seed=args.seed,
+        workers=args.workers,
+        state_dir=args.state_dir,
+    )
     service.register_table("shared", table.features, table.labels)
+    resumed = service.load_state() if args.state_dir else 0
 
     tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
     jobs_per_tenant = -(-args.jobs // len(tenants))
     for index, tenant in enumerate(tenants):
         # The last tenant gets roughly half the allowance it needs, so the
         # tail of its submissions exercises admission-control rejection.
+        # (A resumed run already has the accounts — budgets are durable.)
+        if service.ledger.has_account(tenant, "shared"):
+            continue
         share = jobs_per_tenant if index < len(tenants) - 1 else max(1, jobs_per_tenant // 2)
         service.open_budget(tenant, "shared", args.epsilon * share + 1e-9)
 
+    # The async loop: workers dispatch in the background while submit()
+    # returns immediately — the per-call latency below is the proof.
+    service.start()
     lambdas = np.logspace(-4, -2, 5)
+    submit_seconds = []
     for j in range(args.jobs):
+        start = time.perf_counter()
         service.submit(
             tenants[j % len(tenants)],
             "shared",
@@ -256,7 +287,11 @@ def _serve(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             seed=1000 + j,
         )
+        submit_seconds.append(time.perf_counter() - start)
+    drain_start = time.perf_counter()
     service.drain()
+    drain_seconds = time.perf_counter() - drain_start
+    service.stop()
 
     counts = service.registry.counts()
     single_scan_pages = args.passes * table.size
@@ -264,16 +299,30 @@ def _serve(args: argparse.Namespace) -> int:
     completed = max(counts["completed"], 1)
     print(f"workload        : {args.jobs} jobs, {len(tenants)} tenants, "
           f"m={table.size}, d={table.features.shape[1]}")
-    print(f"dispatch mode   : {'sequential (forced)' if args.no_fuse else 'fused'}")
-    print(f"job statuses    : " + ", ".join(
+    print(f"dispatch mode   : {'sequential (forced)' if args.no_fuse else 'fused'}"
+          f", {args.workers} workers")
+    if resumed:
+        print(f"resumed         : {resumed} records from {args.state_dir} "
+              f"(cache hits serve them free)")
+    print("job statuses    : " + ", ".join(
         f"{name}={count}" for name, count in sorted(counts.items()) if count
     ))
+    print(f"submit latency  : max {max(submit_seconds) * 1e3:.2f} ms, "
+          f"mean {np.mean(submit_seconds) * 1e3:.2f} ms "
+          f"(never blocks on a scan)")
+    print(f"drain           : {drain_seconds * 1e3:.1f} ms until quiescent")
     print(f"scan groups     : {len(service.scheduler.dispatch_log)}")
     print(f"page requests   : {executed} total, {executed / completed:.1f} per "
           f"completed job ({single_scan_pages} = one job alone)")
+    if service.scheduler.cache.hits:
+        print(f"cache           : {service.scheduler.cache.hits} hits "
+              f"(0 pages, 0 eps each)")
     for statement in service.budgets():
         print(f"  {statement.principal:>10}: spent eps {statement.spent[0]:.3f} "
               f"of {statement.cap.epsilon:.3f}")
+    if args.state_dir:
+        service.save_state()
+        print(f"state saved     : {args.state_dir}")
     return 0
 
 

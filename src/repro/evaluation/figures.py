@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.data.dataset import Dataset, TrainTestPair
 from repro.data.projection import project_dataset
 from repro.data.registry import get_spec

@@ -54,7 +54,7 @@ speedup (and the regression gate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 

@@ -38,7 +38,7 @@ from repro.optim.schedules import (
 )
 from repro.rdbms.catalog import Catalog, TableInfo
 from repro.rdbms.cost_model import CostModel, RuntimeBreakdown, WorkCounters
-from repro.rdbms.executor import ShuffleOnce, run_aggregate, run_aggregates
+from repro.rdbms.executor import ShuffleOnce, run_aggregate
 from repro.rdbms.storage import BufferPool
 from repro.rdbms.uda import MultiSGDUDA, SGDState, SGDUDA
 from repro.utils.rng import RandomState, as_generator, spawn_generators

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
 import numpy as np

@@ -9,6 +9,14 @@ guarantees that no tenant can exceed their per-dataset (ε, δ) allowance
 — over-budget jobs are rejected before touching data, failed jobs refund
 their reservation, and only released models commit a spend.
 
+Since PR 4 the service is a *continuously-running* server: a background
+:class:`~repro.service.worker.DispatchLoop` trains the queue on worker
+threads (``submit()`` returns a job handle immediately; tenants block on
+``record.wait()``), a cross-drain result cache serves resubmitted
+identical jobs with 0 pages and 0 ε, and the registry + account caps
+snapshot to disk so a restarted service resumes with prior records and
+budgets reconciled from committed receipts.
+
 Entry point: :class:`TrainingService` (see :mod:`repro.service.server`).
 """
 
@@ -20,9 +28,15 @@ from repro.service.ledger import (
     BudgetReservation,
     PrivacyBudgetLedger,
 )
-from repro.service.registry import JobRecord, ModelRegistry
-from repro.service.scheduler import SharedScanScheduler
+from repro.service.registry import (
+    CachedResult,
+    JobRecord,
+    ModelRegistry,
+    ResultCache,
+)
+from repro.service.scheduler import SharedScanScheduler, table_fingerprint
 from repro.service.server import TrainingService
+from repro.service.worker import DispatchLoop
 
 __all__ = [
     "TrainingService",
@@ -31,10 +45,14 @@ __all__ = [
     "JobStatus",
     "JobRecord",
     "ModelRegistry",
+    "ResultCache",
+    "CachedResult",
     "SharedScanScheduler",
+    "DispatchLoop",
     "PrivacyBudgetLedger",
     "BudgetDenied",
     "BudgetReceipt",
     "BudgetReservation",
     "AccountStatement",
+    "table_fingerprint",
 ]

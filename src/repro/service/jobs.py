@@ -109,6 +109,41 @@ class TrainingJob:
         """
         return spawn_generators(self.seed, 2)
 
+    def cache_identity(self) -> tuple:
+        """Everything *job-side* that the released weights depend on.
+
+        By the determinism contract, a release is a pure function of
+        (table contents, the table's scan permutation, candidate, privacy
+        parameters, job seed). This tuple is the candidate/privacy/seed
+        part; the scheduler joins it with the table fingerprint and the
+        scan seed to key the cross-drain result cache. ``None`` when the
+        candidate's loss has no hashable identity (such jobs still train,
+        they are just never cached).
+
+        Principal and priority are deliberately absent: neither reaches a
+        single float of the release, so two tenants resubmitting the same
+        job share the hit — provided each holds a ledger account on the
+        table (the scheduler gates hits on that); the hit spends nothing
+        from either account.
+        """
+        loss_key = self.candidate.loss.fusion_key()
+        if loss_key is None:
+            return None
+        loss_type, loss_state = loss_key
+        return (
+            loss_type.__name__,
+            loss_state,
+            float(self.candidate.loss.regularization),
+            self.candidate.passes,
+            self.candidate.batch_size,
+            self.candidate.eta,
+            self.candidate.radius,
+            self.candidate.average,
+            float(self.epsilon),
+            float(self.delta),
+            self.seed,
+        )
+
 
 class JobQueue:
     """Deterministic priority queue: ``(-priority, arrival)`` order.

@@ -25,7 +25,7 @@ happens under one lock so concurrent submitters cannot double-spend.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.core.accountant import (
@@ -74,6 +74,9 @@ class _Account:
     reserved_delta: float = 0.0
     commits: int = 0
     open_reservations: int = 0
+    #: Job ids whose receipts were replayed into this account by
+    #: :meth:`PrivacyBudgetLedger.reconcile` (restore idempotence).
+    reconciled: set = field(default_factory=set)
 
 
 @dataclass(frozen=True)
@@ -141,6 +144,130 @@ class PrivacyBudgetLedger:
                 self.statement(principal, table)
                 for (principal, table) in sorted(self._accounts)
             ]
+
+    # -- durability --------------------------------------------------------------
+
+    def caps_payload(self) -> List[dict]:
+        """The granted caps, JSON-ready — all a snapshot needs to store.
+
+        Spends are deliberately *not* serialized: on restore they are
+        reconciled from the committed receipts in the registry snapshot
+        (:meth:`reconcile`), so the ledger and the results store can
+        never tell different stories about who paid for what.
+        """
+        with self._lock:
+            return [
+                {
+                    "principal": principal,
+                    "table": table,
+                    "epsilon": account.accountant.budget.epsilon,
+                    "delta": account.accountant.budget.delta,
+                }
+                for (principal, table), account in sorted(self._accounts.items())
+            ]
+
+    def restore_caps(self, caps: List[dict]) -> None:
+        """Re-open the accounts a snapshot granted (idempotent per cap).
+
+        An account that already exists must carry the same cap — budgets
+        are immutable, and a snapshot that disagrees with live grants is
+        a configuration error, not something to merge silently. All caps
+        are validated before any account is opened, so a rejected
+        snapshot leaves the ledger untouched.
+        """
+        with self._lock:
+            for entry in caps:
+                key = (entry["principal"], entry["table"])
+                cap = PrivacyParameters(entry["epsilon"], entry["delta"])
+                existing = self._accounts.get(key)
+                if existing is not None and existing.accountant.budget != cap:
+                    raise ValueError(
+                        f"snapshot grants {key} a cap of {cap}, but the "
+                        f"account is already open with "
+                        f"{existing.accountant.budget}; budgets are immutable"
+                    )
+            for entry in caps:
+                key = (entry["principal"], entry["table"])
+                if key not in self._accounts:
+                    self._accounts[key] = _Account(
+                        accountant=PrivacyAccountant(
+                            PrivacyParameters(entry["epsilon"], entry["delta"])
+                        )
+                    )
+
+    def reconcile(self, receipts: List[BudgetReceipt]) -> int:
+        """Replay committed receipts into the accounts (snapshot restore).
+
+        Receipts replay per account in their commit-sequence order
+        through :meth:`PrivacyAccountant.replay`, so every restored spend
+        passes the same cap validation the original commit did — a
+        snapshot whose receipts overflow a cap raises instead of loading.
+        Returns the number of receipts applied.
+
+        Idempotence keys on receipt *identity* (the job id), never on the
+        sequence counter: a warm ledger's live commits may collide with a
+        prior process's sequence numbers, and dropping a colliding
+        receipt would under-count the release history. The counter is
+        instead bumped past every replayed sequence so post-restore
+        commits stay unique.
+
+        All-or-nothing: every receipt is validated first — its account
+        must exist, and each account's new total must fit its cap (the
+        spends are non-negative, so if the final total fits, so does
+        every replay prefix) — and only then is anything applied. A bad
+        snapshot raises with the ledger unchanged, never half-restored.
+        """
+        from repro.core.accountant import PrivacySpend
+
+        with self._lock:
+            ordered = sorted(
+                receipts, key=lambda r: (r.principal, r.table, r.sequence)
+            )
+            fresh, seen = [], set()
+            for receipt in ordered:
+                identity = (receipt.principal, receipt.table, receipt.job_id)
+                account = self._require(receipt.principal, receipt.table)
+                if receipt.job_id in account.reconciled or identity in seen:
+                    continue
+                seen.add(identity)
+                fresh.append(receipt)
+            added: Dict[Tuple[str, str], Tuple[float, float]] = {}
+            for receipt in fresh:
+                eps, delta = added.get((receipt.principal, receipt.table), (0.0, 0.0))
+                added[(receipt.principal, receipt.table)] = (
+                    eps + receipt.parameters.epsilon,
+                    delta + receipt.parameters.delta,
+                )
+            for key, (eps, delta) in added.items():
+                accountant = self._accounts[key].accountant
+                spent_eps, spent_delta = accountant.total()
+                if would_overflow(
+                    accountant.budget, spent_eps + eps, spent_delta + delta
+                ):
+                    raise PrivacyBudgetExceeded(
+                        f"snapshot receipts for account {key} total "
+                        f"({eps:g}, {delta:g}) on top of spent "
+                        f"({spent_eps:g}, {spent_delta:g}), overflowing the "
+                        f"cap {accountant.budget}; refusing to restore"
+                    )
+            applied = 0
+            for receipt in fresh:
+                account = self._require(receipt.principal, receipt.table)
+                account.accountant.replay(
+                    [
+                        PrivacySpend(
+                            label=(
+                                f"job:{receipt.job_id} "
+                                f"principal:{receipt.principal} (reconciled)"
+                            ),
+                            parameters=receipt.parameters,
+                        )
+                    ]
+                )
+                account.reconciled.add(receipt.job_id)
+                account.commits = max(account.commits, receipt.sequence)
+                applied += 1
+            return applied
 
     # -- the two-phase spend ----------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The model registry and results store.
+"""The model registry and results store — now durable and async-aware.
 
 Every job the service has ever seen lives here as a :class:`JobRecord`:
 its status, the released weights (for completed jobs), the budget
@@ -8,18 +8,46 @@ requests its group charged). The registry is the *only* interface for
 reading results — the scheduler never hands weights back directly — so
 whatever queries later PRs need (per-tenant dashboards, model GC,
 lineage) have one place to grow.
+
+Two serving-layer concerns live here too:
+
+* **Completion events** — with the dispatch loop running in background
+  worker threads, ``submit()`` returns before training does, so every
+  record carries a ``threading.Event`` exposed as
+  :meth:`JobRecord.wait` / :attr:`JobRecord.done`.
+* **Durability** — :meth:`ModelRegistry.snapshot` /
+  :meth:`ModelRegistry.load` round-trip the whole store through JSON.
+  Weights survive *bitwise*: Python's ``json`` emits the shortest
+  round-tripping ``repr`` for every float64, so a reloaded model is
+  ``np.array_equal`` to the one that was saved. Jobs that were still
+  QUEUED/RUNNING at snapshot time are not durable work — a loaded
+  registry marks them FAILED (interrupted) so their tenants see an
+  honest terminal state and, because such records carry no receipt,
+  budget reconciliation never charges for them.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import threading
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.core.bolton import BoltOnCandidate
+from repro.core.mechanisms import PrivacyParameters
+from repro.optim.losses import Loss
 from repro.service.jobs import JobStatus, TrainingJob
 from repro.service.ledger import BudgetReceipt
+
+#: Format tag written into every snapshot (reject foreign files early).
+SNAPSHOT_FORMAT = "repro-registry/v1"
+
+#: The statuses a snapshot preserves verbatim; anything else was
+#: in-flight work and reloads as FAILED (interrupted by restart).
+_TERMINAL = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.REJECTED)
 
 
 @dataclass
@@ -30,31 +58,125 @@ class JobRecord:
     status: JobStatus
     #: The differentially private release (None unless COMPLETED).
     model: Optional[np.ndarray] = None
-    #: Proof of the committed spend (None unless COMPLETED).
+    #: Proof of the committed spend (None unless COMPLETED; also None for
+    #: cache hits — a hit re-spends nothing, see ``cache_source``).
     receipt: Optional[BudgetReceipt] = None
     #: L2-sensitivity the noise was calibrated to.
     sensitivity: Optional[float] = None
     #: Norm of the drawn noise vector (diagnostic).
     noise_norm: Optional[float] = None
-    #: "fused" | "sequential" for executed jobs, "" otherwise.
+    #: "fused" | "sequential" | "cached" for executed jobs, "" otherwise.
     dispatch: str = ""
-    #: How many jobs shared the scan (1 for sequential dispatch).
+    #: How many jobs shared the scan (1 for sequential dispatch, 0 cached).
     group_size: int = 0
     #: Page requests the job's scan group made, total (shared, not split:
     #: a 32-job fused group lists the same ~1-scan figure on every record,
-    #: because that IS what the group cost).
+    #: because that IS what the group cost). Always 0 for cache hits.
     group_pages: int = 0
     #: Epochs the scan ran (the job's candidate.passes).
     epochs: int = 0
+    #: Job id whose committed release this record was served from
+    #: (cache hits only; "" for records that paid for their own scan).
+    cache_source: str = ""
+    #: Provenance of the release: the content fingerprint of the table
+    #: and the scan seed its permutation was drawn from. These — not the
+    #: current table state — key cache re-arming after a snapshot load,
+    #: so weights trained on since-changed data can never be served.
+    table_fingerprint: str = ""
+    scan_seed: Optional[int] = None
     #: Human-readable failure/rejection reason.
     error: str = ""
     #: Logical service ticks (submission order / completion order).
     submitted_at: int = -1
     finished_at: int = -1
+    #: Set the moment the record reaches a terminal status — the handle
+    #: async submitters block on.
+    _done: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
 
     @property
     def job_id(self) -> str:
         return self.job.job_id
+
+    # -- the async job handle ----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Has the job reached a terminal status (completed/failed/rejected)?"""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal (or ``timeout`` seconds pass).
+
+        Returns :attr:`done` — ``False`` means the wait timed out, not
+        that the job failed; check :attr:`status` for the outcome.
+        """
+        return self._done.wait(timeout)
+
+    def mark_done(self) -> None:
+        """Publish terminality. Called exactly once, by whoever moved the
+        record to a terminal status, *after* every result field is set —
+        a waiter woken by the event must never observe a half-written
+        record."""
+        self._done.set()
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One committed release, keyed for cross-drain reuse.
+
+    Everything a cache hit copies onto the fresh record: the weights plus
+    the release metadata tenants can audit (what sensitivity the noise
+    was calibrated to, which job originally paid).
+    """
+
+    weights: np.ndarray
+    sensitivity: Optional[float]
+    noise_norm: Optional[float]
+    epochs: int
+    source_job_id: str
+
+
+class ResultCache:
+    """The cross-drain result cache: identical job → identical release.
+
+    Keys are built by the scheduler from the bitwise-determinism
+    invariant — (table name + table content fingerprint + scan
+    permutation seed, candidate identity, privacy parameters, job seed) —
+    so a hit is *provably* the same computation, and returning the stored
+    weights costs 0 page requests and 0 ε (releasing the same output
+    twice reveals nothing new; the ledger is never touched on a hit).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, CachedResult] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Optional[tuple]) -> Optional[CachedResult]:
+        if key is None:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def put(self, key: Optional[tuple], result: CachedResult) -> None:
+        if key is None:
+            return
+        with self._lock:
+            # First writer wins: by the determinism invariant any later
+            # entry under the same key holds the same bits.
+            self._entries.setdefault(key, result)
 
 
 class ModelRegistry:
@@ -63,11 +185,20 @@ class ModelRegistry:
     def __init__(self) -> None:
         self._records: Dict[str, JobRecord] = {}
         self._order: List[str] = []
+        # Snapshot memo: a record's JSON payload is immutable once the
+        # record is terminal, so the per-window autosave only serializes
+        # records that finished since the last snapshot instead of
+        # re-walking every weight vector in the store's history.
+        self._payload_memo: Dict[str, dict] = {}
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._records
 
     def add(self, record: JobRecord) -> JobRecord:
         with self._lock:
@@ -123,3 +254,223 @@ class ModelRegistry:
             for record in self._records.values():
                 histogram[record.status.value] += 1
         return histogram
+
+    def max_stamp(self) -> int:
+        """The largest submission/arrival stamp seen (0 when empty) — the
+        restart point for the service's job-id/arrival counter."""
+        with self._lock:
+            stamps = [0]
+            for record in self._records.values():
+                stamps.append(record.job.arrival)
+                stamps.append(record.submitted_at)
+                stamps.append(record.finished_at)
+            return max(stamps)
+
+    # -- durability --------------------------------------------------------------
+
+    def snapshot(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the whole store to ``path`` as JSON (atomic rename).
+
+        Safe to call from the dispatch loop's autosave hook while workers
+        are releasing jobs: records are serialized under the registry
+        lock, and a record that is not yet terminal is snapshotted as
+        in-flight (its loader will mark it FAILED/interrupted).
+        """
+        path = pathlib.Path(path)
+        with self._lock:
+            entries = []
+            for job_id in self._order:
+                entry = self._payload_memo.get(job_id)
+                if entry is None:
+                    record = self._records[job_id]
+                    # Capture doneness BEFORE building: a record can flip
+                    # terminal mid-serialization (workers write fields
+                    # without this lock), and memoizing a payload built
+                    # during that window would freeze the in-flight view
+                    # forever. done is set only after every field landed,
+                    # so frozen-before-build means the payload is final.
+                    frozen = record.done and record.status in _TERMINAL
+                    entry = _record_payload(record)
+                    if frozen:
+                        self._payload_memo[job_id] = entry
+                entries.append(entry)
+            payload = {"format": SNAPSHOT_FORMAT, "records": entries}
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "ModelRegistry":
+        """Rebuild a registry from a :meth:`snapshot` file."""
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"{path} is not a registry snapshot "
+                f"(format: {payload.get('format')!r})"
+            )
+        registry = cls()
+        for entry in payload["records"]:
+            registry.add(_record_from_payload(entry))
+        return registry
+
+
+# -- (de)serialization helpers ---------------------------------------------------
+
+
+def _loss_payload(loss: Loss) -> dict:
+    """A loss as (class name, constructor-free state). Every built-in loss
+    is a plain bag of floats/bools, so ``vars()`` round-trips exactly."""
+    state = {}
+    for name, value in vars(loss).items():
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            state[name] = value
+        else:
+            raise TypeError(
+                f"{type(loss).__name__}.{name} ({type(value).__name__}) is "
+                "not snapshot-serializable; give the loss a plain-scalar "
+                "state or train it via the non-durable API"
+            )
+    return {"type": type(loss).__name__, "state": state}
+
+
+def _loss_from_payload(payload: dict) -> Loss:
+    from repro.optim import losses as losses_module
+
+    cls = getattr(losses_module, payload["type"], None)
+    if cls is None or not isinstance(cls, type) or not issubclass(cls, Loss):
+        raise ValueError(f"snapshot names unknown loss {payload['type']!r}")
+    loss = cls.__new__(cls)
+    loss.__dict__.update(payload["state"])
+    return loss
+
+
+def _model_payload(model: Optional[np.ndarray]) -> Optional[list]:
+    if model is None:
+        return None
+    return [float(value) for value in np.asarray(model, dtype=np.float64)]
+
+
+def _record_payload(record: JobRecord) -> dict:
+    job = record.job
+    candidate = job.candidate
+    terminal = record.status in _TERMINAL
+    status = record.status if terminal else JobStatus.RUNNING
+    # In-flight records serialize WITHOUT model/receipt even if a racing
+    # worker has already written those fields (release order sets status
+    # last): a snapshot must never pair "interrupted -> FAILED on load"
+    # with a receipt that reconciliation would then charge the tenant
+    # for. The commit becomes durable with the next (post-release)
+    # autosave, which sees status COMPLETED.
+    receipt = record.receipt if terminal else None
+    return {
+        "job": {
+            "principal": job.principal,
+            "table": job.table,
+            "epsilon": job.epsilon,
+            "delta": job.delta,
+            "priority": job.priority,
+            "seed": job.seed,
+            "job_id": job.job_id,
+            "arrival": job.arrival,
+            "candidate": {
+                "loss": _loss_payload(candidate.loss),
+                "passes": candidate.passes,
+                "batch_size": candidate.batch_size,
+                "eta": candidate.eta,
+                "radius": candidate.radius,
+                "average": candidate.average,
+            },
+        },
+        "status": status.value,
+        "model": _model_payload(record.model) if terminal else None,
+        "receipt": None
+        if receipt is None
+        else {
+            "principal": receipt.principal,
+            "table": receipt.table,
+            "job_id": receipt.job_id,
+            "epsilon": receipt.parameters.epsilon,
+            "delta": receipt.parameters.delta,
+            "sequence": receipt.sequence,
+        },
+        "sensitivity": record.sensitivity,
+        "noise_norm": record.noise_norm,
+        "dispatch": record.dispatch,
+        "group_size": record.group_size,
+        "group_pages": record.group_pages,
+        "epochs": record.epochs,
+        "cache_source": record.cache_source,
+        "table_fingerprint": record.table_fingerprint,
+        "scan_seed": record.scan_seed,
+        "error": record.error,
+        "submitted_at": record.submitted_at,
+        "finished_at": record.finished_at,
+    }
+
+
+def _record_from_payload(payload: dict) -> JobRecord:
+    job_data = payload["job"]
+    candidate_data = job_data["candidate"]
+    candidate = BoltOnCandidate(
+        loss=_loss_from_payload(candidate_data["loss"]),
+        passes=candidate_data["passes"],
+        batch_size=candidate_data["batch_size"],
+        eta=candidate_data["eta"],
+        radius=candidate_data["radius"],
+        average=candidate_data["average"],
+    )
+    job = TrainingJob(
+        principal=job_data["principal"],
+        table=job_data["table"],
+        candidate=candidate,
+        epsilon=job_data["epsilon"],
+        delta=job_data["delta"],
+        priority=job_data["priority"],
+        seed=job_data["seed"],
+        job_id=job_data["job_id"],
+        arrival=job_data["arrival"],
+    )
+    status = JobStatus(payload["status"])
+    error = payload["error"]
+    if status not in _TERMINAL:
+        # In-flight work is not durable: its reservation died with the
+        # old process (never committed — no receipt), so the honest
+        # restart semantics are "failed, resubmit if you still want it".
+        status = JobStatus.FAILED
+        error = error or "interrupted: job was in flight when the snapshot was taken"
+    receipt_data = payload["receipt"]
+    receipt = (
+        None
+        if receipt_data is None
+        else BudgetReceipt(
+            principal=receipt_data["principal"],
+            table=receipt_data["table"],
+            job_id=receipt_data["job_id"],
+            parameters=PrivacyParameters(
+                receipt_data["epsilon"], receipt_data["delta"]
+            ),
+            sequence=receipt_data["sequence"],
+        )
+    )
+    model = payload["model"]
+    record = JobRecord(
+        job=job,
+        status=status,
+        model=None if model is None else np.asarray(model, dtype=np.float64),
+        receipt=receipt,
+        sensitivity=payload["sensitivity"],
+        noise_norm=payload["noise_norm"],
+        dispatch=payload["dispatch"],
+        group_size=payload["group_size"],
+        group_pages=payload["group_pages"],
+        epochs=payload["epochs"],
+        cache_source=payload["cache_source"],
+        table_fingerprint=payload["table_fingerprint"],
+        scan_seed=payload["scan_seed"],
+        error=error,
+        submitted_at=payload["submitted_at"],
+        finished_at=payload["finished_at"],
+    )
+    record.mark_done()
+    return record

@@ -16,10 +16,33 @@ Admission control is budget-first: a job's (ε, δ) is **reserved** in the
 ledger at submission, *before* it can ever reach a scan. Denied jobs are
 rejected having charged zero pages and zero budget; failed jobs refund
 their reservation; only a successfully released model commits it.
+
+Two serving-layer mechanisms ride the bitwise-determinism invariant:
+
+* **The cross-drain result cache.** A release is a pure function of
+  (table contents, the table's scan permutation, candidate, privacy
+  parameters, job seed) — so that tuple (with the table contents
+  summarized by :func:`table_fingerprint` and the permutation by the
+  scheduler's ``scan_seed``) keys a cache of committed releases.
+  Resubmitting a completed job returns the stored weights at admission:
+  0 page requests, 0 ε re-spend (the same output released twice reveals
+  nothing new — no reservation is taken, no spend committed), dispatch
+  mode ``"cached"``. Hits are gated on the submitter holding a ledger
+  account for the table: a free re-release, not an access grant.
+* **Worker-thread dispatch** (:mod:`repro.service.worker`). Dispatch is
+  split into :meth:`claim_window` (pop the next batching window — quick,
+  under the admission lock) and :meth:`dispatch_window` (train it), so
+  background workers can pull windows concurrently while ``submit()``
+  never waits on a scan. The engine itself — the buffer pool, its page
+  counters, the shared-scan operators — is the paper's single-threaded
+  RDBMS core, so scans serialize on one engine lock; worker concurrency
+  overlaps everything around the scan (admission, parameter resolution,
+  the bolt-on noise epilogue, ledger commits) with it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import zlib
 from typing import Dict, List, Optional, Tuple
@@ -29,6 +52,8 @@ import numpy as np
 from repro.core.mechanisms import mechanism_for
 from repro.core.sensitivity import SensitivityBound, sensitivity_for_schedule
 from repro.rdbms.bismarck import BismarckSession
+from repro.rdbms.catalog import TableInfo
+from repro.rdbms.storage import MaterializedHeapFile
 from repro.rdbms.uda import MultiSGDUDA, SGDUDA
 from repro.service.jobs import JobQueue, JobStatus, TrainingJob
 from repro.service.ledger import (
@@ -36,8 +61,44 @@ from repro.service.ledger import (
     BudgetReservation,
     PrivacyBudgetLedger,
 )
-from repro.service.registry import JobRecord, ModelRegistry
+from repro.service.registry import (
+    CachedResult,
+    JobRecord,
+    ModelRegistry,
+    ResultCache,
+)
 from repro.utils.validation import check_positive_int
+
+
+def table_fingerprint(table: TableInfo) -> Optional[str]:
+    """A content hash of a table — the "same data" half of a cache key.
+
+    Pages are read straight off the heap file, *not* through the buffer
+    pool, so fingerprinting never perturbs the page-request counters the
+    accounting tests pin (and never evicts a tenant's working set).
+    Computed once per table and memoized by the scheduler — tables in
+    this engine are immutable once registered.
+
+    Only heaps with a cheap, stable identity are fingerprinted: a heap
+    exposing ``content_fingerprint()`` (e.g. a parametric synthesizer)
+    is taken at its word, and a :class:`MaterializedHeapFile` is hashed
+    page by page. Anything else — notably a :class:`VirtualHeapFile`
+    wrapping an opaque generator, where hashing would mean synthesizing
+    the entire (possibly hundreds-of-GB) table — returns ``None``: jobs
+    on such tables train normally but are never cached.
+    """
+    heap = table.heap
+    custom = getattr(heap, "content_fingerprint", None)
+    if callable(custom):
+        return str(custom())
+    if not isinstance(heap, MaterializedHeapFile):
+        return None
+    digest = hashlib.sha256()
+    for page_id in range(heap.num_pages):
+        page = heap.read_page(page_id)
+        digest.update(np.ascontiguousarray(page.features, dtype=np.float64).tobytes())
+        digest.update(np.ascontiguousarray(page.labels, dtype=np.float64).tobytes())
+    return digest.hexdigest()[:16]
 
 
 class SharedScanScheduler:
@@ -86,23 +147,31 @@ class SharedScanScheduler:
         self.fuse = bool(fuse)
         self.scan_seed = int(scan_seed)
         self.queue = JobQueue()
+        self.cache = ResultCache()
+        self._fingerprints: Dict[str, Optional[str]] = {}
         self._reservations: Dict[str, BudgetReservation] = {}
         self._clock = 0
         # Guards the admission path (clock, queue, reservation map) so
-        # concurrent submitters compose with the ledger's own lock;
-        # dispatch (run_pending) stays a single-threaded loop by design.
+        # concurrent submitters compose with the ledger's own lock.
         self._admission_lock = threading.Lock()
+        # Serializes scans + their page accounting: the buffer pool is
+        # the paper's single-threaded engine core, and the before/after
+        # page-read deltas each dispatch records are only exact when no
+        # other scan interleaves. Never taken by submit().
+        self._engine_lock = threading.Lock()
         #: Dispatch telemetry: (key, job_ids, pages) per executed group.
         self.dispatch_log: List[Tuple[tuple, List[str], int]] = []
 
     # -- admission ---------------------------------------------------------------
 
     def submit(self, job: TrainingJob) -> JobRecord:
-        """Admit (reserve budget + enqueue) or reject a stamped job.
+        """Admit (reserve budget + enqueue), serve from cache, or reject.
 
         Zero-cost rejection is the point: the ledger says no *here*, at
         submission, so an over-budget job never appears in any scan group
-        and never causes a page request.
+        and never causes a page request. The result cache answers here
+        too — an account-holder's job identical to a committed release
+        completes at admission with 0 pages and 0 ε reserved or spent.
         """
         if not job.job_id or job.arrival < 0:
             raise ValueError("submit needs a stamped job (job_id + arrival)")
@@ -116,11 +185,40 @@ class SharedScanScheduler:
                 "not support iterate averaging; submit with average=None or "
                 "train via repro.core.train_bolt_on directly"
             )
+        cache_key = self.cache_key(job)
         with self._admission_lock:
             self._clock += 1
             record = JobRecord(
                 job=job, status=JobStatus.QUEUED, submitted_at=self._clock
             )
+            # The cache answers only for principals the ledger knows on
+            # this table: a release costs an account-holder 0 ε (the same
+            # output twice reveals nothing new), but a principal with no
+            # grant at all must fall through to the reserve below and be
+            # REJECTED — a hit is a free re-release, not an access grant.
+            hit = (
+                self.cache.get(cache_key)
+                if self.ledger.has_account(job.principal, job.table)
+                else None
+            )
+            if hit is not None:
+                record.status = JobStatus.COMPLETED
+                # Copy: the cache entry is shared across hits, and the
+                # registry hands records' arrays back by reference — one
+                # tenant mutating their result must never corrupt the
+                # cache or another tenant's record.
+                record.model = hit.weights.copy()
+                record.sensitivity = hit.sensitivity
+                record.noise_norm = hit.noise_norm
+                record.epochs = hit.epochs
+                record.dispatch = "cached"
+                record.cache_source = hit.source_job_id
+                record.table_fingerprint = cache_key[1]
+                record.scan_seed = self.scan_seed
+                record.finished_at = self._clock
+                self.registry.add(record)
+                record.mark_done()
+                return record
             try:
                 reservation = self.ledger.reserve(
                     job.principal, job.table, job.privacy, job_id=job.job_id
@@ -129,7 +227,9 @@ class SharedScanScheduler:
                 record.status = JobStatus.REJECTED
                 record.error = str(denial)
                 record.finished_at = self._clock
-                return self.registry.add(record)
+                self.registry.add(record)
+                record.mark_done()
+                return record
             try:
                 self.registry.add(record)
             except Exception:
@@ -141,27 +241,150 @@ class SharedScanScheduler:
             self.queue.push(job)
             return record
 
+    # -- the result cache --------------------------------------------------------
+
+    def cache_key(self, job: TrainingJob) -> Optional[tuple]:
+        """The bitwise-determinism tuple that identifies ``job``'s release:
+        (table name + content fingerprint + scan seed, candidate identity
+        + privacy parameters + job seed). ``None`` when the job is not
+        cacheable (a loss without a hashable identity, or a table without
+        a cheap content fingerprint)."""
+        identity = job.cache_identity()
+        if identity is None:
+            return None
+        fingerprint = self.fingerprint_table(job.table)
+        if fingerprint is None:
+            return None
+        return (job.table, fingerprint, self.scan_seed, identity)
+
+    def fingerprint_table(self, table_name: str) -> Optional[str]:
+        """Memoized content fingerprint of a registered table (``None``
+        for unfingerprintable heaps — their jobs are never cached).
+
+        The service calls this eagerly at table registration so the
+        O(table) hashing pass happens there, not inside the first
+        tenant's ``submit()`` — admission must stay bookkeeping-cheap.
+        (Lazy computation remains as a fallback for schedulers driven
+        directly, e.g. in tests.)
+        """
+        if table_name not in self._fingerprints:
+            self._fingerprints[table_name] = table_fingerprint(
+                self.session.catalog.get(table_name)
+            )
+        return self._fingerprints[table_name]
+
+
+    def prime_cache(self, record: JobRecord) -> bool:
+        """Arm the cache with an already-committed release (restore path).
+
+        A registry loaded from a snapshot holds completed records whose
+        work was paid for in a previous process; priming each one makes
+        the restarted service serve resubmissions from cache instead of
+        re-spending budget. The key is built from the record's own
+        provenance (the fingerprint of the data it was trained on, its
+        scan seed) — never the table's current state — so a release of
+        since-changed data or another scan order is simply unreachable,
+        not wrong. Returns whether the record was cacheable.
+        """
+        if record.status is not JobStatus.COMPLETED or record.model is None:
+            return False
+        if not record.table_fingerprint or record.scan_seed is None:
+            return False
+        identity = record.job.cache_identity()
+        if identity is None:
+            return False
+        key = (
+            record.job.table,
+            record.table_fingerprint,
+            record.scan_seed,
+            identity,
+        )
+        self.cache.put(
+            key,
+            CachedResult(
+                weights=np.array(record.model, dtype=np.float64),
+                sensitivity=record.sensitivity,
+                noise_norm=record.noise_norm,
+                epochs=record.epochs,
+                source_job_id=record.cache_source or record.job_id,
+            ),
+        )
+        return True
+
     # -- dispatch ----------------------------------------------------------------
 
-    def run_pending(self) -> List[JobRecord]:
-        """Drain the queue: group each window by fusion key and dispatch.
+    def claim_window(self) -> List[TrainingJob]:
+        """Atomically pop the next batching window (possibly empty).
 
-        Returns the records of every job that reached a terminal state
-        this call (completed + failed), in dispatch order.
+        This is the worker-facing half of dispatch: quick, under the
+        admission lock, never touching the engine — so a worker claiming
+        work can never make ``submit()`` wait on a scan.
+        """
+        with self._admission_lock:
+            if not len(self.queue):
+                return []
+            return self.queue.pop_window(self.batching_window)
+
+    def dispatch_window(self, window: List[TrainingJob]) -> List[JobRecord]:
+        """Train one claimed window: group by fusion key, dispatch each
+        group as one scan. Returns the records that reached a terminal
+        state (completed + failed), in dispatch order.
+
+        No exception escapes per-group dispatch: an unexpected error
+        (engine failures are already handled deeper down — this catches
+        everything else, e.g. a table dropped between admission and
+        dispatch) FAILS the group's remaining jobs, refunding their
+        reservations. A claimed job must always reach a terminal state —
+        a stranded QUEUED/RUNNING record with a leaked budget hold would
+        be strictly worse than any error this could surface.
         """
         finished: List[JobRecord] = []
-        while len(self.queue):
-            window = self.queue.pop_window(self.batching_window)
-            groups: Dict[tuple, List[TrainingJob]] = {}
-            for job in window:
-                groups.setdefault(job.fusion_key(), []).append(job)
-            for key, jobs in groups.items():
+        groups: Dict[tuple, List[TrainingJob]] = {}
+        for job in window:
+            groups.setdefault(job.fusion_key(), []).append(job)
+        for key, jobs in groups.items():
+            try:
                 if self.fuse and len(jobs) > 1:
                     self._dispatch_fused(key, jobs, finished)
                 else:
                     for job in jobs:
                         self._dispatch_sequential(key, job, finished)
+            except Exception as error:
+                self.fail_jobs(jobs, error, finished)
         return finished
+
+    def fail_jobs(
+        self,
+        jobs: List[TrainingJob],
+        error: Exception,
+        finished: Optional[List[JobRecord]] = None,
+    ) -> List[JobRecord]:
+        """Drive every non-terminal job in ``jobs`` to FAILED (reservation
+        refunded). The last-resort cleanup for dispatch-machinery errors."""
+        finished = [] if finished is None else finished
+        for job in jobs:
+            if self.registry.get(job.job_id).status in (
+                JobStatus.QUEUED,
+                JobStatus.RUNNING,
+            ):
+                self._fail(job, error, finished)
+        return finished
+
+    def run_pending(self) -> List[JobRecord]:
+        """Drain the queue synchronously on the calling thread.
+
+        The single-threaded reference loop: claim a window, dispatch it,
+        repeat until quiescent. The worker loop
+        (:class:`repro.service.worker.DispatchLoop`) does exactly this
+        from background threads; by the determinism contract both paths
+        release bitwise-identical weights.
+        """
+        finished: List[JobRecord] = []
+        while True:
+            window = self.claim_window()
+            if not window:
+                return finished
+            finished.extend(self.dispatch_window(window))
 
     # -- the two dispatch paths --------------------------------------------------
 
@@ -186,22 +409,25 @@ class SharedScanScheduler:
         )
         for job, *_ in prepared:
             self.registry.get(job.job_id).status = JobStatus.RUNNING
-        pages_before = self.session.pool.stats.page_reads
-        try:
-            report = self.session.run_sgd_multi(
-                jobs[0].table,
-                uda,
-                epochs=prepared[0][0].candidate.passes,
-                chunk_size=self.chunk_size,
-                shuffle=self._shared_scan(jobs[0].table),
-                algorithm_label="service-fused",
+        with self._engine_lock:
+            pages_before = self.session.pool.stats.page_reads
+            try:
+                report = self.session.run_sgd_multi(
+                    jobs[0].table,
+                    uda,
+                    epochs=prepared[0][0].candidate.passes,
+                    chunk_size=self.chunk_size,
+                    shuffle=self._shared_scan(jobs[0].table),
+                    algorithm_label="service-fused",
+                )
+            except Exception as error:  # engine failure: nobody pays
+                for job, *_ in prepared:
+                    self._fail(job, error, finished)
+                return
+            pages = self.session.pool.stats.page_reads - pages_before
+            self.dispatch_log.append(
+                (key, [job.job_id for job, *_ in prepared], pages)
             )
-        except Exception as error:  # engine failure: nobody pays
-            for job, *_ in prepared:
-                self._fail(job, error, finished)
-            return
-        pages = self.session.pool.stats.page_reads - pages_before
-        self.dispatch_log.append((key, [job.job_id for job, *_ in prepared], pages))
         for position, (job, _, _, sensitivity) in enumerate(prepared):
             self._release(
                 job,
@@ -226,21 +452,22 @@ class SharedScanScheduler:
             job.candidate.loss, schedule, job.candidate.batch_size, projection
         )
         self.registry.get(job.job_id).status = JobStatus.RUNNING
-        pages_before = self.session.pool.stats.page_reads
-        try:
-            report = self.session.run_sgd(
-                job.table,
-                uda,
-                epochs=job.candidate.passes,
-                chunk_size=self.chunk_size,
-                shuffle=self._shared_scan(job.table),
-                algorithm_label="service-sequential",
-            )
-        except Exception as error:
-            self._fail(job, error, finished)
-            return
-        pages = self.session.pool.stats.page_reads - pages_before
-        self.dispatch_log.append((key, [job.job_id], pages))
+        with self._engine_lock:
+            pages_before = self.session.pool.stats.page_reads
+            try:
+                report = self.session.run_sgd(
+                    job.table,
+                    uda,
+                    epochs=job.candidate.passes,
+                    chunk_size=self.chunk_size,
+                    shuffle=self._shared_scan(job.table),
+                    algorithm_label="service-sequential",
+                )
+            except Exception as error:
+                self._fail(job, error, finished)
+                return
+            pages = self.session.pool.stats.page_reads - pages_before
+            self.dispatch_log.append((key, [job.job_id], pages))
         self._release(
             job,
             report.model,
@@ -252,6 +479,17 @@ class SharedScanScheduler:
         )
 
     # -- shared steps ------------------------------------------------------------
+
+    def _tick(self) -> int:
+        """Advance the logical clock (thread-safe; workers finish jobs
+        concurrently with new admissions)."""
+        with self._admission_lock:
+            self._clock += 1
+            return self._clock
+
+    def _take_reservation(self, job_id: str) -> Optional[BudgetReservation]:
+        with self._admission_lock:
+            return self._reservations.pop(job_id, None)
 
     def _prepare(
         self, job: TrainingJob, m: int, finished: List[JobRecord]
@@ -291,13 +529,15 @@ class SharedScanScheduler:
             noiseless.shape[0], sensitivity.value, job.privacy, noise_rng
         )
         record = self.registry.get(job.job_id)
+        reservation = self._take_reservation(job.job_id)
         try:
-            receipt = self.ledger.commit(self._reservations.pop(job.job_id))
+            receipt = self.ledger.commit(reservation)
         except Exception as error:  # pragma: no cover - reserve guarantees room
             self._fail(job, error, finished)
             return
-        self._clock += 1
-        record.status = JobStatus.COMPLETED
+        # Result fields land before the status flips to COMPLETED, so a
+        # concurrent autosave snapshot can never capture a completed
+        # record with a half-written release.
         record.model = noiseless + noise
         record.receipt = receipt
         record.sensitivity = float(sensitivity.value)
@@ -306,22 +546,27 @@ class SharedScanScheduler:
         record.group_size = group_size
         record.group_pages = group_pages
         record.epochs = job.candidate.passes
-        record.finished_at = self._clock
+        record.table_fingerprint = self.fingerprint_table(job.table) or ""
+        record.scan_seed = self.scan_seed
+        record.finished_at = self._tick()
+        record.status = JobStatus.COMPLETED
+        self.prime_cache(record)
         finished.append(record)
+        record.mark_done()
 
     def _fail(
         self, job: TrainingJob, error: Exception, finished: List[JobRecord]
     ) -> None:
         """Terminal failure: refund the reservation, record the reason."""
-        reservation = self._reservations.pop(job.job_id, None)
+        reservation = self._take_reservation(job.job_id)
         if reservation is not None:
             self.ledger.refund(reservation)
-        self._clock += 1
         record = self.registry.get(job.job_id)
-        record.status = JobStatus.FAILED
         record.error = f"{type(error).__name__}: {error}"
-        record.finished_at = self._clock
+        record.finished_at = self._tick()
+        record.status = JobStatus.FAILED
         finished.append(record)
+        record.mark_done()
 
     def _shared_scan(self, table_name: str):
         """The table's service-wide permutation (seeded by table, not job)."""

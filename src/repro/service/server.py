@@ -1,32 +1,60 @@
 """The training service façade — the paper's engine as a multi-tenant server.
 
-:class:`TrainingService` wires the four service components around one
+:class:`TrainingService` wires five service components around one
 :class:`~repro.rdbms.bismarck.BismarckSession`:
 
 * a **job model + queue** (:mod:`repro.service.jobs`),
 * the **privacy-budget ledger** (:mod:`repro.service.ledger`),
-* the **shared-scan scheduler** (:mod:`repro.service.scheduler`),
+* the **shared-scan scheduler** + cross-drain **result cache**
+  (:mod:`repro.service.scheduler`),
 * the **model registry / results store** (:mod:`repro.service.registry`),
+* the **background dispatch loop** (:mod:`repro.service.worker`),
 
 and exposes the tenant-facing verbs: register a table, grant a budget,
-submit jobs, drain the queue, query results. It is deliberately an
+submit jobs, await results, query records. It is deliberately an
 in-process server (no sockets): the contribution is the scheduling and
 accounting discipline, and an RPC front-end can wrap these verbs without
 touching them.
 
->>> service = TrainingService()
+Async by default
+----------------
+
+``submit()`` returns immediately with a live
+:class:`~repro.service.registry.JobRecord`; with the dispatch loop
+running (:meth:`start`, or any CLI ``serve --workers N``), background
+workers train the queue continuously and tenants block on
+``record.wait()``. :meth:`drain` remains as the synchronous
+compatibility wrapper — it starts the loop if needed, blocks until the
+service is quiescent, stops what it started, and returns the records
+that finished.
+
+Durability
+----------
+
+Construct with ``state_dir=`` and every dispatched window autosaves the
+registry + account caps there; a restarted service calls
+:meth:`load_state` (implicit in ``__init__`` when the files exist is
+deliberately avoided — tables must be registered first) to resume with
+prior records, budgets reconciled by replaying committed receipts, and
+the result cache re-armed so resubmitted jobs cost 0 pages and 0 ε.
+
+>>> service = TrainingService(workers=4)
 >>> service.register_table("ratings", X, y)
 >>> service.open_budget("alice", "ratings", epsilon=1.0)
+>>> service.start()
 >>> record = service.submit("alice", "ratings", LogisticLoss(1e-3),
 ...                         epsilon=0.1, passes=5, batch_size=50, seed=7)
->>> service.drain()
+>>> record.wait()          # never blocks other submitters
 >>> service.model(record.job_id)  # the differentially private release
+>>> service.stop()
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import threading
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -39,6 +67,11 @@ from repro.service.jobs import JobStatus, TrainingJob
 from repro.service.ledger import AccountStatement, PrivacyBudgetLedger
 from repro.service.registry import JobRecord, ModelRegistry
 from repro.service.scheduler import SharedScanScheduler
+from repro.service.worker import DispatchLoop
+
+#: File names inside ``state_dir``.
+REGISTRY_STATE = "registry.json"
+ACCOUNTS_STATE = "accounts.json"
 
 
 class TrainingService:
@@ -52,6 +85,8 @@ class TrainingService:
         chunk_size: int = 256,
         fuse: bool = True,
         scan_seed: int = 0,
+        workers: int = 1,
+        state_dir: Optional[Union[str, pathlib.Path]] = None,
         cost_model: Optional[CostModel] = None,
         session: Optional[BismarckSession] = None,
     ) -> None:
@@ -71,8 +106,20 @@ class TrainingService:
             fuse=fuse,
             scan_seed=scan_seed,
         )
+        self.state_dir = None if state_dir is None else pathlib.Path(state_dir)
+        self.loop = DispatchLoop(
+            self.scheduler,
+            workers=workers,
+            autosave=self.save_state if self.state_dir is not None else None,
+        )
         self._submissions = 0
         self._stamp_lock = threading.Lock()
+        self._save_lock = threading.Lock()
+        # Serializes whole drain() calls: concurrent drains would race
+        # each other's loop start/stop (the first finisher stopping the
+        # loop could strand the second in wait_quiescent forever).
+        self._drain_lock = threading.Lock()
+        self._drain_offset = 0
 
     # -- data & budget administration -------------------------------------------
 
@@ -80,11 +127,15 @@ class TrainingService:
         self, name: str, features: np.ndarray, labels: np.ndarray
     ) -> TableInfo:
         """CREATE TABLE + COPY a dataset tenants may train against."""
-        return self.session.load_table(name, features, labels)
+        info = self.session.load_table(name, features, labels)
+        self._arm_cache(name)
+        return info
 
     def register_heap(self, name: str, heap) -> TableInfo:
         """Register an existing heap file (e.g. a synthesized virtual one)."""
-        return self.session.register_table(name, heap)
+        info = self.session.register_table(name, heap)
+        self._arm_cache(name)
+        return info
 
     def open_budget(
         self, principal: str, table: str, epsilon: float, delta: float = 0.0
@@ -115,11 +166,14 @@ class TrainingService:
     ) -> JobRecord:
         """Build, stamp, and admit one job; returns its (live) record.
 
-        The returned record already reflects admission: status QUEUED with
-        the budget reserved, or REJECTED (over budget / no account) with
-        nothing charged and no data touched. (Iterate averaging is not
-        offered: the in-RDBMS dispatch releases the final iterate, and the
-        scheduler refuses candidates that ask otherwise.)
+        The returned record already reflects admission: status QUEUED
+        with the budget reserved, COMPLETED instantly when the result
+        cache recognizes the job (dispatch ``"cached"``, 0 pages, 0 ε),
+        or REJECTED (over budget / no account) with nothing charged and
+        no data touched. Never blocks on a scan — await training with
+        ``record.wait()`` or :meth:`drain`. (Iterate averaging is not
+        offered: the in-RDBMS dispatch releases the final iterate, and
+        the scheduler refuses candidates that ask otherwise.)
         """
         candidate = BoltOnCandidate(
             loss=loss,
@@ -146,11 +200,153 @@ class TrainingService:
             self._submissions += 1
             job.job_id = job.job_id or f"job-{self._submissions:05d}"
             job.arrival = self._submissions
-        return self.scheduler.submit(job)
+        record = self.scheduler.submit(job)
+        if self.loop.running:
+            self.loop.wake()
+        return record
 
-    def drain(self) -> List[JobRecord]:
-        """Run every queued job to a terminal state; returns them."""
-        return self.scheduler.run_pending()
+    def start(self) -> "TrainingService":
+        """Start the background dispatch loop (the long-lived server mode)."""
+        self.loop.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the dispatch loop. Queued jobs stay queued for the next
+        start/drain within this process; they are NOT durable across a
+        restart (a loaded snapshot marks them FAILED/interrupted)."""
+        self.loop.stop()
+
+    def drain(self, timeout: Optional[float] = None) -> List[JobRecord]:
+        """Run every queued job to a terminal state; returns them.
+
+        Compatibility wrapper over the dispatch loop: starts it if it is
+        not already running, blocks until the service is quiescent (no
+        queued jobs, no window in flight), stops what it started, and
+        returns the records that reached a terminal state since the
+        previous drain — the same contract the synchronous PR 3 drain
+        had, now backed by worker threads.
+
+        ``timeout`` bounds the *quiescence wait* only: on expiry a
+        TimeoutError is raised, but if this call started the loop, the
+        stop in its cleanup still joins the workers — i.e. an in-flight
+        scan runs to completion before the error reaches the caller
+        (scans are not cancellable mid-epoch).
+        """
+        with self._drain_lock:
+            started_here = not self.loop.running
+            if started_here:
+                self.loop.start()
+            self.loop.wake()
+            try:
+                if not self.loop.wait_quiescent(timeout):
+                    if self.loop.stopping or not self.loop.running:
+                        raise RuntimeError(
+                            "drain interrupted: the dispatch loop was "
+                            "stopped while jobs were still pending"
+                        )
+                    raise TimeoutError(f"drain did not quiesce within {timeout}s")
+            finally:
+                if started_here:
+                    self.loop.stop()
+            finished = self.loop.finished[self._drain_offset:]
+            # Advance by what was actually returned — a worker may append
+            # between the slice and this line (continuous mode), and those
+            # records belong to the NEXT drain, not the void.
+            self._drain_offset += len(finished)
+        return list(finished)
+
+    # -- durability --------------------------------------------------------------
+
+    def save_state(
+        self, directory: Optional[Union[str, pathlib.Path]] = None
+    ) -> pathlib.Path:
+        """Snapshot registry + account caps into ``directory`` (defaults
+        to the service's ``state_dir``). Called automatically after every
+        dispatched window when the service was built with ``state_dir=``."""
+        directory = pathlib.Path(directory) if directory else self.state_dir
+        if directory is None:
+            raise ValueError("no state directory: pass one or set state_dir=")
+        with self._save_lock:
+            directory.mkdir(parents=True, exist_ok=True)
+            # Accounts first: each file replaces atomically, but a crash
+            # *between* the two must leave a loadable pair. New caps with
+            # an older registry is harmless (grants without receipts); a
+            # new registry whose receipts name accounts the caps file has
+            # not heard of would make reconcile refuse the whole restore.
+            accounts_path = directory / ACCOUNTS_STATE
+            tmp = accounts_path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(self.ledger.caps_payload(), indent=1, sort_keys=True)
+                + "\n"
+            )
+            tmp.replace(accounts_path)
+            self.registry.snapshot(directory / REGISTRY_STATE)
+        return directory
+
+    def load_state(
+        self, directory: Optional[Union[str, pathlib.Path]] = None
+    ) -> int:
+        """Resume from a snapshot: prior records, reconciled budgets,
+        armed result cache. Returns the number of records loaded.
+
+        Table registration and ``load_state()`` may happen in either
+        order: cache entries are keyed by each record's stored data
+        fingerprint, so they only ever match a table whose registered
+        contents are the ones the weights were trained on. Accounts are
+        re-opened at their snapshotted caps and every committed receipt
+        is replayed through the accountant's own validation, so the
+        restored service rejects over-budget jobs exactly where the
+        original would have.
+        """
+        directory = pathlib.Path(directory) if directory else self.state_dir
+        if directory is None:
+            raise ValueError("no state directory: pass one or set state_dir=")
+        registry_path = directory / REGISTRY_STATE
+        if not registry_path.exists():
+            return 0
+        loaded = ModelRegistry.load(registry_path)
+        records = loaded.jobs()
+        # Validate before mutating anything: loading a snapshot over a
+        # registry that already holds any of its jobs must fail whole,
+        # not halfway through with the ledger already replayed.
+        duplicates = [
+            record.job_id for record in records if record.job_id in self.registry
+        ]
+        if duplicates:
+            raise ValueError(
+                f"cannot load {registry_path}: jobs already live in this "
+                f"service's registry (first: {duplicates[0]!r}); load "
+                "snapshots into a fresh service"
+            )
+        accounts_path = directory / ACCOUNTS_STATE
+        if accounts_path.exists():
+            self.ledger.restore_caps(json.loads(accounts_path.read_text()))
+        self.ledger.reconcile(
+            [record.receipt for record in records if record.receipt is not None]
+        )
+        for record in records:
+            self.registry.add(record)
+        with self._stamp_lock:
+            self._submissions = max(self._submissions, self.registry.max_stamp())
+        # Re-arm the cache. Keys come from each record's stored
+        # provenance (table fingerprint + scan seed), so this needs no
+        # table registration and can never serve since-changed data:
+        # an entry only matches once a table with the same fingerprint
+        # is registered and submitted against.
+        for record in records:
+            self.scheduler.prime_cache(record)
+        return len(records)
+
+    def _arm_cache(self, table_name: str) -> None:
+        """Pay the one-off table fingerprint scan here, at registration —
+        never inside a tenant's ``submit()`` — and prime the result cache
+        from any completed records on ``table_name`` (a no-op unless a
+        snapshot was loaded before the table existed)."""
+        self.scheduler.fingerprint_table(table_name)
+        for record in self.registry.jobs(
+            table=table_name, status=JobStatus.COMPLETED
+        ):
+            self.scheduler.prime_cache(record)
 
     # -- queries -----------------------------------------------------------------
 

@@ -1,0 +1,205 @@
+"""The dispatch loop: background workers that keep the engine saturated.
+
+PR 3's ``TrainingService.drain()`` trained every queued job on the
+caller's thread — correct, but a server for "heavy traffic from millions
+of users" cannot make tenant number 1000 wait inside ``submit()`` while
+tenant number 1's scan finishes. :class:`DispatchLoop` owns one or more
+worker threads that pull batching windows off the scheduler's queue
+(:meth:`SharedScanScheduler.claim_window` — quick, admission-lock only)
+and dispatch them (:meth:`SharedScanScheduler.dispatch_window`), so:
+
+* ``submit()`` returns a live :class:`~repro.service.registry.JobRecord`
+  immediately — tenants block on ``record.wait()``, never on a scan;
+* compatible jobs that arrive while a scan is running pile up in the
+  queue and fuse into the *next* window (the loop batches exactly like
+  the synchronous drain did, it just does so continuously);
+* the scans themselves serialize on the scheduler's engine lock (the
+  buffer pool is the paper's single-threaded engine core), while worker
+  concurrency overlaps admission, parameter resolution, the bolt-on
+  noise epilogue, and ledger commits with the running scan.
+
+Every window that finishes fires the optional ``autosave`` hook — the
+training service points it at its state snapshot, which is what makes a
+long-lived server restartable (:meth:`TrainingService.save_state` /
+``load_state``).
+
+By the bitwise-determinism contract (scheduler module docstring), none
+of this concurrency can change any job's released weights — the
+interleaving tests lock worker dispatch to the synchronous reference at
+``atol=0``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.service.registry import JobRecord
+from repro.service.scheduler import SharedScanScheduler
+from repro.utils.validation import check_positive_int
+
+#: How long an idle worker sleeps between queue polls when nobody wakes
+#: it explicitly (direct scheduler.submit calls don't notify the loop).
+_IDLE_POLL_SECONDS = 0.02
+
+
+class DispatchLoop:
+    """Background worker threads draining a :class:`SharedScanScheduler`.
+
+    Parameters
+    ----------
+    scheduler:
+        The scheduler whose queue the workers pull from.
+    workers:
+        Worker thread count. Scans serialize on the engine lock, so
+        extra workers buy overlap of the non-scan work (noise epilogues,
+        ledger commits, autosaves) with the running scan — and guarantee
+        the queue is re-checked the moment a scan ends.
+    autosave:
+        Optional zero-argument callable fired after each dispatched
+        window (and once at :meth:`stop`); exceptions are captured on
+        :attr:`autosave_errors` rather than killing the worker.
+    """
+
+    def __init__(
+        self,
+        scheduler: SharedScanScheduler,
+        *,
+        workers: int = 1,
+        autosave: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.workers = check_positive_int(workers, "workers")
+        self.autosave = autosave
+        self.autosave_errors: List[str] = []
+        #: Last-resort log: dispatch_window fails jobs rather than raise,
+        #: so anything landing here (cleanup itself failed) is a bug —
+        #: but the worker survives it and the window's jobs are forced
+        #: terminal, because a silently dead worker strands every queued
+        #: tenant behind it.
+        self.dispatch_errors: List[str] = []
+        #: Terminal records in completion order, across the loop's life.
+        self.finished: List[JobRecord] = []
+        self.windows_dispatched = 0
+        self._threads: List[threading.Thread] = []
+        self._state = threading.Condition()
+        self._stopping = False
+        self._inflight = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
+    @property
+    def stopping(self) -> bool:
+        """A stop() is in progress (workers draining their last window)."""
+        return self._stopping
+
+    def start(self) -> "DispatchLoop":
+        """Launch the worker threads (idempotent while running)."""
+        with self._state:
+            if self._threads:
+                return self
+            self._stopping = False
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    name=f"repro-dispatch-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the workers (in-flight windows finish; queued jobs stay
+        queued for the next start/drain)."""
+        with self._state:
+            if not self._threads:
+                return
+            self._stopping = True
+            self._state.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self._run_autosave()
+
+    def wake(self) -> None:
+        """Nudge idle workers (the service calls this after each submit)."""
+        with self._state:
+            self._state.notify_all()
+
+    # -- quiescence --------------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        """No queued jobs and no window being dispatched right now."""
+        with self._state:
+            return self._inflight == 0 and not len(self.scheduler.queue)
+
+    def wait_quiescent(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and nothing is in flight.
+
+        Requires the loop to be running (otherwise a non-empty queue
+        would wait forever by construction). Returns ``False`` on
+        timeout — and also if the loop is stopped out from under the
+        wait while work remains (``stop()`` wakes waiters rather than
+        stranding them behind a queue no worker will ever empty).
+        """
+        if not self.running and not self.quiescent():
+            raise RuntimeError(
+                "wait_quiescent on a stopped DispatchLoop with queued jobs "
+                "would never return; start() the loop first"
+            )
+        with self._state:
+            self._state.wait_for(
+                lambda: self._stopping
+                or (self._inflight == 0 and not len(self.scheduler.queue)),
+                timeout=timeout,
+            )
+            return self._inflight == 0 and not len(self.scheduler.queue)
+
+    # -- the worker body ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._state:
+                while not self._stopping and not len(self.scheduler.queue):
+                    # Timed wait: work submitted straight through the
+                    # scheduler (no wake()) is still picked up promptly.
+                    self._state.wait(timeout=_IDLE_POLL_SECONDS)
+                if self._stopping:
+                    return
+                window = self.scheduler.claim_window()
+                if not window:
+                    continue
+                self._inflight += 1
+            finished = []
+            try:
+                finished = self.scheduler.dispatch_window(window)
+            except Exception as error:  # cleanup-of-cleanup failed
+                self.dispatch_errors.append(f"{type(error).__name__}: {error}")
+                try:
+                    finished = self.scheduler.fail_jobs(window, error)
+                except Exception as cleanup_error:
+                    self.dispatch_errors.append(
+                        f"fail_jobs: {type(cleanup_error).__name__}: {cleanup_error}"
+                    )
+            finally:
+                with self._state:
+                    self.finished.extend(finished)
+                    self.windows_dispatched += 1
+                    self._inflight -= 1
+                    self._state.notify_all()
+            self._run_autosave()
+
+    def _run_autosave(self) -> None:
+        if self.autosave is None:
+            return
+        try:
+            self.autosave()
+        except Exception as error:  # never kill a worker over a snapshot
+            self.autosave_errors.append(f"{type(error).__name__}: {error}")

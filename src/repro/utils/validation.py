@@ -6,7 +6,7 @@ offending parameter, which keeps the public API's error behaviour uniform.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

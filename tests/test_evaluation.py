@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.dataset import Dataset
 from repro.data.synthetic import linearly_separable_binary
 from repro.evaluation.figures import (
     epsilons_for,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pathlib
 import py_compile
 
-import numpy as np
 import pytest
 
 from repro.data.synthetic import linearly_separable_binary

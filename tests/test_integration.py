@@ -152,7 +152,6 @@ class TestLargeDatasetPrivacyForFree:
             noiseless_psgd,
             private_strongly_convex_psgd,
         )
-        from repro.optim.schedules import InverseTSchedule
 
         loss = LogisticLoss(regularization=1e-3)
         private = private_strongly_convex_psgd(

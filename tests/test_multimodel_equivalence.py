@@ -32,7 +32,7 @@ from repro.optim.losses import (
     LogisticLoss,
     Loss,
 )
-from repro.optim.projection import IdentityProjection, L2BallProjection
+from repro.optim.projection import L2BallProjection
 from repro.optim.psgd import PSGD, ModelSpec, MultiModelPSGD, PSGDConfig
 from repro.optim.schedules import (
     CappedInverseTSchedule,

@@ -9,7 +9,7 @@ from repro.optim.losses import LogisticLoss
 from repro.optim.schedules import ConstantSchedule
 from repro.rdbms.catalog import Catalog
 from repro.rdbms.executor import SeqScan, Shuffle, ShuffleOnce, run_aggregate
-from repro.rdbms.storage import BufferPool, MaterializedHeapFile
+from repro.rdbms.storage import BufferPool
 from repro.rdbms.uda import AvgUDA, SGDUDA
 
 
@@ -156,8 +156,7 @@ class TestSGDUDA:
 
     def test_epoch_chaining_continues_schedule(self):
         catalog = Catalog()
-        info, X, y = make_table(catalog, m=20, d=4)
-        pool = BufferPool(100)
+        make_table(catalog, m=20, d=4)
         from repro.optim.schedules import InverseTSchedule
 
         uda = SGDUDA(LogisticLoss(), InverseTSchedule(1.0), batch_size=5)

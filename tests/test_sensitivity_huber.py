@@ -8,7 +8,6 @@ verification with the Huber loss across smoothing widths.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

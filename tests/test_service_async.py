@@ -1,0 +1,659 @@
+"""Tests for the async serving layer: worker dispatch, the cross-drain
+result cache, and the durable registry.
+
+Three contracts carry this PR:
+
+* **Async invisibility** — background worker dispatch is invisible to
+  the released bits: any interleaving of concurrent ``submit()`` and
+  worker scans produces per-job weights bitwise-identical to the
+  synchronous single-threaded drain (``np.array_equal``, atol=0), and
+  ``submit()`` never blocks on a running scan.
+* **Cache soundness** — resubmitting a completed job is a hit: 0 page
+  requests, 0 ε re-spend, identical weights; anything that could change
+  a single released float (seed, ε, candidate, table contents) misses.
+* **Durability** — snapshot → load → resume round-trips records
+  bitwise, reconciles budgets from committed receipts (over-budget jobs
+  still rejected), re-arms the cache, and marks in-flight work FAILED.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accountant import would_overflow
+from repro.optim.losses import LogisticLoss
+from repro.service import JobStatus, ModelRegistry, TrainingService
+from tests.conftest import make_binary_data
+
+M, D = 300, 8
+EPS = 0.05
+X, Y = make_binary_data(M, D, seed=21)
+
+
+def make_service(
+    workers: int = 2,
+    cap: float = 10.0,
+    state_dir=None,
+    fuse: bool = True,
+    window: int = 32,
+) -> TrainingService:
+    service = TrainingService(
+        fuse=fuse,
+        scan_seed=5,
+        batching_window=window,
+        workers=workers,
+        state_dir=state_dir,
+    )
+    service.register_table("t", X, Y)
+    service.open_budget("alice", "t", cap)
+    service.open_budget("bob", "t", cap)
+    return service
+
+
+def mixed_jobs(n: int = 8):
+    return [
+        dict(
+            principal="alice" if j % 2 == 0 else "bob",
+            loss=LogisticLoss(regularization=[1e-4, 1e-3, 1e-2][j % 3]),
+            epsilon=EPS,
+            passes=2,
+            batch_size=25,
+            seed=900 + j,
+        )
+        for j in range(n)
+    ]
+
+
+def submit_all(service: TrainingService, jobs):
+    return [
+        service.submit(job["principal"], "t", job["loss"], epsilon=job["epsilon"],
+                       passes=job["passes"], batch_size=job["batch_size"],
+                       seed=job["seed"])
+        for job in jobs
+    ]
+
+
+def sync_reference(jobs) -> dict:
+    """{seed: weights} from the single-threaded reference dispatch."""
+    service = make_service(workers=1)
+    records = submit_all(service, jobs)
+    service.scheduler.run_pending()
+    assert all(record.status is JobStatus.COMPLETED for record in records)
+    return {record.job.seed: record.model for record in records}
+
+
+class SlowLoss(LogisticLoss):
+    """A logistic loss whose gradients stall — makes scans take long
+    enough that submit-vs-scan overlap is observable."""
+
+    def batch_gradient(self, w, X_batch, y_batch):
+        time.sleep(0.005)
+        return super().batch_gradient(w, X_batch, y_batch)
+
+
+class TestAsyncDispatch:
+    def test_worker_drain_bitwise_equals_sync(self):
+        jobs = mixed_jobs()
+        reference = sync_reference(jobs)
+        service = make_service(workers=4)
+        records = submit_all(service, jobs)
+        finished = service.drain()
+        assert len(finished) == len(jobs)
+        for record in records:
+            assert record.status is JobStatus.COMPLETED
+            assert np.array_equal(record.model, reference[record.job.seed])
+
+    def test_continuous_server_mode(self):
+        """start() once, submit over time, wait on handles, stop()."""
+        jobs = mixed_jobs()
+        reference = sync_reference(jobs)
+        service = make_service(workers=2).start()
+        try:
+            records = []
+            for job in jobs:
+                records.append(submit_all(service, [job])[0])
+            for record in records:
+                assert record.wait(timeout=30.0)
+                assert record.done
+                assert np.array_equal(record.model, reference[record.job.seed])
+        finally:
+            service.stop()
+
+    def test_submit_never_blocks_on_a_running_scan(self):
+        service = make_service(workers=1).start()
+        try:
+            slow = service.submit("alice", "t", SlowLoss(1e-3), epsilon=EPS,
+                                  passes=2, batch_size=25, seed=1)
+            deadline = time.monotonic() + 10.0
+            while service.status(slow.job_id) is JobStatus.QUEUED:
+                assert time.monotonic() < deadline, "slow job never started"
+                time.sleep(0.002)
+            # The scan is in flight on the worker; submissions must
+            # return without waiting for it.
+            start = time.monotonic()
+            quick = [
+                service.submit("bob", "t", LogisticLoss(1e-3), epsilon=EPS,
+                               passes=2, batch_size=25, seed=100 + j)
+                for j in range(5)
+            ]
+            elapsed = time.monotonic() - start
+            # The slow scan takes >= 2 * (300/25) * 5ms = 120ms; five
+            # admissions are pure bookkeeping and finish far faster.
+            assert elapsed < 0.1, f"submit() blocked for {elapsed:.3f}s"
+            assert service.status(slow.job_id) in (
+                JobStatus.RUNNING, JobStatus.COMPLETED
+            )
+            for record in quick:
+                assert record.wait(timeout=30.0)
+                assert record.status is JobStatus.COMPLETED
+            assert slow.wait(timeout=30.0)
+        finally:
+            service.stop()
+
+    def test_drain_returns_only_new_terminals(self):
+        service = make_service(workers=2)
+        first = submit_all(service, mixed_jobs(4))
+        assert len(service.drain()) == 4
+        submit_all(service, mixed_jobs(2))  # seeds 900, 901 -> cache hits
+        more = [
+            service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                           passes=2, batch_size=25, seed=7000 + j)
+            for j in range(3)
+        ]
+        second = service.drain()
+        # Cache hits are terminal at submit and never dispatched, so the
+        # drain reports exactly the three fresh jobs.
+        assert {record.job_id for record in second} == {
+            record.job_id for record in more
+        }
+        assert all(record.job_id not in {f.job_id for f in first}
+                   for record in second)
+
+    def test_wait_timeout_returns_false(self):
+        service = make_service(workers=1)
+        record = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                                passes=1, batch_size=25, seed=3)
+        assert record.wait(timeout=0.0) is False
+        assert not record.done
+        service.drain()
+        assert record.wait(timeout=0.0) is True
+
+    def test_concurrent_submitters_and_workers_stay_bitwise(self):
+        """3 submitter threads racing 2 workers: same bits as sync."""
+        jobs = mixed_jobs(12)
+        reference = sync_reference(jobs)
+        service = make_service(workers=2).start()
+        try:
+            records, errors = [], []
+            lock = threading.Lock()
+
+            def submitter(chunk):
+                try:
+                    for job in chunk:
+                        record = submit_all(service, [job])[0]
+                        with lock:
+                            records.append(record)
+                except Exception as error:  # pragma: no cover - fail loud
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=submitter, args=(jobs[i::3],))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            for record in records:
+                assert record.wait(timeout=30.0)
+                assert np.array_equal(record.model, reference[record.job.seed])
+        finally:
+            service.stop()
+
+
+class TestWorkerRaceLedger:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        epsilons=st.lists(
+            st.floats(min_value=0.01, max_value=0.30, allow_nan=False),
+            min_size=4,
+            max_size=16,
+        )
+    )
+    def test_concurrent_submit_plus_dispatch_never_overspends(self, epsilons):
+        """spent + reserved <= cap at every sampled instant, and the
+        final spend is exactly the committed jobs' total — under real
+        submit/worker races (2 submitter threads + 2 worker threads)."""
+        cap = 0.5
+        service = make_service(workers=2, cap=cap)
+        service.start()
+        violations: list = []
+        stop_sampling = threading.Event()
+
+        def sampler():
+            while not stop_sampling.is_set():
+                for statement in service.budgets():
+                    if would_overflow(
+                        statement.cap,
+                        statement.spent[0] + statement.reserved[0],
+                        statement.spent[1] + statement.reserved[1],
+                    ):
+                        violations.append(statement)
+                time.sleep(0.001)
+
+        records: list = []
+        lock = threading.Lock()
+
+        def submitter(chunk, base_seed):
+            for index, epsilon in enumerate(chunk):
+                record = service.submit(
+                    "alice", "t", LogisticLoss(1e-3), epsilon=float(epsilon),
+                    passes=1, batch_size=25, seed=base_seed + index,
+                )
+                with lock:
+                    records.append(record)
+
+        sampler_thread = threading.Thread(target=sampler)
+        sampler_thread.start()
+        try:
+            submitters = [
+                threading.Thread(target=submitter, args=(epsilons[i::2], 10_000 * (i + 1)))
+                for i in range(2)
+            ]
+            for thread in submitters:
+                thread.start()
+            for thread in submitters:
+                thread.join()
+            assert service.loop.wait_quiescent(timeout=60.0)
+        finally:
+            stop_sampling.set()
+            sampler_thread.join()
+            service.stop()
+
+        assert not violations, f"ledger overspent under race: {violations[:3]}"
+        committed = sum(
+            record.receipt.parameters.epsilon
+            for record in records
+            if record.status is JobStatus.COMPLETED
+        )
+        statement = [s for s in service.budgets() if s.principal == "alice"][0]
+        assert statement.spent[0] == pytest.approx(committed)
+        assert not would_overflow(statement.cap, statement.spent[0], statement.spent[1])
+        assert statement.reserved == (0.0, 0.0)
+        for record in records:
+            assert record.status in (
+                JobStatus.COMPLETED, JobStatus.REJECTED
+            ), record.error
+            if record.status is JobStatus.REJECTED:
+                assert record.receipt is None
+
+
+class TestResultCache:
+    def test_resubmission_is_a_zero_cost_hit(self):
+        service = make_service(workers=2)
+        jobs = mixed_jobs()
+        originals = submit_all(service, jobs)
+        service.drain()
+        pages = service.page_reads
+        spent = {s.principal: s.spent for s in service.budgets()}
+
+        replays = submit_all(service, jobs)
+        for original, replay in zip(originals, replays):
+            assert replay.status is JobStatus.COMPLETED
+            assert replay.done  # terminal at submit, no drain needed
+            assert replay.dispatch == "cached"
+            assert replay.cache_source == original.job_id
+            assert replay.group_pages == 0
+            assert replay.receipt is None
+            assert np.array_equal(replay.model, original.model)
+        assert service.page_reads == pages, "cache hits touched pages"
+        assert {s.principal: s.spent for s in service.budgets()} == spent
+        assert service.scheduler.cache.hits == len(jobs)
+
+    def test_any_release_relevant_change_misses(self):
+        service = make_service(workers=1)
+        base = dict(epsilon=EPS, passes=2, batch_size=25, seed=77)
+        service.submit("alice", "t", LogisticLoss(1e-3), **base)
+        service.drain()
+        variants = [
+            ("seed", dict(base, seed=78)),
+            ("epsilon", dict(base, epsilon=EPS / 2)),
+            ("passes", dict(base, passes=1)),
+            ("batch_size", dict(base, batch_size=50)),
+        ]
+        for name, params in variants:
+            record = service.submit("alice", "t", LogisticLoss(1e-3), **params)
+            assert record.status is JobStatus.QUEUED, f"{name} should miss"
+        miss = service.submit("alice", "t", LogisticLoss(1e-2), **base)
+        assert miss.status is JobStatus.QUEUED, "loss change should miss"
+        service.drain()
+
+    def test_hit_is_shared_across_principals(self):
+        """The release is principal-independent, so bob's identical job
+        hits alice's entry — and spends nothing from *his* account."""
+        service = make_service(workers=1)
+        alice = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                               passes=2, batch_size=25, seed=5)
+        service.drain()
+        bob = service.submit("bob", "t", LogisticLoss(1e-3), epsilon=EPS,
+                             passes=2, batch_size=25, seed=5)
+        assert bob.dispatch == "cached"
+        assert np.array_equal(bob.model, alice.model)
+        bob_statement = [s for s in service.budgets() if s.principal == "bob"][0]
+        assert bob_statement.spent == (0, 0)
+
+    def test_hit_requires_a_ledger_account(self):
+        """A hit is a free re-release, not an access grant: a principal
+        with no account on the table is REJECTED even when an identical
+        release sits in the cache."""
+        service = make_service(workers=1)
+        alice = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                               passes=2, batch_size=25, seed=5)
+        service.drain()
+        mallory = service.submit("mallory", "t", LogisticLoss(1e-3),
+                                 epsilon=EPS, passes=2, batch_size=25, seed=5)
+        assert mallory.status is JobStatus.REJECTED
+        assert mallory.model is None
+        assert "no budget account" in mallory.error
+        assert alice.status is JobStatus.COMPLETED
+
+    def test_hit_records_are_mutation_isolated(self):
+        """Tenants get their own array: scribbling on one served result
+        must not corrupt the cache or other tenants' hits."""
+        service = make_service(workers=1)
+        original = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                                  passes=2, batch_size=25, seed=5)
+        service.drain()
+        first = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                               passes=2, batch_size=25, seed=5)
+        first.model[:] = 0.0  # a tenant normalizes "their" weights in place
+        second = service.submit("bob", "t", LogisticLoss(1e-3), epsilon=EPS,
+                                passes=2, batch_size=25, seed=5)
+        assert np.array_equal(second.model, original.model)
+        assert not np.array_equal(second.model, first.model)
+
+    def test_virtual_heaps_are_uncacheable_not_scanned(self):
+        """A generator-backed heap has no cheap content identity, so its
+        jobs are never cached — and registering it must not trigger a
+        full-table fingerprint synthesis."""
+        from repro.rdbms.storage import VirtualHeapFile, tuples_per_page
+
+        per_page = tuples_per_page(D)
+        synthesized = []
+
+        def page(page_id, count, dim):
+            synthesized.append(page_id)
+            rows = slice(page_id * per_page, page_id * per_page + count)
+            return X[rows], Y[rows]
+
+        service = make_service(workers=1)
+        service.register_heap("v", VirtualHeapFile(M, D, page))
+        assert synthesized == []  # registration stayed metadata-only
+        service.open_budget("alice", "v", 10.0)
+        first = service.submit("alice", "v", LogisticLoss(1e-3), epsilon=EPS,
+                               passes=1, batch_size=25, seed=2)
+        service.drain()
+        assert first.status is JobStatus.COMPLETED
+        again = service.submit("alice", "v", LogisticLoss(1e-3), epsilon=EPS,
+                               passes=1, batch_size=25, seed=2)
+        assert again.status is JobStatus.QUEUED  # no fingerprint, no hit
+        service.drain()
+        assert np.array_equal(again.model, first.model)  # still deterministic
+
+    def test_unhashable_loss_state_is_not_cached(self):
+        service = make_service(workers=1)
+        loss = LogisticLoss(1e-3)
+        loss.opaque_state = [1.0, 2.0]  # kills fusion_key -> uncacheable
+        first = service.submit("alice", "t", loss, epsilon=EPS,
+                               passes=2, batch_size=25, seed=9)
+        service.drain()
+        assert first.status is JobStatus.COMPLETED
+        again = service.submit("alice", "t", loss, epsilon=EPS,
+                               passes=2, batch_size=25, seed=9)
+        assert again.status is JobStatus.QUEUED  # trains again, no hit
+        service.drain()
+        assert again.status is JobStatus.COMPLETED
+
+
+class TestDurableRegistry:
+    def test_snapshot_load_roundtrip_is_bitwise(self, tmp_path):
+        service = make_service(workers=2)
+        records = submit_all(service, mixed_jobs())
+        service.drain()
+        path = tmp_path / "registry.json"
+        service.registry.snapshot(path)
+
+        loaded = ModelRegistry.load(path)
+        assert len(loaded) == len(service.registry)
+        for record in records:
+            twin = loaded.get(record.job_id)
+            assert twin.status is record.status
+            assert np.array_equal(twin.model, record.model)
+            assert twin.receipt == record.receipt
+            assert twin.sensitivity == record.sensitivity
+            assert twin.dispatch == record.dispatch
+            assert twin.group_pages == record.group_pages
+            assert twin.job.seed == record.job.seed
+            assert type(twin.job.candidate.loss) is type(record.job.candidate.loss)
+            assert twin.done  # loaded terminal records are awaitable
+
+    def test_restart_resumes_models_budgets_and_cache(self, tmp_path):
+        jobs = mixed_jobs()
+        service = make_service(workers=2, cap=0.5, state_dir=tmp_path)
+        originals = submit_all(service, jobs)
+        service.drain()  # autosave fires per window + at stop
+
+        restarted = make_service(workers=2, cap=0.5, state_dir=tmp_path)
+        loaded = restarted.load_state()
+        assert loaded == len(jobs)
+        # Prior models are served.
+        for record in originals:
+            assert np.array_equal(
+                restarted.model(record.job_id), record.model
+            )
+        # Budgets reconciled from receipts: 4 jobs x 0.05 eps committed
+        # per principal...
+        for statement in restarted.budgets():
+            assert statement.spent[0] == pytest.approx(4 * EPS)
+        # ...so a job that fit before the restart still fits, and one
+        # that overflows the reconciled account is rejected at admission.
+        ok = restarted.submit("alice", "t", LogisticLoss(1e-3),
+                              epsilon=0.5 - 4 * EPS, passes=2, batch_size=25,
+                              seed=12345)
+        assert ok.status is JobStatus.QUEUED
+        over = restarted.submit("bob", "t", LogisticLoss(1e-3),
+                                epsilon=0.5 - 4 * EPS + 0.01, passes=2,
+                                batch_size=25, seed=12346)
+        assert over.status is JobStatus.REJECTED
+        assert restarted.page_reads == 0  # admission decisions cost no I/O
+        # The cache came back armed: a resubmission is a zero-cost hit.
+        hit = restarted.submit(jobs[0]["principal"], "t", jobs[0]["loss"],
+                               epsilon=jobs[0]["epsilon"], passes=2,
+                               batch_size=25, seed=jobs[0]["seed"])
+        assert hit.dispatch == "cached"
+        assert np.array_equal(hit.model, originals[0].model)
+        assert restarted.page_reads == 0
+        restarted.drain()
+
+    def test_load_before_register_table_still_arms_cache(self, tmp_path):
+        service = make_service(workers=1, state_dir=tmp_path)
+        record = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                                passes=2, batch_size=25, seed=4)
+        service.drain()
+        service.save_state()
+
+        restarted = TrainingService(scan_seed=5, workers=1, state_dir=tmp_path)
+        assert restarted.load_state() == 1  # table not registered yet
+        restarted.register_table("t", X, Y)  # same contents -> keys match
+        hit = restarted.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                               passes=2, batch_size=25, seed=4)
+        assert hit.dispatch == "cached"
+        assert np.array_equal(hit.model, record.model)
+
+    def test_inflight_jobs_reload_as_interrupted_failures(self, tmp_path):
+        service = make_service(workers=1)
+        queued = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                                passes=2, batch_size=25, seed=6)
+        service.save_state(tmp_path)  # snapshot with the job still QUEUED
+
+        restarted = make_service(workers=1)
+        restarted.load_state(tmp_path)
+        twin = restarted.result(queued.job_id)
+        assert twin.status is JobStatus.FAILED
+        assert "interrupted" in twin.error
+        assert twin.receipt is None
+        # No receipt -> reconciliation charges nothing for it.
+        for statement in restarted.budgets():
+            assert statement.spent == (0, 0)
+        service.drain()
+
+    def test_changed_table_contents_invalidate_the_cache(self, tmp_path):
+        service = make_service(workers=1, state_dir=tmp_path)
+        service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                       passes=2, batch_size=25, seed=8)
+        service.drain()
+
+        restarted = TrainingService(scan_seed=5, workers=1, state_dir=tmp_path)
+        X2 = X.copy()
+        X2[0, 0] += 1e-9  # one float differs -> different fingerprint
+        restarted.register_table("t", X2, Y)
+        restarted.open_budget("alice", "t", 10.0)
+        restarted.load_state()
+        miss = restarted.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                                passes=2, batch_size=25, seed=8)
+        assert miss.status is JobStatus.QUEUED  # not served stale weights
+        restarted.drain()
+
+    def test_torn_inflight_record_never_persists_a_receipt(self, tmp_path):
+        """The autosave race: a snapshot taken between a worker's ledger
+        commit and the status flip to COMPLETED must not persist the
+        receipt — else restore would charge the tenant for a job it
+        reports as FAILED/interrupted."""
+        from repro.service.ledger import BudgetReceipt
+        from repro.core.mechanisms import PrivacyParameters
+
+        service = make_service(workers=1)
+        record = service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                                passes=2, batch_size=25, seed=6)
+        # Simulate the mid-release window: receipt + model written, the
+        # terminal status (which _release sets last) not yet.
+        record.status = JobStatus.RUNNING
+        record.model = np.zeros(D)
+        record.receipt = BudgetReceipt(
+            principal="alice", table="t", job_id=record.job_id,
+            parameters=PrivacyParameters(EPS), sequence=1,
+        )
+        service.save_state(tmp_path)
+
+        restarted = make_service(workers=1)
+        restarted.load_state(tmp_path)
+        twin = restarted.result(record.job_id)
+        assert twin.status is JobStatus.FAILED
+        assert twin.receipt is None
+        assert twin.model is None
+        for statement in restarted.budgets():
+            assert statement.spent == (0, 0)
+
+    def test_reconcile_keys_on_receipt_identity_not_sequence(self):
+        """A warm ledger's live commit may share a sequence number with a
+        prior process's receipt; both spends must count (and replaying
+        the same receipt twice must not)."""
+        from repro.core.mechanisms import PrivacyParameters
+        from repro.service import PrivacyBudgetLedger
+        from repro.service.ledger import BudgetReceipt
+
+        ledger = PrivacyBudgetLedger()
+        ledger.open_account("alice", "t", 1.0)
+        ledger.commit(
+            ledger.reserve("alice", "t", PrivacyParameters(0.2), job_id="live-1")
+        )  # live commit, sequence 1
+        prior = BudgetReceipt(
+            principal="alice", table="t", job_id="old-1",
+            parameters=PrivacyParameters(0.3), sequence=1,  # colliding seq
+        )
+        assert ledger.reconcile([prior]) == 1
+        assert ledger.statement("alice", "t").spent[0] == pytest.approx(0.5)
+        assert ledger.reconcile([prior]) == 0  # identity-idempotent
+        assert ledger.statement("alice", "t").spent[0] == pytest.approx(0.5)
+        # The counter moved past both histories: the next commit's
+        # sequence collides with neither.
+        receipt = ledger.commit(
+            ledger.reserve("alice", "t", PrivacyParameters(0.1), job_id="live-2")
+        )
+        assert receipt.sequence > 1
+
+    def test_dispatch_machinery_error_fails_jobs_not_workers(self):
+        """An unexpected error outside the engine (here: the table vanishes
+        between admission and dispatch) must FAIL the jobs with refunds —
+        never strand them QUEUED behind a dead worker thread."""
+        service = make_service(workers=1)
+        records = [
+            service.submit("alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                           passes=2, batch_size=25, seed=50 + j)
+            for j in range(3)
+        ]
+        service.session.catalog.drop_table("t")
+        finished = service.drain()
+        assert len(finished) == 3
+        for record in records:
+            assert record.wait(timeout=10.0)
+            assert record.status is JobStatus.FAILED
+            assert "no such table" in record.error
+        statement = [s for s in service.budgets() if s.principal == "alice"][0]
+        assert statement.reserved == (0.0, 0.0)  # all holds refunded
+        assert statement.spent == (0, 0)
+
+    def test_reconcile_overflow_rejects_whole_snapshot(self):
+        """A snapshot whose receipts overflow a cap must raise with the
+        ledger unchanged — never half-charged."""
+        from repro.core.accountant import PrivacyBudgetExceeded
+        from repro.core.mechanisms import PrivacyParameters
+        from repro.service import PrivacyBudgetLedger
+        from repro.service.ledger import BudgetReceipt
+
+        ledger = PrivacyBudgetLedger()
+        ledger.open_account("alice", "t", 0.5)
+        receipts = [
+            BudgetReceipt(principal="alice", table="t", job_id=f"old-{i}",
+                          parameters=PrivacyParameters(0.3), sequence=i + 1)
+            for i in range(2)  # totals 0.6 > cap 0.5
+        ]
+        with pytest.raises(PrivacyBudgetExceeded, match="refusing to restore"):
+            ledger.reconcile(receipts)
+        assert ledger.statement("alice", "t").spent == (0, 0)
+
+    def test_stop_during_drain_does_not_hang(self):
+        """stop() racing a blocked drain() must wake it (error or clean
+        finish), never strand it behind a queue no worker will empty."""
+        service = make_service(workers=1).start()
+        for j in range(4):
+            service.submit("alice", "t", SlowLoss(1e-3), epsilon=EPS,
+                           passes=2, batch_size=25, seed=600 + j)
+        outcome: list = []
+
+        def drainer():
+            try:
+                outcome.append(("ok", service.drain()))
+            except RuntimeError as error:
+                outcome.append(("stopped", error))
+
+        thread = threading.Thread(target=drainer)
+        thread.start()
+        time.sleep(0.02)  # let the drain block on quiescence
+        service.stop()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "drain hung after stop()"
+        assert outcome and outcome[0][0] in ("ok", "stopped")
+
+    def test_snapshot_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else", "records": []}')
+        with pytest.raises(ValueError, match="not a registry snapshot"):
+            ModelRegistry.load(path)

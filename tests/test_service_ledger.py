@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.accountant import PrivacyBudgetExceeded, would_overflow
+from repro.core.accountant import would_overflow
 from repro.core.mechanisms import PrivacyParameters
 from repro.optim.losses import LogisticLoss
 from repro.service import (

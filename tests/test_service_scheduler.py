@@ -202,7 +202,7 @@ class TestSharedScanAccounting:
 class TestRegistryQueries:
     def test_filters_and_model_access(self):
         service = make_service()
-        records = run_workload(service, mixed_jobs())
+        run_workload(service, mixed_jobs())
         assert len(service.jobs(principal="alice")) == 4
         assert len(service.jobs(status=JobStatus.COMPLETED)) == 8
         assert len(service.jobs(principal="alice", status=JobStatus.FAILED)) == 0
