@@ -262,6 +262,30 @@ def _write_results(**updates) -> None:
     print(f"wrote {RESULTS_PATH.name}")
 
 
+def write_report(path, **gates) -> None:
+    """Merge per-gate summaries into the CI report file at ``path``.
+
+    Unlike :func:`_write_results` (the full-shape perf trajectory under
+    version control), the report is written at *any* shape — it is what
+    CI uploads as a workflow artifact and renders into the job's step
+    summary (``benchmarks/report_summary.py``), so a smoke run's gate
+    ratios are readable from the Checks tab without digging through logs.
+    Each gate entry carries at least ``value``/``floor``/``passed``.
+    """
+    path = pathlib.Path(path)
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    gates_payload = payload.setdefault("gates", {})
+    for name, entry in gates.items():
+        gates_payload[name] = entry
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote report {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -288,6 +312,13 @@ def main(argv=None) -> int:
         "path-agreement asserts; results are NOT written to "
         "BENCH_hotloops.json",
     )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also merge per-gate summaries (value/floor/passed) into this "
+        "JSON file — written at any shape, for CI artifacts + step summary",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error(f"--rounds must be a positive integer, got {args.rounds}")
@@ -303,6 +334,17 @@ def main(argv=None) -> int:
         if speedup < SPEEDUP_FLOOR:
             print(f"FAIL: vectorized path regressed below {SPEEDUP_FLOOR}x")
             failed = True
+        if args.report:
+            write_report(
+                args.report,
+                vectorized_vs_scalar={
+                    "metric": "wall-clock speedup, vectorized over scalar epoch",
+                    "value": speedup,
+                    "floor": SPEEDUP_FLOOR,
+                    "passed": speedup >= SPEEDUP_FLOOR,
+                    "shape": {"m": M, "d": D, "batch_size": BATCH},
+                },
+            )
     if args.multi_model:
         ks = tuple(k for k in MULTI_MODEL_KS if k <= 16) if args.smoke else MULTI_MODEL_KS
         fused_speedup = multi_model(args.rounds, ks=ks, write=not args.smoke)
@@ -312,6 +354,17 @@ def main(argv=None) -> int:
                 f"at K={FUSED_GATE_K}"
             )
             failed = True
+        if args.report:
+            write_report(
+                args.report,
+                fused_multi_model={
+                    "metric": f"fused over sequential speedup at K={FUSED_GATE_K}",
+                    "value": fused_speedup,
+                    "floor": FUSED_SPEEDUP_FLOOR,
+                    "passed": fused_speedup >= FUSED_SPEEDUP_FLOOR,
+                    "shape": {"m": M, "d": D, "batch_size": BATCH},
+                },
+            )
     if failed:
         return 1
     print("PASS")

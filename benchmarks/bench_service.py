@@ -17,14 +17,30 @@ gates CI on the structural claim:
   4 workers, plus the cross-drain result cache (resubmitting the whole
   workload must cost 0 pages and return bitwise-identical weights).
 
+* ``--parallel`` benchmarks **per-table engine domains**: the same
+  2-table workload on 2 workers, with each table's heap wrapped in a
+  :class:`~repro.rdbms.storage.LatencyHeapFile` (page fetches cost real,
+  GIL-releasing wall-clock — the disk regime) and an undersized buffer
+  pool so every scan pays I/O. The gate **exits 1 unless the per-table
+  configuration is >= 1.5x faster wall-clock than the global-engine-lock
+  configuration** (``parallel_scans=False``), unless every job's weights
+  are bitwise-identical to the synchronous 1-worker drain, and unless
+  every job's recorded page count equals its solo run's — cross-table
+  concurrency must be invisible to everything but the clock.
+
 * ``--smoke`` shrinks the workload for CI (12 jobs, m=600) while
-  keeping every gate assert — page ratio >= 3x and bitwise equality
-  are structural, not scale-dependent.
+  keeping every gate assert — page ratio >= 3x, bitwise equality, and
+  the >= 1.5x scan-overlap speedup are structural, not scale-dependent.
+
+* ``--report PATH`` merges per-gate summaries (value/floor/passed) into
+  a JSON file at any shape — what CI uploads as an artifact and renders
+  into the step summary.
 
 Timings and page counts append to ``BENCH_hotloops.json`` under the
-``"service"`` and ``"service_async"`` keys (full shape only), extending
-the machine-readable perf trajectory (scalar → vectorized → fused →
-shared-scan service → async service).
+``"service"``, ``"service_async"``, and ``"service_parallel"`` keys
+(full shape only), extending the machine-readable perf trajectory
+(scalar → vectorized → fused → shared-scan service → async service →
+cross-table parallel service).
 """
 
 from __future__ import annotations
@@ -44,8 +60,9 @@ for _path in (str(_here.parent / "src"), str(_here.parent), str(_here)):
 
 import numpy as np
 
-from bench_hotloops import _write_results
+from bench_hotloops import _write_results, write_report
 from repro.optim.losses import LogisticLoss
+from repro.rdbms.storage import LatencyHeapFile, MaterializedHeapFile
 from repro.service import JobStatus, TrainingService
 from tests.conftest import make_binary_data
 
@@ -62,10 +79,28 @@ SMOKE_JOBS, SMOKE_M, SMOKE_D = 12, 600, 20
 #: --gate fails below this sequential-over-fused page-request ratio.
 PAGE_RATIO_FLOOR = 3.0
 
+#: The --parallel shape: 2 workers x 2 tables, each table latency-backed
+#: (simulated disk; the sleep releases the GIL, so overlapped scans
+#: really overlap) behind a 1-page buffer-pool domain (thrash regime —
+#: every scan pays I/O, like the paper's larger-than-memory runs).
+PAR_TABLES, PAR_WORKERS, PAR_JOBS_PER_TABLE = 2, 2, 8
+PAR_M, PAR_D = 1500, 20
+PAR_PAGE_LATENCY = 0.0005
+SMOKE_PAR_M, SMOKE_PAR_LATENCY = 600, 0.001
+
+#: --gate --parallel fails below this per-table-over-global-lock
+#: wall-clock speedup at 2 workers x 2 tables.
+PARALLEL_SPEEDUP_FLOOR = 1.5
+
 
 def _set_shape(jobs: int, m: int, d: int) -> None:
     global JOBS, M, D
     JOBS, M, D = jobs, m, d
+
+
+def _set_parallel_shape(m: int, latency: float) -> None:
+    global PAR_M, PAR_PAGE_LATENCY
+    PAR_M, PAR_PAGE_LATENCY = m, latency
 
 
 def _build_service(fuse: bool, workers: int = 1) -> TrainingService:
@@ -117,7 +152,7 @@ def _run(fuse: bool) -> dict:
     }
 
 
-def bench_service(gate: bool, write: bool = True) -> int:
+def bench_service(gate: bool, write: bool = True, report=None) -> int:
     print(f"service shape: {JOBS} jobs, m={M}, d={D}, b={BATCH}, k={PASSES}")
     fused = _run(fuse=True)
     sequential = _run(fuse=False)
@@ -157,6 +192,20 @@ def bench_service(gate: bool, write: bool = True) -> int:
             }
         )
 
+    if report is not None:
+        write_report(
+            report,
+            shared_scan_pages={
+                "metric": f"page-request ratio, sequential over fused "
+                f"({JOBS} jobs, one table)",
+                "value": ratio,
+                "floor": PAGE_RATIO_FLOOR,
+                "passed": bool(ratio >= PAGE_RATIO_FLOOR and bitwise),
+                "bitwise_equal": bitwise,
+                "shape": {"m": M, "d": D, "jobs": JOBS},
+            },
+        )
+
     if gate and (ratio < PAGE_RATIO_FLOOR or not bitwise):
         if ratio < PAGE_RATIO_FLOOR:
             print(f"FAIL: fused dispatch below {PAGE_RATIO_FLOOR}x fewer pages")
@@ -167,7 +216,7 @@ def bench_service(gate: bool, write: bool = True) -> int:
     return 0
 
 
-def bench_async(gate: bool, write: bool = True) -> int:
+def bench_async(gate: bool, write: bool = True, report=None) -> int:
     """Submit-latency vs drain-throughput with the background loop, plus
     the zero-cost cache-hit replay. Asserted invariants double as the
     gate: async weights bitwise-equal to the synchronous drain, cache
@@ -225,11 +274,183 @@ def bench_async(gate: bool, write: bool = True) -> int:
             }
         )
 
+    if report is not None:
+        write_report(
+            report,
+            async_and_cache={
+                "metric": "async bitwise == sync AND cache replay pages == 0",
+                "value": float(cache_pages),
+                "floor": 0.0,
+                "passed": bool(bitwise and cached and cache_pages == 0),
+                "bitwise_equal": bitwise,
+                "all_cached": cached,
+                "shape": {"m": M, "d": D, "jobs": JOBS, "workers": WORKERS},
+            },
+        )
+
     if gate and not (bitwise and cached and cache_pages == 0):
         if not bitwise:
             print("FAIL: async weights diverged from the synchronous drain")
         if not cached or cache_pages != 0:
             print("FAIL: cache replay was not free (pages or misses)")
+        return 1
+    print("PASS")
+    return 0
+
+
+# -- the per-table parallel-dispatch gate --------------------------------------
+
+
+def _build_parallel_service(workers: int, parallel_scans: bool) -> TrainingService:
+    service = TrainingService(
+        fuse=True,
+        scan_seed=11,
+        batching_window=PAR_JOBS_PER_TABLE,
+        workers=workers,
+        parallel_scans=parallel_scans,
+        buffer_pool_pages=1,
+    )
+    for t in range(PAR_TABLES):
+        X, y = make_binary_data(PAR_M, PAR_D, seed=50 + t)
+        heap = LatencyHeapFile(MaterializedHeapFile(X, y), PAR_PAGE_LATENCY)
+        service.register_heap(f"par{t}", heap)
+        service.open_budget(
+            "bench-tenant", f"par{t}", PAR_JOBS_PER_TABLE * EPS + 1e-9
+        )
+    return service
+
+
+def _submit_parallel_workload(service: TrainingService) -> list:
+    lambdas = np.logspace(-4, -1, PAR_JOBS_PER_TABLE)
+    records = []
+    for j in range(PAR_JOBS_PER_TABLE):
+        for t in range(PAR_TABLES):
+            records.append(
+                service.submit(
+                    "bench-tenant",
+                    f"par{t}",
+                    LogisticLoss(regularization=float(lambdas[j])),
+                    epsilon=EPS,
+                    passes=PASSES,
+                    batch_size=BATCH,
+                    seed=8000 + 100 * t + j,
+                )
+            )
+    return records
+
+
+def _run_parallel(parallel_scans: bool, workers: int = PAR_WORKERS) -> dict:
+    service = _build_parallel_service(workers, parallel_scans)
+    start = time.perf_counter()
+    records = _submit_parallel_workload(service)
+    service.drain()
+    elapsed = time.perf_counter() - start
+    assert all(record.status is JobStatus.COMPLETED for record in records)
+    return {
+        "seconds": elapsed,
+        "records": records,
+        "overlap": service.peak_scan_overlap,
+        "weights": {
+            (record.job.table, record.job.seed): record.model for record in records
+        },
+    }
+
+
+def _solo_pages() -> int:
+    """Page requests one job alone records (the attribution reference)."""
+    service = _build_parallel_service(workers=1, parallel_scans=True)
+    record = service.submit(
+        "bench-tenant", "par0", LogisticLoss(regularization=1e-3),
+        epsilon=EPS, passes=PASSES, batch_size=BATCH, seed=1,
+    )
+    service.drain()
+    assert record.status is JobStatus.COMPLETED
+    return record.group_pages
+
+
+def bench_parallel(gate: bool, write: bool = True, report=None) -> int:
+    """Per-table engine domains vs one global engine lock, wall-clock.
+
+    Same jobs, same tables, same workers — the only difference is the
+    unit the scans serialize on. The gate requires the overlap to be
+    *visible* (>= 1.5x faster) and *invisible* everywhere else: weights
+    bitwise-equal to the synchronous 1-worker drain, and every job's
+    recorded page count exactly its solo run's (per-table attribution —
+    a concurrent scan on the other table must never leak into it).
+    """
+    total_jobs = PAR_TABLES * PAR_JOBS_PER_TABLE
+    print(
+        f"\nparallel dispatch: {PAR_WORKERS} workers x {PAR_TABLES} tables, "
+        f"{total_jobs} jobs, m={PAR_M}, d={PAR_D}, "
+        f"page latency {PAR_PAGE_LATENCY * 1e3:.1f} ms"
+    )
+    reference = _run_parallel(parallel_scans=True, workers=1)
+    serialized = _run_parallel(parallel_scans=False)
+    parallel = _run_parallel(parallel_scans=True)
+    speedup = serialized["seconds"] / parallel["seconds"]
+    solo = _solo_pages()
+
+    bitwise = all(
+        np.array_equal(
+            record.model, reference["weights"][(record.job.table, record.job.seed)]
+        )
+        for record in parallel["records"] + serialized["records"]
+    )
+    pages_exact = all(
+        record.group_pages == solo
+        for record in parallel["records"] + serialized["records"]
+    )
+
+    print(f"global lock    : {serialized['seconds'] * 1e3:8.1f} ms "
+          f"(peak overlap {serialized['overlap']})")
+    print(f"per-table locks: {parallel['seconds'] * 1e3:8.1f} ms "
+          f"(peak overlap {parallel['overlap']})")
+    print(f"speedup        : {speedup:6.2f}x  "
+          f"(gate: >= {PARALLEL_SPEEDUP_FLOOR}x)")
+    print(f"pages per job  : solo {solo}; all jobs identical: {pages_exact}")
+    print(f"bitwise parallel == sync per job: {bitwise}")
+
+    if write:
+        _write_results(
+            service_parallel={
+                "tables": PAR_TABLES,
+                "workers": PAR_WORKERS,
+                "jobs": total_jobs,
+                "page_latency_s": PAR_PAGE_LATENCY,
+                "global_lock_s": serialized["seconds"],
+                "per_table_s": parallel["seconds"],
+                "speedup": speedup,
+                "peak_overlap": parallel["overlap"],
+                "solo_pages": solo,
+                "pages_exact": pages_exact,
+                "bitwise_equal_to_sync": bitwise,
+            }
+        )
+    if report is not None:
+        write_report(
+            report,
+            parallel_dispatch={
+                "metric": "wall-clock speedup, per-table engine domains over "
+                f"global lock ({PAR_WORKERS} workers x {PAR_TABLES} tables)",
+                "value": speedup,
+                "floor": PARALLEL_SPEEDUP_FLOOR,
+                "passed": bool(
+                    speedup >= PARALLEL_SPEEDUP_FLOOR and bitwise and pages_exact
+                ),
+                "bitwise_equal": bitwise,
+                "pages_exact": pages_exact,
+                "peak_overlap": parallel["overlap"],
+                "shape": {"m": PAR_M, "d": PAR_D, "jobs": total_jobs},
+            },
+        )
+
+    if gate and not (speedup >= PARALLEL_SPEEDUP_FLOOR and bitwise and pages_exact):
+        if speedup < PARALLEL_SPEEDUP_FLOOR:
+            print(f"FAIL: cross-table overlap below {PARALLEL_SPEEDUP_FLOOR}x")
+        if not bitwise:
+            print("FAIL: parallel weights diverged from the synchronous drain")
+        if not pages_exact:
+            print("FAIL: per-table page attribution drifted from the solo run")
         return 1
     print("PASS")
     return 0
@@ -251,18 +472,35 @@ def main(argv=None) -> int:
         "vs drain throughput) and the zero-cost cache replay",
     )
     parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="also benchmark per-table engine domains on 2 latency-backed "
+        f"tables x {PAR_WORKERS} workers and fail (exit 1) below "
+        f"{PARALLEL_SPEEDUP_FLOOR}x over the global engine lock",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help=f"CI-sized run ({SMOKE_JOBS} jobs, m={SMOKE_M}): same gates, "
         "no BENCH_hotloops.json update",
     )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also merge per-gate summaries (value/floor/passed) into this "
+        "JSON file — written at any shape, for CI artifacts + step summary",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         _set_shape(SMOKE_JOBS, SMOKE_M, SMOKE_D)
+        _set_parallel_shape(SMOKE_PAR_M, SMOKE_PAR_LATENCY)
         print(f"SMOKE mode: {JOBS} jobs, m={M}, d={D} (gates unchanged)")
-    status = bench_service(args.gate, write=not args.smoke)
+    status = bench_service(args.gate, write=not args.smoke, report=args.report)
     if status == 0 and args.run_async:
-        status = bench_async(args.gate, write=not args.smoke)
+        status = bench_async(args.gate, write=not args.smoke, report=args.report)
+    if status == 0 and args.parallel:
+        status = bench_parallel(args.gate, write=not args.smoke, report=args.report)
     return status
 
 

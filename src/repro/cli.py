@@ -16,15 +16,19 @@ Four subcommands::
         reservation, scheduling, the bolt-on release, the receipt — and
         report the job record.
 
-    python -m repro serve --jobs 50 --workers 4 [--state-dir DIR] [--no-fuse]
+    python -m repro serve --jobs 50 --workers 4 --tables 2 [--state-dir DIR]
         The async scheduling demo: a synthetic mixed-tenant workload
-        submitted to a running dispatch loop (``submit()`` returns
-        immediately; background workers fuse and train the queue),
-        reporting submit latency, fused-vs-sequential page requests,
-        cache hits for resubmitted jobs, per-status job counts, and
-        every tenant's budget statement. With ``--state-dir`` the
-        registry + budgets autosave there and a restarted serve resumes
-        from the snapshot.
+        over ``--tables`` tables submitted to a running dispatch loop
+        (``submit()`` returns immediately; background workers fuse and
+        train the queue, overlapping scans on distinct tables thanks to
+        per-table engine domains), reporting submit latency, the
+        per-table scan overlap achieved, fused-vs-sequential page
+        requests, cache hits for resubmitted jobs, per-status job
+        counts, and every tenant's budget statement. Warns when
+        ``--workers`` exceeds the tables with queued work (same-table
+        scans serialize, so the extra workers cannot overlap I/O). With
+        ``--state-dir`` the registry + budgets autosave there and a
+        restarted serve resumes from the snapshot.
 
 The CLI is intentionally a thin shell over the library — everything it
 does is one public API call.
@@ -117,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=4,
         help="background dispatch worker threads (the async loop)",
+    )
+    serve.add_argument(
+        "--tables", type=int, default=2,
+        help="registered tables to spread the workload over; workers "
+        "overlap scans on distinct tables (per-table engine domains)",
     )
     serve.add_argument(
         "--state-dir", default=None,
@@ -247,29 +256,54 @@ def _serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("serve needs at least one worker", file=sys.stderr)
         return 2
-    pair = linearly_separable_binary(
-        "served", args.rows, 10, args.dim, random_state=args.seed
-    )
-    table = pair.train
+    if args.tables < 1:
+        print("serve needs at least one table", file=sys.stderr)
+        return 2
+    tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
+    table_names = [f"shared_{t}" for t in range(args.tables)]
+    # Jobs rotate tenants first, then tables — how many tables actually
+    # receive queued work bounds the scan overlap the workers can reach.
+    tables_used = min(args.tables, max(1, -(-args.jobs // len(tenants))))
+    if args.workers > tables_used:
+        print(
+            f"warning: --workers {args.workers} exceeds the {tables_used} "
+            f"table(s) with queued work; scans of the same table serialize "
+            f"(per-table engine domains), so at most {tables_used} scan(s) "
+            f"overlap and the extra workers only overlap epilogues — "
+            f"spread jobs over more --tables to use the full fleet",
+            file=sys.stderr,
+        )
+
     service = TrainingService(
         fuse=not args.no_fuse,
         scan_seed=args.seed,
         workers=args.workers,
         state_dir=args.state_dir,
     )
-    service.register_table("shared", table.features, table.labels)
+    table = None
+    for t, name in enumerate(table_names):
+        pair = linearly_separable_binary(
+            "served", args.rows, 10, args.dim, random_state=args.seed + t
+        )
+        table = table if table is not None else pair.train
+        service.register_table(name, pair.train.features, pair.train.labels)
     resumed = service.load_state() if args.state_dir else 0
 
-    tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
     jobs_per_tenant = -(-args.jobs // len(tenants))
+    jobs_per_account = max(1, -(-jobs_per_tenant // args.tables))
     for index, tenant in enumerate(tenants):
         # The last tenant gets roughly half the allowance it needs, so the
         # tail of its submissions exercises admission-control rejection.
         # (A resumed run already has the accounts — budgets are durable.)
-        if service.ledger.has_account(tenant, "shared"):
-            continue
-        share = jobs_per_tenant if index < len(tenants) - 1 else max(1, jobs_per_tenant // 2)
-        service.open_budget(tenant, "shared", args.epsilon * share + 1e-9)
+        share = (
+            jobs_per_account
+            if index < len(tenants) - 1
+            else max(1, jobs_per_account // 2)
+        )
+        for name in table_names:
+            if service.ledger.has_account(tenant, name):
+                continue
+            service.open_budget(tenant, name, args.epsilon * share + 1e-9)
 
     # The async loop: workers dispatch in the background while submit()
     # returns immediately — the per-call latency below is the proof.
@@ -280,7 +314,7 @@ def _serve(args: argparse.Namespace) -> int:
         start = time.perf_counter()
         service.submit(
             tenants[j % len(tenants)],
-            "shared",
+            table_names[(j // len(tenants)) % args.tables],
             _Logistic(regularization=float(lambdas[j % len(lambdas)])),
             epsilon=args.epsilon,
             passes=args.passes,
@@ -297,8 +331,9 @@ def _serve(args: argparse.Namespace) -> int:
     single_scan_pages = args.passes * table.size
     executed = sum(pages for _, _, pages in service.scheduler.dispatch_log)
     completed = max(counts["completed"], 1)
+    scan_counts = service.table_scan_counts()
     print(f"workload        : {args.jobs} jobs, {len(tenants)} tenants, "
-          f"m={table.size}, d={table.features.shape[1]}")
+          f"{args.tables} tables, m={table.size}, d={table.features.shape[1]}")
     print(f"dispatch mode   : {'sequential (forced)' if args.no_fuse else 'fused'}"
           f", {args.workers} workers")
     if resumed:
@@ -311,14 +346,21 @@ def _serve(args: argparse.Namespace) -> int:
           f"mean {np.mean(submit_seconds) * 1e3:.2f} ms "
           f"(never blocks on a scan)")
     print(f"drain           : {drain_seconds * 1e3:.1f} ms until quiescent")
+    print(f"scan overlap    : peak {service.peak_scan_overlap} of "
+          f"{min(args.workers, tables_used)} possible "
+          f"({args.workers} workers, {tables_used} tables with work)")
+    print("scans per table : " + ", ".join(
+        f"{name}={scan_counts.get(name, 0)}" for name in table_names
+    ))
     print(f"scan groups     : {len(service.scheduler.dispatch_log)}")
     print(f"page requests   : {executed} total, {executed / completed:.1f} per "
-          f"completed job ({single_scan_pages} = one job alone)")
+          f"completed job ({single_scan_pages} = one job alone on its table)")
     if service.scheduler.cache.hits:
         print(f"cache           : {service.scheduler.cache.hits} hits "
               f"(0 pages, 0 eps each)")
     for statement in service.budgets():
-        print(f"  {statement.principal:>10}: spent eps {statement.spent[0]:.3f} "
+        print(f"  {statement.principal:>10} @ {statement.table}: "
+              f"spent eps {statement.spent[0]:.3f} "
               f"of {statement.cap.epsilon:.3f}")
     if args.state_dir:
         service.save_state()

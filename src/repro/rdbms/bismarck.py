@@ -18,6 +18,7 @@ Figure 1 of the paper shows the architecture this module reproduces:
 from __future__ import annotations
 
 import inspect
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -154,7 +155,10 @@ class BismarckSession:
         # Per-table ShuffleOnce operators kept alive across training runs
         # (see shared_scan): the session-reuse hook the training service
         # relies on so every job on a table replays ONE permutation.
+        # Creation is locked: with per-table engine domains, workers
+        # reach here concurrently for different tables.
         self._shared_scans: dict[str, ShuffleOnce] = {}
+        self._shared_scans_lock = threading.Lock()
 
     # -- data loading -----------------------------------------------------------
 
@@ -190,13 +194,18 @@ class BismarckSession:
         service promise bitwise-identical per-job models regardless of how
         jobs were grouped into scans. Pass the returned operator to
         :meth:`run_sgd` / :meth:`run_sgd_multi` via ``shuffle=``.
+
+        Get-or-create is atomic: with per-table engine domains, workers
+        reach here concurrently for *different* tables, and two racing
+        callers on the same table must agree on one permutation.
         """
-        scan = self._shared_scans.get(table_name)
-        if scan is None:
-            table = self.catalog.get(table_name)
-            scan = ShuffleOnce(table, self.pool, random_state=as_generator(random_state))
-            self._shared_scans[table_name] = scan
-        return scan
+        with self._shared_scans_lock:
+            scan = self._shared_scans.get(table_name)
+            if scan is None:
+                table = self.catalog.get(table_name)
+                scan = ShuffleOnce(table, self.pool, random_state=as_generator(random_state))
+                self._shared_scans[table_name] = scan
+            return scan
 
     # -- core epoch loop ----------------------------------------------------------
 
@@ -235,6 +244,9 @@ class BismarckSession:
         if shuffle is None:
             rng = as_generator(random_state)
             shuffle = ShuffleOnce(table, self.pool, random_state=rng)
+        # Per-table counters: a concurrent scan on another table (per-table
+        # engine domains) must never leak into this run's epoch accounting.
+        pool_stats = self.pool.stats_for(table.heap)
 
         model: Optional[np.ndarray] = None
         reports: List[EpochReport] = []
@@ -246,8 +258,8 @@ class BismarckSession:
         for epoch in range(1, epochs + 1):
             if fresh_permutation_each_epoch and epoch > 1:
                 shuffle.reshuffle()
-            hits_before = self.pool.stats.cache_hits
-            misses_before = self.pool.stats.cache_misses
+            hits_before = pool_stats.cache_hits
+            misses_before = pool_stats.cache_misses
             updates_before = uda.updates_applied
             noise_before = getattr(uda, "noise_draws", 0)
 
@@ -269,8 +281,8 @@ class BismarckSession:
                 batch_updates=uda.updates_applied - updates_before,
                 noise_draws=noise_after - noise_before,
                 shuffled_tuples=table.num_tuples if epoch == 1 or fresh_permutation_each_epoch else 0,
-                page_hits=self.pool.stats.cache_hits - hits_before,
-                page_misses=self.pool.stats.cache_misses - misses_before,
+                page_hits=pool_stats.cache_hits - hits_before,
+                page_misses=pool_stats.cache_misses - misses_before,
                 dimension=table.dimension,
             )
             loss_value: Optional[float] = None
@@ -326,6 +338,7 @@ class BismarckSession:
         if shuffle is None:
             rng = as_generator(random_state)
             shuffle = ShuffleOnce(table, self.pool, random_state=rng)
+        pool_stats = self.pool.stats_for(table.heap)
         K = uda.num_models
 
         models: Optional[np.ndarray] = None
@@ -336,8 +349,8 @@ class BismarckSession:
         for epoch in range(1, epochs + 1):
             if fresh_permutation_each_epoch and epoch > 1:
                 shuffle.reshuffle()
-            hits_before = self.pool.stats.cache_hits
-            misses_before = self.pool.stats.cache_misses
+            hits_before = pool_stats.cache_hits
+            misses_before = pool_stats.cache_misses
             updates_before = uda.updates_applied
             noise_before = uda.noise_draws
 
@@ -361,8 +374,8 @@ class BismarckSession:
                 shuffled_tuples=table.num_tuples
                 if epoch == 1 or fresh_permutation_each_epoch
                 else 0,
-                page_hits=self.pool.stats.cache_hits - hits_before,
-                page_misses=self.pool.stats.cache_misses - misses_before,
+                page_hits=pool_stats.cache_hits - hits_before,
+                page_misses=pool_stats.cache_misses - misses_before,
                 # ...while per-model arithmetic is honestly charged K-fold.
                 gradient_evaluations=table.num_tuples * K,
                 batch_updates=scan_updates * K,

@@ -18,12 +18,32 @@ the parts of that stack the experiments exercise:
 Page reads/writes are *counted*, not physically performed; the cost model
 (:mod:`repro.rdbms.cost_model`) converts the counters into simulated
 seconds. Real wall-clock time of the Python hot loops is measured
-separately by the pytest benchmarks.
+separately by the pytest benchmarks. For workloads where page *latency*
+is the point — overlapping scans on different tables — wrap a heap in
+:class:`LatencyHeapFile` and the simulated disk fetch becomes real
+(GIL-releasing) wall-clock time.
+
+Per-table engine domains
+------------------------
+
+The pool shards its cache and its counters **per heap file**: every heap
+gets its own LRU region (``capacity_pages`` each — the memory its engine
+domain may hold), its own :class:`BufferPoolStats`, and its own lock.
+Scans on *different* tables therefore never share mutable state: their
+hit/miss/eviction counters and LRU recency are exactly what a serialized
+execution would produce, under any interleaving — the invariant that
+lets the training service run one scan per table concurrently while
+still recording exact per-dispatch page deltas. ``pool.stats`` remains
+the whole-pool view (the sum over domains); ``pool.stats_for(heap)`` is
+the per-table truth a concurrent dispatcher must read.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
+import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
@@ -187,6 +207,57 @@ class VirtualHeapFile(HeapFile):
         return Page(page_id=page_id, features=features, labels=labels)
 
 
+class LatencyHeapFile(HeapFile):
+    """A heap whose page reads cost real wall-clock time (simulated disk).
+
+    Wraps any heap and sleeps ``seconds_per_page`` before delegating each
+    :meth:`read_page` — the disk-fetch latency the paper's larger-than-
+    memory experiments pay on every buffer-pool miss, made real instead
+    of merely counted. Because the sleep releases the GIL, two scans on
+    *different* latency-backed tables overlap their I/O even on one core;
+    that overlap is exactly what the per-table engine domains unlock, and
+    what ``benchmarks/bench_service.py --parallel`` measures.
+
+    ``sleeper`` is injectable (tests swap in a recording fake so latency
+    behaviour is asserted without timing flakiness). ``reads`` counts
+    delegated page materializations — with a buffer pool in front, that
+    is the number of misses actually paid, not the number of requests.
+    """
+
+    def __init__(
+        self,
+        inner: HeapFile,
+        seconds_per_page: float,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
+        if seconds_per_page < 0:
+            raise ValueError(
+                f"seconds_per_page must be >= 0, got {seconds_per_page}"
+            )
+        self.inner = inner
+        self.seconds_per_page = float(seconds_per_page)
+        self._sleep = sleeper
+        self.reads = 0
+
+    @property
+    def dimension(self) -> int:
+        return self.inner.dimension
+
+    @property
+    def num_pages(self) -> int:
+        return self.inner.num_pages
+
+    @property
+    def num_tuples(self) -> int:
+        return self.inner.num_tuples
+
+    def read_page(self, page_id: int) -> Page:
+        self.reads += 1
+        if self.seconds_per_page > 0.0:
+            self._sleep(self.seconds_per_page)
+        return self.inner.read_page(page_id)
+
+
 @dataclass
 class BufferPoolStats:
     """Counters the cost model consumes."""
@@ -209,19 +280,140 @@ class BufferPoolStats:
         return self.cache_hits / self.page_reads
 
 
-class BufferPool:
-    """LRU page cache in front of a heap file.
+class _HeapDomain:
+    """One heap's engine domain: its LRU shard, counters, and lock.
 
-    ``capacity_pages`` models the machine's memory: when every table page
-    fits, repeated epochs are all cache hits (the paper's warm-cache
-    in-memory runs); when the table exceeds it, each sequential scan incurs
-    one miss per page (the disk-based regime of Figure 2(b)).
+    The lock serializes page requests *within* one table (scans of the
+    same table already serialize on the scheduler's table lock; this
+    guards direct pool users too). Requests on different heaps take
+    different locks, so cross-table scans proceed concurrently — and the
+    miss path (the actual page read, which for a :class:`LatencyHeapFile`
+    sleeps) is held under this domain lock only, never a pool-wide one.
+    """
+
+    __slots__ = ("cache", "stats", "lock")
+
+    def __init__(self) -> None:
+        self.cache: "OrderedDict[int, Page]" = OrderedDict()
+        self.stats = BufferPoolStats()
+        self.lock = threading.Lock()
+
+
+class _PoolStatsView:
+    """The whole-pool counters: a live sum over every heap domain.
+
+    API-compatible with :class:`BufferPoolStats` (the attribute names,
+    ``hit_rate``, ``reset()``) so existing callers keep reading
+    ``pool.stats.page_reads`` etc.; ``reset()`` zeroes the *view* by
+    remembering the current totals as a baseline — the per-domain
+    counters themselves are monotonic.
+    """
+
+    def __init__(self, pool: "BufferPool") -> None:
+        self._pool = pool
+        self._base = BufferPoolStats()
+
+    def _totals(self) -> BufferPoolStats:
+        totals = BufferPoolStats()
+        retired = self._pool._retired
+        sources = [domain.stats for domain in self._pool._domain_snapshot()]
+        sources.append(retired)
+        for stats in sources:
+            totals.page_reads += stats.page_reads
+            totals.cache_hits += stats.cache_hits
+            totals.cache_misses += stats.cache_misses
+            totals.evictions += stats.evictions
+        return totals
+
+    @property
+    def page_reads(self) -> int:
+        return self._totals().page_reads - self._base.page_reads
+
+    @property
+    def cache_hits(self) -> int:
+        return self._totals().cache_hits - self._base.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._totals().cache_misses - self._base.cache_misses
+
+    @property
+    def evictions(self) -> int:
+        return self._totals().evictions - self._base.evictions
+
+    def reset(self) -> None:
+        self._base = self._totals()
+
+    @property
+    def hit_rate(self) -> float:
+        reads = self.page_reads
+        if reads == 0:
+            return 0.0
+        return self.cache_hits / reads
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PoolStats(page_reads={self.page_reads}, "
+            f"cache_hits={self.cache_hits}, "
+            f"cache_misses={self.cache_misses}, evictions={self.evictions})"
+        )
+
+
+class BufferPool:
+    """LRU page cache in front of heap files, sharded per heap.
+
+    ``capacity_pages`` models the memory each table's engine domain may
+    hold: when every page of a table fits, repeated epochs are all cache
+    hits (the paper's warm-cache in-memory runs); when the table exceeds
+    it, each sequential scan incurs one miss per page (the disk-based
+    regime of Figure 2(b)). Each heap's LRU shard, counters, and lock are
+    private to it (see :class:`_HeapDomain`), so concurrent scans on
+    disjoint tables produce exactly the serialized execution's counters.
     """
 
     def __init__(self, capacity_pages: int):
         self.capacity = check_positive_int(capacity_pages, "capacity_pages")
-        self._cache: "OrderedDict[tuple[int, int], Page]" = OrderedDict()
-        self.stats = BufferPoolStats()
+        # Weak keys: a heap's domain (its cached Pages, up to capacity of
+        # them) dies with the heap instead of accruing for the pool's
+        # lifetime — and a NEW heap allocated at a dead heap's address
+        # can never inherit its cache (an id()-keyed map would serve the
+        # old table's pages as hits).
+        self._domains: "weakref.WeakKeyDictionary[HeapFile, _HeapDomain]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._domains_lock = threading.Lock()
+        # Counters of collected heaps' domains, folded in at finalization
+        # so the whole-pool view stays monotonic across heap lifetimes.
+        self._retired = BufferPoolStats()
+        self.stats = _PoolStatsView(self)
+
+    def _domain(self, heap: HeapFile) -> _HeapDomain:
+        domain = self._domains.get(heap)
+        if domain is None:
+            with self._domains_lock:
+                domain = self._domains.get(heap)
+                if domain is None:
+                    domain = _HeapDomain()
+                    self._domains[heap] = domain
+                    weakref.finalize(heap, self._retire, domain.stats)
+        return domain
+
+    def _retire(self, stats: BufferPoolStats) -> None:
+        with self._domains_lock:
+            self._retired.page_reads += stats.page_reads
+            self._retired.cache_hits += stats.cache_hits
+            self._retired.cache_misses += stats.cache_misses
+            self._retired.evictions += stats.evictions
+
+    def _domain_snapshot(self) -> List[_HeapDomain]:
+        with self._domains_lock:
+            return list(self._domains.values())
+
+    def stats_for(self, heap: HeapFile) -> BufferPoolStats:
+        """The heap's own counters — the per-table truth a concurrent
+        dispatcher reads its before/after page deltas from (immune to
+        scans on any other table)."""
+        return self._domain(heap).stats
 
     def get_page(
         self,
@@ -239,20 +431,22 @@ class BufferPool:
         pages (``VirtualHeapFile`` generators are deterministic, so a page
         materialized moments ago in the same chunk is the same page).
         """
-        key = (id(heap), page_id)
-        self.stats.page_reads += 1
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            self._cache.move_to_end(key)
-            return cached
-        self.stats.cache_misses += 1
-        page = heap.read_page(page_id) if reader is None else reader(page_id)
-        self._cache[key] = page
-        if len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
-        return page
+        domain = self._domain(heap)
+        with domain.lock:
+            stats = domain.stats
+            stats.page_reads += 1
+            cached = domain.cache.get(page_id)
+            if cached is not None:
+                stats.cache_hits += 1
+                domain.cache.move_to_end(page_id)
+                return cached
+            stats.cache_misses += 1
+            page = heap.read_page(page_id) if reader is None else reader(page_id)
+            domain.cache[page_id] = page
+            if len(domain.cache) > self.capacity:
+                domain.cache.popitem(last=False)
+                stats.evictions += 1
+            return page
 
     def scan(self, heap: HeapFile, page_order: Optional[List[int]] = None) -> Iterator[Page]:
         """Iterate pages (sequentially by default) through the cache."""
@@ -261,8 +455,10 @@ class BufferPool:
             yield self.get_page(heap, page_id)
 
     def clear(self) -> None:
-        self._cache.clear()
+        for domain in self._domain_snapshot():
+            with domain.lock:
+                domain.cache.clear()
 
     @property
     def resident_pages(self) -> int:
-        return len(self._cache)
+        return sum(len(domain.cache) for domain in self._domain_snapshot())

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.bolton import BoltOnCandidate
 from repro.core.mechanisms import PrivacyParameters
@@ -148,9 +148,12 @@ class TrainingJob:
 class JobQueue:
     """Deterministic priority queue: ``(-priority, arrival)`` order.
 
-    A plain list kept unsorted until :meth:`pop_window` — windows are
-    small (the scheduler's batching window) and jobs arrive singly, so
-    sorting at pop keeps push O(1) and the order obviously deterministic.
+    A plain list kept unsorted until :meth:`pop_window_for` — windows
+    are small (the scheduler's batching window) and jobs arrive singly,
+    so sorting at pop keeps push O(1) and the order obviously
+    deterministic. Claiming is table-aware (:meth:`next_table` +
+    :meth:`pop_window_for`): the scheduler's busy-table protocol depends
+    on every popped window naming a single table.
     """
 
     def __init__(self) -> None:
@@ -162,12 +165,42 @@ class JobQueue:
     def push(self, job: TrainingJob) -> None:
         self._jobs.append(job)
 
-    def pop_window(self, window: int) -> List[TrainingJob]:
-        """Remove and return the next up-to-``window`` jobs to dispatch."""
+    def next_table(self, busy=()) -> Optional[str]:
+        """The table of the highest-priority queued job whose table is not
+        in ``busy`` — what a worker should claim next under per-table
+        engine domains (``None`` when every queued table is mid-scan).
+
+        Priority order is preserved *across* tables: among claimable
+        tables, the one holding the front of the dispatch order wins, so
+        a free engine domain never jumps a higher-priority claimable job.
+        One O(n) pass — this runs under the scheduler's admission lock,
+        which ``submit()`` latency also waits on.
+        """
+        best_key = None
+        best_table = None
+        for job in self._jobs:
+            if job.table in busy:
+                continue
+            key = (-job.priority, job.arrival)
+            if best_key is None or key < best_key:
+                best_key, best_table = key, job.table
+        return best_table
+
+    def pop_window_for(self, table: str, window: int) -> List[TrainingJob]:
+        """Remove and return up to ``window`` jobs targeting ``table``, in
+        dispatch order; jobs on other tables keep their queue positions.
+        """
         if window < 1:
             raise ValueError(f"window must be positive, got {window}")
         self._jobs.sort(key=lambda job: (-job.priority, job.arrival))
-        taken, self._jobs = self._jobs[:window], self._jobs[window:]
+        taken: List[TrainingJob] = []
+        kept: List[TrainingJob] = []
+        for job in self._jobs:
+            if job.table == table and len(taken) < window:
+                taken.append(job)
+            else:
+                kept.append(job)
+        self._jobs = kept
         return taken
 
     def pending(self) -> List[TrainingJob]:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import pathlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -147,13 +148,25 @@ class ResultCache:
     so a hit is *provably* the same computation, and returning the stored
     weights costs 0 page requests and 0 ε (releasing the same output
     twice reveals nothing new; the ledger is never touched on a hit).
+
+    ``max_entries`` bounds the store (a long-lived server would otherwise
+    hold every release it ever made): LRU on *last hit* — serving an
+    entry refreshes it, inserting past the cap evicts the entry unhit for
+    longest. Eviction is purely an economy: a future resubmission of an
+    evicted job simply trains (and pays) again, bit-identically.
     """
 
-    def __init__(self) -> None:
-        self._entries: Dict[tuple, CachedResult] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be a positive integer or None, got {max_entries}"
+            )
+        self._entries: "OrderedDict[tuple, CachedResult]" = OrderedDict()
         self._lock = threading.Lock()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -168,6 +181,7 @@ class ResultCache:
                 self.misses += 1
             else:
                 self.hits += 1
+                self._entries.move_to_end(key)
             return entry
 
     def put(self, key: Optional[tuple], result: CachedResult) -> None:
@@ -175,8 +189,13 @@ class ResultCache:
             return
         with self._lock:
             # First writer wins: by the determinism invariant any later
-            # entry under the same key holds the same bits.
+            # entry under the same key holds the same bits. (Recency is
+            # deliberately NOT refreshed for a losing re-put — only real
+            # hits keep an entry warm.)
             self._entries.setdefault(key, result)
+            while self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
 
 class ModelRegistry:

@@ -33,11 +33,26 @@ Two serving-layer mechanisms ride the bitwise-determinism invariant:
   split into :meth:`claim_window` (pop the next batching window — quick,
   under the admission lock) and :meth:`dispatch_window` (train it), so
   background workers can pull windows concurrently while ``submit()``
-  never waits on a scan. The engine itself — the buffer pool, its page
-  counters, the shared-scan operators — is the paper's single-threaded
-  RDBMS core, so scans serialize on one engine lock; worker concurrency
-  overlaps everything around the scan (admission, parameter resolution,
-  the bolt-on noise epilogue, ledger commits) with it.
+  never waits on a scan.
+
+Per-table engine domains
+------------------------
+
+The engine's unit of isolation is the *table*, not the whole pool: each
+registered table owns an engine domain — its buffer-pool shard and
+counters (:meth:`BufferPool.stats_for`), its shared-scan permutation
+operator, and its **engine lock**. Scans of the *same* table serialize on
+that lock (the before/after page deltas each dispatch records stay
+exact), while scans on *different* tables hold different locks and run
+truly concurrently: N workers drive N fused scans on N distinct tables
+at once. :meth:`claim_window` is table-aware — it claims the next window
+for a table whose domain is free instead of parking a worker behind an
+unrelated scan — and windows are therefore single-table by construction.
+``parallel_scans=False`` restores the PR 4 behaviour (every scan behind
+one global engine lock): the reference configuration the ``--parallel``
+bench gate measures its speedup against. Neither mode can change any
+released bit — by the determinism contract, scheduling only ever decides
+*when* a job completes.
 """
 
 from __future__ import annotations
@@ -45,6 +60,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import zlib
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -126,6 +142,14 @@ class SharedScanScheduler:
         order is drawn once from ``(scan_seed, table name)`` and replayed
         by every job that ever trains on it, which is what makes a job's
         result independent of scheduling.
+    parallel_scans:
+        ``True`` (default) gives every table its own engine lock, so
+        workers overlap scans on distinct tables. ``False`` routes every
+        scan through one global engine lock — the serialized PR 4
+        behaviour the parallel bench gate compares against.
+    cache_size:
+        Entry cap of the cross-drain result cache (LRU on last hit);
+        ``None`` leaves it unbounded.
     """
 
     def __init__(
@@ -138,6 +162,8 @@ class SharedScanScheduler:
         chunk_size: int = 256,
         fuse: bool = True,
         scan_seed: int = 0,
+        parallel_scans: bool = True,
+        cache_size: Optional[int] = None,
     ) -> None:
         self.session = session
         self.ledger = ledger
@@ -146,19 +172,37 @@ class SharedScanScheduler:
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.fuse = bool(fuse)
         self.scan_seed = int(scan_seed)
+        self.parallel_scans = bool(parallel_scans)
         self.queue = JobQueue()
-        self.cache = ResultCache()
+        self.cache = ResultCache(max_entries=cache_size)
         self._fingerprints: Dict[str, Optional[str]] = {}
         self._reservations: Dict[str, BudgetReservation] = {}
         self._clock = 0
-        # Guards the admission path (clock, queue, reservation map) so
-        # concurrent submitters compose with the ledger's own lock.
+        # Guards the admission path (clock, queue, reservation map, the
+        # busy-table set) so concurrent submitters compose with the
+        # ledger's own lock.
         self._admission_lock = threading.Lock()
-        # Serializes scans + their page accounting: the buffer pool is
-        # the paper's single-threaded engine core, and the before/after
-        # page-read deltas each dispatch records are only exact when no
-        # other scan interleaves. Never taken by submit().
-        self._engine_lock = threading.Lock()
+        # Per-table engine locks: a scan serializes with other scans of
+        # ITS table only — page accounting is per-table too (the pool's
+        # per-heap counters), so the before/after deltas each dispatch
+        # records stay exact under cross-table concurrency. Never taken
+        # by submit(). With parallel_scans=False every table resolves to
+        # the one global lock below instead.
+        self._table_locks: Dict[str, threading.Lock] = {}
+        self._table_locks_guard = threading.Lock()
+        self._global_engine_lock = threading.Lock()
+        # Tables whose domain a worker has claimed a window for (claim ->
+        # end of dispatch). claim_window skips them so a free worker
+        # takes a different table's work instead of parking on a lock.
+        self._busy_tables: set = set()
+        # Scan-overlap telemetry (the server reports it): which tables
+        # are inside a scan right now, and the peak distinct-table
+        # concurrency ever reached.
+        self._overlap_lock = threading.Lock()
+        self._scanning: set = set()
+        self.peak_overlap = 0
+        #: Scans dispatched per table (fused group = one scan).
+        self.table_scans: Dict[str, int] = {}
         #: Dispatch telemetry: (key, job_ids, pages) per executed group.
         self.dispatch_log: List[Tuple[tuple, List[str], int]] = []
 
@@ -319,11 +363,25 @@ class SharedScanScheduler:
         This is the worker-facing half of dispatch: quick, under the
         admission lock, never touching the engine — so a worker claiming
         work can never make ``submit()`` wait on a scan.
+
+        Table-aware: the window is claimed for the table of the
+        highest-priority queued job whose engine domain is *free* (no
+        other worker mid-dispatch on it), and contains only that table's
+        jobs — so a second worker overlaps a different table's scan
+        instead of queueing behind this one. Empty with a non-empty
+        queue means every queued table is mid-scan; the claimed table's
+        domain is marked busy until :meth:`dispatch_window` releases it.
         """
         with self._admission_lock:
             if not len(self.queue):
                 return []
-            return self.queue.pop_window(self.batching_window)
+            table = self.queue.next_table(busy=self._busy_tables)
+            if table is None:
+                return []
+            window = self.queue.pop_window_for(table, self.batching_window)
+            if window:
+                self._busy_tables.add(table)
+            return window
 
     def dispatch_window(self, window: List[TrainingJob]) -> List[JobRecord]:
         """Train one claimed window: group by fusion key, dispatch each
@@ -342,15 +400,23 @@ class SharedScanScheduler:
         groups: Dict[tuple, List[TrainingJob]] = {}
         for job in window:
             groups.setdefault(job.fusion_key(), []).append(job)
-        for key, jobs in groups.items():
-            try:
-                if self.fuse and len(jobs) > 1:
-                    self._dispatch_fused(key, jobs, finished)
-                else:
-                    for job in jobs:
-                        self._dispatch_sequential(key, job, finished)
-            except Exception as error:
-                self.fail_jobs(jobs, error, finished)
+        try:
+            for key, jobs in groups.items():
+                try:
+                    if self.fuse and len(jobs) > 1:
+                        self._dispatch_fused(key, jobs, finished)
+                    else:
+                        for job in jobs:
+                            self._dispatch_sequential(key, job, finished)
+                except Exception as error:
+                    self.fail_jobs(jobs, error, finished)
+        finally:
+            # Free the claimed engine domains no matter what — a leaked
+            # busy flag would starve the table forever. (A window built
+            # by claim_window names one table; discard tolerates windows
+            # assembled by hand in tests, which were never marked busy.)
+            with self._admission_lock:
+                self._busy_tables.difference_update(job.table for job in window)
         return finished
 
     def fail_jobs(
@@ -409,8 +475,9 @@ class SharedScanScheduler:
         )
         for job, *_ in prepared:
             self.registry.get(job.job_id).status = JobStatus.RUNNING
-        with self._engine_lock:
-            pages_before = self.session.pool.stats.page_reads
+        pool_stats = self.session.pool.stats_for(table.heap)
+        with self._engine_domain(jobs[0].table):
+            pages_before = pool_stats.page_reads
             try:
                 report = self.session.run_sgd_multi(
                     jobs[0].table,
@@ -424,7 +491,7 @@ class SharedScanScheduler:
                 for job, *_ in prepared:
                     self._fail(job, error, finished)
                 return
-            pages = self.session.pool.stats.page_reads - pages_before
+            pages = pool_stats.page_reads - pages_before
             self.dispatch_log.append(
                 (key, [job.job_id for job, *_ in prepared], pages)
             )
@@ -452,8 +519,9 @@ class SharedScanScheduler:
             job.candidate.loss, schedule, job.candidate.batch_size, projection
         )
         self.registry.get(job.job_id).status = JobStatus.RUNNING
-        with self._engine_lock:
-            pages_before = self.session.pool.stats.page_reads
+        pool_stats = self.session.pool.stats_for(table.heap)
+        with self._engine_domain(job.table):
+            pages_before = pool_stats.page_reads
             try:
                 report = self.session.run_sgd(
                     job.table,
@@ -466,7 +534,7 @@ class SharedScanScheduler:
             except Exception as error:
                 self._fail(job, error, finished)
                 return
-            pages = self.session.pool.stats.page_reads - pages_before
+            pages = pool_stats.page_reads - pages_before
             self.dispatch_log.append((key, [job.job_id], pages))
         self._release(
             job,
@@ -479,6 +547,32 @@ class SharedScanScheduler:
         )
 
     # -- shared steps ------------------------------------------------------------
+
+    def _table_lock(self, table_name: str) -> threading.Lock:
+        """The table's engine lock (one shared lock if parallel_scans
+        is off — the serialized reference configuration)."""
+        if not self.parallel_scans:
+            return self._global_engine_lock
+        with self._table_locks_guard:
+            return self._table_locks.setdefault(table_name, threading.Lock())
+
+    @contextmanager
+    def _engine_domain(self, table_name: str):
+        """Hold ``table_name``'s engine domain for one scan.
+
+        Serializes with scans of the same table only; tracks the
+        distinct-table scan overlap the server reports.
+        """
+        with self._table_lock(table_name):
+            with self._overlap_lock:
+                self._scanning.add(table_name)
+                self.peak_overlap = max(self.peak_overlap, len(self._scanning))
+                self.table_scans[table_name] = self.table_scans.get(table_name, 0) + 1
+            try:
+                yield
+            finally:
+                with self._overlap_lock:
+                    self._scanning.discard(table_name)
 
     def _tick(self) -> int:
         """Advance the logical clock (thread-safe; workers finish jobs

@@ -28,6 +28,13 @@ compatibility wrapper — it starts the loop if needed, blocks until the
 service is quiescent, stops what it started, and returns the records
 that finished.
 
+Workers overlap scans on *different* tables (per-table engine domains;
+``parallel_scans=False`` restores the single global engine lock), so a
+multi-table server parallelizes I/O, not just epilogues —
+:attr:`peak_scan_overlap` reports how much overlap a workload actually
+achieved. Scans of the same table still serialize, keeping every
+dispatch's page accounting exact.
+
 Durability
 ----------
 
@@ -86,6 +93,8 @@ class TrainingService:
         fuse: bool = True,
         scan_seed: int = 0,
         workers: int = 1,
+        parallel_scans: bool = True,
+        cache_size: Optional[int] = None,
         state_dir: Optional[Union[str, pathlib.Path]] = None,
         cost_model: Optional[CostModel] = None,
         session: Optional[BismarckSession] = None,
@@ -105,6 +114,8 @@ class TrainingService:
             chunk_size=chunk_size,
             fuse=fuse,
             scan_seed=scan_seed,
+            parallel_scans=parallel_scans,
+            cache_size=cache_size,
         )
         self.state_dir = None if state_dir is None else pathlib.Path(state_dir)
         self.loop = DispatchLoop(
@@ -368,3 +379,13 @@ class TrainingService:
     def page_reads(self) -> int:
         """Total page requests the service has made (all scans)."""
         return self.session.pool.stats.page_reads
+
+    @property
+    def peak_scan_overlap(self) -> int:
+        """The most scans on *distinct* tables ever in flight at once
+        (1 = fully serialized; capped by min(workers, tables))."""
+        return self.scheduler.peak_overlap
+
+    def table_scan_counts(self) -> dict:
+        """Scans dispatched per table (one fused group = one scan)."""
+        return dict(self.scheduler.table_scans)

@@ -13,10 +13,13 @@ and dispatch them (:meth:`SharedScanScheduler.dispatch_window`), so:
 * compatible jobs that arrive while a scan is running pile up in the
   queue and fuse into the *next* window (the loop batches exactly like
   the synchronous drain did, it just does so continuously);
-* the scans themselves serialize on the scheduler's engine lock (the
-  buffer pool is the paper's single-threaded engine core), while worker
-  concurrency overlaps admission, parameter resolution, the bolt-on
-  noise epilogue, and ledger commits with the running scan.
+* scans acquire their *table's* engine domain, not a global lock: two
+  workers run two scans on two distinct tables concurrently (windows
+  are single-table by construction — ``claim_window`` picks a table
+  whose domain is free), while scans of the same table still serialize;
+  worker concurrency additionally overlaps admission, parameter
+  resolution, the bolt-on noise epilogue, and ledger commits with any
+  running scan.
 
 Every window that finishes fires the optional ``autosave`` hook — the
 training service points it at its state snapshot, which is what makes a
@@ -51,10 +54,11 @@ class DispatchLoop:
     scheduler:
         The scheduler whose queue the workers pull from.
     workers:
-        Worker thread count. Scans serialize on the engine lock, so
-        extra workers buy overlap of the non-scan work (noise epilogues,
-        ledger commits, autosaves) with the running scan — and guarantee
-        the queue is re-checked the moment a scan ends.
+        Worker thread count. Up to min(workers, distinct tables with
+        queued work) scans run concurrently (per-table engine domains);
+        workers beyond that buy overlap of the non-scan work (noise
+        epilogues, ledger commits, autosaves) with running scans — and
+        guarantee the queue is re-checked the moment a scan ends.
     autosave:
         Optional zero-argument callable fired after each dispatched
         window (and once at :meth:`stop`); exceptions are captured on
@@ -175,6 +179,11 @@ class DispatchLoop:
                     return
                 window = self.scheduler.claim_window()
                 if not window:
+                    # Non-empty queue, empty claim: every queued table's
+                    # engine domain is mid-scan on another worker. Back
+                    # off until a dispatch finishes (its notify) instead
+                    # of spinning on claim_window.
+                    self._state.wait(timeout=_IDLE_POLL_SECONDS)
                     continue
                 self._inflight += 1
             finished = []

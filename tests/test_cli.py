@@ -108,7 +108,7 @@ class TestServiceCommands:
     def test_serve_reports_fusion_and_budgets(self, capsys):
         code = main([
             "serve", "--jobs", "6", "--tenants", "2", "--rows", "200",
-            "--dim", "6", "--passes", "1",
+            "--dim", "6", "--passes", "1", "--tables", "1", "--workers", "1",
         ])
         out = capsys.readouterr().out
         assert code == 0
@@ -119,8 +119,32 @@ class TestServiceCommands:
     def test_serve_no_fuse_is_sequential(self, capsys):
         code = main([
             "serve", "--jobs", "4", "--tenants", "1", "--rows", "150",
-            "--dim", "5", "--passes", "1", "--no-fuse",
+            "--dim", "5", "--passes", "1", "--no-fuse", "--tables", "1",
+            "--workers", "1",
         ])
         out = capsys.readouterr().out
         assert code == 0
         assert "sequential (forced)" in out
+
+    def test_serve_multi_table_reports_overlap(self, capsys):
+        code = main([
+            "serve", "--jobs", "8", "--tenants", "2", "--rows", "200",
+            "--dim", "6", "--passes", "1", "--workers", "2", "--tables", "2",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "scan overlap    : peak" in captured.out
+        assert "scans per table : shared_0=" in captured.out
+        assert "shared_1=" in captured.out
+        # 2 workers over 2 tables with work: the fleet fits, no warning.
+        assert "warning" not in captured.err
+
+    def test_serve_warns_when_workers_exceed_tables_with_work(self, capsys):
+        code = main([
+            "serve", "--jobs", "4", "--tenants", "2", "--rows", "150",
+            "--dim", "5", "--passes", "1", "--workers", "4", "--tables", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0  # warned, not failed — and not silently serialized
+        assert "warning: --workers 4 exceeds the 1 table(s)" in captured.err
+        assert "scan overlap    : peak 1 of 1 possible" in captured.out

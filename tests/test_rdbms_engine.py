@@ -403,4 +403,14 @@ class TestVirtualHeapChunkGather:
             np.vstack([X_block for X_block, _ in blocks]),
             np.vstack([row for row, _ in rows]),
         )
-        assert pool_a.stats.__dict__ == pool_b.stats.__dict__
+        assert (
+            pool_a.stats.page_reads,
+            pool_a.stats.cache_hits,
+            pool_a.stats.cache_misses,
+            pool_a.stats.evictions,
+        ) == (
+            pool_b.stats.page_reads,
+            pool_b.stats.cache_hits,
+            pool_b.stats.cache_misses,
+            pool_b.stats.evictions,
+        )

@@ -42,6 +42,7 @@ def make_service(
     state_dir=None,
     fuse: bool = True,
     window: int = 32,
+    **kwargs,
 ) -> TrainingService:
     service = TrainingService(
         fuse=fuse,
@@ -49,6 +50,7 @@ def make_service(
         batching_window=window,
         workers=workers,
         state_dir=state_dir,
+        **kwargs,
     )
     service.register_table("t", X, Y)
     service.open_budget("alice", "t", cap)
@@ -95,6 +97,46 @@ class SlowLoss(LogisticLoss):
     def batch_gradient(self, w, X_batch, y_batch):
         time.sleep(0.005)
         return super().batch_gradient(w, X_batch, y_batch)
+
+
+X2, Y2 = make_binary_data(M, D, seed=22)
+
+
+def make_two_table_service(
+    workers: int = 2, cap: float = 10.0, parallel_scans: bool = True, **kwargs
+) -> TrainingService:
+    service = make_service(
+        workers=workers, cap=cap, parallel_scans=parallel_scans, **kwargs
+    )
+    service.register_table("u", X2, Y2)
+    service.open_budget("alice", "u", cap)
+    service.open_budget("bob", "u", cap)
+    return service
+
+
+def cross_table_jobs(n: int = 12, slow: bool = False):
+    loss_type = SlowLoss if slow else LogisticLoss
+    return [
+        dict(
+            principal="alice" if j % 2 == 0 else "bob",
+            table="t" if j % 2 == 0 else "u",
+            loss=loss_type(regularization=[1e-4, 1e-3, 1e-2][j % 3]),
+            epsilon=EPS,
+            passes=2,
+            batch_size=25,
+            seed=3000 + j,
+        )
+        for j in range(n)
+    ]
+
+
+def submit_cross(service: TrainingService, jobs):
+    return [
+        service.submit(job["principal"], job["table"], job["loss"],
+                       epsilon=job["epsilon"], passes=job["passes"],
+                       batch_size=job["batch_size"], seed=job["seed"])
+        for job in jobs
+    ]
 
 
 class TestAsyncDispatch:
@@ -657,3 +699,242 @@ class TestDurableRegistry:
         path.write_text('{"format": "something-else", "records": []}')
         with pytest.raises(ValueError, match="not a registry snapshot"):
             ModelRegistry.load(path)
+
+
+class TestPerTableParallelDispatch:
+    """Per-table engine domains: N workers overlap scans on N distinct
+    tables, and the concurrency is invisible to everything but the clock
+    — released bits, per-job page attribution, and ledger invariants are
+    exactly the serialized execution's."""
+
+    def cross_reference(self, jobs) -> dict:
+        """{(table, seed): weights} from the 1-worker serialized drain."""
+        service = make_two_table_service(workers=1)
+        records = submit_cross(service, jobs)
+        service.scheduler.run_pending()
+        assert all(record.status is JobStatus.COMPLETED for record in records)
+        return {
+            (record.job.table, record.job.seed): record.model
+            for record in records
+        }
+
+    def test_cross_table_drain_bitwise_equals_sync(self):
+        jobs = cross_table_jobs(12)
+        reference = self.cross_reference(jobs)
+        service = make_two_table_service(workers=3)
+        records = submit_cross(service, jobs)
+        finished = service.drain()
+        assert len(finished) == len(jobs)
+        for record in records:
+            assert record.status is JobStatus.COMPLETED
+            assert np.array_equal(
+                record.model, reference[(record.job.table, record.job.seed)]
+            )
+
+    def test_scans_on_distinct_tables_really_overlap(self):
+        """With slow scans on two tables and two workers, the per-table
+        locks must reach overlap 2; the global-lock reference
+        configuration must stay at 1 on the identical workload."""
+        for parallel, expected in ((True, 2), (False, 1)):
+            service = make_two_table_service(workers=2, parallel_scans=parallel)
+            records = submit_cross(service, cross_table_jobs(8, slow=True))
+            service.drain()
+            assert all(r.status is JobStatus.COMPLETED for r in records)
+            assert service.peak_scan_overlap == expected, (
+                f"parallel_scans={parallel}"
+            )
+
+    def test_page_attribution_exact_under_cross_table_overlap(self):
+        """Every job's recorded pages under real cross-table concurrency
+        == its solo run's — the per-table counters never absorb another
+        table's traffic."""
+        solo_pages = {}
+        for table in ("t", "u"):
+            service = make_two_table_service(workers=1)
+            record = service.submit(
+                "alice", table, LogisticLoss(1e-3),
+                epsilon=EPS, passes=2, batch_size=25, seed=1,
+            )
+            service.drain()
+            solo_pages[table] = record.group_pages
+            assert solo_pages[table] > 0
+
+        service = make_two_table_service(workers=2)
+        records = submit_cross(service, cross_table_jobs(12, slow=True))
+        service.drain()
+        assert service.peak_scan_overlap == 2  # the race actually happened
+        for record in records:
+            assert record.status is JobStatus.COMPLETED
+            assert record.group_pages == solo_pages[record.job.table]
+
+    def test_claim_window_is_single_table_and_skips_busy_domains(self):
+        service = make_two_table_service(workers=1)  # loop never started
+        submit_cross(service, cross_table_jobs(8))
+        scheduler = service.scheduler
+        first = scheduler.claim_window()
+        assert first and len({job.table for job in first}) == 1
+        second = scheduler.claim_window()
+        assert second and len({job.table for job in second}) == 1
+        # The second claim went to the other (free) table's work.
+        assert {job.table for job in first} != {job.table for job in second}
+        # Both domains busy + more queued on neither -> empty claim.
+        assert scheduler.claim_window() == []
+        scheduler.dispatch_window(first)
+        scheduler.dispatch_window(second)
+
+    def test_claim_window_defers_jobs_on_a_busy_table(self):
+        service = make_service(workers=1, window=2)
+        jobs = mixed_jobs(5)  # all on table "t", window of 2
+        submit_all(service, jobs)
+        scheduler = service.scheduler
+        claimed = scheduler.claim_window()
+        assert len(claimed) == 2
+        # t is mid-dispatch: its remaining jobs are not claimable...
+        assert scheduler.claim_window() == []
+        assert len(scheduler.queue) == 3
+        # ...until the window finishes and frees the domain.
+        scheduler.dispatch_window(claimed)
+        reclaimed = scheduler.claim_window()
+        assert len(reclaimed) == 2
+        scheduler.dispatch_window(reclaimed)
+        service.drain()
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        epsilons=st.lists(
+            st.floats(min_value=0.01, max_value=0.30, allow_nan=False),
+            min_size=4,
+            max_size=12,
+        )
+    )
+    def test_cross_table_races_never_overspend(self, epsilons):
+        """spent + reserved <= cap at every sampled instant with workers
+        racing across two tables, and the final spend is exactly the
+        committed jobs' total per account."""
+        cap = 0.4
+        service = make_two_table_service(workers=2, cap=cap)
+        service.start()
+        violations: list = []
+        stop_sampling = threading.Event()
+
+        def sampler():
+            while not stop_sampling.is_set():
+                for statement in service.budgets():
+                    if would_overflow(
+                        statement.cap,
+                        statement.spent[0] + statement.reserved[0],
+                        statement.spent[1] + statement.reserved[1],
+                    ):
+                        violations.append(statement)
+                time.sleep(0.001)
+
+        records: list = []
+        lock = threading.Lock()
+
+        def submitter(chunk, table, base_seed):
+            for index, epsilon in enumerate(chunk):
+                record = service.submit(
+                    "alice", table, LogisticLoss(1e-3), epsilon=float(epsilon),
+                    passes=1, batch_size=25, seed=base_seed + index,
+                )
+                with lock:
+                    records.append(record)
+
+        sampler_thread = threading.Thread(target=sampler)
+        sampler_thread.start()
+        try:
+            submitters = [
+                threading.Thread(
+                    target=submitter,
+                    args=(epsilons[i::2], "t" if i == 0 else "u", 20_000 * (i + 1)),
+                )
+                for i in range(2)
+            ]
+            for thread in submitters:
+                thread.start()
+            for thread in submitters:
+                thread.join()
+            assert service.loop.wait_quiescent(timeout=60.0)
+        finally:
+            stop_sampling.set()
+            sampler_thread.join()
+            service.stop()
+
+        assert not violations, f"ledger overspent under race: {violations[:3]}"
+        for table in ("t", "u"):
+            committed = sum(
+                record.receipt.parameters.epsilon
+                for record in records
+                if record.status is JobStatus.COMPLETED
+                and record.job.table == table
+            )
+            statement = [
+                s for s in service.budgets()
+                if s.principal == "alice" and s.table == table
+            ][0]
+            assert statement.spent[0] == pytest.approx(committed)
+            assert statement.reserved == (0.0, 0.0)
+        for record in records:
+            assert record.status in (JobStatus.COMPLETED, JobStatus.REJECTED)
+
+
+class TestResultCacheBound:
+    def test_lru_evicts_the_oldest_hit_entry(self):
+        from repro.service.registry import CachedResult, ResultCache
+
+        def entry(tag):
+            return CachedResult(
+                weights=np.array([float(tag)]), sensitivity=1.0,
+                noise_norm=0.0, epochs=1, source_job_id=f"job-{tag}",
+            )
+
+        cache = ResultCache(max_entries=2)
+        cache.put(("k1",), entry(1))
+        cache.put(("k2",), entry(2))
+        assert cache.get(("k1",)) is not None  # refresh k1 -> k2 is LRU
+        cache.put(("k3",), entry(3))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(("k2",)) is None  # the unhit entry went
+        assert cache.get(("k1",)) is not None
+        assert cache.get(("k3",)) is not None
+
+    def test_invalid_cap_rejected(self):
+        from repro.service.registry import ResultCache
+
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)
+
+    def test_service_cache_size_bounds_entries(self):
+        service = make_service(workers=1, cache_size=2)
+        jobs = mixed_jobs(6)
+        submit_all(service, jobs)
+        service.drain()
+        cache = service.scheduler.cache
+        assert len(cache) == 2
+        assert cache.evictions == 4
+        # The newest releases survive; an evicted job simply trains
+        # again (still bitwise-deterministic, just paid for).
+        evicted = service.submit(
+            jobs[0]["principal"], "t", jobs[0]["loss"],
+            epsilon=jobs[0]["epsilon"], passes=jobs[0]["passes"],
+            batch_size=jobs[0]["batch_size"], seed=jobs[0]["seed"],
+        )
+        assert evicted.status is JobStatus.QUEUED
+        kept = service.submit(
+            jobs[-1]["principal"], "t", jobs[-1]["loss"],
+            epsilon=jobs[-1]["epsilon"], passes=jobs[-1]["passes"],
+            batch_size=jobs[-1]["batch_size"], seed=jobs[-1]["seed"],
+        )
+        assert kept.dispatch == "cached"
+        service.drain()
+
+    def test_rearmed_snapshot_respects_the_cap(self, tmp_path):
+        service = make_service(workers=1, state_dir=tmp_path)
+        submit_all(service, mixed_jobs(6))
+        service.drain()
+        service.save_state()
+
+        restarted = make_service(workers=1, state_dir=tmp_path, cache_size=3)
+        assert restarted.load_state() == 6
+        assert len(restarted.scheduler.cache) == 3  # re-arm obeys the cap
