@@ -28,6 +28,19 @@ gates CI on the structural claim:
   every job's recorded page count equals its solo run's — cross-table
   concurrency must be invisible to everything but the clock.
 
+* ``--cursor`` benchmarks **elevator (shared-cursor) boarding** against
+  window-boundary batching on a sustained-arrival workload: late jobs
+  with mixed batch sizes arrive while the opener's scan is mid-flight
+  (held there by a gated loss, so the scenario is deterministic). The
+  gate **exits 1 unless boarding is >= 1.5x cheaper on page requests**,
+  unless every late job really boarded (``boarding_offset > 0``), and
+  unless every boarded release is bitwise-identical to its solo
+  ``run_sgd(start_offset=...)`` reference.
+
+* ``--queue`` prints the submit-latency note at 10^4 queued jobs (p50 /
+  p99 / max) — informational, recording the insert-sorted queue's
+  admission-lock cost; it never gates.
+
 * ``--smoke`` shrinks the workload for CI (12 jobs, m=600) while
   keeping every gate assert — page ratio >= 3x, bitwise equality, and
   the >= 1.5x scan-overlap speedup are structural, not scale-dependent.
@@ -48,7 +61,9 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import threading
 import time
+import zlib
 
 # Direct script execution (`python benchmarks/bench_service.py`) puts only
 # benchmarks/ on sys.path; make the package, tests.conftest, and the
@@ -61,8 +76,12 @@ for _path in (str(_here.parent / "src"), str(_here.parent), str(_here)):
 import numpy as np
 
 from bench_hotloops import _write_results, write_report
+from repro.core.mechanisms import mechanism_for
+from repro.core.sensitivity import sensitivity_for_schedule
 from repro.optim.losses import LogisticLoss
+from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.storage import LatencyHeapFile, MaterializedHeapFile
+from repro.rdbms.uda import SGDUDA
 from repro.service import JobStatus, TrainingService
 from tests.conftest import make_binary_data
 
@@ -456,6 +475,235 @@ def bench_parallel(gate: bool, write: bool = True, report=None) -> int:
     return 0
 
 
+# -- the elevator (shared-cursor) gate -----------------------------------------
+
+#: Late arrivals during the opener's scan, cycling batch sizes with zero
+#: fusion compatibility between them — window batching must pay one fused
+#: scan per distinct batch size, the elevator one shared cursor stream.
+CUR_LATE_JOBS = 6
+CUR_LATE_BATCHES = (10, 50, 100)
+
+#: --gate --cursor fails below this windowed-over-elevator page ratio on
+#: the sustained-arrival workload. The measured ratio is ~4x: windowed
+#: pays (1 + len(CUR_LATE_BATCHES)) scans of 2m pages, the elevator one
+#: cursor stream of 2m + chunk_size.
+ELEVATOR_PAGE_FLOOR = 1.5
+
+
+class _GatedLoss(LogisticLoss):
+    """Blocks gradients until released: guarantees the late jobs arrive
+    while the opener's scan is genuinely mid-flight, making the boarding
+    scenario (and its page counts) deterministic rather than a race."""
+
+    def __init__(self, regularization):
+        super().__init__(regularization)
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def batch_gradient(self, w, X_batch, y_batch):
+        self.started.set()
+        self.release.wait(timeout=60.0)
+        return super().batch_gradient(w, X_batch, y_batch)
+
+
+def _run_cursor(elevator: bool) -> dict:
+    """The sustained-arrival script, identical in both modes: one opener
+    starts a scan, CUR_LATE_JOBS compatible-on-the-table jobs arrive while
+    it runs. Elevator mode boards them on the live cursor; windowed mode
+    parks them for the next batching window."""
+    X, y = make_binary_data(M, D, seed=77)
+    service = TrainingService(
+        elevator=elevator, fuse=True, scan_seed=11,
+        batching_window=JOBS, workers=1,
+    )
+    service.register_table("bench", X, y)
+    service.open_budget("bench-tenant", "bench", (1 + CUR_LATE_JOBS) * EPS + 1e-9)
+    gate_loss = _GatedLoss(1e-3)
+    lambdas = np.logspace(-4, -1, CUR_LATE_JOBS)
+    start = time.perf_counter()
+    opener = service.submit(
+        "bench-tenant", "bench", gate_loss,
+        epsilon=EPS, passes=PASSES, batch_size=BATCH, seed=7100,
+    )
+    service.start()
+    assert gate_loss.started.wait(timeout=30.0), "opener scan never started"
+    lates = [
+        service.submit(
+            "bench-tenant", "bench",
+            LogisticLoss(regularization=float(lambdas[j])),
+            epsilon=EPS, passes=PASSES,
+            batch_size=CUR_LATE_BATCHES[j % len(CUR_LATE_BATCHES)],
+            seed=7200 + j,
+        )
+        for j in range(CUR_LATE_JOBS)
+    ]
+    gate_loss.release.set()
+    assert service.loop.wait_quiescent(timeout=300.0)
+    elapsed = time.perf_counter() - start
+    service.stop()
+    records = [opener] + lates
+    assert all(record.status is JobStatus.COMPLETED for record in records)
+    return {
+        "mode": "elevator" if elevator else "windowed",
+        "seconds": elapsed,
+        "pages": service.page_reads,
+        "scans": service.scheduler.table_scans["bench"],
+        "boarded": sum(1 for record in lates if record.boarding_offset > 0),
+        "records": records,
+        "data": (X, y),
+    }
+
+
+def _cursor_reference(record, X, y) -> np.ndarray:
+    """Rebuild ``record``'s release solo from its provenance: a fresh
+    engine, the service permutation, run_sgd at the recorded boarding
+    offset, the job's own noise stream."""
+    job = record.job
+    session = BismarckSession()
+    session.load_table(job.table, X, y)
+    shuffle = session.shared_scan(
+        job.table,
+        random_state=np.random.SeedSequence(
+            [11, zlib.crc32(job.table.encode("utf-8"))]
+        ),
+    )
+    schedule, projection, properties = job.candidate.resolve(M)
+    sensitivity = sensitivity_for_schedule(
+        properties, schedule, M, job.candidate.passes, job.candidate.batch_size
+    )
+    uda = SGDUDA(job.candidate.loss, schedule, job.candidate.batch_size, projection)
+    report = session.run_sgd(
+        job.table, uda, epochs=job.candidate.passes, chunk_size=256,
+        shuffle=shuffle, start_offset=record.boarding_offset,
+    )
+    _, noise_rng = job.spawn_streams()
+    noise = mechanism_for(job.privacy).sample(
+        report.model.shape[0], sensitivity.value, job.privacy, noise_rng
+    )
+    return report.model + noise
+
+
+def bench_cursor(gate: bool, write: bool = True, report=None) -> int:
+    """Elevator boarding vs window-boundary batching under sustained
+    arrivals. The gate requires the elevator to be >= 1.5x cheaper on
+    pages, every late job to have actually boarded mid-flight
+    (boarding_offset > 0), and every boarded release to be bitwise-equal
+    to its solo ``run_sgd(start_offset=...)`` reference."""
+    total = 1 + CUR_LATE_JOBS
+    print(
+        f"\nelevator dispatch: 1 opener + {CUR_LATE_JOBS} late arrivals "
+        f"(batch sizes {CUR_LATE_BATCHES}), m={M}, d={D}"
+    )
+    elevator = _run_cursor(elevator=True)
+    windowed = _run_cursor(elevator=False)
+    ratio = windowed["pages"] / elevator["pages"]
+    X, y = elevator["data"]
+    bitwise = all(
+        np.array_equal(record.model, _cursor_reference(record, X, y))
+        for record in elevator["records"]
+    )
+    all_boarded = elevator["boarded"] == CUR_LATE_JOBS
+
+    for row in (windowed, elevator):
+        print(
+            f"{row['mode']:>10}: {row['seconds'] * 1e3:8.1f} ms"
+            f"   {row['pages']:>7} pages   {row['scans']} scan(s)"
+        )
+    print(f"page ratio:   {ratio:6.1f}x fewer requests boarding "
+          f"(gate: >= {ELEVATOR_PAGE_FLOOR}x)")
+    print(f"late jobs boarded mid-flight: {elevator['boarded']}/{CUR_LATE_JOBS}")
+    print(f"bitwise boarded == solo(start_offset): {bitwise}")
+
+    if write:
+        _write_results(
+            service_elevator={
+                "jobs": total,
+                "late_jobs": CUR_LATE_JOBS,
+                "windowed_pages": windowed["pages"],
+                "elevator_pages": elevator["pages"],
+                "page_ratio": ratio,
+                "windowed_s": windowed["seconds"],
+                "elevator_s": elevator["seconds"],
+                "boarded": elevator["boarded"],
+                "bitwise_equal": bitwise,
+            }
+        )
+    if report is not None:
+        write_report(
+            report,
+            elevator_boarding={
+                "metric": "page-request ratio, window batching over elevator "
+                f"boarding ({total} jobs, sustained arrivals)",
+                "value": ratio,
+                "floor": ELEVATOR_PAGE_FLOOR,
+                "passed": bool(
+                    ratio >= ELEVATOR_PAGE_FLOOR and bitwise and all_boarded
+                ),
+                "bitwise_equal": bitwise,
+                "boarded": elevator["boarded"],
+                "shape": {"m": M, "d": D, "jobs": total},
+            },
+        )
+
+    if gate and not (ratio >= ELEVATOR_PAGE_FLOOR and bitwise and all_boarded):
+        if ratio < ELEVATOR_PAGE_FLOOR:
+            print(f"FAIL: boarding below {ELEVATOR_PAGE_FLOOR}x fewer pages")
+        if not all_boarded:
+            print("FAIL: late jobs did not board the running scan")
+        if not bitwise:
+            print("FAIL: boarded weights diverged from solo offset runs")
+        return 1
+    print("PASS")
+    return 0
+
+
+# -- the queue-scaling note ----------------------------------------------------
+
+QUEUE_JOBS = 10_000
+
+
+def bench_queue(write: bool = True) -> int:
+    """Submit latency with 10^4 jobs piling up in the queue (no workers).
+
+    The queue is kept sorted on insert (bisect), so each claim is one
+    O(n) pass and each push O(log n) compares + one shift — the old
+    sort-at-pop charged an O(n log n) re-sort to the admission lock that
+    submit p99 waits on. This prints the note the ROADMAP records; it is
+    informational, not a gate (absolute latency gates flake on shared CI
+    runners).
+    """
+    X, y = make_binary_data(SMOKE_M, SMOKE_D, seed=77)
+    service = TrainingService(fuse=True, scan_seed=11, workers=1)
+    service.register_table("bench", X, y)
+    service.open_budget("bench-tenant", "bench", QUEUE_JOBS * EPS + 1e-9)
+    lambdas = np.logspace(-4, -1, 8)
+    seconds = np.empty(QUEUE_JOBS)
+    for j in range(QUEUE_JOBS):
+        t0 = time.perf_counter()
+        service.submit(
+            "bench-tenant", "bench",
+            LogisticLoss(regularization=float(lambdas[j % len(lambdas)])),
+            epsilon=EPS, passes=PASSES, batch_size=BATCH,
+            priority=j % 4,  # mid-queue inserts, not append-only
+            seed=9000 + j,
+        )
+        seconds[j] = time.perf_counter() - t0
+    p50, p99 = np.percentile(seconds, [50, 99])
+    print(f"\nqueue scaling  : {QUEUE_JOBS} submits, queue depth 0 -> {QUEUE_JOBS}")
+    print(f"submit latency : p50 {p50 * 1e6:7.1f} us, p99 {p99 * 1e6:7.1f} us, "
+          f"max {seconds.max() * 1e6:.1f} us (insert-sorted queue)")
+    if write:
+        _write_results(
+            service_queue={
+                "queued_jobs": QUEUE_JOBS,
+                "submit_p50_s": float(p50),
+                "submit_p99_s": float(p99),
+                "submit_max_s": float(seconds.max()),
+            }
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -477,6 +725,19 @@ def main(argv=None) -> int:
         help="also benchmark per-table engine domains on 2 latency-backed "
         f"tables x {PAR_WORKERS} workers and fail (exit 1) below "
         f"{PARALLEL_SPEEDUP_FLOOR}x over the global engine lock",
+    )
+    parser.add_argument(
+        "--cursor",
+        action="store_true",
+        help="also benchmark elevator (shared-cursor) boarding against "
+        "window-boundary batching under sustained arrivals and fail "
+        f"(exit 1) below {ELEVATOR_PAGE_FLOOR}x fewer pages",
+    )
+    parser.add_argument(
+        "--queue",
+        action="store_true",
+        help=f"also print the submit-latency note at {QUEUE_JOBS} queued "
+        "jobs (informational, never gates)",
     )
     parser.add_argument(
         "--smoke",
@@ -501,6 +762,10 @@ def main(argv=None) -> int:
         status = bench_async(args.gate, write=not args.smoke, report=args.report)
     if status == 0 and args.parallel:
         status = bench_parallel(args.gate, write=not args.smoke, report=args.report)
+    if status == 0 and args.cursor:
+        status = bench_cursor(args.gate, write=not args.smoke, report=args.report)
+    if status == 0 and args.queue:
+        status = bench_queue(write=not args.smoke)
     return status
 
 

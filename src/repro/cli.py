@@ -135,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fuse", action="store_true",
         help="force the sequential dispatch path (the reference)",
     )
+    serve.add_argument(
+        "--elevator", action="store_true",
+        help="shared-cursor dispatch: jobs submitted mid-scan board the "
+        "running scan loop at its current position instead of waiting "
+        "for the next batching window",
+    )
     return parser
 
 
@@ -278,6 +284,7 @@ def _serve(args: argparse.Namespace) -> int:
         fuse=not args.no_fuse,
         scan_seed=args.seed,
         workers=args.workers,
+        elevator=args.elevator,
         state_dir=args.state_dir,
     )
     table = None
@@ -334,8 +341,12 @@ def _serve(args: argparse.Namespace) -> int:
     scan_counts = service.table_scan_counts()
     print(f"workload        : {args.jobs} jobs, {len(tenants)} tenants, "
           f"{args.tables} tables, m={table.size}, d={table.features.shape[1]}")
-    print(f"dispatch mode   : {'sequential (forced)' if args.no_fuse else 'fused'}"
-          f", {args.workers} workers")
+    mode = (
+        "elevator (shared cursors)"
+        if args.elevator
+        else ("sequential (forced)" if args.no_fuse else "fused")
+    )
+    print(f"dispatch mode   : {mode}, {args.workers} workers")
     if resumed:
         print(f"resumed         : {resumed} records from {args.state_dir} "
               f"(cache hits serve them free)")

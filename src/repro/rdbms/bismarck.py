@@ -39,7 +39,7 @@ from repro.optim.schedules import (
 )
 from repro.rdbms.catalog import Catalog, TableInfo
 from repro.rdbms.cost_model import CostModel, RuntimeBreakdown, WorkCounters
-from repro.rdbms.executor import ShuffleOnce, run_aggregate
+from repro.rdbms.executor import OffsetScanView, ShuffleOnce, run_aggregate
 from repro.rdbms.storage import BufferPool
 from repro.rdbms.uda import MultiSGDUDA, SGDState, SGDUDA
 from repro.utils.rng import RandomState, as_generator, spawn_generators
@@ -195,14 +195,30 @@ class BismarckSession:
         jobs were grouped into scans. Pass the returned operator to
         :meth:`run_sgd` / :meth:`run_sgd_multi` via ``shuffle=``.
 
+        The operator is also the anchor of the *shared-cursor* design:
+        ``shared_scan(t).cursor(chunk_size)`` is the table's persistent
+        :class:`~repro.rdbms.executor.ScanCursor`, a resumable position
+        on the permutation's canonical chunk grid that the elevator
+        dispatcher drives as one continuous loop — late-arriving jobs
+        board at the cursor's current position and ride through the
+        wrap-around, exiting back at their boarding chunk. Because the
+        permutation belongs to the table (never to a job), a boarded
+        ride replays exactly the chunk stream of a solo
+        :meth:`run_sgd` with ``start_offset=`` that boarding position,
+        which is what keeps mid-flight boarding bitwise-safe.
+
         Get-or-create is atomic: with per-table engine domains, workers
         reach here concurrently for *different* tables, and two racing
-        callers on the same table must agree on one permutation.
+        callers on the same table must agree on one permutation. The memo
+        is keyed to the table's *identity*, not its name: dropping and
+        recreating a table retires the old operator (and its cursor), so
+        a recreated table can never be scanned through a permutation —
+        or worse, a heap — that belonged to its predecessor.
         """
         with self._shared_scans_lock:
             scan = self._shared_scans.get(table_name)
-            if scan is None:
-                table = self.catalog.get(table_name)
+            table = self.catalog.get(table_name)
+            if scan is None or scan.table is not table:
                 scan = ShuffleOnce(table, self.pool, random_state=as_generator(random_state))
                 self._shared_scans[table_name] = scan
             return scan
@@ -222,6 +238,7 @@ class BismarckSession:
         algorithm_label: str = "noiseless",
         chunk_size: Optional[int] = None,
         shuffle: Optional[ShuffleOnce] = None,
+        start_offset: int = 0,
     ) -> TrainingReport:
         """The front-end controller: shuffle once, one UDA query per epoch.
 
@@ -238,12 +255,36 @@ class BismarckSession:
         :meth:`shared_scan`) instead of drawing a fresh permutation —
         don't combine it with ``fresh_permutation_each_epoch``, which
         would reshuffle the shared order under other callers.
+
+        ``start_offset`` rotates every epoch to begin at that position on
+        the shuffle's canonical chunk grid and wrap around — the *solo
+        reference* for a job that boarded a shared cursor mid-flight at
+        that offset (see :class:`~repro.rdbms.executor.ScanCursor`): the
+        boarded ride and this run execute identical operation sequences,
+        so their models agree bitwise. Requires ``shuffle`` (offsets are
+        positions in an existing permutation) and ``chunk_size`` (the
+        grid), and excludes ``fresh_permutation_each_epoch``.
         """
         check_positive_int(epochs, "epochs")
         table = self.catalog.get(table_name)
+        if start_offset:
+            if shuffle is None:
+                raise ValueError(
+                    "start_offset is a position in an existing permutation; "
+                    "pass the shared shuffle operator"
+                )
+            if chunk_size is None:
+                raise ValueError(
+                    "start_offset lives on the chunk grid; pass chunk_size"
+                )
+            if fresh_permutation_each_epoch:
+                raise ValueError(
+                    "start_offset and fresh_permutation_each_epoch are exclusive"
+                )
         if shuffle is None:
             rng = as_generator(random_state)
             shuffle = ShuffleOnce(table, self.pool, random_state=rng)
+        source = OffsetScanView(shuffle, start_offset) if start_offset else shuffle
         # Per-table counters: a concurrent scan on another table (per-table
         # engine domains) must never leak into this run's epoch accounting.
         pool_stats = self.pool.stats_for(table.heap)
@@ -264,7 +305,7 @@ class BismarckSession:
             noise_before = getattr(uda, "noise_draws", 0)
 
             model = run_aggregate(
-                shuffle,
+                source,
                 uda,
                 chunk_size=chunk_size,
                 model=model,

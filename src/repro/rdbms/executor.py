@@ -179,6 +179,7 @@ class ShuffleOnce:
         self.rng = as_generator(random_state)
         self.stats = OperatorStats()
         self._permutation: Optional[np.ndarray] = None
+        self._cursors: dict = {}
 
     @property
     def permutation(self) -> np.ndarray:
@@ -207,15 +208,41 @@ class ShuffleOnce:
             row = int(rows[tuple_index])
             yield page.features[row], float(page.labels[row])
 
-    def scan_chunks(self, chunk_size: int) -> Iterator[ChunkItem]:
+    def scan_chunks(self, chunk_size: int, start_offset: int = 0) -> Iterator[ChunkItem]:
         """Replay the stored permutation as ``(X_block, y_block)`` arrays.
 
         Same order and same one-page-request-per-tuple accounting as the
         per-tuple replay, so epochs are path-independent.
+
+        ``start_offset`` rotates the delivery: the epoch starts at that
+        permutation position and wraps around, visiting every tuple
+        exactly once. The offset must sit on the *canonical chunk grid*
+        (a multiple of ``chunk_size``) so the chunks delivered are the
+        same blocks an offset-0 scan would produce, merely reordered —
+        the property that makes a mid-scan boarder's ride bitwise equal
+        to its solo run (see :class:`ScanCursor`).
         """
-        yield from _gather_permuted_chunks(
-            self.table, self.pool, self.stats, self.permutation, chunk_size
-        )
+        perm = self.permutation
+        for start in _chunk_starts(len(perm), chunk_size, start_offset):
+            yield _gather_chunk(
+                self.table,
+                self.pool,
+                self.stats,
+                perm[start : start + chunk_size],
+            )
+
+    def cursor(self, chunk_size: int) -> "ScanCursor":
+        """The table's persistent elevator cursor for this chunk size
+        (get-or-create): a resumable position on the canonical chunk grid
+        that survives across scan loops, so a dispatcher can park it and
+        later resume — see :class:`ScanCursor`.
+        """
+        check_positive_int(chunk_size, "chunk_size")
+        cursor = self._cursors.get(chunk_size)
+        if cursor is None:
+            cursor = ScanCursor(self, chunk_size)
+            self._cursors[chunk_size] = cursor
+        return cursor
 
 
 #: Average tuples per distinct page above which a chunk is "dense" enough
@@ -263,58 +290,197 @@ def _gather_permuted_chunks(
     memo changes which bytes get recomputed, never what they are).
     """
     check_positive_int(chunk_size, "chunk_size")
+    m = len(permutation)
+    for start in range(0, m, chunk_size):
+        yield _gather_chunk(
+            table, pool, stats, permutation[start : start + chunk_size]
+        )
+
+
+def _gather_chunk(
+    table: TableInfo,
+    pool: BufferPool,
+    stats: OperatorStats,
+    ids: np.ndarray,
+) -> ChunkItem:
+    """Gather one run of permuted tuple ids into an ``(X, y)`` block.
+
+    The single-chunk core of :func:`_gather_permuted_chunks` — also the
+    unit a :class:`ScanCursor` delivers, so a boarded ride and a rotated
+    solo replay materialize byte-identical blocks from identical page
+    requests.
+    """
     per_page = tuples_per_page(table.dimension)
     d = table.dimension
     heap = table.heap
     get_page = pool.get_page
     read_page = heap.read_page
-    m = len(permutation)
-    for start in range(0, m, chunk_size):
-        ids = np.asarray(permutation[start : start + chunk_size], dtype=np.int64)
-        n = len(ids)
-        page_ids, rows = np.divmod(ids, per_page)
-        X_block = np.empty((n, d), dtype=np.float64)
-        y_block = np.empty(n, dtype=np.float64)
+    ids = np.asarray(ids, dtype=np.int64)
+    n = len(ids)
+    page_ids, rows = np.divmod(ids, per_page)
+    X_block = np.empty((n, d), dtype=np.float64)
+    y_block = np.empty(n, dtype=np.float64)
 
-        materialized: dict = {}
+    materialized: dict = {}
 
-        def chunk_reader(page_id: int, _memo=materialized):
-            page = _memo.get(page_id)
-            if page is None:
-                page = read_page(page_id)
-                _memo[page_id] = page
-            return page
+    def chunk_reader(page_id: int, _memo=materialized):
+        page = _memo.get(page_id)
+        if page is None:
+            page = read_page(page_id)
+            _memo[page_id] = page
+        return page
 
-        # Stable sort groups equal pages while preserving visit order
-        # inside each group; group starts are the boundaries.
-        order = np.argsort(page_ids, kind="stable")
-        sorted_pages = page_ids[order]
-        boundaries = np.flatnonzero(
-            np.r_[True, sorted_pages[1:] != sorted_pages[:-1]]
+    # Stable sort groups equal pages while preserving visit order
+    # inside each group; group starts are the boundaries.
+    order = np.argsort(page_ids, kind="stable")
+    sorted_pages = page_ids[order]
+    boundaries = np.flatnonzero(
+        np.r_[True, sorted_pages[1:] != sorted_pages[:-1]]
+    )
+    boundaries = np.r_[boundaries, n]
+    distinct = len(boundaries) - 1
+
+    if n >= _DENSE_GATHER_THRESHOLD * distinct:
+        pages = {}
+        for page_id in page_ids.tolist():
+            pages[page_id] = get_page(heap, page_id, reader=chunk_reader)
+        for group in range(distinct):
+            members = order[boundaries[group] : boundaries[group + 1]]
+            page = pages[int(sorted_pages[boundaries[group]])]
+            page_rows = rows[members]
+            X_block[members] = page.features[page_rows]
+            y_block[members] = page.labels[page_rows]
+    else:
+        row_list = rows.tolist()
+        for j, page_id in enumerate(page_ids.tolist()):
+            page = get_page(heap, page_id, reader=chunk_reader)
+            row = row_list[j]
+            X_block[j] = page.features[row]
+            y_block[j] = page.labels[row]
+    stats.pages_requested += n
+    stats.tuples_produced += n
+    return X_block, y_block
+
+
+def _chunk_starts(num_tuples: int, chunk_size: int, start_offset: int = 0) -> list:
+    """The canonical chunk-grid start positions for one full epoch,
+    rotated to begin at ``start_offset``.
+
+    The canonical grid is fixed by ``chunk_size`` alone — chunk *j*
+    covers permutation positions ``[j*chunk_size, min((j+1)*chunk_size,
+    m))`` — so every rider of a shared cursor sees the *same* blocks
+    regardless of where it boarded; only the visit order rotates.
+    ``start_offset`` must therefore sit on the grid.
+    """
+    check_positive_int(chunk_size, "chunk_size")
+    if start_offset and (
+        start_offset % chunk_size != 0
+        or not 0 <= start_offset < num_tuples
+    ):
+        raise ValueError(
+            f"start_offset {start_offset} is not on the canonical chunk grid "
+            f"(multiples of {chunk_size} below {num_tuples})"
         )
-        boundaries = np.r_[boundaries, n]
-        distinct = len(boundaries) - 1
+    starts = list(range(0, num_tuples, chunk_size))
+    pivot = start_offset // chunk_size
+    return starts[pivot:] + starts[:pivot]
 
-        if n >= _DENSE_GATHER_THRESHOLD * distinct:
-            pages = {}
-            for page_id in page_ids.tolist():
-                pages[page_id] = get_page(heap, page_id, reader=chunk_reader)
-            for group in range(distinct):
-                members = order[boundaries[group] : boundaries[group + 1]]
-                page = pages[int(sorted_pages[boundaries[group]])]
-                page_rows = rows[members]
-                X_block[members] = page.features[page_rows]
-                y_block[members] = page.labels[page_rows]
+
+class ScanCursor:
+    """A resumable position on a :class:`ShuffleOnce`'s canonical chunk
+    grid — the *elevator* of the shared-cursor design.
+
+    The paper's shared-scan economy is strongest when a table runs **one
+    continuous scan loop** that late-arriving jobs board at the cursor's
+    current position, ride through the wrap-around, and exit where they
+    got on — page cost then scales with concurrent scan loops, not with
+    batching windows. The cursor is the mechanism: :meth:`next_chunk`
+    delivers the canonical chunk at :attr:`position` (identical block,
+    identical page requests, identical pool/LRU effects as an offset-0
+    ``scan_chunks`` delivering that chunk) and advances, wrapping to
+    position 0 at the end of the permutation.
+
+    Two invariants make boarding bitwise-safe:
+
+    * chunks are always the canonical grid's blocks — boarding rotates
+      the order a rider sees them, never their contents or boundaries;
+    * boarding happens only *between* chunks, so a rider's boarding
+      offset is a grid position and each of its epochs spans exactly
+      ``num_tuples`` tuples, ending back at its boarding chunk.
+
+    ``park()`` rewinds to position 0 when a scan loop drains: an
+    uncontended workload then behaves exactly like window batching
+    (every job boards at 0) and its releases stay cache-eligible.
+    """
+
+    def __init__(self, shuffle: ShuffleOnce, chunk_size: int):
+        self.shuffle = shuffle
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        #: Permutation position of the next chunk's start — always on
+        #: the canonical grid.
+        self.position = 0
+        #: Completed wrap-arounds over the cursor's lifetime.
+        self.loops = 0
+
+    @property
+    def num_tuples(self) -> int:
+        return self.shuffle.table.num_tuples
+
+    def next_chunk(self) -> ChunkItem:
+        """Deliver the canonical chunk at :attr:`position` and advance
+        (wrapping). Page accounting matches ``scan_chunks`` exactly."""
+        perm = self.shuffle.permutation
+        m = len(perm)
+        start = self.position
+        end = min(start + self.chunk_size, m)
+        chunk = _gather_chunk(
+            self.shuffle.table,
+            self.shuffle.pool,
+            self.shuffle.stats,
+            perm[start:end],
+        )
+        if end >= m:
+            self.position = 0
+            self.loops += 1
         else:
-            row_list = rows.tolist()
-            for j, page_id in enumerate(page_ids.tolist()):
-                page = get_page(heap, page_id, reader=chunk_reader)
-                row = row_list[j]
-                X_block[j] = page.features[row]
-                y_block[j] = page.labels[row]
-        stats.pages_requested += n
-        stats.tuples_produced += n
-        yield X_block, y_block
+            self.position = end
+        return chunk
+
+    def park(self) -> None:
+        """Rewind to position 0 (called when the scan loop drains)."""
+        self.position = 0
+
+
+class OffsetScanView:
+    """A shuffle operator viewed with its epoch rotated to ``start_offset``.
+
+    The *solo-reference twin* of a boarded elevator ride: feeding this
+    view through :func:`run_aggregate` delivers the underlying
+    :class:`ShuffleOnce`'s canonical chunks starting at the boarding
+    offset and wrapping — exactly the stream a rider that boarded a
+    :class:`ScanCursor` at that position consumed. Chunked delivery only
+    (boarding offsets are positions on a chunk grid; there is no
+    per-tuple boarding).
+    """
+
+    def __init__(self, source: ShuffleOnce, start_offset: int):
+        self.source = source
+        self.start_offset = int(start_offset)
+
+    @property
+    def stats(self) -> OperatorStats:
+        return self.source.stats
+
+    def __iter__(self) -> Iterator[TupleItem]:
+        raise TypeError(
+            "OffsetScanView is chunked-only: boarding offsets live on a "
+            "chunk grid, so pass a chunk_size when running from an offset"
+        )
+
+    def scan_chunks(self, chunk_size: int) -> Iterator[ChunkItem]:
+        yield from self.source.scan_chunks(
+            chunk_size, start_offset=self.start_offset
+        )
 
 
 def run_aggregate(

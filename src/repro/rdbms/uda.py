@@ -481,3 +481,137 @@ class MultiSGDUDA(UDA):
                     state.next_step_index, gradient.shape[1]
                 )
         return gradient
+
+
+class ElevatorRider:
+    """One model riding a shared scan cursor from its boarding offset.
+
+    Wraps a private :class:`SGDUDA` (or noisy subclass) and replays the
+    front-end controller's epoch discipline *relative to the rider's own
+    boarding point*: the rider folds every canonical chunk the cursor
+    delivers, and after exactly ``num_tuples`` tuples — which, because
+    boarding happens on the chunk grid, lands precisely back at its
+    boarding chunk — it terminates the epoch (flushing a trailing
+    partial mini-batch) and re-initializes with the epoch's model and an
+    advanced ``global_step_offset``, the literal calls
+    ``BismarckSession.run_sgd`` makes through ``run_aggregate``. The
+    result is bitwise-by-construction: a rider that boarded at offset
+    ``p`` executes the *same sequence of floating-point operations* as a
+    solo ``run_sgd(..., start_offset=p)`` over the same rotated chunks,
+    and its noise/schedule streams consume exactly what that solo run
+    would.
+    """
+
+    def __init__(
+        self,
+        uda: SGDUDA,
+        *,
+        num_tuples: int,
+        dimension: int,
+        passes: int,
+        boarding_offset: int,
+    ):
+        self.uda = uda
+        self.num_tuples = check_positive_int(num_tuples, "num_tuples")
+        self.passes = check_positive_int(passes, "passes")
+        self.boarding_offset = int(boarding_offset)
+        self.epochs_completed = 0
+        self.tuples_into_epoch = 0
+        self.global_step_offset = 0
+        #: Set when the last epoch terminates; the released weights.
+        self.model: Optional[np.ndarray] = None
+        self.state = uda.initialize(
+            dimension=dimension, global_step_offset=0
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.epochs_completed >= self.passes
+
+    def fold(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Fold one canonical chunk; close the epoch if it completes it."""
+        if self.done:
+            raise RuntimeError("rider has already completed its ride")
+        take = int(labels.shape[0])
+        if self.tuples_into_epoch + take > self.num_tuples:
+            raise RuntimeError(
+                "chunk spans the rider's epoch boundary — riders must "
+                "board on the canonical chunk grid"
+            )
+        self.state = self.uda.transition_batch(self.state, features, labels)
+        self.tuples_into_epoch += take
+        if self.tuples_into_epoch == self.num_tuples:
+            model = self.uda.terminate(self.state)
+            self.epochs_completed += 1
+            self.tuples_into_epoch = 0
+            # ceil(m / b) updates per epoch, exactly run_sgd's advance.
+            self.global_step_offset += -(-self.num_tuples // self.uda.batch_size)
+            if self.done:
+                self.model = model
+            else:
+                self.state = self.uda.initialize(
+                    model=model, global_step_offset=self.global_step_offset
+                )
+
+
+class ElevatorMultiSGDUDA:
+    """K independent SGD rides over ONE continuous cursor loop.
+
+    The shared-cursor ("elevator") counterpart of :class:`MultiSGDUDA`.
+    The fused aggregate scans in *lockstep*: one shared batch size, one
+    shared epoch phase, so a window's jobs must agree on the scan-
+    compatibility key and late arrivals wait for the next window. The
+    elevator drops the lockstep: each rider carries its own
+    :class:`SGDUDA` state with its own batch phase, boarding offset, and
+    epoch counter, so **any** job on the table can board the live cursor
+    mid-flight — compatibility shrinks to the table itself (see
+    ``repro.optim.psgd.elevator_compatibility_key``). The price is that
+    per-rider gradients stay per-model calls instead of grouped GEMMs —
+    which is exactly ``gradient_mode="exact"``, the mode the service
+    already requires for its bitwise determinism contract.
+
+    Drive it with a :class:`~repro.rdbms.executor.ScanCursor`: admit
+    riders between chunks, fold each delivered chunk, collect completed
+    riders. The scan (and its page requests) is paid once per cursor
+    loop regardless of how many riders are aboard.
+    """
+
+    def __init__(self, *, num_tuples: int, dimension: int):
+        self.num_tuples = check_positive_int(num_tuples, "num_tuples")
+        self.dimension = check_positive_int(dimension, "dimension")
+        self.riders: list[ElevatorRider] = []
+        #: Riders admitted over the aggregate's lifetime.
+        self.riders_admitted = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.riders)
+
+    def admit(
+        self, uda: SGDUDA, *, passes: int, boarding_offset: int
+    ) -> ElevatorRider:
+        """Board a new model at the cursor's current grid position."""
+        rider = ElevatorRider(
+            uda,
+            num_tuples=self.num_tuples,
+            dimension=self.dimension,
+            passes=passes,
+            boarding_offset=boarding_offset,
+        )
+        self.riders.append(rider)
+        self.riders_admitted += 1
+        return rider
+
+    def fold_chunk(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> list[ElevatorRider]:
+        """Fold one canonical chunk into every rider aboard; return the
+        riders that completed their last epoch on this chunk."""
+        completed: list[ElevatorRider] = []
+        for rider in self.riders:
+            rider.fold(features, labels)
+            if rider.done:
+                completed.append(rider)
+        if completed:
+            self.riders = [rider for rider in self.riders if not rider.done]
+        return completed

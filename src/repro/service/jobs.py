@@ -21,13 +21,14 @@ scheduler test suite locks the contract in at ``atol=0``.
 
 from __future__ import annotations
 
+import bisect
 import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.bolton import BoltOnCandidate
 from repro.core.mechanisms import PrivacyParameters
-from repro.optim.psgd import scan_compatibility_key
+from repro.optim.psgd import elevator_compatibility_key, scan_compatibility_key
 from repro.utils.rng import spawn_generators
 from repro.utils.validation import check_positive
 
@@ -99,6 +100,16 @@ class TrainingJob:
             self.candidate.batch_size, self.candidate.passes
         )
 
+    def elevator_key(self) -> tuple:
+        """What the shared-cursor (elevator) dispatcher groups by: just
+        the table (:func:`repro.optim.psgd.elevator_compatibility_key`).
+        Riders keep their own batch phase and epoch counters, so the
+        scan-lockstep knobs drop out of the key entirely.
+        """
+        return (self.table,) + elevator_compatibility_key(
+            self.candidate.batch_size, self.candidate.passes
+        )
+
     def spawn_streams(self):
         """The job's two private generators: ``(sgd_rng, noise_rng)``.
 
@@ -145,15 +156,25 @@ class TrainingJob:
         )
 
 
+def _dispatch_order(job: TrainingJob) -> tuple:
+    return (-job.priority, job.arrival)
+
+
 class JobQueue:
     """Deterministic priority queue: ``(-priority, arrival)`` order.
 
-    A plain list kept unsorted until :meth:`pop_window_for` — windows
-    are small (the scheduler's batching window) and jobs arrive singly,
-    so sorting at pop keeps push O(1) and the order obviously
-    deterministic. Claiming is table-aware (:meth:`next_table` +
-    :meth:`pop_window_for`): the scheduler's busy-table protocol depends
-    on every popped window naming a single table.
+    The list is kept *in dispatch order on insert* (``bisect.insort`` —
+    O(log n) compares plus one O(n) shift), so every claim operation is
+    a single O(n) pass with no re-sort. This matters because claims and
+    pushes share the scheduler's admission lock: the old sort-at-pop
+    scheme charged an O(n log n) re-sort to the same lock ``submit()``
+    latency waits on, which at 10^4 queued jobs dominated submit p99
+    (see the queue section of ``benchmarks/bench_service.py``). Ties on
+    ``(-priority, arrival)`` insert after their equals, preserving the
+    stable-sort FIFO the old scheme had. Claiming is table-aware
+    (:meth:`next_table` + :meth:`pop_window_for`): the scheduler's
+    busy-table protocol depends on every popped window naming a single
+    table.
     """
 
     def __init__(self) -> None:
@@ -163,7 +184,7 @@ class JobQueue:
         return len(self._jobs)
 
     def push(self, job: TrainingJob) -> None:
-        self._jobs.append(job)
+        bisect.insort(self._jobs, job, key=_dispatch_order)
 
     def next_table(self, busy=()) -> Optional[str]:
         """The table of the highest-priority queued job whose table is not
@@ -173,26 +194,23 @@ class JobQueue:
         Priority order is preserved *across* tables: among claimable
         tables, the one holding the front of the dispatch order wins, so
         a free engine domain never jumps a higher-priority claimable job.
-        One O(n) pass — this runs under the scheduler's admission lock,
-        which ``submit()`` latency also waits on.
+        The list is in dispatch order, so this is a first-match scan —
+        O(1) when the front of the queue is claimable, O(n) only when
+        busy tables hold the front. This runs under the scheduler's
+        admission lock, which ``submit()`` latency also waits on.
         """
-        best_key = None
-        best_table = None
         for job in self._jobs:
-            if job.table in busy:
-                continue
-            key = (-job.priority, job.arrival)
-            if best_key is None or key < best_key:
-                best_key, best_table = key, job.table
-        return best_table
+            if job.table not in busy:
+                return job.table
+        return None
 
     def pop_window_for(self, table: str, window: int) -> List[TrainingJob]:
         """Remove and return up to ``window`` jobs targeting ``table``, in
         dispatch order; jobs on other tables keep their queue positions.
+        One O(n) pass — the insert-sorted invariant means no re-sort.
         """
         if window < 1:
             raise ValueError(f"window must be positive, got {window}")
-        self._jobs.sort(key=lambda job: (-job.priority, job.arrival))
         taken: List[TrainingJob] = []
         kept: List[TrainingJob] = []
         for job in self._jobs:
@@ -205,4 +223,4 @@ class JobQueue:
 
     def pending(self) -> List[TrainingJob]:
         """The queued jobs in dispatch order (non-destructive)."""
-        return sorted(self._jobs, key=lambda job: (-job.priority, job.arrival))
+        return list(self._jobs)

@@ -76,6 +76,15 @@ class JobRecord:
     group_pages: int = 0
     #: Epochs the scan ran (the job's candidate.passes).
     epochs: int = 0
+    #: Boarding provenance (elevator dispatch): the permutation offset —
+    #: a position on the shared cursor's canonical chunk grid — at which
+    #: the job boarded the running scan, and the full cursor loops it
+    #: rode before exiting back at that offset. ``0`` for jobs that
+    #: opened their flight (or any non-elevator dispatch), which is also
+    #: the only boarding offset the result cache will serve or prime —
+    #: an offset release is arrival-timing-specific by construction.
+    boarding_offset: int = 0
+    epochs_ridden: int = 0
     #: Job id whose committed release this record was served from
     #: (cache hits only; "" for records that paid for their own scan).
     cache_source: str = ""
@@ -419,6 +428,8 @@ def _record_payload(record: JobRecord) -> dict:
         "group_size": record.group_size,
         "group_pages": record.group_pages,
         "epochs": record.epochs,
+        "boarding_offset": record.boarding_offset,
+        "epochs_ridden": record.epochs_ridden,
         "cache_source": record.cache_source,
         "table_fingerprint": record.table_fingerprint,
         "scan_seed": record.scan_seed,
@@ -484,6 +495,10 @@ def _record_from_payload(payload: dict) -> JobRecord:
         group_size=payload["group_size"],
         group_pages=payload["group_pages"],
         epochs=payload["epochs"],
+        # Lenient: snapshots written before the elevator carried no
+        # boarding provenance — those records all boarded at offset 0.
+        boarding_offset=payload.get("boarding_offset", 0),
+        epochs_ridden=payload.get("epochs_ridden", 0),
         cache_source=payload["cache_source"],
         table_fingerprint=payload["table_fingerprint"],
         scan_seed=payload["scan_seed"],

@@ -53,6 +53,33 @@ one global engine lock): the reference configuration the ``--parallel``
 bench gate measures its speedup against. Neither mode can change any
 released bit — by the determinism contract, scheduling only ever decides
 *when* a job completes.
+
+Elevator scans (shared cursors)
+-------------------------------
+
+Window batching amortizes pages *within* a window, but a compatible job
+arriving one millisecond after a scan started still waits out the whole
+scan and then pays for a fresh one. ``elevator=True`` enables the
+paper's true shared-cursor design: each table's engine domain runs one
+continuous scan loop (a :class:`~repro.rdbms.executor.ScanCursor` over
+the table's shared permutation), and late-arriving jobs **board at the
+cursor's current position** — ``submit()`` and :meth:`claim_window`
+route them onto the open flight, the driving worker admits them at the
+next canonical chunk boundary, and each rider exits after riding
+exactly ``passes`` wrap-arounds back to its boarding chunk. Page cost
+becomes O(concurrent scan loops) instead of O(batching windows), and
+because riders keep their own batch phase, the fusion constraint
+relaxes from the scan-lockstep key to the table itself
+(:meth:`TrainingJob.elevator_key`).
+
+Boarding is bitwise-safe — a rider executes the identical operation
+sequence of a solo ``run_sgd(..., start_offset=p)`` — but the *choice*
+of ``p`` depends on when the job arrived relative to the cursor, so
+under the elevator a job's released weights are a pure function of the
+usual tuple **plus its boarding offset**. That is why elevator mode is
+opt-in, why every record carries ``boarding_offset``/``epochs_ridden``
+provenance, and why only offset-0 releases (flight openers — identical
+to a window-batched run) are primed into the result cache.
 """
 
 from __future__ import annotations
@@ -70,7 +97,7 @@ from repro.core.sensitivity import SensitivityBound, sensitivity_for_schedule
 from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.catalog import TableInfo
 from repro.rdbms.storage import MaterializedHeapFile
-from repro.rdbms.uda import MultiSGDUDA, SGDUDA
+from repro.rdbms.uda import ElevatorMultiSGDUDA, ElevatorRider, MultiSGDUDA, SGDUDA
 from repro.service.jobs import JobQueue, JobStatus, TrainingJob
 from repro.service.ledger import (
     BudgetDenied,
@@ -117,6 +144,28 @@ def table_fingerprint(table: TableInfo) -> Optional[str]:
     return digest.hexdigest()[:16]
 
 
+class _ElevatorFlight:
+    """Book-keeping for one open scan loop (all fields guarded by the
+    scheduler's admission lock).
+
+    ``boarders`` holds jobs routed onto the flight but not yet admitted
+    by the driving worker; ``occupancy`` counts riders aboard plus
+    pending boarders (capacity control); ``closed`` stops routing the
+    instant the driver begins tearing the flight down, so a job can
+    never be routed into a loop that will not pick it up.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.boarders: List[TrainingJob] = []
+        self.occupancy = 0
+        self.closed = False
+
+    @property
+    def room(self) -> int:
+        return 0 if self.closed else self.capacity - self.occupancy
+
+
 class SharedScanScheduler:
     """Groups compatible queued jobs and dispatches each group as one scan.
 
@@ -147,6 +196,12 @@ class SharedScanScheduler:
         workers overlap scans on distinct tables. ``False`` routes every
         scan through one global engine lock — the serialized PR 4
         behaviour the parallel bench gate compares against.
+    elevator:
+        ``True`` dispatches via shared cursors: a claimed window opens a
+        continuous scan loop that compatible jobs submitted while it
+        runs board mid-flight (see the module docstring). Off by
+        default — boarding offsets make released weights depend on
+        arrival timing, which the windowed modes never do.
     cache_size:
         Entry cap of the cross-drain result cache (LRU on last hit);
         ``None`` leaves it unbounded.
@@ -163,6 +218,7 @@ class SharedScanScheduler:
         fuse: bool = True,
         scan_seed: int = 0,
         parallel_scans: bool = True,
+        elevator: bool = False,
         cache_size: Optional[int] = None,
     ) -> None:
         self.session = session
@@ -173,9 +229,15 @@ class SharedScanScheduler:
         self.fuse = bool(fuse)
         self.scan_seed = int(scan_seed)
         self.parallel_scans = bool(parallel_scans)
+        self.elevator = bool(elevator)
         self.queue = JobQueue()
         self.cache = ResultCache(max_entries=cache_size)
-        self._fingerprints: Dict[str, Optional[str]] = {}
+        # table name -> (heap object, fingerprint): keying the memo to
+        # the heap's identity makes drop-and-recreate self-invalidating;
+        # in-place content mutation still needs invalidate_fingerprint.
+        self._fingerprints: Dict[str, Tuple[object, Optional[str]]] = {}
+        # Open elevator flights by table (admission lock).
+        self._flights: Dict[str, _ElevatorFlight] = {}
         self._reservations: Dict[str, BudgetReservation] = {}
         self._clock = 0
         # Guards the admission path (clock, queue, reservation map, the
@@ -283,6 +345,11 @@ class SharedScanScheduler:
                 raise
             self._reservations[job.job_id] = reservation
             self.queue.push(job)
+            # Elevator mode: if the job's table has an open scan loop
+            # with room, route it straight onto the flight — this is the
+            # board-the-running-scan path; the driving worker admits it
+            # at the next chunk boundary.
+            self._route_boarders_locked()
             return record
 
     # -- the result cache --------------------------------------------------------
@@ -310,12 +377,34 @@ class SharedScanScheduler:
         tenant's ``submit()`` — admission must stay bookkeeping-cheap.
         (Lazy computation remains as a fallback for schedulers driven
         directly, e.g. in tests.)
+
+        The memo is keyed to the *heap object*, not the table name
+        alone: dropping and recreating a table swaps the heap, so the
+        stale entry can never key a cache hit to the old content. A heap
+        whose contents are mutated **in place** is invisible to this
+        check — that is what :meth:`invalidate_fingerprint` is for, and
+        every content-mutation surface must call it.
         """
-        if table_name not in self._fingerprints:
-            self._fingerprints[table_name] = table_fingerprint(
-                self.session.catalog.get(table_name)
-            )
-        return self._fingerprints[table_name]
+        table = self.session.catalog.get(table_name)
+        memo = self._fingerprints.get(table_name)
+        if memo is None or memo[0] is not table.heap:
+            memo = (table.heap, table_fingerprint(table))
+            self._fingerprints[table_name] = memo
+        return memo[1]
+
+    def invalidate_fingerprint(self, table_name: str) -> None:
+        """Drop the memoized content fingerprint for ``table_name``.
+
+        Required after any heap content mutation (re-registration with
+        new data, in-place array edits): the fingerprint is the "same
+        data" half of every cache key, so a stale memo would key cache
+        hits — weights trained on the *old* content — to the new table.
+        The service wires this into its registration surfaces; callers
+        mutating a registered heap directly must invoke it themselves
+        (via :meth:`TrainingService.invalidate_fingerprint`). Idempotent
+        and cheap; the next :meth:`fingerprint_table` call re-hashes.
+        """
+        self._fingerprints.pop(table_name, None)
 
 
     def prime_cache(self, record: JobRecord) -> bool:
@@ -331,6 +420,12 @@ class SharedScanScheduler:
         not wrong. Returns whether the record was cacheable.
         """
         if record.status is not JobStatus.COMPLETED or record.model is None:
+            return False
+        if record.boarding_offset:
+            # An offset release is specific to where the cursor happened
+            # to be when the job boarded; only offset-0 releases — what a
+            # window-batched dispatch would also have produced — are
+            # reproducible from the cache key alone.
             return False
         if not record.table_fingerprint or record.scan_seed is None:
             return False
@@ -371,8 +466,14 @@ class SharedScanScheduler:
         instead of queueing behind this one. Empty with a non-empty
         queue means every queued table is mid-scan; the claimed table's
         domain is marked busy until :meth:`dispatch_window` releases it.
+
+        In elevator mode a busy table may have an *open flight*: rather
+        than deferring its queued jobs to the next window, they are
+        routed onto the live cursor first (same admission-lock pass), so
+        an empty claim can still have moved work forward.
         """
         with self._admission_lock:
+            self._route_boarders_locked()
             if not len(self.queue):
                 return []
             table = self.queue.next_table(busy=self._busy_tables)
@@ -382,6 +483,22 @@ class SharedScanScheduler:
             if window:
                 self._busy_tables.add(table)
             return window
+
+    def _route_boarders_locked(self) -> None:
+        """Move queued jobs onto open flights with room (admission lock
+        held by the caller). Compatibility is the elevator key — the
+        table alone (:meth:`TrainingJob.elevator_key`) — so any queued
+        job targeting a table with an open loop boards it."""
+        if not self.elevator or not self._flights:
+            return
+        for table_name, flight in list(self._flights.items()):
+            room = flight.room
+            if room <= 0:
+                continue
+            boarding = self.queue.pop_window_for(table_name, room)
+            if boarding:
+                flight.boarders.extend(boarding)
+                flight.occupancy += len(boarding)
 
     def dispatch_window(self, window: List[TrainingJob]) -> List[JobRecord]:
         """Train one claimed window: group by fusion key, dispatch each
@@ -399,11 +516,14 @@ class SharedScanScheduler:
         finished: List[JobRecord] = []
         groups: Dict[tuple, List[TrainingJob]] = {}
         for job in window:
-            groups.setdefault(job.fusion_key(), []).append(job)
+            key = job.elevator_key() if self.elevator else job.fusion_key()
+            groups.setdefault(key, []).append(job)
         try:
             for key, jobs in groups.items():
                 try:
-                    if self.fuse and len(jobs) > 1:
+                    if self.elevator:
+                        self._dispatch_elevator(key, jobs, finished)
+                    elif self.fuse and len(jobs) > 1:
                         self._dispatch_fused(key, jobs, finished)
                     else:
                         for job in jobs:
@@ -546,6 +666,133 @@ class SharedScanScheduler:
             finished=finished,
         )
 
+    def _dispatch_elevator(
+        self, key: tuple, jobs: List[TrainingJob], finished: List[JobRecord]
+    ) -> None:
+        """ONE continuous scan loop for the table; jobs board mid-flight.
+
+        The claimed jobs open the flight at the cursor's parked position
+        (offset 0). While the loop runs, ``submit()``/``claim_window``
+        route newly-arriving same-table jobs onto the flight; the driver
+        admits them *between* chunks — their boarding offset is the
+        cursor's current grid position — and each rider exits the moment
+        its last epoch completes, back at its boarding chunk. The scan's
+        page stream is paid once per cursor loop no matter how many
+        riders are aboard; a rider's ``group_pages`` is the page span of
+        its own ride — exactly its solo cost, ``passes * num_tuples``.
+
+        Engine failures fail every admitted rider (budget refunded);
+        routed-but-never-admitted boarders go back to the queue — they
+        never started, so they retry on a fresh flight.
+        """
+        table_name = jobs[0].table
+        table = self.session.catalog.get(table_name)
+        pool_stats = self.session.pool.stats_for(table.heap)
+        flight = _ElevatorFlight(capacity=self.batching_window)
+        with self._admission_lock:
+            if table_name in self._flights:  # pragma: no cover - busy-table
+                # protocol serializes same-table dispatch; defend anyway.
+                raise RuntimeError(f"table {table_name!r} already has an open flight")
+            flight.boarders.extend(jobs)
+            flight.occupancy = len(jobs)
+            self._flights[table_name] = flight
+        cursor = None
+        riders: Dict[ElevatorRider, tuple] = {}
+        job_ids: List[str] = []
+        try:
+            with self._engine_domain(table_name):
+                shuffle = self._shared_scan(table_name)
+                cursor = shuffle.cursor(self.chunk_size)
+                elevator = ElevatorMultiSGDUDA(
+                    num_tuples=table.num_tuples, dimension=table.dimension
+                )
+                pages_before = pool_stats.page_reads
+                try:
+                    while True:
+                        for job in self._take_boarders(flight):
+                            self._admit_rider(
+                                job, elevator, cursor, table,
+                                pool_stats, flight, riders, job_ids, finished,
+                            )
+                        if not elevator.active:
+                            break
+                        features, labels = cursor.next_chunk()
+                        for rider in elevator.fold_chunk(features, labels):
+                            job, sensitivity, pages_at_boarding = riders[rider]
+                            self._release(
+                                job,
+                                rider.model,
+                                sensitivity,
+                                dispatch="elevator",
+                                group_size=elevator.riders_admitted,
+                                group_pages=pool_stats.page_reads - pages_at_boarding,
+                                finished=finished,
+                                boarding_offset=rider.boarding_offset,
+                                epochs_ridden=rider.epochs_completed,
+                            )
+                            del riders[rider]
+                            with self._admission_lock:
+                                flight.occupancy -= 1
+                except Exception as error:  # engine failure mid-flight
+                    for job, _sensitivity, _pages in riders.values():
+                        self._fail(job, error, finished)
+                    riders.clear()
+                self.dispatch_log.append(
+                    (key, job_ids, pool_stats.page_reads - pages_before)
+                )
+        finally:
+            with self._admission_lock:
+                flight.closed = True
+                self._flights.pop(table_name, None)
+                leftover = flight.boarders
+                flight.boarders = []
+                # Routed but never admitted: back to the queue for the
+                # next window/flight (their reservations still stand).
+                for job in leftover:
+                    self.queue.push(job)
+            if cursor is not None:
+                # Park at 0: the next flight's openers board at offset 0,
+                # so an uncontended workload stays window-equivalent and
+                # its releases stay cache-eligible.
+                cursor.park()
+
+    def _take_boarders(self, flight: _ElevatorFlight) -> List[TrainingJob]:
+        with self._admission_lock:
+            boarding = flight.boarders
+            flight.boarders = []
+            return boarding
+
+    def _admit_rider(
+        self,
+        job: TrainingJob,
+        elevator: ElevatorMultiSGDUDA,
+        cursor,
+        table: TableInfo,
+        pool_stats,
+        flight: _ElevatorFlight,
+        riders: Dict[ElevatorRider, tuple],
+        job_ids: List[str],
+        finished: List[JobRecord],
+    ) -> None:
+        """Board one job at the cursor's current grid position (or fail
+        it pre-I/O if its parameters don't resolve, exactly like the
+        windowed paths' ``_prepare`` step)."""
+        resolved = self._prepare(job, table.num_tuples, finished)
+        if resolved is None:
+            with self._admission_lock:
+                flight.occupancy -= 1
+            return
+        schedule, projection, sensitivity = resolved
+        uda = SGDUDA(
+            job.candidate.loss, schedule, job.candidate.batch_size, projection
+        )
+        self.registry.get(job.job_id).status = JobStatus.RUNNING
+        rider = elevator.admit(
+            uda, passes=job.candidate.passes, boarding_offset=cursor.position
+        )
+        riders[rider] = (job, sensitivity, pool_stats.page_reads)
+        job_ids.append(job.job_id)
+
     # -- shared steps ------------------------------------------------------------
 
     def _table_lock(self, table_name: str) -> threading.Lock:
@@ -615,6 +862,8 @@ class SharedScanScheduler:
         group_size: int,
         group_pages: int,
         finished: List[JobRecord],
+        boarding_offset: int = 0,
+        epochs_ridden: int = 0,
     ) -> None:
         """The bolt-on epilogue + budget commit for one trained job."""
         _, noise_rng = job.spawn_streams()
@@ -640,6 +889,8 @@ class SharedScanScheduler:
         record.group_size = group_size
         record.group_pages = group_pages
         record.epochs = job.candidate.passes
+        record.boarding_offset = boarding_offset
+        record.epochs_ridden = epochs_ridden
         record.table_fingerprint = self.fingerprint_table(job.table) or ""
         record.scan_seed = self.scan_seed
         record.finished_at = self._tick()

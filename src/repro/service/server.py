@@ -94,6 +94,7 @@ class TrainingService:
         scan_seed: int = 0,
         workers: int = 1,
         parallel_scans: bool = True,
+        elevator: bool = False,
         cache_size: Optional[int] = None,
         state_dir: Optional[Union[str, pathlib.Path]] = None,
         cost_model: Optional[CostModel] = None,
@@ -115,6 +116,7 @@ class TrainingService:
             fuse=fuse,
             scan_seed=scan_seed,
             parallel_scans=parallel_scans,
+            elevator=elevator,
             cache_size=cache_size,
         )
         self.state_dir = None if state_dir is None else pathlib.Path(state_dir)
@@ -157,6 +159,19 @@ class TrainingService:
     def budgets(self) -> List[AccountStatement]:
         """Every account's cap/spent/reserved snapshot."""
         return self.ledger.statements()
+
+    def invalidate_fingerprint(self, table_name: str) -> None:
+        """Tell the service a registered heap's *contents* changed.
+
+        The scheduler memoizes each table's content fingerprint (the
+        "same data" half of every result-cache key). Re-registration
+        invalidates automatically, and drop-and-recreate is caught by
+        the memo's heap-identity check — but a caller mutating a
+        registered heap's arrays **in place** must call this, or cached
+        weights trained on the old contents could be served for the new
+        ones. The next submit/release re-hashes the table.
+        """
+        self.scheduler.invalidate_fingerprint(table_name)
 
     # -- the tenant verbs --------------------------------------------------------
 
@@ -352,7 +367,10 @@ class TrainingService:
         """Pay the one-off table fingerprint scan here, at registration —
         never inside a tenant's ``submit()`` — and prime the result cache
         from any completed records on ``table_name`` (a no-op unless a
-        snapshot was loaded before the table existed)."""
+        snapshot was loaded before the table existed). Registration is a
+        content-mutation surface (the name may have carried different
+        data before), so the fingerprint memo is invalidated first."""
+        self.scheduler.invalidate_fingerprint(table_name)
         self.scheduler.fingerprint_table(table_name)
         for record in self.registry.jobs(
             table=table_name, status=JobStatus.COMPLETED

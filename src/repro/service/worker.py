@@ -12,7 +12,10 @@ and dispatch them (:meth:`SharedScanScheduler.dispatch_window`), so:
   immediately — tenants block on ``record.wait()``, never on a scan;
 * compatible jobs that arrive while a scan is running pile up in the
   queue and fuse into the *next* window (the loop batches exactly like
-  the synchronous drain did, it just does so continuously);
+  the synchronous drain did, it just does so continuously) — or, with
+  the scheduler in elevator mode, board the *running* scan: submission
+  routes them onto the open flight and the driving worker admits them
+  at the next chunk boundary, so boarders ride instead of polling;
 * scans acquire their *table's* engine domain, not a global lock: two
   workers run two scans on two distinct tables concurrently (windows
   are single-table by construction — ``claim_window`` picks a table
@@ -170,21 +173,28 @@ class DispatchLoop:
 
     def _worker(self) -> None:
         while True:
-            with self._state:
-                while not self._stopping and not len(self.scheduler.queue):
-                    # Timed wait: work submitted straight through the
-                    # scheduler (no wake()) is still picked up promptly.
-                    self._state.wait(timeout=_IDLE_POLL_SECONDS)
+            window: List = []
+
+            def claimed() -> bool:
+                # The claim IS the wait predicate: runs under self._state,
+                # so the moment a notify arrives — a dispatch freeing its
+                # engine domain, a submit's wake() — the woken worker
+                # claims in the same lock hold instead of falling into a
+                # timed back-off first. The side effect is safe because
+                # the condition lock serializes predicate evaluations.
                 if self._stopping:
-                    return
-                window = self.scheduler.claim_window()
-                if not window:
-                    # Non-empty queue, empty claim: every queued table's
-                    # engine domain is mid-scan on another worker. Back
-                    # off until a dispatch finishes (its notify) instead
-                    # of spinning on claim_window.
+                    return True
+                window.extend(self.scheduler.claim_window())
+                return bool(window)
+
+            with self._state:
+                while not claimed():
+                    # Timed fallback only: work submitted straight through
+                    # the scheduler (no wake()) is still picked up within
+                    # a poll interval.
                     self._state.wait(timeout=_IDLE_POLL_SECONDS)
-                    continue
+                if self._stopping and not window:
+                    return
                 self._inflight += 1
             finished = []
             try:

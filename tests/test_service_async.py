@@ -878,6 +878,136 @@ class TestPerTableParallelDispatch:
             assert record.status in (JobStatus.COMPLETED, JobStatus.REJECTED)
 
 
+class TestFingerprintInvalidation:
+    """Regression: the fingerprint memo was keyed by table name forever,
+    so a table whose contents changed could keep serving cached weights
+    trained on the OLD data. Drop-and-recreate is now self-invalidating
+    (the memo is keyed to the heap's identity); in-place mutation has an
+    explicit ``invalidate_fingerprint`` hook."""
+
+    JOB = dict(epsilon=EPS, passes=2, batch_size=25, seed=8)
+
+    def test_drop_and_recreate_never_serves_a_stale_hit(self):
+        X_new, Y_new = make_binary_data(M, D, seed=99)
+        service = make_service(workers=1)
+        first = service.submit("alice", "t", LogisticLoss(1e-3), **self.JOB)
+        service.drain()
+        assert first.status is JobStatus.COMPLETED
+
+        service.session.catalog.drop_table("t")
+        service.register_table("t", X_new, Y_new)  # same name, new content
+        miss = service.submit("alice", "t", LogisticLoss(1e-3), **self.JOB)
+        assert miss.status is JobStatus.QUEUED, "stale fingerprint cache hit"
+        service.drain()
+        assert miss.status is JobStatus.COMPLETED
+        assert not np.array_equal(miss.model, first.model)
+
+    def test_recreating_with_identical_content_still_hits(self):
+        """The memo is an identity check, not an over-invalidation: the
+        recreated table re-hashes to the same fingerprint, so the prior
+        release is legitimately served."""
+        service = make_service(workers=1)
+        first = service.submit("alice", "t", LogisticLoss(1e-3), **self.JOB)
+        service.drain()
+        service.session.catalog.drop_table("t")
+        service.register_table("t", X.copy(), Y.copy())
+        hit = service.submit("alice", "t", LogisticLoss(1e-3), **self.JOB)
+        assert hit.dispatch == "cached"
+        assert np.array_equal(hit.model, first.model)
+
+    def test_in_place_mutation_plus_invalidate_misses(self):
+        X_new, _ = make_binary_data(M, D, seed=99)
+        service = make_service(workers=1)
+        # A private copy: mutating the module-level X would leak into
+        # every other test registering it.
+        service.register_table("w", X.copy(), Y.copy())
+        service.open_budget("alice", "w", 10.0)
+        first = service.submit("alice", "w", LogisticLoss(1e-3), **self.JOB)
+        service.drain()
+        assert first.status is JobStatus.COMPLETED
+
+        heap = service.session.catalog.get("w").heap
+        heap._features[:] = X_new  # in-place edit: same heap object
+        service.invalidate_fingerprint("w")
+        miss = service.submit("alice", "w", LogisticLoss(1e-3), **self.JOB)
+        assert miss.status is JobStatus.QUEUED, "stale fingerprint cache hit"
+        service.drain()
+        assert miss.status is JobStatus.COMPLETED
+        assert not np.array_equal(miss.model, first.model)
+
+
+class TestWorkerWakeLatency:
+    def test_freed_domain_wakes_a_parked_worker_immediately(self, monkeypatch):
+        """The claim runs inside the wait predicate, so a worker parked
+        behind a busy engine domain is woken — and claims — the moment
+        the domain frees, not up to a poll interval later. With the poll
+        stretched to 5 s, a two-window burst on one table still drains in
+        well under a second: any timeout-paced pickup would blow this."""
+        monkeypatch.setattr("repro.service.worker._IDLE_POLL_SECONDS", 5.0)
+        service = make_service(workers=2, window=1)
+        stall = threading.Event()
+        stalled = threading.Event()
+
+        def blocking_autosave():
+            # The first finisher sticks here, so the SECOND window can
+            # only be dispatched by the other worker — the one parked on
+            # the busy table with the 5 s poll as its only other wake-up.
+            if not stalled.is_set():
+                stalled.set()
+                stall.wait(timeout=20.0)
+
+        service.loop.autosave = blocking_autosave
+        service.start()
+        try:
+            start = time.monotonic()
+            first = service.submit("alice", "t", LogisticLoss(1e-3),
+                                   epsilon=EPS, passes=1, batch_size=25, seed=1)
+            second = service.submit("bob", "t", LogisticLoss(1e-3),
+                                    epsilon=EPS, passes=1, batch_size=25, seed=2)
+            assert second.wait(timeout=30.0)
+            assert first.wait(timeout=30.0)
+            elapsed = time.monotonic() - start
+            assert elapsed < 2.0, (
+                f"burst took {elapsed:.2f}s — a freed engine domain did not "
+                "wake the parked worker (poll-paced pickup)"
+            )
+        finally:
+            stall.set()
+            service.stop()
+
+
+class TestQueueInsertOrder:
+    def test_queue_is_kept_sorted_on_insert(self):
+        """The queue's dispatch order under bisect-insert is exactly the
+        old stable sort's: (-priority, arrival), FIFO within a priority
+        level — including pushes that arrive out of arrival order (the
+        elevator re-queues never-admitted boarders)."""
+        from repro.core.bolton import BoltOnCandidate
+        from repro.service.jobs import JobQueue, TrainingJob, _dispatch_order
+
+        rng = np.random.default_rng(17)
+        jobs = [
+            TrainingJob(
+                principal="p", table="t",
+                candidate=BoltOnCandidate(
+                    loss=LogisticLoss(1e-3), passes=1, batch_size=10
+                ),
+                epsilon=EPS, priority=int(rng.integers(0, 4)),
+                job_id=f"job-{index}", arrival=index,
+            )
+            for index in range(50)
+        ]
+        queue = JobQueue()
+        for job in rng.permutation(len(jobs)):  # arbitrary push order
+            queue.push(jobs[int(job)])
+        expected = sorted(jobs, key=_dispatch_order)
+        assert queue.pending() == expected
+        # Claims are order-preserving prefixes of the dispatch order.
+        window = queue.pop_window_for("t", 7)
+        assert window == expected[:7]
+        assert queue.pending() == expected[7:]
+
+
 class TestResultCacheBound:
     def test_lru_evicts_the_oldest_hit_entry(self):
         from repro.service.registry import CachedResult, ResultCache

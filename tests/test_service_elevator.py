@@ -1,0 +1,417 @@
+"""Elevator scans: jobs board the running shared scan mid-flight.
+
+The acceptance contract: a boarded job's released weights are
+bitwise-equal (``np.array_equal``, atol=0) to the same job run solo with
+``run_sgd(..., start_offset=<its boarding offset>)`` — boarding changes
+*where on the permutation* a job's epochs start, never a single float of
+what they compute from there. Around that contract this suite pins:
+
+* the component property, under hypothesis, over
+  (boarding offset x passes x losses x batch sizes x noisy/noiseless);
+* page accounting: one cursor stream feeds every rider, so a flight's
+  pages are loops-of-the-cursor, not sum-of-riders, while each rider's
+  own ``group_pages`` is exactly its solo cost;
+* the service-level boarding path: a job submitted while a flight is
+  mid-scan boards at a non-zero offset, carries provenance
+  (``boarding_offset`` / ``epochs_ridden``), and only offset-0 releases
+  are primed into the result cache;
+* ledger caps holding under boarders racing live cursors on two tables.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accountant import would_overflow
+from repro.core.bolton import BoltOnCandidate
+from repro.core.mechanisms import mechanism_for
+from repro.core.sensitivity import sensitivity_for_schedule
+from repro.optim.losses import LogisticLoss
+from repro.rdbms.bismarck import BismarckSession, NoisySGDUDA
+from repro.rdbms.uda import SGDUDA, ElevatorMultiSGDUDA
+from repro.service import JobStatus, TrainingService
+from tests.conftest import make_binary_data
+
+# Component-level shape: small enough that hypothesis examples are cheap,
+# with a ragged last chunk (60 = 16 + 16 + 16 + 12) so grid arithmetic
+# around the wrap is exercised, not dodged.
+M, D, CHUNK = 60, 5, 16
+NUM_CHUNKS = -(-M // CHUNK)
+X, Y = make_binary_data(M, D, seed=31)
+
+# Service-level shape (matches the async suite's).
+MS, DS = 300, 8
+XS, YS = make_binary_data(MS, DS, seed=21)
+EPS = 0.05
+SCAN_SEED = 5
+SERVICE_CHUNK = 64
+
+
+def fresh_scan(session: BismarckSession):
+    session.load_table("t", X, Y)
+    return session.shared_scan("t", random_state=np.random.SeedSequence([7]))
+
+
+def step_noise(step_index: int, dimension: int) -> np.ndarray:
+    """A pure function of (step, dim): identical on both sides of every
+    equivalence check, so noisy rides must line their step counters up
+    exactly with the solo run's to match bitwise."""
+    return np.random.default_rng([4242, step_index, dimension]).standard_normal(
+        dimension
+    )
+
+
+def make_uda(loss, passes: int, batch_size: int, noisy: bool):
+    schedule, projection, _ = BoltOnCandidate(
+        loss=loss, passes=passes, batch_size=batch_size
+    ).resolve(M)
+    if noisy:
+        return NoisySGDUDA(loss, schedule, step_noise, batch_size, projection)
+    return SGDUDA(loss, schedule, batch_size, projection)
+
+
+class TestBoardingEquivalence:
+    @settings(max_examples=24, deadline=None)
+    @given(
+        board_chunk=st.integers(0, NUM_CHUNKS - 1),
+        passes=st.integers(1, 3),
+        regularization=st.sampled_from([1e-4, 1e-3, 1e-2]),
+        batch_size=st.sampled_from([7, 16, 25]),
+        noisy=st.booleans(),
+    )
+    def test_boarded_ride_is_bitwise_a_solo_offset_run(
+        self, board_chunk, passes, regularization, batch_size, noisy
+    ):
+        offset = board_chunk * CHUNK
+        loss = LogisticLoss(regularization)
+
+        solo = BismarckSession()
+        report = solo.run_sgd(
+            "t",
+            make_uda(loss, passes, batch_size, noisy),
+            epochs=passes,
+            chunk_size=CHUNK,
+            shuffle=fresh_scan(solo),
+            start_offset=offset,
+        )
+
+        ride = BismarckSession()
+        cursor = fresh_scan(ride).cursor(CHUNK)
+        for _ in range(board_chunk):  # the flight is mid-loop when we board
+            cursor.next_chunk()
+        elevator = ElevatorMultiSGDUDA(num_tuples=M, dimension=D)
+        rider = elevator.admit(
+            make_uda(loss, passes, batch_size, noisy),
+            passes=passes,
+            boarding_offset=cursor.position,
+        )
+        assert rider.boarding_offset == offset
+        while not rider.done:
+            elevator.fold_chunk(*cursor.next_chunk())
+
+        assert np.array_equal(report.model, rider.model)  # atol=0
+        assert rider.epochs_completed == passes
+        # A full rotation delivers exactly M tuples, so the ride exits
+        # back at its boarding chunk.
+        assert cursor.position == offset
+
+    def test_flight_pages_are_one_stream_not_per_rider(self):
+        session = BismarckSession()
+        cursor = fresh_scan(session).cursor(CHUNK)
+        pool_stats = session.pool.stats_for(session.catalog.get("t").heap)
+        elevator = ElevatorMultiSGDUDA(num_tuples=M, dimension=D)
+        loss = LogisticLoss(1e-3)
+
+        first = elevator.admit(
+            make_uda(loss, 2, 10, False), passes=2, boarding_offset=cursor.position
+        )
+        streamed = 0
+        features, labels = cursor.next_chunk()
+        streamed += labels.shape[0]
+        elevator.fold_chunk(features, labels)
+        # A second model boards the live loop one chunk in.
+        second = elevator.admit(
+            make_uda(loss, 1, 25, False), passes=1, boarding_offset=cursor.position
+        )
+        assert second.boarding_offset == CHUNK
+        while elevator.active:
+            features, labels = cursor.next_chunk()
+            streamed += labels.shape[0]
+            elevator.fold_chunk(features, labels)
+
+        assert first.done and second.done
+        # Pages are charged once per cursor loop: the pool saw exactly
+        # the single stream, and the opener's 2 passes bound it.
+        assert streamed == 2 * M
+        assert pool_stats.page_reads == streamed
+        assert pool_stats.page_reads < 2 * M + 1 * M  # < sum of solo rides
+        assert cursor.loops == 2
+
+
+def make_elevator_service(workers: int = 1, cap: float = 10.0, **kwargs):
+    service = TrainingService(
+        elevator=True,
+        scan_seed=SCAN_SEED,
+        chunk_size=SERVICE_CHUNK,
+        workers=workers,
+        **kwargs,
+    )
+    service.register_table("t", XS, YS)
+    service.open_budget("alice", "t", cap)
+    service.open_budget("bob", "t", cap)
+    return service
+
+
+def solo_release(record, features, labels) -> np.ndarray:
+    """Replicate the scheduler's release for ``record`` from scratch:
+    a fresh engine, the table's service permutation, a solo
+    ``run_sgd(start_offset=record.boarding_offset)``, and the job's own
+    noise stream — the reference the acceptance contract compares to."""
+    job = record.job
+    session = BismarckSession()
+    session.load_table(job.table, features, labels)
+    shuffle = session.shared_scan(
+        job.table,
+        random_state=np.random.SeedSequence(
+            [SCAN_SEED, zlib.crc32(job.table.encode("utf-8"))]
+        ),
+    )
+    m = features.shape[0]
+    schedule, projection, properties = job.candidate.resolve(m)
+    sensitivity = sensitivity_for_schedule(
+        properties, schedule, m, job.candidate.passes, job.candidate.batch_size
+    )
+    uda = SGDUDA(job.candidate.loss, schedule, job.candidate.batch_size, projection)
+    report = session.run_sgd(
+        job.table,
+        uda,
+        epochs=job.candidate.passes,
+        chunk_size=SERVICE_CHUNK,
+        shuffle=shuffle,
+        start_offset=record.boarding_offset,
+    )
+    _, noise_rng = job.spawn_streams()
+    noise = mechanism_for(job.privacy).sample(
+        report.model.shape[0], sensitivity.value, job.privacy, noise_rng
+    )
+    return report.model + noise
+
+
+class GatedLoss(LogisticLoss):
+    """Blocks every gradient until released — holds a flight mid-scan so
+    the test can board a second job at a deterministic non-zero offset."""
+
+    def __init__(self, regularization):
+        super().__init__(regularization)
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def batch_gradient(self, w, X_batch, y_batch):
+        self.started.set()
+        self.release.wait(timeout=30.0)
+        return super().batch_gradient(w, X_batch, y_batch)
+
+
+class TestServiceBoarding:
+    def test_late_job_boards_the_running_flight(self):
+        service = make_elevator_service(workers=1)
+        gate = GatedLoss(1e-3)
+        opener = service.submit(
+            "alice", "t", gate, epsilon=EPS, passes=2, batch_size=25, seed=1
+        )
+        service.start()
+        try:
+            assert gate.started.wait(timeout=10.0), "flight never took off"
+            # The cursor is mid-loop (inside chunk 0's fold). This submit
+            # routes onto the open flight; the driver admits it at the
+            # next chunk boundary — no window wait, no fresh scan.
+            rider = service.submit(
+                "bob", "t", LogisticLoss(1e-3), epsilon=EPS, passes=1,
+                batch_size=10, seed=2,
+            )
+            gate.release.set()
+            assert rider.wait(timeout=30.0)
+            assert opener.wait(timeout=30.0)
+        finally:
+            service.stop()
+
+        assert opener.status is JobStatus.COMPLETED
+        assert rider.status is JobStatus.COMPLETED
+        assert opener.dispatch == "elevator"
+        assert rider.dispatch == "elevator"
+        # Provenance: the opener boarded the parked cursor; the late job
+        # boarded mid-loop, past the chunk that was folding at submit.
+        assert opener.boarding_offset == 0
+        assert rider.boarding_offset > 0
+        assert rider.boarding_offset % SERVICE_CHUNK == 0
+        assert opener.epochs_ridden == 2
+        assert rider.epochs_ridden == 1
+        # The acceptance contract, at the service boundary.
+        assert np.array_equal(rider.model, solo_release(rider, XS, YS))
+        assert np.array_equal(opener.model, solo_release(opener, XS, YS))
+        # One flight: a single scan, pages bounded by the cursor stream
+        # (2 opener loops + the boarder's ride into loop 3), not the sum
+        # of two solo scans at their windows' boundaries.
+        assert service.scheduler.table_scans["t"] == 1
+        assert rider.group_pages == 1 * MS
+
+    def test_offset_releases_are_not_primed_offset_zero_ones_are(self):
+        service = make_elevator_service(workers=1)
+        gate = GatedLoss(1e-3)
+        service.submit("alice", "t", gate, epsilon=EPS, passes=2,
+                       batch_size=25, seed=1)
+        service.start()
+        try:
+            assert gate.started.wait(timeout=10.0)
+            rider = service.submit(
+                "bob", "t", LogisticLoss(1e-3), epsilon=EPS, passes=1,
+                batch_size=10, seed=2,
+            )
+            gate.release.set()
+            assert rider.wait(timeout=30.0)
+        finally:
+            service.stop()
+        assert rider.boarding_offset > 0
+
+        # The rider's release is specific to where the cursor was when it
+        # boarded — resubmitting the identical job must MISS and retrain.
+        again = service.submit(
+            "bob", "t", LogisticLoss(1e-3), epsilon=EPS, passes=1,
+            batch_size=10, seed=2,
+        )
+        assert again.status is JobStatus.QUEUED
+        service.drain()
+        assert again.status is JobStatus.COMPLETED
+        assert again.boarding_offset == 0  # opened its own flight
+        assert np.array_equal(again.model, solo_release(again, XS, YS))
+
+        # That offset-0 release IS cache-eligible: third submission hits.
+        third = service.submit(
+            "bob", "t", LogisticLoss(1e-3), epsilon=EPS, passes=1,
+            batch_size=10, seed=2,
+        )
+        assert third.dispatch == "cached"
+        assert np.array_equal(third.model, again.model)
+
+    def test_heterogeneous_jobs_share_one_cursor_stream(self):
+        """Jobs with four different (batch_size, passes) signatures — zero
+        fusion compatibility — still ride ONE flight: the elevator key is
+        the table alone."""
+        service = make_elevator_service(workers=1)
+        shapes = [(1, 10), (2, 25), (1, 50), (2, 7)]
+        records = [
+            service.submit(
+                "alice", "t", LogisticLoss(1e-3), epsilon=EPS,
+                passes=p, batch_size=b, seed=100 + i,
+            )
+            for i, (p, b) in enumerate(shapes)
+        ]
+        service.drain()
+        assert all(r.status is JobStatus.COMPLETED for r in records)
+        assert all(r.dispatch == "elevator" for r in records)
+        # One scan for the whole set; claimed together, all open at 0.
+        assert service.scheduler.table_scans["t"] == 1
+        key, job_ids, pages = service.scheduler.dispatch_log[-1]
+        assert key == ("t",)
+        assert len(job_ids) == len(shapes)
+        # Flight pages = cursor loops (bounded by the longest ride).
+        assert pages == 2 * MS
+        for record, (passes, _) in zip(records, shapes):
+            assert record.boarding_offset == 0
+            assert record.epochs_ridden == passes
+            # Each rider's own ride spans exactly its solo page cost.
+            assert record.group_pages == passes * MS
+            assert np.array_equal(record.model, solo_release(record, XS, YS))
+
+
+class TestElevatorLedgerRace:
+    def test_caps_hold_with_boarders_racing_cursors_on_two_tables(self):
+        """spent + reserved <= cap at every sampled instant while
+        submitters race live flights on two tables, and the final spend
+        is exactly the committed jobs' total per account."""
+        cap = 0.4
+        X2, Y2 = make_binary_data(MS, DS, seed=22)
+        service = make_elevator_service(workers=2, cap=cap)
+        service.register_table("u", X2, Y2)
+        service.open_budget("alice", "u", cap)
+        service.start()
+        violations: list = []
+        stop_sampling = threading.Event()
+
+        def sampler():
+            while not stop_sampling.is_set():
+                for statement in service.budgets():
+                    if would_overflow(
+                        statement.cap,
+                        statement.spent[0] + statement.reserved[0],
+                        statement.spent[1] + statement.reserved[1],
+                    ):
+                        violations.append(statement)
+                time.sleep(0.001)
+
+        records: list = []
+        lock = threading.Lock()
+
+        def submitter(table, base_seed):
+            # Heterogeneous shapes so late submissions genuinely board
+            # (any job on the table is elevator-compatible).
+            for index in range(8):
+                record = service.submit(
+                    "alice", table, LogisticLoss(1e-3), epsilon=0.06,
+                    passes=1 + index % 2, batch_size=(10, 25, 50)[index % 3],
+                    seed=base_seed + index,
+                )
+                with lock:
+                    records.append(record)
+                time.sleep(0.002)  # arrivals staggered across the flights
+
+        sampler_thread = threading.Thread(target=sampler)
+        sampler_thread.start()
+        try:
+            submitters = [
+                threading.Thread(target=submitter, args=(table, 30_000 * (i + 1)))
+                for i, table in enumerate(("t", "u"))
+            ]
+            for thread in submitters:
+                thread.start()
+            for thread in submitters:
+                thread.join()
+            assert service.loop.wait_quiescent(timeout=60.0)
+        finally:
+            stop_sampling.set()
+            sampler_thread.join()
+            service.stop()
+
+        assert not violations, f"ledger overspent under race: {violations[:3]}"
+        for table in ("t", "u"):
+            committed = sum(
+                record.receipt.parameters.epsilon
+                for record in records
+                if record.status is JobStatus.COMPLETED
+                and record.job.table == table
+            )
+            statement = [
+                s for s in service.budgets()
+                if s.principal == "alice" and s.table == table
+            ][0]
+            assert statement.spent[0] == pytest.approx(committed)
+            assert statement.reserved == (0.0, 0.0)
+        for record in records:
+            assert record.status in (JobStatus.COMPLETED, JobStatus.REJECTED), (
+                record.error
+            )
+            if record.status is JobStatus.COMPLETED:
+                assert np.array_equal(
+                    record.model,
+                    solo_release(
+                        record, XS if record.job.table == "t" else X2,
+                        YS if record.job.table == "t" else Y2,
+                    ),
+                )
