@@ -41,6 +41,11 @@ gates CI on the structural claim:
   p99 / max) — informational, recording the insert-sorted queue's
   admission-lock cost; it never gates.
 
+* ``--durability`` prints the per-window autosave scaling note: one
+  window's append-only log events (append + fsync) vs a full registry
+  snapshot, at growing history sizes — the WAL rewrite's O(1)-per-window
+  claim, made measurable. Informational, never gates.
+
 * ``--smoke`` shrinks the workload for CI (12 jobs, m=600) while
   keeping every gate assert — page ratio >= 3x, bitwise equality, and
   the >= 1.5x scan-overlap speedup are structural, not scale-dependent.
@@ -50,10 +55,10 @@ gates CI on the structural claim:
   into the step summary.
 
 Timings and page counts append to ``BENCH_hotloops.json`` under the
-``"service"``, ``"service_async"``, and ``"service_parallel"`` keys
-(full shape only), extending the machine-readable perf trajectory
-(scalar → vectorized → fused → shared-scan service → async service →
-cross-table parallel service).
+``"service"``, ``"service_async"``, ``"service_parallel"``, and
+``"service_wal"`` keys (full shape only), extending the machine-readable
+perf trajectory (scalar → vectorized → fused → shared-scan service →
+async service → cross-table parallel service → crash-safe WAL service).
 """
 
 from __future__ import annotations
@@ -657,6 +662,96 @@ def bench_cursor(gate: bool, write: bool = True, report=None) -> int:
     return 0
 
 
+# -- the durability (WAL vs snapshot) note -------------------------------------
+
+#: History sizes the durability note samples: the snapshot path rewrites
+#: all N records per window, the log path appends one window's events.
+WAL_HISTORY_SIZES = (100, 400, 1600)
+WAL_WINDOW_EVENTS = 16
+
+
+def _synthetic_record(j: int, d: int = 8):
+    """A terminal record with a realistic payload shape — cheap to mint
+    by the thousand, so the note can scale history without training
+    thousands of real jobs."""
+    from repro.core.bolton import BoltOnCandidate
+    from repro.service import JobRecord, TrainingJob
+
+    job = TrainingJob(
+        principal="bench-tenant",
+        table="bench",
+        candidate=BoltOnCandidate(
+            loss=LogisticLoss(regularization=1e-3), passes=1, batch_size=50
+        ),
+        epsilon=EPS,
+        job_id=f"wal-{j:06d}",
+        arrival=j,
+    )
+    return JobRecord(
+        job=job, status=JobStatus.COMPLETED, model=np.zeros(d),
+        sensitivity=1.0, noise_norm=0.1, dispatch="fused",
+        group_size=1, group_pages=10, epochs=1, submitted_at=j,
+    )
+
+
+def bench_durability(write: bool = True) -> int:
+    """Per-window autosave cost: append-only log vs full snapshot.
+
+    The WAL rewrite's claim is O(1) durability per dispatched window —
+    the autosave appends and fsyncs the window's events instead of
+    re-serializing the whole registry. This times both strategies on the
+    same synthetic history at growing sizes and prints the scaling note;
+    informational, never a gate (absolute fsync latency flakes on shared
+    CI runners).
+    """
+    import tempfile
+
+    from repro.service.registry import _record_payload
+
+    print(f"\ndurability     : {WAL_WINDOW_EVENTS}-event window autosave, "
+          f"log append+fsync vs full snapshot")
+    rows = []
+    for size in WAL_HISTORY_SIZES:
+        with tempfile.TemporaryDirectory() as tmp:
+            service = TrainingService(workers=1, state_dir=tmp)
+            for j in range(size):
+                service.registry.add(_synthetic_record(j))
+            t0 = time.perf_counter()
+            service.save_state()
+            snapshot_s = time.perf_counter() - t0
+            events = [
+                {"event": "record", "record": _record_payload(_synthetic_record(j))}
+                for j in range(size, size + WAL_WINDOW_EVENTS)
+            ]
+            t0 = time.perf_counter()
+            for event in events:
+                service.wal.append(event)
+            service.wal.sync()
+            wal_s = time.perf_counter() - t0
+            rows.append((size, snapshot_s, wal_s))
+            print(f"  history {size:>5}: snapshot {snapshot_s * 1e3:8.2f} ms, "
+                  f"log window {wal_s * 1e3:8.2f} ms "
+                  f"({snapshot_s / wal_s:6.1f}x)")
+    # The headline: snapshot cost grows with history, the log's does not.
+    snapshot_growth = rows[-1][1] / rows[0][1]
+    wal_growth = rows[-1][2] / rows[0][2]
+    print(f"  {WAL_HISTORY_SIZES[0]} -> {WAL_HISTORY_SIZES[-1]} records: "
+          f"snapshot cost x{snapshot_growth:.1f}, log window cost "
+          f"x{wal_growth:.1f}")
+    if write:
+        _write_results(
+            service_wal={
+                "history_sizes": list(WAL_HISTORY_SIZES),
+                "window_events": WAL_WINDOW_EVENTS,
+                "snapshot_s": [row[1] for row in rows],
+                "wal_window_s": [row[2] for row in rows],
+                "snapshot_growth": snapshot_growth,
+                "wal_window_growth": wal_growth,
+            }
+        )
+    return 0
+
+
 # -- the queue-scaling note ----------------------------------------------------
 
 QUEUE_JOBS = 10_000
@@ -740,6 +835,12 @@ def main(argv=None) -> int:
         "jobs (informational, never gates)",
     )
     parser.add_argument(
+        "--durability",
+        action="store_true",
+        help="also print the per-window autosave note — append-only log "
+        "vs full snapshot at growing history (informational, never gates)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help=f"CI-sized run ({SMOKE_JOBS} jobs, m={SMOKE_M}): same gates, "
@@ -766,6 +867,8 @@ def main(argv=None) -> int:
         status = bench_cursor(args.gate, write=not args.smoke, report=args.report)
     if status == 0 and args.queue:
         status = bench_queue(write=not args.smoke)
+    if status == 0 and args.durability:
+        status = bench_durability(write=not args.smoke)
     return status
 
 

@@ -374,8 +374,15 @@ def _serve(args: argparse.Namespace) -> int:
               f"spent eps {statement.spent[0]:.3f} "
               f"of {statement.cap.epsilon:.3f}")
     if args.state_dir:
-        service.save_state()
-        print(f"state saved     : {args.state_dir}")
+        durability = service.durability
+        if durability["mode"] == "degraded":
+            print(f"durability      : DEGRADED (in-memory only) — "
+                  f"{durability.get('error', 'state_dir not writable')}")
+        else:
+            service.save_state()
+            print(f"state saved     : {args.state_dir} "
+                  f"({durability['wal_syncs']} log syncs, "
+                  f"{durability['compactions']} compactions)")
     return 0
 
 

@@ -258,6 +258,93 @@ class LatencyHeapFile(HeapFile):
         return self.inner.read_page(page_id)
 
 
+class PageFaultError(IOError):
+    """A heap page read failed. The storage-layer analogue of a bad
+    sector / dropped NFS mount: raised by :class:`FaultyHeapFile` on an
+    injected fault, and the type dispatch-layer retry logic keys on."""
+
+
+class TransientPageFault(PageFaultError):
+    """A page fault expected to succeed on retry (the flaky-device
+    case). The scheduler's bounded retry-with-backoff retries these
+    only; a plain :class:`PageFaultError` fails the scan immediately."""
+
+
+class FaultyHeapFile(HeapFile):
+    """A heap whose page reads fail on command — the fault-injection
+    harness behind the service's robustness tests.
+
+    Wraps any heap and raises on a configurable subset of reads:
+
+    * ``fail_pages`` — page ids that fault when read;
+    * ``probability`` — additionally, each read of *any* page faults
+      with this chance (drawn from a ``seed``-fixed generator, so a
+      given wrap produces the same fault sequence every run);
+    * ``fail_times`` — total fault budget (``None`` = unlimited). With
+      a buffer pool in front, a faulted page was never cached, so a
+      retried scan re-reads it — ``fail_times=1`` makes exactly the
+      first attempt fail and the retry succeed.
+    * ``transient`` — raise :class:`TransientPageFault` (retryable)
+      instead of the permanent :class:`PageFaultError`.
+
+    ``reads`` counts delegated reads (with a pool in front: misses),
+    ``faults_injected`` the reads that raised.
+    """
+
+    def __init__(
+        self,
+        inner: HeapFile,
+        *,
+        fail_pages=(),
+        fail_times: Optional[int] = None,
+        probability: float = 0.0,
+        seed: int = 0,
+        transient: bool = True,
+    ):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if fail_times is not None and fail_times < 0:
+            raise ValueError(f"fail_times must be >= 0 or None, got {fail_times}")
+        self.inner = inner
+        self.fail_pages = frozenset(fail_pages)
+        self.fail_times = fail_times
+        self.probability = float(probability)
+        self.transient = bool(transient)
+        self._rng = np.random.default_rng(seed)
+        self.reads = 0
+        self.faults_injected = 0
+
+    @property
+    def dimension(self) -> int:
+        return self.inner.dimension
+
+    @property
+    def num_pages(self) -> int:
+        return self.inner.num_pages
+
+    @property
+    def num_tuples(self) -> int:
+        return self.inner.num_tuples
+
+    def _should_fault(self, page_id: int) -> bool:
+        if self.fail_times is not None and self.faults_injected >= self.fail_times:
+            return False
+        if page_id in self.fail_pages:
+            return True
+        return self.probability > 0.0 and self._rng.random() < self.probability
+
+    def read_page(self, page_id: int) -> Page:
+        self.reads += 1
+        if self._should_fault(page_id):
+            self.faults_injected += 1
+            kind = TransientPageFault if self.transient else PageFaultError
+            raise kind(
+                f"injected {'transient ' if self.transient else ''}fault "
+                f"reading page {page_id} (fault {self.faults_injected})"
+            )
+        return self.inner.read_page(page_id)
+
+
 @dataclass
 class BufferPoolStats:
     """Counters the cost model consumes."""

@@ -15,7 +15,11 @@ threads (``submit()`` returns a job handle immediately; tenants block on
 ``record.wait()``), a cross-drain result cache serves resubmitted
 identical jobs with 0 pages and 0 ε, and the registry + account caps
 snapshot to disk so a restarted service resumes with prior records and
-budgets reconciled from committed receipts.
+budgets reconciled from committed receipts. Since PR 7 the snapshot is
+crash-safe: a checksummed append-only receipt log
+(:mod:`repro.service.wal`) makes the per-window autosave O(1), survives
+kill -9 mid-window (torn tail truncated, committed receipts replayed),
+and refuses to load tampered history (fail-closed).
 
 Entry point: :class:`TrainingService` (see :mod:`repro.service.server`).
 """
@@ -36,6 +40,7 @@ from repro.service.registry import (
 )
 from repro.service.scheduler import SharedScanScheduler, table_fingerprint
 from repro.service.server import TrainingService
+from repro.service.wal import WalCorruption, WriteAheadLog
 from repro.service.worker import DispatchLoop
 
 __all__ = [
@@ -54,5 +59,7 @@ __all__ = [
     "BudgetReceipt",
     "BudgetReservation",
     "AccountStatement",
+    "WriteAheadLog",
+    "WalCorruption",
     "table_fingerprint",
 ]

@@ -47,6 +47,10 @@ class JobStatus(enum.Enum):
     #: Denied at admission (over budget / unknown account); nothing ran,
     #: nothing was charged — zero pages, zero ε.
     REJECTED = "rejected"
+    #: Cancelled while still QUEUED (tenant called ``cancel``): the
+    #: reservation was refunded before any scan touched data — zero
+    #: pages, zero ε. A job that reached a scan can no longer cancel.
+    CANCELLED = "cancelled"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -220,6 +224,16 @@ class JobQueue:
                 kept.append(job)
         self._jobs = kept
         return taken
+
+    def remove(self, job_id: str) -> bool:
+        """Remove one queued job by id (the cancel path). Returns whether
+        it was found — ``False`` means the job already left the queue
+        (claimed into a window or routed onto a flight)."""
+        for index, job in enumerate(self._jobs):
+            if job.job_id == job_id:
+                del self._jobs[index]
+                return True
+        return False
 
     def pending(self) -> List[TrainingJob]:
         """The queued jobs in dispatch order (non-destructive)."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.accountant import (
     PrivacyAccountant,
@@ -104,6 +104,12 @@ class PrivacyBudgetLedger:
     def __init__(self) -> None:
         self._accounts: Dict[Tuple[str, str], _Account] = {}
         self._lock = threading.RLock()
+        #: Observer fired for each *new* grant — ``(principal, table,
+        #: epsilon, delta)`` — which the durable service wires to its
+        #: write-ahead log so caps opened between compactions survive a
+        #: crash. :meth:`restore_caps` never fires it (a restore must
+        #: not re-log the grants it is replaying).
+        self.on_grant: Optional[Callable[[str, str, float, float], None]] = None
 
     # -- account management ------------------------------------------------------
 
@@ -122,6 +128,9 @@ class PrivacyBudgetLedger:
             self._accounts[key] = _Account(
                 accountant=PrivacyAccountant(PrivacyParameters(epsilon, delta))
             )
+            observer = self.on_grant
+        if observer is not None:
+            observer(principal, table, float(epsilon), float(delta))
 
     def has_account(self, principal: str, table: str) -> bool:
         with self._lock:

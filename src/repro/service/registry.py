@@ -33,7 +33,7 @@ import pathlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -48,7 +48,18 @@ SNAPSHOT_FORMAT = "repro-registry/v1"
 
 #: The statuses a snapshot preserves verbatim; anything else was
 #: in-flight work and reloads as FAILED (interrupted by restart).
-_TERMINAL = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.REJECTED)
+_TERMINAL = (
+    JobStatus.COMPLETED,
+    JobStatus.FAILED,
+    JobStatus.REJECTED,
+    JobStatus.CANCELLED,
+)
+
+#: The terminal statuses as payload values — what the WAL replay's merge
+#: rule checks a snapshot entry against (a WAL "record" event may
+#: overwrite a snapshot payload only while the snapshot saw the job
+#: in flight; see ``TrainingService.load_state``).
+TERMINAL_STATUS_VALUES = frozenset(status.value for status in _TERMINAL)
 
 
 @dataclass
@@ -104,6 +115,12 @@ class JobRecord:
     _done: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
+    #: Journal callback the registry installs at :meth:`ModelRegistry.add`
+    #: — fired once, from :meth:`mark_done`, so the record's terminal
+    #: payload lands in the write-ahead log the moment it is final.
+    _journal: Optional[Callable[["JobRecord"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def job_id(self) -> str:
@@ -128,8 +145,12 @@ class JobRecord:
         """Publish terminality. Called exactly once, by whoever moved the
         record to a terminal status, *after* every result field is set —
         a waiter woken by the event must never observe a half-written
-        record."""
+        record. (That same every-field-landed guarantee is why the
+        journal hook fires here: the payload it logs is final.)"""
         self._done.set()
+        journal = self._journal
+        if journal is not None:
+            journal(self)
 
 
 @dataclass(frozen=True)
@@ -219,6 +240,13 @@ class ModelRegistry:
         # re-walking every weight vector in the store's history.
         self._payload_memo: Dict[str, dict] = {}
         self._lock = threading.RLock()
+        #: Event sink for the write-ahead log (the service wires it to
+        #: the WAL's append). When set, admission of a QUEUED record
+        #: emits an ``admit`` event and every record reaching a terminal
+        #: status emits a ``record`` event carrying its final payload.
+        #: ``None`` (the default) emits nothing — a registry used
+        #: without a durable service does no event bookkeeping at all.
+        self.journal: Optional[Callable[[dict], None]] = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -237,7 +265,21 @@ class ModelRegistry:
                 raise ValueError(f"job {job_id!r} is already registered")
             self._records[job_id] = record
             self._order.append(job_id)
+            # Wire the terminal-event hook regardless of whether a sink
+            # is attached yet (the hook re-checks). Records loaded from a
+            # snapshot/WAL were marked done before this add, so neither
+            # hook fires for them — a restore never re-logs its input.
+            record._journal = self._journal_terminal
+            sink = self.journal
+            if sink is not None and record.status is JobStatus.QUEUED:
+                sink({"event": "admit", "record": _record_payload(record)})
             return record
+
+    def _journal_terminal(self, record: JobRecord) -> None:
+        """The per-record ``mark_done`` hook: log the final payload."""
+        sink = self.journal
+        if sink is not None:
+            sink({"event": "record", "record": _record_payload(record)})
 
     def get(self, job_id: str) -> JobRecord:
         with self._lock:
@@ -331,19 +373,26 @@ class ModelRegistry:
     @classmethod
     def load(cls, path: Union[str, pathlib.Path]) -> "ModelRegistry":
         """Rebuild a registry from a :meth:`snapshot` file."""
-        payload = json.loads(pathlib.Path(path).read_text())
-        if payload.get("format") != SNAPSHOT_FORMAT:
-            raise ValueError(
-                f"{path} is not a registry snapshot "
-                f"(format: {payload.get('format')!r})"
-            )
         registry = cls()
-        for entry in payload["records"]:
-            registry.add(_record_from_payload(entry))
+        for entry in snapshot_payloads(path):
+            registry.add(record_from_payload(entry))
         return registry
 
 
 # -- (de)serialization helpers ---------------------------------------------------
+
+
+def snapshot_payloads(path: Union[str, pathlib.Path]) -> List[dict]:
+    """The raw record payloads of a :meth:`ModelRegistry.snapshot` file,
+    in store order — the base the service's WAL replay merges log events
+    into (``TrainingService.load_state``)."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"{path} is not a registry snapshot "
+            f"(format: {payload.get('format')!r})"
+        )
+    return payload["records"]
 
 
 def _loss_payload(loss: Loss) -> dict:
@@ -437,6 +486,18 @@ def _record_payload(record: JobRecord) -> dict:
         "submitted_at": record.submitted_at,
         "finished_at": record.finished_at,
     }
+
+
+def record_from_payload(payload: dict) -> JobRecord:
+    """Rebuild one :class:`JobRecord` from its serialized payload.
+
+    Public because the WAL replay path deserializes payloads carried by
+    log events, not just snapshot entries. The returned record is always
+    terminal (an in-flight payload — a WAL ``admit`` event, or a record
+    the snapshot saw mid-scan — loads as FAILED/interrupted) and already
+    marked done.
+    """
+    return _record_from_payload(payload)
 
 
 def _record_from_payload(payload: dict) -> JobRecord:

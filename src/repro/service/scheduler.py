@@ -86,9 +86,10 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 import zlib
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -96,7 +97,7 @@ from repro.core.mechanisms import mechanism_for
 from repro.core.sensitivity import SensitivityBound, sensitivity_for_schedule
 from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.catalog import TableInfo
-from repro.rdbms.storage import MaterializedHeapFile
+from repro.rdbms.storage import MaterializedHeapFile, TransientPageFault
 from repro.rdbms.uda import ElevatorMultiSGDUDA, ElevatorRider, MultiSGDUDA, SGDUDA
 from repro.service.jobs import JobQueue, JobStatus, TrainingJob
 from repro.service.ledger import (
@@ -205,6 +206,18 @@ class SharedScanScheduler:
     cache_size:
         Entry cap of the cross-drain result cache (LRU on last hit);
         ``None`` leaves it unbounded.
+    scan_retries:
+        How many times a *windowed* scan that raises
+        :class:`~repro.rdbms.storage.TransientPageFault` is retried
+        (with linear backoff) before the group fails. Safe under the
+        determinism contract: a retried scan replays the identical
+        permutation from tuple 0, so a success on any attempt releases
+        the same bits. Elevator flights never retry — a mid-flight
+        cursor has already folded chunks into its riders, so the only
+        honest recovery is failing them (reservations refunded).
+    retry_backoff_seconds:
+        Base sleep between retry attempts (attempt ``n`` waits
+        ``n * retry_backoff_seconds``).
     """
 
     def __init__(
@@ -220,6 +233,8 @@ class SharedScanScheduler:
         parallel_scans: bool = True,
         elevator: bool = False,
         cache_size: Optional[int] = None,
+        scan_retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
     ) -> None:
         self.session = session
         self.ledger = ledger
@@ -230,6 +245,16 @@ class SharedScanScheduler:
         self.scan_seed = int(scan_seed)
         self.parallel_scans = bool(parallel_scans)
         self.elevator = bool(elevator)
+        if scan_retries < 0:
+            raise ValueError(f"scan_retries must be >= 0, got {scan_retries}")
+        if retry_backoff_seconds < 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be >= 0, got {retry_backoff_seconds}"
+            )
+        self.scan_retries = int(scan_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        #: Transient-fault retries actually taken (telemetry).
+        self.scan_retries_used = 0
         self.queue = JobQueue()
         self.cache = ResultCache(max_entries=cache_size)
         # table name -> (heap object, fingerprint): keying the memo to
@@ -351,6 +376,48 @@ class SharedScanScheduler:
             # at the next chunk boundary.
             self._route_boarders_locked()
             return record
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that is still QUEUED: refund its reservation and
+        record it CANCELLED (0 pages, 0 ε) so its submitter's
+        ``record.wait()`` returns immediately.
+
+        Returns ``False`` when the job can no longer cancel — it already
+        reached a terminal state, or a worker claimed it into a window
+        (it is about to run; scans are not cancellable mid-epoch).
+        Unknown job ids raise ``KeyError``. In elevator mode a job routed
+        onto an open flight but not yet admitted by the driver is still
+        cancellable — it is pulled off the boarder list before the
+        cursor ever sees it.
+        """
+        record = self.registry.get(job_id)
+        with self._admission_lock:
+            if record.status is not JobStatus.QUEUED:
+                return False
+            removed = self.queue.remove(job_id)
+            if not removed:
+                for flight in self._flights.values():
+                    for index, boarder in enumerate(flight.boarders):
+                        if boarder.job_id == job_id:
+                            del flight.boarders[index]
+                            flight.occupancy -= 1
+                            removed = True
+                            break
+                    if removed:
+                        break
+            if not removed:
+                # Claimed into a window (or already aboard a cursor):
+                # the dispatch path owns it now.
+                return False
+            reservation = self._reservations.pop(job_id, None)
+            if reservation is not None:
+                self.ledger.refund(reservation)
+            self._clock += 1
+            record.error = "cancelled while queued"
+            record.finished_at = self._clock
+            record.status = JobStatus.CANCELLED
+        record.mark_done()
+        return True
 
     # -- the result cache --------------------------------------------------------
 
@@ -556,6 +623,19 @@ class SharedScanScheduler:
                 self._fail(job, error, finished)
         return finished
 
+    def release_window(self, window: List[TrainingJob]) -> None:
+        """Free the engine-domain busy flags a claimed window holds.
+
+        :meth:`dispatch_window` releases them itself on every path
+        through its ``finally`` — this is the worker's belt-and-braces
+        cleanup for exceptions that strike *outside* dispatch (a crash
+        hook between claim and dispatch, a failure inside ``fail_jobs``):
+        a leaked busy flag would starve the table forever, and releasing
+        an already-free table is a no-op, so calling this twice is safe.
+        """
+        with self._admission_lock:
+            self._busy_tables.difference_update(job.table for job in window)
+
     def run_pending(self) -> List[JobRecord]:
         """Drain the queue synchronously on the calling thread.
 
@@ -599,13 +679,15 @@ class SharedScanScheduler:
         with self._engine_domain(jobs[0].table):
             pages_before = pool_stats.page_reads
             try:
-                report = self.session.run_sgd_multi(
-                    jobs[0].table,
-                    uda,
-                    epochs=prepared[0][0].candidate.passes,
-                    chunk_size=self.chunk_size,
-                    shuffle=self._shared_scan(jobs[0].table),
-                    algorithm_label="service-fused",
+                report = self._run_scan(
+                    lambda: self.session.run_sgd_multi(
+                        jobs[0].table,
+                        uda,
+                        epochs=prepared[0][0].candidate.passes,
+                        chunk_size=self.chunk_size,
+                        shuffle=self._shared_scan(jobs[0].table),
+                        algorithm_label="service-fused",
+                    )
                 )
             except Exception as error:  # engine failure: nobody pays
                 for job, *_ in prepared:
@@ -643,13 +725,15 @@ class SharedScanScheduler:
         with self._engine_domain(job.table):
             pages_before = pool_stats.page_reads
             try:
-                report = self.session.run_sgd(
-                    job.table,
-                    uda,
-                    epochs=job.candidate.passes,
-                    chunk_size=self.chunk_size,
-                    shuffle=self._shared_scan(job.table),
-                    algorithm_label="service-sequential",
+                report = self._run_scan(
+                    lambda: self.session.run_sgd(
+                        job.table,
+                        uda,
+                        epochs=job.candidate.passes,
+                        chunk_size=self.chunk_size,
+                        shuffle=self._shared_scan(job.table),
+                        algorithm_label="service-sequential",
+                    )
                 )
             except Exception as error:
                 self._fail(job, error, finished)
@@ -794,6 +878,32 @@ class SharedScanScheduler:
         job_ids.append(job.job_id)
 
     # -- shared steps ------------------------------------------------------------
+
+    def _run_scan(self, scan: Callable[[], object]):
+        """Run one windowed scan with bounded retry on transient faults.
+
+        A :class:`~repro.rdbms.storage.TransientPageFault` (a flaky
+        device, an injected fault) retries up to ``scan_retries`` times
+        with linear backoff; every attempt replays the identical shared
+        permutation from tuple 0, so whichever attempt succeeds releases
+        bitwise the weights a clean run would have. Pages the failed
+        attempts did read stay in the dispatch's before/after delta —
+        the group's page accounting reports what the fault actually
+        cost, not what a clean run would have cost. Any other exception
+        (including a permanent :class:`PageFaultError`) propagates to
+        the caller's engine-failure handling at once.
+        """
+        attempt = 0
+        while True:
+            try:
+                return scan()
+            except TransientPageFault:
+                attempt += 1
+                if attempt > self.scan_retries:
+                    raise
+                self.scan_retries_used += 1
+                if self.retry_backoff_seconds > 0.0:
+                    time.sleep(self.retry_backoff_seconds * attempt)
 
     def _table_lock(self, table_name: str) -> threading.Lock:
         """The table's engine lock (one shared lock if parallel_scans

@@ -38,12 +38,23 @@ dispatch's page accounting exact.
 Durability
 ----------
 
-Construct with ``state_dir=`` and every dispatched window autosaves the
-registry + account caps there; a restarted service calls
-:meth:`load_state` (implicit in ``__init__`` when the files exist is
-deliberately avoided — tables must be registered first) to resume with
-prior records, budgets reconciled by replaying committed receipts, and
-the result cache re-armed so resubmitted jobs cost 0 pages and 0 ε.
+Construct with ``state_dir=`` and the service keeps a crash-safe
+**append-only write-ahead log** (:mod:`repro.service.wal`) there: every
+admission, terminal record, and budget grant is logged, and the
+per-window autosave merely fsyncs the log's tail — O(events this
+window), never O(history). Every ``wal_compact_records`` log records,
+the autosave **compacts**: it writes the full base snapshot
+(``registry.json`` + ``accounts.json``, both atomic renames) and starts
+a fresh log. A restarted service calls :meth:`load_state` (implicit in
+``__init__`` when the files exist is deliberately avoided — tables must
+be registered first) to resume by *snapshot + log replay*: prior
+records, budgets reconciled by replaying committed receipts, the result
+cache re-armed so resubmitted jobs cost 0 pages and 0 ε. A torn final
+log record (the kill -9 signature) is truncated away; corruption
+anywhere earlier refuses to load
+(:class:`~repro.service.wal.WalCorruption`, fail-closed). If the state
+directory turns out not to be writable, the service warns once and
+degrades to in-memory serving instead of killing the dispatch loop.
 
 >>> service = TrainingService(workers=4)
 >>> service.register_table("ratings", X, y)
@@ -61,7 +72,8 @@ from __future__ import annotations
 import json
 import pathlib
 import threading
-from typing import List, Optional, Union
+import warnings
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -72,13 +84,21 @@ from repro.rdbms.catalog import TableInfo
 from repro.rdbms.cost_model import CostModel
 from repro.service.jobs import JobStatus, TrainingJob
 from repro.service.ledger import AccountStatement, PrivacyBudgetLedger
-from repro.service.registry import JobRecord, ModelRegistry
+from repro.service.registry import (
+    TERMINAL_STATUS_VALUES,
+    JobRecord,
+    ModelRegistry,
+    record_from_payload,
+    snapshot_payloads,
+)
 from repro.service.scheduler import SharedScanScheduler
+from repro.service.wal import WalCorruption, WriteAheadLog
 from repro.service.worker import DispatchLoop
 
 #: File names inside ``state_dir``.
 REGISTRY_STATE = "registry.json"
 ACCOUNTS_STATE = "accounts.json"
+WAL_STATE = "receipts.wal"
 
 
 class TrainingService:
@@ -97,6 +117,8 @@ class TrainingService:
         elevator: bool = False,
         cache_size: Optional[int] = None,
         state_dir: Optional[Union[str, pathlib.Path]] = None,
+        wal_compact_records: int = 256,
+        scan_retries: int = 2,
         cost_model: Optional[CostModel] = None,
         session: Optional[BismarckSession] = None,
     ) -> None:
@@ -118,12 +140,30 @@ class TrainingService:
             parallel_scans=parallel_scans,
             elevator=elevator,
             cache_size=cache_size,
+            scan_retries=scan_retries,
         )
         self.state_dir = None if state_dir is None else pathlib.Path(state_dir)
+        if wal_compact_records < 1:
+            raise ValueError(
+                f"wal_compact_records must be positive, got {wal_compact_records}"
+            )
+        self.wal_compact_records = int(wal_compact_records)
+        #: The append-only receipt log (None without a state_dir). Event
+        #: hooks are wired immediately — appends only buffer in memory —
+        #: but the log touches disk no earlier than the first autosave.
+        self.wal: Optional[WriteAheadLog] = None
+        self._wal_ready = False
+        self._state_loaded = False
+        self._durability_degraded = False
+        self._durability_error = ""
+        if self.state_dir is not None:
+            self.wal = WriteAheadLog(self.state_dir / WAL_STATE)
+            self.registry.journal = self.wal.append
+            self.ledger.on_grant = self._journal_grant
         self.loop = DispatchLoop(
             self.scheduler,
             workers=workers,
-            autosave=self.save_state if self.state_dir is not None else None,
+            autosave=self._autosave_window if self.state_dir is not None else None,
         )
         self._submissions = 0
         self._stamp_lock = threading.Lock()
@@ -281,57 +321,231 @@ class TrainingService:
             self._drain_offset += len(finished)
         return list(finished)
 
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that is still QUEUED (or aboard a not-yet-admitted
+        elevator flight): its reservation is refunded in full and the
+        record goes terminal CANCELLED with zero pages and zero ε spent.
+        Returns ``False`` once a worker has claimed the job — a running
+        scan is not cancellable mid-epoch (the page reads and the budget
+        commit happen atomically at window end; killing it halfway would
+        forfeit determinism for no refund). Raises ``KeyError`` for an
+        unknown job id."""
+        return self.scheduler.cancel(job_id)
+
     # -- durability --------------------------------------------------------------
 
     def save_state(
         self, directory: Optional[Union[str, pathlib.Path]] = None
     ) -> pathlib.Path:
-        """Snapshot registry + account caps into ``directory`` (defaults
-        to the service's ``state_dir``). Called automatically after every
-        dispatched window when the service was built with ``state_dir=``."""
+        """Write a full base snapshot of registry + account caps into
+        ``directory`` (defaults to the service's ``state_dir``). When the
+        target is the service's own state directory, the write-ahead log
+        is reset to a fresh generation in the same breath — the snapshot
+        *is* the compaction of everything logged so far. The per-window
+        autosave calls this only at compaction points; between them it
+        appends to the log (O(1) per window)."""
         directory = pathlib.Path(directory) if directory else self.state_dir
         if directory is None:
             raise ValueError("no state directory: pass one or set state_dir=")
         with self._save_lock:
-            directory.mkdir(parents=True, exist_ok=True)
-            # Accounts first: each file replaces atomically, but a crash
-            # *between* the two must leave a loadable pair. New caps with
-            # an older registry is harmless (grants without receipts); a
-            # new registry whose receipts name accounts the caps file has
-            # not heard of would make reconcile refuse the whole restore.
-            accounts_path = directory / ACCOUNTS_STATE
-            tmp = accounts_path.with_suffix(".json.tmp")
-            tmp.write_text(
-                json.dumps(self.ledger.caps_payload(), indent=1, sort_keys=True)
-                + "\n"
-            )
-            tmp.replace(accounts_path)
-            self.registry.snapshot(directory / REGISTRY_STATE)
+            self._write_snapshot(directory)
+            if (
+                self.wal is not None
+                and not self._durability_degraded
+                and directory == self.state_dir
+            ):
+                self.wal.reset()
+                self._wal_ready = True
         return directory
+
+    def _write_snapshot(self, directory: pathlib.Path) -> None:
+        """The base snapshot files (caller holds ``_save_lock``)."""
+        directory.mkdir(parents=True, exist_ok=True)
+        # Accounts first: each file replaces atomically, but a crash
+        # *between* the two must leave a loadable pair. New caps with
+        # an older registry is harmless (grants without receipts); a
+        # new registry whose receipts name accounts the caps file has
+        # not heard of would make reconcile refuse the whole restore.
+        accounts_path = directory / ACCOUNTS_STATE
+        tmp = accounts_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(self.ledger.caps_payload(), indent=1, sort_keys=True)
+            + "\n"
+        )
+        tmp.replace(accounts_path)
+        self.registry.snapshot(directory / REGISTRY_STATE)
+
+    def _autosave_window(self) -> None:
+        """The dispatch loop's per-window durability hook.
+
+        Steady state is an O(1) log sync: flush + fsync the events the
+        window appended. Every ``wal_compact_records`` records the log
+        is folded into the base snapshot and restarted. The very first
+        disk contact decides the mode: a directory this service
+        ``load_state``-ed from appends to its existing log; any other
+        pre-existing state is *replaced* (snapshot + fresh log — the
+        overwrite semantics ``save_state`` always had, so a foreign
+        log's history is never merged into this service's). A write
+        failure degrades to in-memory serving instead of killing the
+        loop.
+        """
+        if self.state_dir is None or self.wal is None or self._durability_degraded:
+            return
+        try:
+            with self._save_lock:
+                if not self._wal_ready:
+                    self.state_dir.mkdir(parents=True, exist_ok=True)
+                    if self._state_loaded:
+                        self.wal.open()
+                    else:
+                        self._write_snapshot(self.state_dir)
+                        self.wal.reset()
+                    self._wal_ready = True
+                elif self.wal.records_since_reset >= self.wal_compact_records:
+                    self._write_snapshot(self.state_dir)
+                    self.wal.reset()
+                else:
+                    self.wal.sync()
+        except OSError as error:
+            self._degrade_durability(error)
+
+    def _journal_grant(
+        self, principal: str, table: str, epsilon: float, delta: float
+    ) -> None:
+        """The ledger's grant observer → one WAL event per new account."""
+        if self.wal is not None:
+            self.wal.append(
+                {
+                    "event": "grant",
+                    "principal": principal,
+                    "table": table,
+                    "epsilon": epsilon,
+                    "delta": delta,
+                }
+            )
+
+    def _degrade_durability(self, error: OSError) -> None:
+        """State_dir is not writable: warn once, detach the event hooks,
+        and keep serving from memory — a durability failure must never
+        take the dispatch loop down with it."""
+        self._durability_degraded = True
+        self._durability_error = f"{type(error).__name__}: {error}"
+        self.registry.journal = None
+        self.ledger.on_grant = None
+        if self.wal is not None:
+            try:
+                self.wal.close()
+            except Exception:
+                pass
+        warnings.warn(
+            f"state_dir {self.state_dir} is not writable ({error}); the "
+            "service continues in-memory only — results and budgets will "
+            "NOT survive a restart",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    @property
+    def durability(self) -> Dict[str, object]:
+        """Operator-facing durability status: the serving mode plus the
+        write-ahead log's append/sync/compaction counters."""
+        if self.state_dir is None:
+            return {"mode": "in-memory"}
+        status: Dict[str, object] = {
+            "mode": "degraded" if self._durability_degraded else "wal",
+            "state_dir": str(self.state_dir),
+            "wal_records": self.wal.records_since_reset if self.wal else 0,
+            "wal_appends": self.wal.appends if self.wal else 0,
+            "wal_syncs": self.wal.syncs if self.wal else 0,
+            "compactions": self.wal.resets if self.wal else 0,
+        }
+        if self._durability_degraded:
+            status["error"] = self._durability_error
+        return status
 
     def load_state(
         self, directory: Optional[Union[str, pathlib.Path]] = None
     ) -> int:
-        """Resume from a snapshot: prior records, reconciled budgets,
-        armed result cache. Returns the number of records loaded.
+        """Resume from a snapshot + write-ahead log replay: prior
+        records, reconciled budgets, armed result cache. Returns the
+        number of records loaded.
+
+        The base snapshot (when one exists — a service killed before its
+        first compaction leaves only the log) is merged with the log's
+        events: an ``admit`` event introduces a job the snapshot never
+        saw (it loads FAILED/interrupted — in-flight work is not durable
+        and is never charged), a ``record`` event carries a job's final
+        payload and *overrides* a snapshot entry that still shows the job
+        in flight (the completion landed after the snapshot was cut), and
+        ``grant`` events re-open accounts the caps file missed. Committed
+        receipts then replay through the accountant's own validation
+        (idempotently — an event logged both before and after a
+        compaction applies once), so the restored service enforces
+        ``spent + reserved <= cap`` exactly where the original would
+        have. A torn final log record is truncated; mid-log corruption
+        or an unknown event kind refuses to load (fail-closed).
 
         Table registration and ``load_state()`` may happen in either
         order: cache entries are keyed by each record's stored data
         fingerprint, so they only ever match a table whose registered
-        contents are the ones the weights were trained on. Accounts are
-        re-opened at their snapshotted caps and every committed receipt
-        is replayed through the accountant's own validation, so the
-        restored service rejects over-budget jobs exactly where the
-        original would have.
+        contents are the ones the weights were trained on.
         """
         directory = pathlib.Path(directory) if directory else self.state_dir
         if directory is None:
             raise ValueError("no state directory: pass one or set state_dir=")
         registry_path = directory / REGISTRY_STATE
-        if not registry_path.exists():
+        wal_path = directory / WAL_STATE
+        base_payloads = (
+            snapshot_payloads(registry_path) if registry_path.exists() else []
+        )
+        events = WriteAheadLog.replay(wal_path)
+        accounts_path = directory / ACCOUNTS_STATE
+        caps = (
+            json.loads(accounts_path.read_text()) if accounts_path.exists() else []
+        )
+        payloads: Dict[str, dict] = {}
+        order: List[str] = []
+        for payload in base_payloads:
+            job_id = payload["job"]["job_id"]
+            payloads[job_id] = payload
+            order.append(job_id)
+        grant_caps: List[dict] = []
+        for event in events:
+            kind = event.get("event")
+            if kind in ("admit", "record"):
+                payload = event["record"]
+                job_id = payload["job"]["job_id"]
+                existing = payloads.get(job_id)
+                if existing is None:
+                    payloads[job_id] = payload
+                    order.append(job_id)
+                elif (
+                    kind == "record"
+                    and existing["status"] not in TERMINAL_STATUS_VALUES
+                ):
+                    # The snapshot caught the job mid-flight; its logged
+                    # terminal payload is the truth. (A terminal snapshot
+                    # entry is never overridden — stale tail events from
+                    # a crash between snapshot and log reset replay as
+                    # no-ops.)
+                    payloads[job_id] = payload
+            elif kind == "grant":
+                grant_caps.append(
+                    {
+                        "principal": event["principal"],
+                        "table": event["table"],
+                        "epsilon": event["epsilon"],
+                        "delta": event["delta"],
+                    }
+                )
+            else:
+                raise WalCorruption(
+                    f"{wal_path} carries an event of unknown kind {kind!r}; "
+                    "refusing to load a log this service version cannot replay"
+                )
+        if not payloads and not caps and not grant_caps:
             return 0
-        loaded = ModelRegistry.load(registry_path)
-        records = loaded.jobs()
+        records = [record_from_payload(payloads[job_id]) for job_id in order]
         # Validate before mutating anything: loading a snapshot over a
         # registry that already holds any of its jobs must fail whole,
         # not halfway through with the ledger already replayed.
@@ -344,9 +558,10 @@ class TrainingService:
                 f"service's registry (first: {duplicates[0]!r}); load "
                 "snapshots into a fresh service"
             )
-        accounts_path = directory / ACCOUNTS_STATE
-        if accounts_path.exists():
-            self.ledger.restore_caps(json.loads(accounts_path.read_text()))
+        if caps:
+            self.ledger.restore_caps(caps)
+        if grant_caps:
+            self.ledger.restore_caps(grant_caps)
         self.ledger.reconcile(
             [record.receipt for record in records if record.receipt is not None]
         )
@@ -361,6 +576,8 @@ class TrainingService:
         # is registered and submitted against.
         for record in records:
             self.scheduler.prime_cache(record)
+        if directory == self.state_dir:
+            self._state_loaded = True
         return len(records)
 
     def _arm_cache(self, table_name: str) -> None:

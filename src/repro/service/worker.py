@@ -66,6 +66,15 @@ class DispatchLoop:
         Optional zero-argument callable fired after each dispatched
         window (and once at :meth:`stop`); exceptions are captured on
         :attr:`autosave_errors` rather than killing the worker.
+    crash_hook:
+        Fault-injection surface for the crash-consistency tests: called
+        with a crash-point name (``"before_dispatch"`` — between the
+        claim and the scan; ``"after_dispatch"`` — between the scan and
+        the autosave) on every worker iteration. A hook that raises
+        simulates a crash between the scheduler's atomic steps — the
+        worker must contain it (jobs FAILED + refunded, engine domain
+        released, loop continues); a hook that SIGKILLs the process is
+        the real thing.
     """
 
     def __init__(
@@ -74,10 +83,12 @@ class DispatchLoop:
         *,
         workers: int = 1,
         autosave: Optional[Callable[[], None]] = None,
+        crash_hook: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.scheduler = scheduler
         self.workers = check_positive_int(workers, "workers")
         self.autosave = autosave
+        self.crash_hook = crash_hook
         self.autosave_errors: List[str] = []
         #: Last-resort log: dispatch_window fails jobs rather than raise,
         #: so anything landing here (cleanup itself failed) is a bug —
@@ -174,6 +185,7 @@ class DispatchLoop:
     def _worker(self) -> None:
         while True:
             window: List = []
+            claim_errors: List[BaseException] = []
 
             def claimed() -> bool:
                 # The claim IS the wait predicate: runs under self._state,
@@ -184,7 +196,14 @@ class DispatchLoop:
                 # the condition lock serializes predicate evaluations.
                 if self._stopping:
                     return True
-                window.extend(self.scheduler.claim_window())
+                try:
+                    window.extend(self.scheduler.claim_window())
+                except Exception as error:
+                    # A claim that raises must not kill the thread: a
+                    # silently dead worker strands every queued tenant
+                    # behind it. Surface the error and keep polling.
+                    claim_errors.append(error)
+                    return True
                 return bool(window)
 
             with self._state:
@@ -196,24 +215,67 @@ class DispatchLoop:
                 if self._stopping and not window:
                     return
                 self._inflight += 1
+            if claim_errors:
+                error = claim_errors[0]
+                self.dispatch_errors.append(
+                    f"claim_window: {type(error).__name__}: {error}"
+                )
+                with self._state:
+                    self._inflight -= 1
+                    self._state.notify_all()
+                    # Back off before re-polling: if the claim keeps
+                    # raising, a hot spin would starve everything else.
+                    self._state.wait(timeout=_IDLE_POLL_SECONDS)
+                continue
             finished = []
             try:
-                finished = self.scheduler.dispatch_window(window)
-            except Exception as error:  # cleanup-of-cleanup failed
-                self.dispatch_errors.append(f"{type(error).__name__}: {error}")
                 try:
-                    finished = self.scheduler.fail_jobs(window, error)
-                except Exception as cleanup_error:
-                    self.dispatch_errors.append(
-                        f"fail_jobs: {type(cleanup_error).__name__}: {cleanup_error}"
-                    )
+                    self._crash_point("before_dispatch")
+                    finished = self.scheduler.dispatch_window(window)
+                except Exception as error:  # cleanup-of-cleanup failed
+                    self.dispatch_errors.append(f"{type(error).__name__}: {error}")
+                    try:
+                        finished = self.scheduler.fail_jobs(window, error)
+                    except Exception as cleanup_error:
+                        self.dispatch_errors.append(
+                            f"fail_jobs: {type(cleanup_error).__name__}: "
+                            f"{cleanup_error}"
+                        )
+                else:
+                    try:
+                        # After a successful dispatch the window's records
+                        # are final — a crash here must neither undo them
+                        # nor kill the worker.
+                        self._crash_point("after_dispatch")
+                    except Exception as error:
+                        self.dispatch_errors.append(
+                            f"crash_hook(after_dispatch): "
+                            f"{type(error).__name__}: {error}"
+                        )
             finally:
+                # Containment invariant: whatever escaped above, the
+                # claimed engine domain comes free (idempotent — the
+                # dispatch's own finally usually already did this), the
+                # in-flight count balances, and the loop continues. A
+                # worker survives anything short of the process dying.
+                try:
+                    self.scheduler.release_window(window)
+                except Exception as release_error:  # pragma: no cover
+                    self.dispatch_errors.append(
+                        f"release_window: {type(release_error).__name__}: "
+                        f"{release_error}"
+                    )
                 with self._state:
                     self.finished.extend(finished)
                     self.windows_dispatched += 1
                     self._inflight -= 1
                     self._state.notify_all()
             self._run_autosave()
+
+    def _crash_point(self, name: str) -> None:
+        """Fire the fault-injection hook (no-op without one)."""
+        if self.crash_hook is not None:
+            self.crash_hook(name)
 
     def _run_autosave(self) -> None:
         if self.autosave is None:

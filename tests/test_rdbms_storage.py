@@ -20,8 +20,11 @@ from hypothesis import strategies as st
 from repro.rdbms.storage import (
     PAGE_SIZE_BYTES,
     BufferPool,
+    FaultyHeapFile,
     LatencyHeapFile,
     MaterializedHeapFile,
+    PageFaultError,
+    TransientPageFault,
     VirtualHeapFile,
     tuple_width_bytes,
     tuples_per_page,
@@ -396,3 +399,87 @@ class TestConcurrentDomainCounters:
         assert racing.resident_pages == serial.resident_pages
         assert racing.stats.page_reads == serial.stats.page_reads
         assert racing.stats.evictions == serial.stats.evictions
+
+
+class TestFaultyHeapFile:
+    def make(self, m=100, d=10, seed=0, **kwargs):
+        rng = np.random.default_rng(seed)
+        inner = MaterializedHeapFile(
+            rng.normal(size=(m, d)), np.where(rng.random(m) > 0.5, 1.0, -1.0)
+        )
+        return FaultyHeapFile(inner, **kwargs), inner
+
+    def test_delegates_metadata_and_clean_reads(self):
+        faulty, inner = self.make()
+        assert faulty.dimension == inner.dimension
+        assert faulty.num_pages == inner.num_pages
+        assert faulty.num_tuples == inner.num_tuples
+        page = faulty.read_page(0)
+        assert np.array_equal(page.features, inner.read_page(0).features)
+        assert faulty.reads == 1
+        assert faulty.faults_injected == 0
+
+    def test_fail_pages_fault_deterministically(self):
+        faulty, _ = self.make(fail_pages=(1,))
+        faulty.read_page(0)
+        with pytest.raises(TransientPageFault, match="page 1"):
+            faulty.read_page(1)
+        with pytest.raises(TransientPageFault):
+            faulty.read_page(1)  # unlimited budget: faults every time
+        assert faulty.faults_injected == 2
+
+    def test_fail_times_caps_the_fault_budget(self):
+        faulty, inner = self.make(fail_pages=(0,), fail_times=2)
+        for _ in range(2):
+            with pytest.raises(TransientPageFault):
+                faulty.read_page(0)
+        # Budget exhausted: the same page now reads clean.
+        page = faulty.read_page(0)
+        assert np.array_equal(page.features, inner.read_page(0).features)
+        assert faulty.faults_injected == 2
+
+    def test_permanent_faults_are_not_transient(self):
+        faulty, _ = self.make(fail_pages=(0,), transient=False)
+        with pytest.raises(PageFaultError) as excinfo:
+            faulty.read_page(0)
+        assert not isinstance(excinfo.value, TransientPageFault)
+        # The hierarchy still lets callers catch all injected faults.
+        assert isinstance(excinfo.value, IOError)
+
+    def test_probability_faults_are_seed_reproducible(self):
+        first, _ = self.make(probability=0.5, seed=7)
+        second, _ = self.make(probability=0.5, seed=7)
+
+        def fault_pattern(heap, n=40):
+            pattern = []
+            for i in range(n):
+                try:
+                    heap.read_page(i % heap.num_pages)
+                    pattern.append(False)
+                except TransientPageFault:
+                    pattern.append(True)
+            return pattern
+
+        pattern = fault_pattern(first)
+        assert any(pattern) and not all(pattern)
+        assert fault_pattern(second) == pattern
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            self.make(probability=1.5)
+        with pytest.raises(ValueError, match="fail_times"):
+            self.make(fail_times=-1)
+
+    def test_faulted_page_is_never_cached(self):
+        """The interplay the service's retry relies on: a fault is raised
+        before the pool caches the page, so a retried scan re-reads it
+        (and fail_times=1 makes exactly the first attempt fail)."""
+        faulty, _ = self.make(fail_pages=(0,), fail_times=1)
+        pool = BufferPool(capacity_pages=8)
+        with pytest.raises(TransientPageFault):
+            pool.get_page(faulty, 0)
+        page = pool.get_page(faulty, 0)  # the retry reaches the heap
+        assert page is not None
+        assert faulty.reads == 2
+        stats = pool.stats
+        assert stats.cache_hits == 0  # the faulted read cached nothing

@@ -1,0 +1,231 @@
+"""Fault-injection tests for the serving layer.
+
+The service's containment contract: a failure anywhere in a worker's
+iteration — a page fault mid-scan, an exception between the scheduler's
+atomic steps, an unwritable state directory — ends with the affected
+jobs FAILED and refunded, the engine domain released, and the worker
+thread alive and serving the next tenant. Transient page faults retry
+with backoff and, by the determinism contract, a retried scan releases
+weights bitwise-identical to an undisturbed one.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.optim.losses import LogisticLoss
+from repro.rdbms.storage import FaultyHeapFile, MaterializedHeapFile
+from repro.service import JobStatus, TrainingService
+from tests.conftest import make_binary_data
+
+M, D = 300, 8
+EPS = 0.05
+X, Y = make_binary_data(M, D, seed=21)
+
+
+def make_service(workers: int = 1, cap: float = 10.0, **kwargs) -> TrainingService:
+    service = TrainingService(scan_seed=5, workers=workers, **kwargs)
+    service.register_table("t", X, Y)
+    service.open_budget("alice", "t", cap)
+    return service
+
+
+def faulty_service(heap_kwargs: dict, **service_kwargs) -> TrainingService:
+    """A service whose table "f" injects page faults per ``heap_kwargs``."""
+    service = TrainingService(scan_seed=5, workers=1, **service_kwargs)
+    service.register_heap("f", FaultyHeapFile(
+        MaterializedHeapFile(X, Y), **heap_kwargs
+    ))
+    service.open_budget("alice", "f", 10.0)
+    service.scheduler.retry_backoff_seconds = 0.0  # keep the tests fast
+    return service
+
+
+def submit_one(service, table="f", seed=300):
+    return service.submit("alice", table, LogisticLoss(1e-3), epsilon=EPS,
+                          passes=1, batch_size=25, seed=seed)
+
+
+class TestTransientFaultRetry:
+    def test_single_transient_fault_retries_to_the_same_bits(self):
+        """fail_times=1: the first scan attempt faults, the retry reads
+        clean — and releases exactly the weights an undisturbed scan
+        would (the model is rebuilt from scratch per attempt)."""
+        clean = TrainingService(scan_seed=5, workers=1)
+        clean.register_heap("f", MaterializedHeapFile(X, Y))
+        clean.open_budget("alice", "f", 10.0)
+        reference = submit_one(clean)
+        clean.drain()
+        assert reference.status is JobStatus.COMPLETED
+
+        service = faulty_service(dict(fail_pages=(0,), fail_times=1))
+        record = submit_one(service)
+        service.drain()
+        assert record.status is JobStatus.COMPLETED, record.error
+        assert service.scheduler.scan_retries_used == 1
+        assert np.array_equal(record.model, reference.model)
+        # The receipt committed once — no double charge across attempts.
+        statement = service.budgets()[0]
+        assert statement.spent[0] == pytest.approx(EPS)
+        assert statement.reserved == (0.0, 0.0)
+
+    def test_retries_exhausted_fails_the_job_with_refund(self):
+        """A page that faults on every attempt burns through the retry
+        budget and fails the window — reservation refunded, worker
+        alive."""
+        service = faulty_service(dict(fail_pages=(0,)), scan_retries=2)
+        record = submit_one(service)
+        finished = service.drain()
+        assert [r.job_id for r in finished] == [record.job_id]
+        assert record.status is JobStatus.FAILED
+        assert "injected transient fault" in record.error
+        assert service.scheduler.scan_retries_used == 2
+        statement = service.budgets()[0]
+        assert statement.spent == (0, 0)
+        assert statement.reserved == (0.0, 0.0)
+
+    def test_permanent_fault_fails_without_retrying(self):
+        service = faulty_service(dict(fail_pages=(1,), transient=False))
+        record = submit_one(service)
+        service.drain()
+        assert record.status is JobStatus.FAILED
+        assert "injected fault reading page 1" in record.error
+        assert service.scheduler.scan_retries_used == 0
+
+    def test_worker_survives_faults_and_serves_the_next_tenant(self):
+        """The containment payoff: after a fatal fault the same worker
+        thread picks up and completes fresh work on the same table."""
+        service = faulty_service(dict(fail_pages=(0,), fail_times=2),
+                                 scan_retries=0)
+        doomed = submit_one(service)
+        service.drain()
+        assert doomed.status is JobStatus.FAILED
+        # fail_times budget: one fault spent, one left -> retry path.
+        service.scheduler.scan_retries = 2
+        survivor = submit_one(service, seed=301)
+        service.drain()
+        assert survivor.status is JobStatus.COMPLETED, survivor.error
+        assert service.loop.dispatch_errors == []  # engine faults are
+        # handled by dispatch_window's own fail path, not the last resort
+
+
+class TestWorkerCrashContainment:
+    def test_crash_before_dispatch_fails_refunds_and_releases(self):
+        """Regression for the containment bug: an exception between the
+        claim and the dispatch must FAIL the window's jobs, refund their
+        reservations, release the table's engine domain, and leave the
+        worker serving — the next job on the SAME table completes."""
+        crashes = []
+
+        def hook(point):
+            if point == "before_dispatch" and not crashes:
+                crashes.append(point)
+                raise RuntimeError("injected crash between claim and scan")
+
+        service = make_service()
+        service.loop.crash_hook = hook
+        doomed = submit_one(service, table="t", seed=310)
+        service.drain()
+        assert doomed.status is JobStatus.FAILED
+        assert "injected crash" in doomed.error
+        assert doomed.receipt is None
+        statement = service.budgets()[0]
+        assert statement.spent == (0, 0)
+        assert statement.reserved == (0.0, 0.0)
+        assert any("injected crash" in entry
+                   for entry in service.loop.dispatch_errors)
+        # The busy flag came free: same table, same worker, clean run.
+        survivor = submit_one(service, table="t", seed=311)
+        service.drain()
+        assert survivor.status is JobStatus.COMPLETED, survivor.error
+
+    def test_crash_after_dispatch_preserves_the_finished_window(self):
+        """Post-dispatch the records are final: a crash there is logged,
+        never undone — the drain still reports the completed jobs and
+        their receipts stand."""
+        def hook(point):
+            if point == "after_dispatch":
+                raise RuntimeError("injected crash after the scan")
+
+        service = make_service()
+        service.loop.crash_hook = hook
+        record = submit_one(service, table="t", seed=312)
+        finished = service.drain()
+        assert [r.job_id for r in finished] == [record.job_id]
+        assert record.status is JobStatus.COMPLETED
+        assert record.receipt is not None
+        assert any("after_dispatch" in entry
+                   for entry in service.loop.dispatch_errors)
+
+    def test_claim_error_backs_off_and_recovers(self):
+        """A raising claim_window must not kill the worker: the error is
+        surfaced, the loop backs off, and once the claim heals the
+        queued job still trains."""
+        service = make_service()
+        original = service.scheduler.claim_window
+        failures = []
+
+        def flaky_claim():
+            if len(failures) < 2:
+                failures.append(1)
+                raise RuntimeError("injected claim failure")
+            return original()
+
+        service.scheduler.claim_window = flaky_claim
+        record = submit_one(service, table="t", seed=313)
+        service.drain()
+        assert record.status is JobStatus.COMPLETED
+        claim_entries = [entry for entry in service.loop.dispatch_errors
+                         if "claim_window" in entry]
+        assert len(claim_entries) == 2
+
+
+class TestDegradedDurability:
+    def test_unwritable_state_dir_degrades_to_in_memory(self, tmp_path):
+        """A state_dir that cannot be created (here: nested under a
+        regular file) must not kill the dispatch loop — the service
+        warns once, flips to degraded, and keeps completing jobs."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        service = TrainingService(
+            scan_seed=5, workers=1, state_dir=blocker / "state"
+        )
+        service.register_table("t", X, Y)
+        service.open_budget("alice", "t", 10.0)
+        record = submit_one(service, table="t", seed=320)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service.drain()
+        assert record.status is JobStatus.COMPLETED
+        degraded = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)
+                    and "not writable" in str(w.message)]
+        assert degraded, "no degradation warning was raised"
+        assert service.durability["mode"] == "degraded"
+        assert "error" in service.durability
+        # Degraded is sticky and silent: later windows neither warn
+        # again nor try the disk again.
+        later = submit_one(service, table="t", seed=321)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            service.drain()
+        assert later.status is JobStatus.COMPLETED
+        assert not [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert not (blocker / "state").exists()
+
+    def test_healthy_state_dir_reports_wal_mode(self, tmp_path):
+        service = make_service(state_dir=tmp_path)
+        assert service.durability["mode"] == "wal"
+        submit_one(service, table="t", seed=322)
+        service.drain()
+        status = service.durability
+        assert status["mode"] == "wal"
+        assert status["wal_appends"] > 0
+        assert status["wal_syncs"] > 0
+
+    def test_no_state_dir_reports_in_memory(self):
+        assert make_service().durability == {"mode": "in-memory"}
