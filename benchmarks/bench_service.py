@@ -37,6 +37,15 @@ gates CI on the structural claim:
   unless every boarded release is bitwise-identical to its solo
   ``run_sgd(start_offset=...)`` reference.
 
+* ``--observability`` benchmarks the telemetry layer's cost: the same
+  fused drain with the live metrics registry + traces vs
+  ``obs.disabled()`` (the no-op twin), best-of-3 alternating runs. The
+  gate **exits 1 unless the instrumented drain is within 5% wall-clock
+  of the disabled one** and its weights are bitwise-identical —
+  telemetry reads clocks and counters only, never the training path.
+  With ``--report`` it also writes ``metrics-dump.prom`` /
+  ``metrics-dump.json`` next to the report (the CI artifact).
+
 * ``--queue`` prints the submit-latency note at 10^4 queued jobs (p50 /
   p99 / max) — informational, recording the insert-sorted queue's
   admission-lock cost; it never gates.
@@ -64,6 +73,7 @@ async service → cross-table parallel service → crash-safe WAL service).
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import threading
@@ -81,6 +91,7 @@ for _path in (str(_here.parent / "src"), str(_here.parent), str(_here)):
 import numpy as np
 
 from bench_hotloops import _write_results, write_report
+from repro import obs
 from repro.core.mechanisms import mechanism_for
 from repro.core.sensitivity import sensitivity_for_schedule
 from repro.optim.losses import LogisticLoss
@@ -127,10 +138,11 @@ def _set_parallel_shape(m: int, latency: float) -> None:
     PAR_M, PAR_PAGE_LATENCY = m, latency
 
 
-def _build_service(fuse: bool, workers: int = 1) -> TrainingService:
+def _build_service(fuse: bool, workers: int = 1, metrics=None) -> TrainingService:
     X, y = make_binary_data(M, D, seed=77)
     service = TrainingService(
-        fuse=fuse, scan_seed=11, batching_window=JOBS, workers=workers
+        fuse=fuse, scan_seed=11, batching_window=JOBS, workers=workers,
+        metrics=metrics,
     )
     service.register_table("bench", X, y)
     # Room for the workload twice over: the async bench resubmits it to
@@ -799,6 +811,118 @@ def bench_queue(write: bool = True) -> int:
     return 0
 
 
+# -- the observability-overhead gate -------------------------------------------
+
+#: --gate --observability fails above this instrumented-over-disabled
+#: drain wall-clock overhead. The telemetry design budget: every hot-path
+#: record is O(1) and per scan/window, never per tuple.
+OBS_OVERHEAD_CEILING_PCT = 5.0
+OBS_TRIALS = 3
+
+
+def _run_obs(metrics) -> dict:
+    """One fused synchronous drain of the standard workload under the
+    given metrics registry (live or the disabled twin)."""
+    service = _build_service(fuse=True, metrics=metrics)
+    records = _submit_workload(service)
+    start = time.perf_counter()
+    service.drain()
+    elapsed = time.perf_counter() - start
+    assert all(record.status is JobStatus.COMPLETED for record in records)
+    return {
+        "seconds": elapsed,
+        "models": np.stack([record.model for record in records]),
+        "service": service,
+    }
+
+
+def bench_observability(gate: bool, write: bool = True, report=None) -> int:
+    """Instrumented vs obs.disabled() drain wall-clock.
+
+    Same workload, same seeds — the only difference is whether the
+    metrics registry and traces record anything. Best-of-N alternating
+    runs (noise on shared CI runners is one-sided, so best-of is the
+    fair estimator); the gate holds the overhead under
+    ``OBS_OVERHEAD_CEILING_PCT`` and the weights bitwise-equal (telemetry
+    must never touch the training path).
+    """
+    print(f"\nobservability  : {JOBS} jobs, instrumented vs disabled, "
+          f"best of {OBS_TRIALS}")
+    instrumented_s, disabled_s = [], []
+    instrumented = disabled_run = None
+    for _ in range(OBS_TRIALS):
+        disabled_run = _run_obs(obs.disabled())
+        disabled_s.append(disabled_run["seconds"])
+        instrumented = _run_obs(None)  # the service default: a live registry
+        instrumented_s.append(instrumented["seconds"])
+    best_inst, best_base = min(instrumented_s), min(disabled_s)
+    overhead_pct = max(0.0, (best_inst / best_base - 1.0) * 100.0)
+    bitwise = bool(
+        np.array_equal(instrumented["models"], disabled_run["models"])
+    )
+    service = instrumented["service"]
+    traced = all(
+        record.trace.names()[-1] == "commit"
+        for record in service.loop.finished
+    )
+
+    print(f"disabled       : {best_base * 1e3:8.1f} ms (best of {OBS_TRIALS})")
+    print(f"instrumented   : {best_inst * 1e3:8.1f} ms (best of {OBS_TRIALS})")
+    print(f"overhead       : {overhead_pct:6.2f}%  "
+          f"(gate: <= {OBS_OVERHEAD_CEILING_PCT}%)")
+    print(f"bitwise instrumented == disabled per job: {bitwise}")
+    print(f"all records fully traced (admit -> commit): {traced}")
+
+    if write:
+        _write_results(
+            service_obs={
+                "jobs": JOBS,
+                "trials": OBS_TRIALS,
+                "disabled_s": best_base,
+                "instrumented_s": best_inst,
+                "overhead_pct": overhead_pct,
+                "bitwise_equal": bitwise,
+            }
+        )
+    if report is not None:
+        write_report(
+            report,
+            service_obs={
+                "metric": "telemetry overhead, instrumented over disabled "
+                f"drain wall-clock ({JOBS} jobs)",
+                "value": overhead_pct,
+                "floor": OBS_OVERHEAD_CEILING_PCT,
+                "passed": bool(
+                    overhead_pct <= OBS_OVERHEAD_CEILING_PCT
+                    and bitwise
+                    and traced
+                ),
+                "bitwise_equal": bitwise,
+                "all_traced": traced,
+                "shape": {"m": M, "d": D, "jobs": JOBS},
+            },
+        )
+        # The exported artifact: both expositions of the instrumented run.
+        report_dir = pathlib.Path(report).resolve().parent
+        (report_dir / "metrics-dump.prom").write_text(service.metrics())
+        (report_dir / "metrics-dump.json").write_text(
+            json.dumps(service.metrics(format="json"), indent=1, sort_keys=True)
+            + "\n"
+        )
+
+    failed = overhead_pct > OBS_OVERHEAD_CEILING_PCT or not bitwise or not traced
+    if gate and failed:
+        if overhead_pct > OBS_OVERHEAD_CEILING_PCT:
+            print(f"FAIL: telemetry overhead above {OBS_OVERHEAD_CEILING_PCT}%")
+        if not bitwise:
+            print("FAIL: instrumentation changed the released weights")
+        if not traced:
+            print("FAIL: a terminal record is missing its commit span")
+        return 1
+    print("PASS")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -827,6 +951,13 @@ def main(argv=None) -> int:
         help="also benchmark elevator (shared-cursor) boarding against "
         "window-boundary batching under sustained arrivals and fail "
         f"(exit 1) below {ELEVATOR_PAGE_FLOOR}x fewer pages",
+    )
+    parser.add_argument(
+        "--observability",
+        action="store_true",
+        help="also benchmark the telemetry layer's drain overhead against "
+        f"obs.disabled() and fail (exit 1) above {OBS_OVERHEAD_CEILING_PCT}% "
+        "or on any weight divergence",
     )
     parser.add_argument(
         "--queue",
@@ -865,6 +996,10 @@ def main(argv=None) -> int:
         status = bench_parallel(args.gate, write=not args.smoke, report=args.report)
     if status == 0 and args.cursor:
         status = bench_cursor(args.gate, write=not args.smoke, report=args.report)
+    if status == 0 and args.observability:
+        status = bench_observability(
+            args.gate, write=not args.smoke, report=args.report
+        )
     if status == 0 and args.queue:
         status = bench_queue(write=not args.smoke)
     if status == 0 and args.durability:

@@ -25,6 +25,8 @@ GATE_LABELS = {
     "shared_scan_pages": "Shared-scan >= 3x page ratio",
     "async_and_cache": "Async bitwise + free cache replay",
     "parallel_dispatch": "Per-table overlap >= 1.5x global lock",
+    "elevator_boarding": "Elevator >= 1.5x fewer pages than windows",
+    "service_obs": "Telemetry overhead <= 5% of drain",
 }
 
 

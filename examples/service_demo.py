@@ -202,6 +202,23 @@ def main() -> None:
     assert mallory.status is JobStatus.REJECTED
     assert len(finished) == counts["completed"] + counts["failed"]
 
+    # Telemetry rode along the whole time: every job carries a span-level
+    # lifecycle trace, and the always-on metrics registry exposes the
+    # run in Prometheus text (or JSON via metrics(format="json")).
+    trace = service.trace("job-00001")
+    print("\n== telemetry (always on; see also `repro trace JOB`) ==")
+    print("trace    : job-00001 -> "
+          + " -> ".join(f"{span.name} {span.duration * 1e3:.2f}ms"
+                        for span in trace.spans()))
+    exposition = service.metrics()  # Prometheus text format
+    wanted = ("repro_registry_jobs", "repro_scan_pages_total",
+              "repro_ledger_epsilon_spent")
+    shown = [line for line in exposition.splitlines()
+             if line.startswith(wanted)][:8]
+    print(f"metrics  : {len(exposition.splitlines())} exposition lines, e.g.")
+    for line in shown:
+        print(f"  {line}")
+
 
 if __name__ == "__main__":
     main()

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro train --dataset protein --epsilon 0.2 [--delta auto]
         Train a bolt-on private model on a registry dataset and report
@@ -28,7 +28,17 @@ Four subcommands::
         ``--workers`` exceeds the tables with queued work (same-table
         scans serialize, so the extra workers cannot overlap I/O). With
         ``--state-dir`` the registry + budgets autosave there and a
-        restarted serve resumes from the snapshot.
+        restarted serve resumes from the snapshot; ``--metrics-file``
+        additionally exports the telemetry registry (Prometheus text,
+        or a JSON dump when the path ends in ``.json``) after every
+        dispatched window. The end-of-run summary renders from the same
+        registry, so the report and the export can never disagree.
+
+    python -m repro trace JOB --state-dir DIR [--json]
+        Print one job's lifecycle trace — the monotonic-clock spans
+        (admit, queued, claim, scan, epilogue, commit) its record
+        carries — from a prior serve run's state directory. ``--json``
+        emits the raw span payload instead of the pretty table.
 
 The CLI is intentionally a thin shell over the library — everything it
 does is one public API call.
@@ -140,6 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared-cursor dispatch: jobs submitted mid-scan board the "
         "running scan loop at its current position instead of waiting "
         "for the next batching window",
+    )
+    serve.add_argument(
+        "--metrics-file", default=None,
+        help="export the metrics registry here after every dispatched "
+        "window (atomic replace; a .json suffix selects the JSON dump, "
+        "anything else the Prometheus text exposition)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="print one job's lifecycle trace from a saved state dir"
+    )
+    trace.add_argument("job_id", help="the job id (e.g. job-00001)")
+    trace.add_argument(
+        "--state-dir", required=True,
+        help="a prior serve run's state directory (snapshot + receipt log)",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the record's raw trace payload as JSON",
     )
     return parser
 
@@ -256,6 +285,7 @@ def _serve(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.data.synthetic import linearly_separable_binary
+    from repro.obs.summary import serve_summary_lines
     from repro.optim.losses import LogisticLoss as _Logistic
     from repro.service import TrainingService
 
@@ -286,6 +316,7 @@ def _serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         elevator=args.elevator,
         state_dir=args.state_dir,
+        metrics_file=args.metrics_file,
     )
     table = None
     for t, name in enumerate(table_names):
@@ -334,11 +365,7 @@ def _serve(args: argparse.Namespace) -> int:
     drain_seconds = time.perf_counter() - drain_start
     service.stop()
 
-    counts = service.registry.counts()
     single_scan_pages = args.passes * table.size
-    executed = sum(pages for _, _, pages in service.scheduler.dispatch_log)
-    completed = max(counts["completed"], 1)
-    scan_counts = service.table_scan_counts()
     print(f"workload        : {args.jobs} jobs, {len(tenants)} tenants, "
           f"{args.tables} tables, m={table.size}, d={table.features.shape[1]}")
     mode = (
@@ -350,39 +377,59 @@ def _serve(args: argparse.Namespace) -> int:
     if resumed:
         print(f"resumed         : {resumed} records from {args.state_dir} "
               f"(cache hits serve them free)")
-    print("job statuses    : " + ", ".join(
-        f"{name}={count}" for name, count in sorted(counts.items()) if count
-    ))
     print(f"submit latency  : max {max(submit_seconds) * 1e3:.2f} ms, "
           f"mean {np.mean(submit_seconds) * 1e3:.2f} ms "
           f"(never blocks on a scan)")
     print(f"drain           : {drain_seconds * 1e3:.1f} ms until quiescent")
-    print(f"scan overlap    : peak {service.peak_scan_overlap} of "
-          f"{min(args.workers, tables_used)} possible "
-          f"({args.workers} workers, {tables_used} tables with work)")
-    print("scans per table : " + ", ".join(
-        f"{name}={scan_counts.get(name, 0)}" for name in table_names
-    ))
-    print(f"scan groups     : {len(service.scheduler.dispatch_log)}")
-    print(f"page requests   : {executed} total, {executed / completed:.1f} per "
-          f"completed job ({single_scan_pages} = one job alone on its table)")
-    if service.scheduler.cache.hits:
-        print(f"cache           : {service.scheduler.cache.hits} hits "
-              f"(0 pages, 0 eps each)")
-    for statement in service.budgets():
-        print(f"  {statement.principal:>10} @ {statement.table}: "
-              f"spent eps {statement.spent[0]:.3f} "
-              f"of {statement.cap.epsilon:.3f}")
-    if args.state_dir:
-        durability = service.durability
-        if durability["mode"] == "degraded":
-            print(f"durability      : DEGRADED (in-memory only) — "
-                  f"{durability.get('error', 'state_dir not writable')}")
-        else:
-            service.save_state()
-            print(f"state saved     : {args.state_dir} "
-                  f"({durability['wal_syncs']} log syncs, "
-                  f"{durability['compactions']} compactions)")
+    # The snapshot happens before the summary so its WAL counters (and
+    # the metrics dump, if one is being exported) include it.
+    if args.state_dir and service.durability["mode"] != "degraded":
+        service.save_state()
+    for line in serve_summary_lines(
+        service,
+        table_names=table_names,
+        overlap_note=f" of {min(args.workers, tables_used)} possible "
+                     f"({args.workers} workers, {tables_used} tables with work)",
+        pages_note=f" ({single_scan_pages} = one job alone on its table)",
+        state_dir=args.state_dir,
+    ):
+        print(line)
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.summary import trace_lines
+    from repro.service import TrainingService, WalCorruption
+
+    service = TrainingService()
+    try:
+        service.load_state(args.state_dir)
+    except (OSError, ValueError, WalCorruption) as error:
+        print(f"error: cannot load {args.state_dir}: {error}", file=sys.stderr)
+        return 2
+    try:
+        record = service.result(args.job_id)
+    except KeyError:
+        print(
+            f"error: no job {args.job_id!r} in {args.state_dir} "
+            "(only records that reached the log/snapshot are durable)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        payload = {
+            "job_id": record.job_id,
+            "principal": record.job.principal,
+            "table": record.job.table,
+            "status": str(record.status),
+            "trace": record.trace.payload(),
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        for line in trace_lines(record):
+            print(line)
     return 0
 
 
@@ -394,6 +441,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _submit(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "trace":
+        return _trace(args)
     return _reproduce(args)
 
 

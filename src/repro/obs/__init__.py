@@ -1,0 +1,42 @@
+"""Service observability: lifecycle traces + a metrics registry.
+
+``repro.obs`` is the telemetry substrate for the serving stack:
+
+* :class:`JobTrace`/:class:`Span` — per-job monotonic-clock lifecycle
+  spans (``admit`` → ``queued`` → ``claim`` → ``scan`` → ``epilogue``
+  → ``commit`` → ``wal_sync``), recorded on each ``JobRecord`` and
+  round-tripped through snapshots and the WAL.
+* :class:`MetricsRegistry` — thread-safe counters/gauges/histograms
+  with Prometheus-text and JSON exposition; :func:`disabled` returns
+  the no-op twin used as the overhead benchmark's control arm.
+* :mod:`repro.obs.summary` — rendering helpers shared by the
+  ``repro serve`` summary and the ``repro trace`` CLI verb.
+
+Telemetry reads clocks and counters only — it never touches the RNG
+streams or any float math on the training path, so enabling it cannot
+perturb a released model (the bitwise-equivalence gates run with it on).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    disabled,
+)
+from repro.obs.trace import SPAN_ORDER, JobTrace, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "disabled",
+    "JobTrace",
+    "Span",
+    "SPAN_ORDER",
+]

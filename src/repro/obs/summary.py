@@ -1,0 +1,172 @@
+"""Rendering helpers over the telemetry layer.
+
+Two consumers share these:
+
+* ``repro serve`` — its end-of-run summary used to be ad-hoc reads of
+  scattered attributes (``peak_scan_overlap``, ``cache.hits``, the
+  ``durability`` dict). :func:`serve_summary_lines` renders the same
+  lines from the metrics registry's JSON dump instead, so the summary
+  and the exported metrics can never disagree.
+* ``repro trace JOB`` — :func:`trace_lines` pretty-prints a job's
+  lifecycle spans with offsets/durations in milliseconds.
+
+The ``*_note`` parameters carry workload knowledge the telemetry layer
+cannot have (how many tables *could* have overlapped, what one job
+alone would have paid in pages); the numbers themselves always come
+from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "metric_samples",
+    "metric_value",
+    "serve_summary_lines",
+    "trace_lines",
+]
+
+
+def metric_samples(dump: dict, name: str) -> List[dict]:
+    """The sample list for metric ``name`` in a JSON dump ([] if absent)."""
+    for metric in dump.get("metrics", ()):
+        if metric.get("name") == name:
+            return list(metric.get("samples", ()))
+    return []
+
+
+def metric_value(dump: dict, name: str, default: float = 0.0,
+                 **labels: str) -> float:
+    """A single sample's value, matched by exact label set."""
+    wanted = {key: str(value) for key, value in labels.items()}
+    for sample in metric_samples(dump, name):
+        if sample.get("labels", {}) == wanted:
+            return float(sample["value"])
+    return default
+
+
+def _labelled(dump: dict, name: str) -> Dict[Tuple[str, ...], float]:
+    """Samples keyed by their label values in labelname order."""
+    out: Dict[Tuple[str, ...], float] = {}
+    for metric in dump.get("metrics", ()):
+        if metric.get("name") != name:
+            continue
+        order = metric.get("labelnames", [])
+        for sample in metric.get("samples", ()):
+            labels = sample.get("labels", {})
+            out[tuple(labels.get(label, "") for label in order)] = float(
+                sample["value"]
+            )
+    return out
+
+
+def serve_summary_lines(
+    service,
+    *,
+    table_names: Sequence[str] = (),
+    overlap_note: str = "",
+    pages_note: str = "",
+    state_dir: Optional[str] = None,
+) -> List[str]:
+    """The telemetry-backed portion of the ``repro serve`` summary.
+
+    Every number comes from ``service.metrics(format="json")`` — the
+    registry's collectors sample the live ground truth (registry counts,
+    ledger statements, WAL counters) at render time, so these lines are
+    a view over the same data a scrape would export.
+    """
+    dump = service.metrics(format="json")
+    lines: List[str] = []
+
+    counts = {
+        sample["labels"]["status"]: int(sample["value"])
+        for sample in metric_samples(dump, "repro_registry_jobs")
+    }
+    lines.append("job statuses    : " + ", ".join(
+        f"{name}={count}" for name, count in sorted(counts.items()) if count
+    ))
+
+    peak = int(metric_value(dump, "repro_scan_overlap_peak"))
+    lines.append(f"scan overlap    : peak {peak}{overlap_note}")
+
+    scans = {
+        key[0]: int(value)
+        for key, value in _labelled(dump, "repro_table_scans_total").items()
+    }
+    names = list(table_names) if table_names else sorted(scans)
+    lines.append("scans per table : " + ", ".join(
+        f"{name}={scans.get(name, 0)}" for name in names
+    ))
+
+    lines.append(
+        f"scan groups     : {int(metric_value(dump, 'repro_scan_groups_total'))}"
+    )
+
+    executed = int(sum(
+        value for value in _labelled(dump, "repro_scan_pages_total").values()
+    ))
+    completed = max(counts.get("completed", 0), 1)
+    lines.append(
+        f"page requests   : {executed} total, {executed / completed:.1f} per "
+        f"completed job{pages_note}"
+    )
+
+    hits = int(metric_value(dump, "repro_cache_hits_total"))
+    if hits:
+        lines.append(f"cache           : {hits} hits (0 pages, 0 eps each)")
+
+    spent = _labelled(dump, "repro_ledger_epsilon_spent")
+    caps = _labelled(dump, "repro_ledger_epsilon_cap")
+    for principal, table in sorted(spent):
+        lines.append(
+            f"  {principal:>10} @ {table}: "
+            f"spent eps {spent[(principal, table)]:.3f} "
+            f"of {caps.get((principal, table), 0.0):.3f}"
+        )
+
+    if state_dir is not None:
+        durability = service.durability
+        if durability["mode"] == "degraded":
+            lines.append(
+                f"durability      : DEGRADED (in-memory only) — "
+                f"{durability.get('error', 'state_dir not writable')}"
+            )
+        else:
+            syncs = int(metric_value(dump, "repro_wal_syncs_total"))
+            compactions = int(metric_value(dump, "repro_wal_compactions_total"))
+            lines.append(
+                f"state saved     : {state_dir} "
+                f"({syncs} log syncs, {compactions} compactions)"
+            )
+    return lines
+
+
+def trace_lines(record) -> List[str]:
+    """Pretty-print one job's lifecycle trace (the ``repro trace`` body)."""
+    lines = [
+        f"job             : {record.job_id} "
+        f"({record.job.principal} on {record.job.table})",
+        f"status          : {record.status}",
+    ]
+    if record.error:
+        lines.append(f"reason          : {record.error}")
+    trace = record.trace
+    spans = trace.spans() if trace is not None else []
+    if not spans:
+        lines.append("trace           : (no spans recorded)")
+        return lines
+    lines.append(
+        f"trace           : {len(spans)} spans, "
+        f"{trace.duration * 1e3:.2f} ms {spans[0].name} -> {spans[-1].name}"
+    )
+    origin = spans[0].start
+    for span in spans:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span.attrs.items())
+        )
+        lines.append(
+            f"  {span.name:<9} +{(span.start - origin) * 1e3:9.3f} ms  "
+            f"{span.duration * 1e3:9.3f} ms" + (f"  {attrs}" if attrs else "")
+        )
+    return lines

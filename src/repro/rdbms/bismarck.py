@@ -170,6 +170,19 @@ class BismarckSession:
         """Register an existing heap file (e.g. a synthesized virtual one)."""
         return self.catalog.create_table(name, heap)
 
+    def table_stats(self) -> dict:
+        """Per-table buffer-pool counters, keyed by table name.
+
+        A live read of each registered heap's own
+        :class:`~repro.rdbms.storage.BufferPoolStats` (via
+        :meth:`BufferPool.stats_for`) — the ground truth the service's
+        metrics collector samples into its per-table pool gauges.
+        """
+        return {
+            name: self.pool.stats_for(self.catalog.get(name).heap)
+            for name in self.catalog.table_names()
+        }
+
     def warm_cache(self, table_name: str) -> None:
         """Pre-read a table through the buffer pool.
 

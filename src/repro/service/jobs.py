@@ -238,3 +238,12 @@ class JobQueue:
     def pending(self) -> List[TrainingJob]:
         """The queued jobs in dispatch order (non-destructive)."""
         return list(self._jobs)
+
+    def depth_by_table(self) -> dict:
+        """Queued-job count per table (telemetry; one O(n) pass). Caller
+        holds whatever lock guards the queue — the scheduler exposes this
+        as ``queue_depths()`` under its admission lock."""
+        depths: dict = {}
+        for job in self._jobs:
+            depths[job.table] = depths.get(job.table, 0) + 1
+        return depths

@@ -104,6 +104,13 @@ class PrivacyBudgetLedger:
     def __init__(self) -> None:
         self._accounts: Dict[Tuple[str, str], _Account] = {}
         self._lock = threading.RLock()
+        #: Ledger-wide event tallies, mutated under the account lock and
+        #: sampled by the service's metrics collector (plain ints — the
+        #: ledger itself stays metrics-agnostic).
+        self.reserve_grants = 0
+        self.reserve_denials = 0
+        self.commit_count = 0
+        self.refund_count = 0
         #: Observer fired for each *new* grant — ``(principal, table,
         #: epsilon, delta)`` — which the durable service wires to its
         #: write-ahead log so caps opened between compactions survive a
@@ -297,6 +304,7 @@ class PrivacyBudgetLedger:
             key = (principal, table)
             account = self._accounts.get(key)
             if account is None:
+                self.reserve_denials += 1
                 raise BudgetDenied(
                     f"no budget account for principal {principal!r} on "
                     f"table {table!r}; open one before submitting jobs"
@@ -307,6 +315,7 @@ class PrivacyBudgetLedger:
                 spent_eps + account.reserved_epsilon + parameters.epsilon,
                 spent_delta + account.reserved_delta + parameters.delta,
             ):
+                self.reserve_denials += 1
                 raise BudgetDenied(
                     f"reserving {parameters} for job {job_id!r} would "
                     f"overflow {principal!r}'s budget on {table!r}: cap "
@@ -317,6 +326,7 @@ class PrivacyBudgetLedger:
             account.reserved_epsilon += parameters.epsilon
             account.reserved_delta += parameters.delta
             account.open_reservations += 1
+            self.reserve_grants += 1
             return BudgetReservation(
                 principal=principal,
                 table=table,
@@ -335,6 +345,7 @@ class PrivacyBudgetLedger:
                 label=f"job:{reservation.job_id} principal:{reservation.principal}",
             )
             account.commits += 1
+            self.commit_count += 1
             return BudgetReceipt(
                 principal=reservation.principal,
                 table=reservation.table,
@@ -347,6 +358,7 @@ class PrivacyBudgetLedger:
         """Release a reservation without spending (failed/cancelled job)."""
         with self._lock:
             self._consume(reservation, "refunded")
+            self.refund_count += 1
 
     # -- internals ---------------------------------------------------------------
 

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.bolton import BoltOnCandidate
 from repro.core.mechanisms import PrivacyParameters
+from repro.obs.trace import JobTrace
 from repro.optim.losses import Loss
 from repro.service.jobs import JobStatus, TrainingJob
 from repro.service.ledger import BudgetReceipt
@@ -110,6 +111,14 @@ class JobRecord:
     #: Logical service ticks (submission order / completion order).
     submitted_at: int = -1
     finished_at: int = -1
+    #: True once registry retention dropped this record's weights (the
+    #: receipt/trace metadata stay; see ``ModelRegistry`` retention).
+    weights_evicted: bool = False
+    #: Lifecycle trace: monotonic-clock spans from admission to release,
+    #: written by whoever holds the job at each phase boundary.
+    trace: JobTrace = field(
+        default_factory=JobTrace, repr=False, compare=False
+    )
     #: Set the moment the record reaches a terminal status — the handle
     #: async submitters block on.
     _done: threading.Event = field(
@@ -229,9 +238,32 @@ class ResultCache:
 
 
 class ModelRegistry:
-    """Thread-safe store of job records, queryable by tenant/table/status."""
+    """Thread-safe store of job records, queryable by tenant/table/status.
 
-    def __init__(self) -> None:
+    ``max_terminal_records`` bounds how many *terminal* records keep
+    their released weights resident: once more than that many completed
+    jobs hold models, the least-recently-finished one has its weights
+    dropped (``record.model = None``, ``record.weights_evicted = True``)
+    while the receipt, trace, and execution metadata stay — a long-lived
+    server's registry is then O(active + retained), not O(every job
+    ever). Reading an evicted model raises ``KeyError`` with a retention
+    hint; the result cache (its own LRU) may still serve the release.
+    ``None`` (the default) retains everything.
+    """
+
+    def __init__(self, max_terminal_records: Optional[int] = None) -> None:
+        if max_terminal_records is not None and max_terminal_records < 1:
+            raise ValueError(
+                "max_terminal_records must be a positive integer or None, "
+                f"got {max_terminal_records}"
+            )
+        self.max_terminal_records = max_terminal_records
+        #: Terminal records currently holding weights, oldest-finished
+        #: first — the retention queue.
+        self._weights_order: "OrderedDict[str, None]" = OrderedDict()
+        #: Running count of weight evictions (sampled into the metrics
+        #: registry by the service's collector).
+        self.weights_evicted_total = 0
         self._records: Dict[str, JobRecord] = {}
         self._order: List[str] = []
         # Snapshot memo: a record's JSON payload is immutable once the
@@ -270,16 +302,42 @@ class ModelRegistry:
             # snapshot/WAL were marked done before this add, so neither
             # hook fires for them — a restore never re-logs its input.
             record._journal = self._journal_terminal
+            if record.done:
+                # Loaded from a snapshot/WAL: already terminal, so the
+                # mark_done hook never fires — enroll in retention here.
+                self._note_terminal(record)
             sink = self.journal
             if sink is not None and record.status is JobStatus.QUEUED:
                 sink({"event": "admit", "record": _record_payload(record)})
             return record
 
     def _journal_terminal(self, record: JobRecord) -> None:
-        """The per-record ``mark_done`` hook: log the final payload."""
+        """The per-record ``mark_done`` hook: log the final payload and
+        enroll the record in weight retention."""
         sink = self.journal
         if sink is not None:
             sink({"event": "record", "record": _record_payload(record)})
+        self._note_terminal(record)
+
+    def _note_terminal(self, record: JobRecord) -> None:
+        """Retention bookkeeping for a newly-terminal record: records
+        holding weights queue up oldest-finished-first, and past the cap
+        the oldest loses its model (metadata kept, memo patched so the
+        next snapshot doesn't resurrect the weights)."""
+        if self.max_terminal_records is None or record.model is None:
+            return
+        with self._lock:
+            self._weights_order[record.job_id] = None
+            while len(self._weights_order) > self.max_terminal_records:
+                evicted_id, _ = self._weights_order.popitem(last=False)
+                evicted = self._records[evicted_id]
+                evicted.model = None
+                evicted.weights_evicted = True
+                self.weights_evicted_total += 1
+                memo = self._payload_memo.get(evicted_id)
+                if memo is not None:
+                    memo["model"] = None
+                    memo["weights_evicted"] = True
 
     def get(self, job_id: str) -> JobRecord:
         with self._lock:
@@ -292,8 +350,17 @@ class ModelRegistry:
         return self.get(job_id).status
 
     def model(self, job_id: str) -> np.ndarray:
-        """The released weights; raises unless the job completed."""
+        """The released weights; raises unless the job completed and the
+        weights are still retained."""
         record = self.get(job_id)
+        if record.weights_evicted:
+            raise KeyError(
+                f"job {job_id!r}: released weights were dropped by registry "
+                f"retention (max_terminal_records="
+                f"{self.max_terminal_records}); the receipt and trace "
+                "metadata are retained — resubmit the job to retrain "
+                "bit-identically"
+            )
         if record.status is not JobStatus.COMPLETED or record.model is None:
             raise ValueError(
                 f"job {job_id!r} has no released model (status: {record.status})"
@@ -485,6 +552,10 @@ def _record_payload(record: JobRecord) -> dict:
         "error": record.error,
         "submitted_at": record.submitted_at,
         "finished_at": record.finished_at,
+        "weights_evicted": record.weights_evicted,
+        # Closed spans only (an open span has no end yet); floats emit
+        # their shortest repr, so the trace round-trips bitwise.
+        "trace": record.trace.payload(),
     }
 
 
@@ -566,6 +637,10 @@ def _record_from_payload(payload: dict) -> JobRecord:
         error=error,
         submitted_at=payload["submitted_at"],
         finished_at=payload["finished_at"],
+        # Lenient: payloads written before the telemetry layer carry no
+        # trace (loads as empty) and no retention flag.
+        weights_evicted=payload.get("weights_evicted", False),
+        trace=JobTrace.from_payload(payload.get("trace", {})),
     )
     record.mark_done()
     return record

@@ -95,6 +95,7 @@ import numpy as np
 
 from repro.core.mechanisms import mechanism_for
 from repro.core.sensitivity import SensitivityBound, sensitivity_for_schedule
+from repro.obs import metrics as obs_metrics
 from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.catalog import TableInfo
 from repro.rdbms.storage import MaterializedHeapFile, TransientPageFault
@@ -235,10 +236,54 @@ class SharedScanScheduler:
         cache_size: Optional[int] = None,
         scan_retries: int = 2,
         retry_backoff_seconds: float = 0.05,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         self.session = session
         self.ledger = ledger
         self.registry = registry
+        # Telemetry handles. The default is the no-op registry, so a
+        # scheduler driven directly (tests, benchmarks) pays one
+        # swallowed call per instrumentation point; the service passes
+        # its live registry in. All recording here is per scan, window,
+        # or flight — never per tuple or per chunk.
+        self.metrics = metrics if metrics is not None else obs_metrics.disabled()
+        self._scan_duration = self.metrics.histogram(
+            "repro_scan_duration_seconds",
+            "Wall-clock of one dispatched scan (fused group, sequential "
+            "job, or elevator flight), by table.",
+            ("table",),
+        )
+        self._scan_pages_total = self.metrics.counter(
+            "repro_scan_pages_total",
+            "Page requests charged by dispatched scan groups, by table "
+            "(equals the sum of the dispatch log's page deltas).",
+            ("table",),
+        )
+        self._scan_retries_total = self.metrics.counter(
+            "repro_scan_retries_total",
+            "Transient-page-fault retries taken by windowed scans.",
+        )
+        self._queue_wait = self.metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Time from admission to a worker claiming the job (the "
+            "queued span), by table.",
+            ("table",),
+        )
+        self._boardings_total = self.metrics.counter(
+            "repro_elevator_boardings_total",
+            "Riders admitted onto elevator flights, by table.",
+            ("table",),
+        )
+        self._flight_riders = self.metrics.histogram(
+            "repro_elevator_riders",
+            "Riders admitted per elevator flight, by table.",
+            ("table",),
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        )
+        self._epochs_ridden_total = self.metrics.counter(
+            "repro_elevator_epochs_ridden_total",
+            "Full cursor loops ridden by released elevator riders.",
+        )
         self.batching_window = check_positive_int(batching_window, "batching_window")
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.fuse = bool(fuse)
@@ -322,6 +367,7 @@ class SharedScanScheduler:
             record = JobRecord(
                 job=job, status=JobStatus.QUEUED, submitted_at=self._clock
             )
+            record.trace.enter("admit")
             # The cache answers only for principals the ledger knows on
             # this table: a release costs an account-holder 0 ε (the same
             # output twice reveals nothing new), but a principal with no
@@ -347,6 +393,7 @@ class SharedScanScheduler:
                 record.table_fingerprint = cache_key[1]
                 record.scan_seed = self.scan_seed
                 record.finished_at = self._clock
+                record.trace.close()
                 self.registry.add(record)
                 record.mark_done()
                 return record
@@ -358,6 +405,7 @@ class SharedScanScheduler:
                 record.status = JobStatus.REJECTED
                 record.error = str(denial)
                 record.finished_at = self._clock
+                record.trace.close()
                 self.registry.add(record)
                 record.mark_done()
                 return record
@@ -370,6 +418,7 @@ class SharedScanScheduler:
                 raise
             self._reservations[job.job_id] = reservation
             self.queue.push(job)
+            record.trace.enter("queued")
             # Elevator mode: if the job's table has an open scan loop
             # with room, route it straight onto the flight — this is the
             # board-the-running-scan path; the driving worker admits it
@@ -415,6 +464,7 @@ class SharedScanScheduler:
             self._clock += 1
             record.error = "cancelled while queued"
             record.finished_at = self._clock
+            record.trace.close()
             record.status = JobStatus.CANCELLED
         record.mark_done()
         return True
@@ -549,7 +599,22 @@ class SharedScanScheduler:
             window = self.queue.pop_window_for(table, self.batching_window)
             if window:
                 self._busy_tables.add(table)
+                for job in window:
+                    self._mark_claimed(job)
             return window
+
+    def _mark_claimed(self, job: TrainingJob) -> None:
+        """Trace/metrics at the queue→worker handoff: close the job's
+        ``queued`` span (its duration is the queue wait), open ``claim``."""
+        trace = self.registry.get(job.job_id).trace
+        queued = trace.enter("claim")
+        if queued is not None and queued.name == "queued":
+            self._queue_wait.observe(queued.duration, table=job.table)
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Queued jobs per table right now (telemetry snapshot)."""
+        with self._admission_lock:
+            return self.queue.depth_by_table()
 
     def _route_boarders_locked(self) -> None:
         """Move queued jobs onto open flights with room (admission lock
@@ -674,12 +739,15 @@ class SharedScanScheduler:
             gradient_mode="exact",
         )
         for job, *_ in prepared:
-            self.registry.get(job.job_id).status = JobStatus.RUNNING
+            record = self.registry.get(job.job_id)
+            record.status = JobStatus.RUNNING
+            record.trace.enter("scan")
         pool_stats = self.session.pool.stats_for(table.heap)
         with self._engine_domain(jobs[0].table):
             pages_before = pool_stats.page_reads
+            scan_started = time.perf_counter()
             try:
-                report = self._run_scan(
+                report, retries = self._run_scan(
                     lambda: self.session.run_sgd_multi(
                         jobs[0].table,
                         uda,
@@ -693,7 +761,11 @@ class SharedScanScheduler:
                 for job, *_ in prepared:
                     self._fail(job, error, finished)
                 return
+            self._scan_duration.observe(
+                time.perf_counter() - scan_started, table=jobs[0].table
+            )
             pages = pool_stats.page_reads - pages_before
+            self._scan_pages_total.inc(pages, table=jobs[0].table)
             self.dispatch_log.append(
                 (key, [job.job_id for job, *_ in prepared], pages)
             )
@@ -706,6 +778,7 @@ class SharedScanScheduler:
                 group_size=len(prepared),
                 group_pages=pages,
                 finished=finished,
+                scan_retries=retries,
             )
 
     def _dispatch_sequential(
@@ -720,12 +793,15 @@ class SharedScanScheduler:
         uda = SGDUDA(
             job.candidate.loss, schedule, job.candidate.batch_size, projection
         )
-        self.registry.get(job.job_id).status = JobStatus.RUNNING
+        record = self.registry.get(job.job_id)
+        record.status = JobStatus.RUNNING
+        record.trace.enter("scan")
         pool_stats = self.session.pool.stats_for(table.heap)
         with self._engine_domain(job.table):
             pages_before = pool_stats.page_reads
+            scan_started = time.perf_counter()
             try:
-                report = self._run_scan(
+                report, retries = self._run_scan(
                     lambda: self.session.run_sgd(
                         job.table,
                         uda,
@@ -738,7 +814,11 @@ class SharedScanScheduler:
             except Exception as error:
                 self._fail(job, error, finished)
                 return
+            self._scan_duration.observe(
+                time.perf_counter() - scan_started, table=job.table
+            )
             pages = pool_stats.page_reads - pages_before
+            self._scan_pages_total.inc(pages, table=job.table)
             self.dispatch_log.append((key, [job.job_id], pages))
         self._release(
             job,
@@ -748,6 +828,7 @@ class SharedScanScheduler:
             group_size=1,
             group_pages=pages,
             finished=finished,
+            scan_retries=retries,
         )
 
     def _dispatch_elevator(
@@ -791,6 +872,7 @@ class SharedScanScheduler:
                     num_tuples=table.num_tuples, dimension=table.dimension
                 )
                 pages_before = pool_stats.page_reads
+                flight_started = time.perf_counter()
                 try:
                     while True:
                         for job in self._take_boarders(flight):
@@ -813,6 +895,7 @@ class SharedScanScheduler:
                                 finished=finished,
                                 boarding_offset=rider.boarding_offset,
                                 epochs_ridden=rider.epochs_completed,
+                                scan_retries=0,
                             )
                             del riders[rider]
                             with self._admission_lock:
@@ -821,9 +904,16 @@ class SharedScanScheduler:
                     for job, _sensitivity, _pages in riders.values():
                         self._fail(job, error, finished)
                     riders.clear()
-                self.dispatch_log.append(
-                    (key, job_ids, pool_stats.page_reads - pages_before)
+                self._scan_duration.observe(
+                    time.perf_counter() - flight_started, table=table_name
                 )
+                flight_pages = pool_stats.page_reads - pages_before
+                self._scan_pages_total.inc(flight_pages, table=table_name)
+                if elevator.riders_admitted:
+                    self._flight_riders.observe(
+                        elevator.riders_admitted, table=table_name
+                    )
+                self.dispatch_log.append((key, job_ids, flight_pages))
         finally:
             with self._admission_lock:
                 flight.closed = True
@@ -870,10 +960,17 @@ class SharedScanScheduler:
         uda = SGDUDA(
             job.candidate.loss, schedule, job.candidate.batch_size, projection
         )
-        self.registry.get(job.job_id).status = JobStatus.RUNNING
+        record = self.registry.get(job.job_id)
+        record.status = JobStatus.RUNNING
+        # Boarders routed onto the flight never pass claim_window — their
+        # queued span closes here, at admission onto the cursor.
+        if record.trace.current == "queued":
+            self._mark_claimed(job)
+        record.trace.enter("scan")
         rider = elevator.admit(
             uda, passes=job.candidate.passes, boarding_offset=cursor.position
         )
+        self._boardings_total.inc(table=job.table)
         riders[rider] = (job, sensitivity, pool_stats.page_reads)
         job_ids.append(job.job_id)
 
@@ -892,16 +989,20 @@ class SharedScanScheduler:
         cost, not what a clean run would have cost. Any other exception
         (including a permanent :class:`PageFaultError`) propagates to
         the caller's engine-failure handling at once.
+
+        Returns ``(result, retries_taken)`` so each dispatch can stamp
+        its jobs' traces with what the fault actually cost.
         """
         attempt = 0
         while True:
             try:
-                return scan()
+                return scan(), attempt
             except TransientPageFault:
                 attempt += 1
                 if attempt > self.scan_retries:
                     raise
                 self.scan_retries_used += 1
+                self._scan_retries_total.inc()
                 if self.retry_backoff_seconds > 0.0:
                     time.sleep(self.retry_backoff_seconds * attempt)
 
@@ -974,14 +1075,30 @@ class SharedScanScheduler:
         finished: List[JobRecord],
         boarding_offset: int = 0,
         epochs_ridden: int = 0,
+        scan_retries: int = 0,
     ) -> None:
         """The bolt-on epilogue + budget commit for one trained job."""
+        record = self.registry.get(job.job_id)
+        # The scan span closes here, carrying what the scan cost; these
+        # attrs deliberately mirror the record fields set below (the
+        # telemetry-consistency tests pin the equality). Telemetry reads
+        # clocks and counters only — the noise stream spawned next is
+        # untouched by any of this.
+        record.trace.enter(
+            "epilogue",
+            pages=group_pages,
+            retries=scan_retries,
+            boarding_offset=boarding_offset,
+            epochs_ridden=epochs_ridden,
+        )
+        if epochs_ridden:
+            self._epochs_ridden_total.inc(epochs_ridden)
         _, noise_rng = job.spawn_streams()
         mechanism = mechanism_for(job.privacy)
         noise = mechanism.sample(
             noiseless.shape[0], sensitivity.value, job.privacy, noise_rng
         )
-        record = self.registry.get(job.job_id)
+        record.trace.enter("commit")
         reservation = self._take_reservation(job.job_id)
         try:
             receipt = self.ledger.commit(reservation)
@@ -1004,6 +1121,7 @@ class SharedScanScheduler:
         record.table_fingerprint = self.fingerprint_table(job.table) or ""
         record.scan_seed = self.scan_seed
         record.finished_at = self._tick()
+        record.trace.close()
         record.status = JobStatus.COMPLETED
         self.prime_cache(record)
         finished.append(record)
@@ -1019,6 +1137,7 @@ class SharedScanScheduler:
         record = self.registry.get(job.job_id)
         record.error = f"{type(error).__name__}: {error}"
         record.finished_at = self._tick()
+        record.trace.close(error=type(error).__name__)
         record.status = JobStatus.FAILED
         finished.append(record)
         record.mark_done()

@@ -78,6 +78,8 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.core.bolton import BoltOnCandidate
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import JobTrace
 from repro.optim.losses import Loss
 from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.catalog import TableInfo
@@ -121,14 +123,28 @@ class TrainingService:
         scan_retries: int = 2,
         cost_model: Optional[CostModel] = None,
         session: Optional[BismarckSession] = None,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
+        metrics_file: Optional[Union[str, pathlib.Path]] = None,
+        max_terminal_records: Optional[int] = None,
     ) -> None:
         self.session = (
             session
             if session is not None
             else BismarckSession(buffer_pool_pages, cost_model)
         )
+        #: The service's telemetry registry. Always on by default (the
+        #: instrumentation budget is <=5% of drain wall-clock, gated in
+        #: CI); pass ``obs.disabled()`` for the zero-cost twin.
+        self.metrics_registry = (
+            metrics if metrics is not None else obs_metrics.MetricsRegistry()
+        )
+        self.metrics_file = (
+            None if metrics_file is None else pathlib.Path(metrics_file)
+        )
+        self._metrics_dump_failed = False
+        self._metrics_dump_lock = threading.Lock()
         self.ledger = PrivacyBudgetLedger()
-        self.registry = ModelRegistry()
+        self.registry = ModelRegistry(max_terminal_records=max_terminal_records)
         self.scheduler = SharedScanScheduler(
             self.session,
             self.ledger,
@@ -141,6 +157,7 @@ class TrainingService:
             elevator=elevator,
             cache_size=cache_size,
             scan_retries=scan_retries,
+            metrics=self.metrics_registry,
         )
         self.state_dir = None if state_dir is None else pathlib.Path(state_dir)
         if wal_compact_records < 1:
@@ -156,14 +173,29 @@ class TrainingService:
         self._state_loaded = False
         self._durability_degraded = False
         self._durability_error = ""
+        self._wal_sync_seconds = self.metrics_registry.histogram(
+            "repro_wal_sync_seconds",
+            "Write-ahead log sync (drain + fsync) latency.",
+        )
+        self._wal_compaction_seconds = self.metrics_registry.histogram(
+            "repro_wal_compaction_seconds",
+            "Write-ahead log compaction (fresh-generation reset) latency.",
+        )
         if self.state_dir is not None:
             self.wal = WriteAheadLog(self.state_dir / WAL_STATE)
+            self.wal.observer = self._observe_wal
             self.registry.journal = self.wal.append
             self.ledger.on_grant = self._journal_grant
+        self.metrics_registry.add_collector(self._sample_metrics)
         self.loop = DispatchLoop(
             self.scheduler,
             workers=workers,
-            autosave=self._autosave_window if self.state_dir is not None else None,
+            autosave=(
+                self._autosave_window
+                if self.state_dir is not None or self.metrics_file is not None
+                else None
+            ),
+            metrics=self.metrics_registry,
         )
         self._submissions = 0
         self._stamp_lock = threading.Lock()
@@ -332,6 +364,187 @@ class TrainingService:
         unknown job id."""
         return self.scheduler.cancel(job_id)
 
+    # -- observability -----------------------------------------------------------
+
+    def trace(self, job_id: str) -> JobTrace:
+        """The lifecycle trace of one job: monotonic-clock spans from
+        admission through commit (``admit``, ``queued``, ``claim``,
+        ``scan``, ``epilogue``, ``commit``), plus a live-only trailing
+        ``wal_sync`` span once the window's autosave made the record
+        durable. Raises ``KeyError`` for an unknown job id."""
+        return self.registry.get(job_id).trace
+
+    def metrics(self, format: str = "prometheus") -> Union[str, dict]:
+        """Render the service's metrics: the Prometheus text exposition
+        (``format="prometheus"``) or a JSON-native dump
+        (``format="json"``). Rendering runs the sampling collectors, so
+        pool/ledger/registry gauges reflect this instant."""
+        if format == "prometheus":
+            return self.metrics_registry.render_prometheus()
+        if format == "json":
+            return self.metrics_registry.render_json()
+        raise ValueError(
+            f"unknown metrics format {format!r}: use 'prometheus' or 'json'"
+        )
+
+    def _observe_wal(self, kind: str, seconds: float) -> None:
+        """The write-ahead log's latency observer (fires outside its lock)."""
+        if kind == "sync":
+            self._wal_sync_seconds.observe(seconds)
+        else:
+            self._wal_compaction_seconds.observe(seconds)
+
+    def _sample_metrics(self) -> None:
+        """The render-time collector: fold ground truth the service does
+        not event-instrument — registry counts, queue depths, per-heap
+        pool counters, ledger statements, cache and WAL totals — into
+        gauges/counters. Runs only when someone renders the metrics, so
+        none of this costs the hot path anything."""
+        reg = self.metrics_registry
+        jobs = reg.gauge(
+            "repro_registry_jobs", "Jobs in the registry by status.", ("status",)
+        )
+        for status, count in self.registry.counts().items():
+            jobs.set(count, status=status)
+        reg.gauge(
+            "repro_scan_overlap_peak",
+            "Most scans on distinct tables ever in flight at once.",
+        ).set(self.scheduler.peak_overlap)
+        table_scans = reg.counter(
+            "repro_table_scans_total",
+            "Scans dispatched per table (one fused group = one scan).",
+            ("table",),
+        )
+        for name, count in self.scheduler.table_scans.items():
+            table_scans.set_total(count, table=name)
+        reg.counter(
+            "repro_scan_groups_total",
+            "Dispatched scan groups (fused windows, elevator flights, "
+            "or single sequential jobs).",
+        ).set_total(len(self.scheduler.dispatch_log))
+        depth = reg.gauge(
+            "repro_queue_depth", "Queued jobs per table right now.", ("table",)
+        )
+        depth.clear()  # tables drained since the last sample must read 0
+        for name, queued in self.scheduler.queue_depths().items():
+            depth.set(queued, table=name)
+        cache = self.scheduler.cache
+        reg.counter(
+            "repro_cache_hits_total", "Result-cache hits (0 pages, 0 eps each)."
+        ).set_total(cache.hits)
+        reg.counter(
+            "repro_cache_misses_total", "Result-cache misses."
+        ).set_total(cache.misses)
+        reg.counter(
+            "repro_cache_evictions_total", "Result-cache LRU evictions."
+        ).set_total(cache.evictions)
+        reg.counter(
+            "repro_registry_weights_evicted_total",
+            "Terminal records whose weights the retention cap dropped.",
+        ).set_total(self.registry.weights_evicted_total)
+        pool_reads = reg.gauge(
+            "repro_pool_page_reads", "Buffer-pool page requests.", ("table",)
+        )
+        pool_hits = reg.gauge(
+            "repro_pool_cache_hits", "Buffer-pool cache hits.", ("table",)
+        )
+        pool_misses = reg.gauge(
+            "repro_pool_cache_misses", "Buffer-pool cache misses.", ("table",)
+        )
+        pool_evictions = reg.gauge(
+            "repro_pool_evictions", "Buffer-pool page evictions.", ("table",)
+        )
+        for name, stats in self.session.table_stats().items():
+            pool_reads.set(stats.page_reads, table=name)
+            pool_hits.set(stats.cache_hits, table=name)
+            pool_misses.set(stats.cache_misses, table=name)
+            pool_evictions.set(stats.evictions, table=name)
+        account_labels = ("principal", "table")
+        eps_cap = reg.gauge(
+            "repro_ledger_epsilon_cap", "Granted epsilon cap.", account_labels
+        )
+        eps_spent = reg.gauge(
+            "repro_ledger_epsilon_spent", "Committed epsilon.", account_labels
+        )
+        eps_reserved = reg.gauge(
+            "repro_ledger_epsilon_reserved",
+            "Epsilon held by in-flight reservations.",
+            account_labels,
+        )
+        delta_cap = reg.gauge(
+            "repro_ledger_delta_cap", "Granted delta cap.", account_labels
+        )
+        delta_spent = reg.gauge(
+            "repro_ledger_delta_spent", "Committed delta.", account_labels
+        )
+        for statement in self.ledger.statements():
+            labels = {
+                "principal": statement.principal,
+                "table": statement.table,
+            }
+            eps_cap.set(statement.cap.epsilon, **labels)
+            eps_spent.set(statement.spent[0], **labels)
+            eps_reserved.set(statement.reserved[0], **labels)
+            delta_cap.set(statement.cap.delta, **labels)
+            delta_spent.set(statement.spent[1], **labels)
+        reg.counter(
+            "repro_ledger_reserve_grants_total", "Reservations granted."
+        ).set_total(self.ledger.reserve_grants)
+        reg.counter(
+            "repro_ledger_reserve_denials_total",
+            "Reservations denied at admission (over cap or no account).",
+        ).set_total(self.ledger.reserve_denials)
+        reg.counter(
+            "repro_ledger_commits_total", "Reservations committed."
+        ).set_total(self.ledger.commit_count)
+        reg.counter(
+            "repro_ledger_refunds_total", "Reservations refunded in full."
+        ).set_total(self.ledger.refund_count)
+        reg.counter(
+            "repro_wal_syncs_total", "Write-ahead log sync calls."
+        ).set_total(self.wal.syncs if self.wal is not None else 0)
+        reg.counter(
+            "repro_wal_compactions_total",
+            "Write-ahead log compactions (fresh generations).",
+        ).set_total(self.wal.resets if self.wal is not None else 0)
+
+    def _dump_metrics(self) -> None:
+        """Refresh the on-disk metrics dump (atomic tmp + rename). The
+        file's suffix picks the format: ``.json`` dumps the JSON
+        document, anything else the Prometheus text exposition. Dumps
+        serialize on their own lock — concurrent worker autosaves must
+        not race each other's tmp file. A write
+        failure warns once and stops dumping — telemetry export must
+        never take the dispatch loop down."""
+        if self.metrics_file is None or self._metrics_dump_failed:
+            return
+        try:
+            if self.metrics_file.suffix == ".json":
+                text = (
+                    json.dumps(
+                        self.metrics(format="json"), indent=1, sort_keys=True
+                    )
+                    + "\n"
+                )
+            else:
+                text = self.metrics(format="prometheus")
+            tmp = self.metrics_file.with_name(self.metrics_file.name + ".tmp")
+            with self._metrics_dump_lock:
+                if self._metrics_dump_failed:
+                    return
+                self.metrics_file.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_text(text)
+                tmp.replace(self.metrics_file)
+        except OSError as error:
+            self._metrics_dump_failed = True
+            warnings.warn(
+                f"metrics file {self.metrics_file} is not writable "
+                f"({error}); the service stops exporting dumps but keeps "
+                "serving (metrics stay queryable in-process)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
     # -- durability --------------------------------------------------------------
 
     def save_state(
@@ -387,27 +600,33 @@ class TrainingService:
         overwrite semantics ``save_state`` always had, so a foreign
         log's history is never merged into this service's). A write
         failure degrades to in-memory serving instead of killing the
-        loop.
+        loop. With ``metrics_file=`` set, each window also refreshes the
+        on-disk metrics dump (independently of durability — an
+        in-memory-only service can still export telemetry).
         """
-        if self.state_dir is None or self.wal is None or self._durability_degraded:
-            return
-        try:
-            with self._save_lock:
-                if not self._wal_ready:
-                    self.state_dir.mkdir(parents=True, exist_ok=True)
-                    if self._state_loaded:
-                        self.wal.open()
-                    else:
+        if (
+            self.state_dir is not None
+            and self.wal is not None
+            and not self._durability_degraded
+        ):
+            try:
+                with self._save_lock:
+                    if not self._wal_ready:
+                        self.state_dir.mkdir(parents=True, exist_ok=True)
+                        if self._state_loaded:
+                            self.wal.open()
+                        else:
+                            self._write_snapshot(self.state_dir)
+                            self.wal.reset()
+                        self._wal_ready = True
+                    elif self.wal.records_since_reset >= self.wal_compact_records:
                         self._write_snapshot(self.state_dir)
                         self.wal.reset()
-                    self._wal_ready = True
-                elif self.wal.records_since_reset >= self.wal_compact_records:
-                    self._write_snapshot(self.state_dir)
-                    self.wal.reset()
-                else:
-                    self.wal.sync()
-        except OSError as error:
-            self._degrade_durability(error)
+                    else:
+                        self.wal.sync()
+            except OSError as error:
+                self._degrade_durability(error)
+        self._dump_metrics()
 
     def _journal_grant(
         self, principal: str, table: str, epsilon: float, delta: float

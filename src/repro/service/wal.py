@@ -55,8 +55,9 @@ import os
 import pathlib
 import struct
 import threading
+import time
 import zlib
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 #: Format tag carried by every log's header record.
 WAL_FORMAT = "repro-wal/v1"
@@ -196,6 +197,12 @@ class WriteAheadLog:
         self.appends = 0
         self.syncs = 0
         self.resets = 0
+        #: Telemetry hook: called as ``observer(kind, seconds)`` with
+        #: ``kind`` "sync" (a :meth:`sync` drain+fsync) or "compaction"
+        #: (a :meth:`reset`), *after* the log's lock is released. The
+        #: service wires this to its WAL latency histograms; ``None``
+        #: (the default) costs nothing.
+        self.observer: Optional[Callable[[str, float], None]] = None
 
     # -- write path --------------------------------------------------------------
 
@@ -219,15 +226,18 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Make every buffered event durable: write, flush, fsync.
         O(events since the last sync) — never O(history)."""
+        started = time.perf_counter()
         with self._lock:
             self._open_locked()
             self._drain_locked()
+        self._observe("sync", started)
 
     def reset(self) -> None:
         """Start a fresh log generation (call *after* the compaction
         snapshot is on disk). Events still buffered — appended after the
         snapshot was cut — are carried into the new log, not dropped:
         replay is idempotent, a lost event is not recoverable."""
+        started = time.perf_counter()
         with self._lock:
             if self._file is not None:
                 self._file.close()
@@ -247,6 +257,12 @@ class WriteAheadLog:
             self._file.seek(0, os.SEEK_END)
             self.resets += 1
             self.syncs += 1
+        self._observe("compaction", started)
+
+    def _observe(self, kind: str, started: float) -> None:
+        observer = self.observer
+        if observer is not None:
+            observer(kind, time.perf_counter() - started)
 
     def close(self) -> None:
         with self._lock:

@@ -38,8 +38,10 @@ interleaving tests lock worker dispatch to the synchronous reference at
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional
 
+from repro.obs import metrics as obs_metrics
 from repro.service.registry import JobRecord
 from repro.service.scheduler import SharedScanScheduler
 from repro.utils.validation import check_positive_int
@@ -47,6 +49,11 @@ from repro.utils.validation import check_positive_int
 #: How long an idle worker sleeps between queue polls when nobody wakes
 #: it explicitly (direct scheduler.submit calls don't notify the loop).
 _IDLE_POLL_SECONDS = 0.02
+
+#: Most recent dispatch errors kept in memory. A long-lived server's
+#: error *log* must be bounded (the old append-only list grew forever);
+#: the total count lives in the metrics registry instead.
+_DISPATCH_ERROR_WINDOW = 256
 
 
 class DispatchLoop:
@@ -84,18 +91,28 @@ class DispatchLoop:
         workers: int = 1,
         autosave: Optional[Callable[[], None]] = None,
         crash_hook: Optional[Callable[[str], None]] = None,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         self.scheduler = scheduler
         self.workers = check_positive_int(workers, "workers")
         self.autosave = autosave
         self.crash_hook = crash_hook
+        self.metrics = metrics if metrics is not None else obs_metrics.disabled()
+        self._dispatch_errors_total = self.metrics.counter(
+            "repro_worker_dispatch_errors_total",
+            "Dispatch-loop errors across the loop's life (the in-memory "
+            "log keeps only the most recent window).",
+        )
         self.autosave_errors: List[str] = []
         #: Last-resort log: dispatch_window fails jobs rather than raise,
         #: so anything landing here (cleanup itself failed) is a bug —
         #: but the worker survives it and the window's jobs are forced
         #: terminal, because a silently dead worker strands every queued
-        #: tenant behind it.
-        self.dispatch_errors: List[str] = []
+        #: tenant behind it. Bounded: only the most recent
+        #: ``_DISPATCH_ERROR_WINDOW`` entries stay resident (a long-lived
+        #: server must not grow an error log without bound); the
+        #: lifetime total is ``repro_worker_dispatch_errors_total``.
+        self.dispatch_errors: Deque[str] = deque(maxlen=_DISPATCH_ERROR_WINDOW)
         #: Terminal records in completion order, across the loop's life.
         self.finished: List[JobRecord] = []
         self.windows_dispatched = 0
@@ -103,6 +120,10 @@ class DispatchLoop:
         self._state = threading.Condition()
         self._stopping = False
         self._inflight = 0
+
+    def _log_dispatch_error(self, message: str) -> None:
+        self.dispatch_errors.append(message)
+        self._dispatch_errors_total.inc()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -217,7 +238,7 @@ class DispatchLoop:
                 self._inflight += 1
             if claim_errors:
                 error = claim_errors[0]
-                self.dispatch_errors.append(
+                self._log_dispatch_error(
                     f"claim_window: {type(error).__name__}: {error}"
                 )
                 with self._state:
@@ -233,11 +254,11 @@ class DispatchLoop:
                     self._crash_point("before_dispatch")
                     finished = self.scheduler.dispatch_window(window)
                 except Exception as error:  # cleanup-of-cleanup failed
-                    self.dispatch_errors.append(f"{type(error).__name__}: {error}")
+                    self._log_dispatch_error(f"{type(error).__name__}: {error}")
                     try:
                         finished = self.scheduler.fail_jobs(window, error)
                     except Exception as cleanup_error:
-                        self.dispatch_errors.append(
+                        self._log_dispatch_error(
                             f"fail_jobs: {type(cleanup_error).__name__}: "
                             f"{cleanup_error}"
                         )
@@ -248,7 +269,7 @@ class DispatchLoop:
                         # nor kill the worker.
                         self._crash_point("after_dispatch")
                     except Exception as error:
-                        self.dispatch_errors.append(
+                        self._log_dispatch_error(
                             f"crash_hook(after_dispatch): "
                             f"{type(error).__name__}: {error}"
                         )
@@ -261,7 +282,7 @@ class DispatchLoop:
                 try:
                     self.scheduler.release_window(window)
                 except Exception as release_error:  # pragma: no cover
-                    self.dispatch_errors.append(
+                    self._log_dispatch_error(
                         f"release_window: {type(release_error).__name__}: "
                         f"{release_error}"
                     )
@@ -271,6 +292,14 @@ class DispatchLoop:
                     self._inflight -= 1
                     self._state.notify_all()
             self._run_autosave()
+            if self.autosave is not None:
+                # The window's records are terminal (traces closed at
+                # release); the time between then and the autosave's
+                # sync is how long their durability took — a trailing,
+                # live-only span (the journal event already carried the
+                # admit→commit trace).
+                for record in finished:
+                    record.trace.append("wal_sync")
 
     def _crash_point(self, name: str) -> None:
         """Fire the fault-injection hook (no-op without one)."""

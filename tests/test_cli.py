@@ -148,3 +148,95 @@ class TestServiceCommands:
         assert code == 0  # warned, not failed — and not silently serialized
         assert "warning: --workers 4 exceeds the 1 table(s)" in captured.err
         assert "scan overlap    : peak 1 of 1 possible" in captured.out
+
+
+class TestServeTelemetry:
+    def test_serve_exports_metrics_file(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main([
+            "serve", "--jobs", "4", "--tenants", "2", "--rows", "150",
+            "--dim", "5", "--passes", "1", "--tables", "1", "--workers", "1",
+            "--metrics-file", str(metrics_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # The workload under-budgets the last tenant on purpose: one of
+        # its jobs trips admission control.
+        assert "job statuses    : completed=3, rejected=1" in out
+        text = metrics_path.read_text()
+        assert "# TYPE repro_scan_duration_seconds histogram" in text
+        assert "repro_scan_pages_total" in text
+
+    def test_serve_json_metrics_dump(self, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "serve", "--jobs", "3", "--tenants", "1", "--rows", "150",
+            "--dim", "5", "--passes", "1", "--tables", "1", "--workers", "1",
+            "--metrics-file", str(metrics_path),
+        ])
+        assert code == 0
+        dump = json.loads(metrics_path.read_text())
+        assert dump["format"] == "repro-metrics/v1"
+        names = {metric["name"] for metric in dump["metrics"]}
+        assert "repro_registry_jobs" in names
+
+
+class TestTraceCommand:
+    def run_serve(self, tmp_path):
+        # 3 jobs over 2 tenants: every account's budget fits its share,
+        # so all three jobs complete (and are durable for `repro trace`).
+        return main([
+            "serve", "--jobs", "3", "--tenants", "2", "--rows", "150",
+            "--dim", "5", "--passes", "1", "--tables", "1", "--workers", "1",
+            "--state-dir", str(tmp_path / "state"),
+        ])
+
+    def test_trace_prints_the_span_table(self, capsys, tmp_path):
+        assert self.run_serve(tmp_path) == 0
+        capsys.readouterr()
+        code = main([
+            "trace", "job-00001", "--state-dir", str(tmp_path / "state"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "job             : job-00001" in out
+        assert "status          : completed" in out
+        for span in ("admit", "queued", "claim", "scan", "epilogue", "commit"):
+            assert f"\n  {span}" in out
+
+    def test_trace_json_payload(self, capsys, tmp_path):
+        import json
+
+        assert self.run_serve(tmp_path) == 0
+        capsys.readouterr()
+        code = main([
+            "trace", "job-00002", "--state-dir", str(tmp_path / "state"),
+            "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["job_id"] == "job-00002"
+        assert [s["name"] for s in payload["trace"]["spans"]][:2] == [
+            "admit", "queued",
+        ]
+
+    def test_trace_unknown_job_exits_2(self, capsys, tmp_path):
+        assert self.run_serve(tmp_path) == 0
+        capsys.readouterr()
+        code = main([
+            "trace", "job-99999", "--state-dir", str(tmp_path / "state"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no job 'job-99999'" in captured.err
+
+    def test_trace_missing_state_dir_exits_2(self, capsys, tmp_path):
+        code = main([
+            "trace", "job-00001", "--state-dir", str(tmp_path / "void"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err

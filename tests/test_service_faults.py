@@ -108,7 +108,7 @@ class TestTransientFaultRetry:
         survivor = submit_one(service, seed=301)
         service.drain()
         assert survivor.status is JobStatus.COMPLETED, survivor.error
-        assert service.loop.dispatch_errors == []  # engine faults are
+        assert list(service.loop.dispatch_errors) == []  # engine faults are
         # handled by dispatch_window's own fail path, not the last resort
 
 
