@@ -46,6 +46,15 @@ gates CI on the structural claim:
   With ``--report`` it also writes ``metrics-dump.prom`` /
   ``metrics-dump.json`` next to the report (the CI artifact).
 
+* ``--disk`` re-proves the shared-scan claims on **real storage**: the
+  bench table bulk-loaded into a SQLite-WAL heap file, so every pool
+  miss is an actual database read. The gate **exits 1 unless fused
+  dispatch still makes >= 3x fewer page requests than sequential on
+  real I/O**, unless fused == sequential bitwise on the SQLite backend,
+  and unless the SQLite-backed release is bitwise-identical (atol=0) to
+  the in-memory release — storage must be invisible to the weights. A
+  warm-pool vs cold-pool full-table sweep is printed as a note.
+
 * ``--queue`` prints the submit-latency note at 10^4 queued jobs (p50 /
   p99 / max) — informational, recording the insert-sorted queue's
   admission-lock cost; it never gates.
@@ -64,8 +73,9 @@ gates CI on the structural claim:
   into the step summary.
 
 Timings and page counts append to ``BENCH_hotloops.json`` under the
-``"service"``, ``"service_async"``, ``"service_parallel"``, and
-``"service_wal"`` keys (full shape only), extending the machine-readable
+``"service"``, ``"service_async"``, ``"service_parallel"``,
+``"service_wal"``, and ``"service_disk"`` keys (full shape only),
+extending the machine-readable
 perf trajectory (scalar → vectorized → fused → shared-scan service →
 async service → cross-table parallel service → crash-safe WAL service).
 """
@@ -923,6 +933,152 @@ def bench_observability(gate: bool, write: bool = True, report=None) -> int:
     return 0
 
 
+def _build_disk_service(fuse: bool, sqlite_path) -> TrainingService:
+    """The standard bench service, but with the table on real storage:
+    the dataset is bulk-loaded into a SQLite-WAL heap and every pool
+    miss pays an actual database read."""
+    X, y = make_binary_data(M, D, seed=77)
+    service = TrainingService(
+        fuse=fuse, scan_seed=11, batching_window=JOBS, workers=1
+    )
+    service.register_table(
+        "bench", X, y, backend="sqlite", path=sqlite_path
+    )
+    service.open_budget("bench-tenant", "bench", 2 * JOBS * EPS + 1e-9)
+    return service
+
+
+def _run_disk(fuse: bool, sqlite_path) -> dict:
+    service = _build_disk_service(fuse, sqlite_path)
+    records = _submit_workload(service)
+    pages_before = service.page_reads
+    start = time.perf_counter()
+    service.drain()
+    elapsed = time.perf_counter() - start
+    pages = service.page_reads - pages_before
+    assert all(record.status is JobStatus.COMPLETED for record in records)
+    return {
+        "mode": "fused" if fuse else "sequential",
+        "seconds": elapsed,
+        "pages": pages,
+        "models": np.stack([record.model for record in records]),
+    }
+
+
+def bench_disk(gate: bool, write: bool = True, report=None) -> int:
+    """The shared-scan claims, re-proven on real I/O.
+
+    Same workload as the base gate, but the table lives in a SQLite-WAL
+    heap file: every buffer-pool miss is an actual database read, not an
+    array slice or a simulated sleep. Gates (exit 1) on three claims:
+    fused dispatch still >= PAGE_RATIO_FLOOR x fewer page requests than
+    sequential on real storage; fused == sequential bitwise on the
+    SQLite backend; and the SQLite-backed release is bitwise-identical
+    (atol=0) to the in-memory release of the same jobs — storage is
+    invisible to the trained weights. Also prints the warm-pool vs
+    cold-pool sweep note (informational): the same full-table pool scan
+    with every page faulting in from SQLite vs every page resident.
+    """
+    import tempfile
+
+    from repro.rdbms.storage import BufferPool, SQLiteHeapFile, tuples_per_page
+
+    print(f"\ndisk backend: {JOBS} jobs on a SQLite-WAL heap, m={M}, d={D}")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-disk-") as tmp:
+        tmp = pathlib.Path(tmp)
+        fused = _run_disk(fuse=True, sqlite_path=tmp / "fused.db")
+        sequential = _run_disk(fuse=False, sqlite_path=tmp / "sequential.db")
+        reference = _run(fuse=True)  # the in-memory twin
+
+        ratio = sequential["pages"] / fused["pages"]
+        bitwise_paths = all(
+            np.array_equal(fused["models"][j], sequential["models"][j])
+            for j in range(JOBS)
+        )
+        bitwise_backend = all(
+            np.array_equal(fused["models"][j], reference["models"][j])
+            for j in range(JOBS)
+        )
+
+        # Warm vs cold pool, off to the side (a private heap + pool so the
+        # sweep never perturbs the gated runs' counters): one full-table
+        # scan with every page faulting in from SQLite, then the same scan
+        # with every page resident.
+        X, y = make_binary_data(M, D, seed=77)
+        heap = SQLiteHeapFile.bulk_load(tmp / "sweep.db", X, y)
+        pool = BufferPool(capacity_pages=heap.num_pages)
+        start = time.perf_counter()
+        for _ in pool.scan(heap):
+            pass
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in pool.scan(heap):
+            pass
+        warm_s = time.perf_counter() - start
+        heap.close()
+
+    for row in (fused, sequential):
+        print(
+            f"{row['mode']:>10}: {row['seconds'] * 1e3:8.1f} ms"
+            f"   {row['pages']:>7} pages"
+        )
+    print(f"page ratio:   {ratio:6.1f}x fewer requests fused on real I/O"
+          f"  (gate: >= {PAGE_RATIO_FLOOR}x)")
+    print(f"bitwise fused == sequential (sqlite):  {bitwise_paths}")
+    print(f"bitwise sqlite == in-memory (atol=0):  {bitwise_backend}")
+    print(f"pool sweep:   cold {cold_s * 1e3:.1f} ms ({heap.num_pages} pages "
+          f"from SQLite) vs warm {warm_s * 1e3:.1f} ms (all resident) — "
+          f"{cold_s / max(warm_s, 1e-9):.1f}x (informational)")
+
+    if write:
+        _write_results(
+            service_disk={
+                "jobs": JOBS,
+                "fused_s": fused["seconds"],
+                "sequential_s": sequential["seconds"],
+                "fused_pages": fused["pages"],
+                "sequential_pages": sequential["pages"],
+                "page_ratio": ratio,
+                "bitwise_fused_vs_sequential": bitwise_paths,
+                "bitwise_sqlite_vs_memory": bitwise_backend,
+                "cold_sweep_s": cold_s,
+                "warm_sweep_s": warm_s,
+            }
+        )
+
+    if report is not None:
+        write_report(
+            report,
+            disk_backend={
+                "metric": f"page-request ratio, sequential over fused, "
+                f"SQLite-WAL heap ({JOBS} jobs, one table)",
+                "value": ratio,
+                "floor": PAGE_RATIO_FLOOR,
+                "passed": bool(
+                    ratio >= PAGE_RATIO_FLOOR
+                    and bitwise_paths
+                    and bitwise_backend
+                ),
+                "bitwise_fused_vs_sequential": bitwise_paths,
+                "bitwise_sqlite_vs_memory": bitwise_backend,
+                "cold_sweep_s": cold_s,
+                "warm_sweep_s": warm_s,
+                "shape": {"m": M, "d": D, "jobs": JOBS},
+            },
+        )
+
+    if gate and (ratio < PAGE_RATIO_FLOOR or not bitwise_paths or not bitwise_backend):
+        if ratio < PAGE_RATIO_FLOOR:
+            print(f"FAIL: fused dispatch below {PAGE_RATIO_FLOOR}x on real I/O")
+        if not bitwise_paths:
+            print("FAIL: fused weights diverged from sequential on sqlite")
+        if not bitwise_backend:
+            print("FAIL: sqlite-backed weights diverged from in-memory twins")
+        return 1
+    print("PASS")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -958,6 +1114,14 @@ def main(argv=None) -> int:
         help="also benchmark the telemetry layer's drain overhead against "
         f"obs.disabled() and fail (exit 1) above {OBS_OVERHEAD_CEILING_PCT}% "
         "or on any weight divergence",
+    )
+    parser.add_argument(
+        "--disk",
+        action="store_true",
+        help="also re-prove the shared-scan claims on real storage: the "
+        "table in a SQLite-WAL heap file, fused still >= "
+        f"{PAGE_RATIO_FLOOR}x fewer pages, releases bitwise-equal to the "
+        "in-memory backend (plus a warm-vs-cold pool sweep note)",
     )
     parser.add_argument(
         "--queue",
@@ -1000,6 +1164,8 @@ def main(argv=None) -> int:
         status = bench_observability(
             args.gate, write=not args.smoke, report=args.report
         )
+    if status == 0 and args.disk:
+        status = bench_disk(args.gate, write=not args.smoke, report=args.report)
     if status == 0 and args.queue:
         status = bench_queue(write=not args.smoke)
     if status == 0 and args.durability:

@@ -47,6 +47,7 @@ does is one public API call.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional, Sequence
 
@@ -156,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the metrics registry here after every dispatched "
         "window (atomic replace; a .json suffix selects the JSON dump, "
         "anything else the Prometheus text exposition)",
+    )
+    serve.add_argument(
+        "--backend", choices=("memory", "sqlite"), default="memory",
+        help="table storage: 'memory' (in-process arrays) or 'sqlite' "
+        "(each table bulk-loaded into a SQLite-WAL heap file; scans pay "
+        "real page I/O through the buffer pool)",
+    )
+    serve.add_argument(
+        "--sqlite-dir", default=None,
+        help="directory for the SQLite heap files (--backend sqlite); "
+        "defaults to <state-dir>/heaps, or a temp dir without --state-dir",
     )
 
     trace = sub.add_parser(
@@ -318,13 +330,33 @@ def _serve(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
         metrics_file=args.metrics_file,
     )
+    sqlite_dir = None
+    if args.backend == "sqlite":
+        if args.sqlite_dir is not None:
+            sqlite_dir = pathlib.Path(args.sqlite_dir)
+        elif args.state_dir is not None:
+            sqlite_dir = pathlib.Path(args.state_dir) / "heaps"
+        else:
+            import tempfile
+
+            sqlite_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-heaps-"))
+        sqlite_dir.mkdir(parents=True, exist_ok=True)
     table = None
     for t, name in enumerate(table_names):
         pair = linearly_separable_binary(
             "served", args.rows, 10, args.dim, random_state=args.seed + t
         )
         table = table if table is not None else pair.train
-        service.register_table(name, pair.train.features, pair.train.labels)
+        if args.backend == "sqlite":
+            service.register_table(
+                name,
+                pair.train.features,
+                pair.train.labels,
+                backend="sqlite",
+                path=sqlite_dir / f"{name}.db",
+            )
+        else:
+            service.register_table(name, pair.train.features, pair.train.labels)
     resumed = service.load_state() if args.state_dir else 0
 
     jobs_per_tenant = -(-args.jobs // len(tenants))
@@ -374,6 +406,8 @@ def _serve(args: argparse.Namespace) -> int:
         else ("sequential (forced)" if args.no_fuse else "fused")
     )
     print(f"dispatch mode   : {mode}, {args.workers} workers")
+    if args.backend == "sqlite":
+        print(f"storage backend : sqlite (WAL heaps under {sqlite_dir})")
     if resumed:
         print(f"resumed         : {resumed} records from {args.state_dir} "
               f"(cache hits serve them free)")

@@ -33,6 +33,20 @@ shuffles) and request pages through the buffer pool at exactly the same
 points, so ``OperatorStats`` — including ``pages_requested`` — and the
 resulting model are path-independent; the golden tests in
 ``tests/test_rdbms_engine.py`` lock both invariants in.
+
+Storage-agnostic by construction
+--------------------------------
+
+Operators never touch a heap directly: every page arrives via
+``BufferPool.get_page``, and every heap speaks the same ``HeapFile``
+protocol with the same :func:`tuples_per_page` page grid. That is what
+lets a :class:`~repro.rdbms.storage.SQLiteHeapFile` (real pages on real
+disk, WAL-mode reads) slot under these operators unchanged: the scan
+order, the chunk grid, the page-request counters, and therefore the
+released weights are all bitwise-identical to an in-memory heap holding
+the same tuples. Pages read from real storage may be backed by
+read-only buffers — operators copy rows into fresh blocks and never
+write through a page, so the distinction is invisible here.
 """
 
 from __future__ import annotations

@@ -41,12 +41,16 @@ the per-table truth a concurrent dispatcher must read.
 from __future__ import annotations
 
 import abc
+import hashlib
+import os
+import pathlib
+import sqlite3
 import threading
 import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -343,6 +347,289 @@ class FaultyHeapFile(HeapFile):
                 f"reading page {page_id} (fault {self.faults_injected})"
             )
         return self.inner.read_page(page_id)
+
+
+#: Schema version tag written into every SQLite heap's ``meta`` table.
+SQLITE_HEAP_FORMAT = "repro-heap/v1"
+
+#: ``sqlite3.OperationalError`` messages that signal a *transient*
+#: condition — another connection holds a lock, the filesystem is
+#: momentarily unhappy — where a retry is expected to succeed. Anything
+#: else (missing file, missing table, malformed database) is permanent.
+_TRANSIENT_SQLITE_MARKERS = ("locked", "busy")
+
+
+def _map_sqlite_error(error: sqlite3.Error, path: "pathlib.Path") -> PageFaultError:
+    """Translate a ``sqlite3`` exception into the engine's fault taxonomy.
+
+    The scheduler's bounded retry keys on the distinction: a
+    :class:`TransientPageFault` (lock contention, a busy device) is
+    retried with backoff and — by the determinism contract — a retried
+    scan releases the same bits; a plain :class:`PageFaultError`
+    (missing file, dropped table, corrupted database) fails the scan
+    fast with the reservation refunded. This is the same containment
+    contract :class:`FaultyHeapFile` exercises with injected faults,
+    applied to a real storage engine's real failure modes.
+    """
+    message = str(error).lower()
+    if isinstance(error, sqlite3.OperationalError) and any(
+        marker in message for marker in _TRANSIENT_SQLITE_MARKERS
+    ):
+        return TransientPageFault(f"sqlite heap {path}: {error}")
+    return PageFaultError(f"sqlite heap {path}: {error}")
+
+
+class SQLiteHeapFile(HeapFile):
+    """A heap file persisted in a SQLite database — real pages, real I/O.
+
+    The paper ran its experiments inside a real RDBMS (Bismarck on
+    PostgreSQL); every other heap here is an in-process array, so
+    buffer-pool misses cost simulated latency at best. This class puts a
+    real database under the engine: pages live as rows of one SQLite
+    table, a miss pays an actual disk read, and the disk-regime
+    benchmarks (``bench_service.py --disk``) measure honest page
+    materialization.
+
+    Layout (one database file per heap)::
+
+        PRAGMA journal_mode=WAL;      -- readers never block the writer
+        PRAGMA synchronous=NORMAL;    -- fsync at checkpoint, not per txn
+        PRAGMA foreign_keys=ON;
+        CREATE TABLE meta(key TEXT PRIMARY KEY, value TEXT NOT NULL);
+        CREATE TABLE pages(
+            page_no  INTEGER PRIMARY KEY,
+            features BLOB NOT NULL,   -- contiguous float64, C order
+            labels   BLOB NOT NULL    -- contiguous float64
+        );
+
+    Page geometry is identical to every other heap
+    (:func:`tuples_per_page` rows per page, the tail page short), so the
+    buffer pool in front of it produces *exactly* the counters an
+    in-memory heap would — hit/miss/eviction accounting is
+    backend-invariant, which is what keeps the service's bitwise and
+    page-attribution guarantees intact on real storage.
+
+    Connection discipline: the single **writer** connection lives only
+    inside :meth:`bulk_load`; every reader gets a **connection per
+    thread** (lazily opened, ``PRAGMA query_only=ON`` so it cannot
+    write), which under WAL means concurrent scans from worker threads
+    never block each other. ``sqlite3`` errors surface through the
+    engine's fault taxonomy (:func:`_map_sqlite_error`): lock/busy
+    contention as retryable :class:`TransientPageFault`, a missing or
+    corrupted database as fail-fast :class:`PageFaultError` — so a
+    flaky disk is contained by the scheduler's bounded retry exactly as
+    an injected :class:`FaultyHeapFile` fault is.
+    """
+
+    def __init__(self, path: Union[str, "pathlib.Path"]):
+        self.path = pathlib.Path(path)
+        if not self.path.exists():
+            raise PageFaultError(f"sqlite heap {self.path}: no such database file")
+        self._local = threading.local()
+        self._fingerprint: Optional[str] = None
+        self._fingerprint_lock = threading.Lock()
+        try:
+            meta = dict(
+                self._connection().execute("SELECT key, value FROM meta").fetchall()
+            )
+        except sqlite3.Error as error:
+            raise _map_sqlite_error(error, self.path) from error
+        if meta.get("format") != SQLITE_HEAP_FORMAT:
+            raise PageFaultError(
+                f"sqlite heap {self.path}: format {meta.get('format')!r} is not "
+                f"{SQLITE_HEAP_FORMAT!r}; refusing to scan a database this "
+                "engine version cannot vouch for"
+            )
+        self._dimension = int(meta["dimension"])
+        self._num_tuples = int(meta["num_tuples"])
+        self._per_page = tuples_per_page(self._dimension)
+
+    # -- ingest ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        path: Union[str, "pathlib.Path"],
+        features: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        page_rows: int = 64,
+    ) -> "SQLiteHeapFile":
+        """Ingest a dataset into a fresh SQLite heap at ``path``.
+
+        ``features`` may also be a dataset object carrying ``.features``
+        and ``.labels`` (e.g. :class:`repro.data.dataset.Dataset`), in
+        which case ``labels`` is taken from it. An existing database at
+        ``path`` is replaced (its ``-wal``/``-shm`` siblings removed
+        first — stale WAL frames must never leak into the new heap).
+        The whole ingest is one transaction, committed page-batch by
+        page-batch via ``executemany`` (``page_rows`` pages per call),
+        then checkpointed so readers open a clean, compact database.
+        """
+        if labels is None:
+            dataset = features
+            features, labels = dataset.features, dataset.labels
+        features = np.ascontiguousarray(features, dtype=np.float64)
+        labels = np.ascontiguousarray(labels, dtype=np.float64)
+        if features.ndim != 2 or labels.ndim != 1:
+            raise ValueError("features must be 2-D and labels 1-D")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features/labels row counts disagree")
+        if features.shape[0] == 0:
+            raise ValueError("heap file must contain at least one tuple")
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for stale in (path, path.with_name(path.name + "-wal"),
+                      path.with_name(path.name + "-shm")):
+            if stale.exists():
+                os.remove(stale)
+        m, d = features.shape
+        per_page = tuples_per_page(d)
+        connection = sqlite3.connect(path)
+        try:
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute("PRAGMA foreign_keys=ON")
+            with connection:
+                connection.execute(
+                    "CREATE TABLE meta(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+                )
+                connection.execute(
+                    "CREATE TABLE pages("
+                    "page_no INTEGER PRIMARY KEY, "
+                    "features BLOB NOT NULL, labels BLOB NOT NULL)"
+                )
+                connection.executemany(
+                    "INSERT INTO meta(key, value) VALUES (?, ?)",
+                    [
+                        ("format", SQLITE_HEAP_FORMAT),
+                        ("dimension", str(d)),
+                        ("num_tuples", str(m)),
+                    ],
+                )
+                num_pages = -(-m // per_page)
+                for first in range(0, num_pages, page_rows):
+                    rows = []
+                    for page_id in range(first, min(first + page_rows, num_pages)):
+                        start = page_id * per_page
+                        stop = min(start + per_page, m)
+                        rows.append(
+                            (
+                                page_id,
+                                features[start:stop].tobytes(),
+                                labels[start:stop].tobytes(),
+                            )
+                        )
+                    connection.executemany(
+                        "INSERT INTO pages(page_no, features, labels) "
+                        "VALUES (?, ?, ?)",
+                        rows,
+                    )
+            # Fold the ingest's WAL frames back into the main file so the
+            # read-only connections open a clean, checkpointed database.
+            connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        finally:
+            connection.close()
+        return cls(path)
+
+    # -- read path ---------------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's lazily-opened reader connection.
+
+        One connection per thread (sqlite connections are not thread-safe
+        by default, and sharing one would serialize scans that WAL mode
+        exists to let overlap); ``query_only`` enforces the read-only
+        discipline at the engine level — a bug that tried to write
+        through a reader raises instead of mutating tenant data.
+        """
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            try:
+                connection = sqlite3.connect(self.path)
+                connection.execute("PRAGMA query_only=ON")
+                connection.execute("PRAGMA foreign_keys=ON")
+            except sqlite3.Error as error:  # pragma: no cover - open races
+                raise _map_sqlite_error(error, self.path) from error
+            self._local.connection = connection
+        return connection
+
+    def _fetch_page_row(self, page_id: int):
+        """One ``pages`` row as ``(features_blob, labels_blob)`` — the
+        seam the fault-mapping tests monkeypatch to simulate lock
+        contention and corruption without a second process."""
+        return self._connection().execute(
+            "SELECT features, labels FROM pages WHERE page_no = ?", (page_id,)
+        ).fetchone()
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def num_tuples(self) -> int:
+        return self._num_tuples
+
+    @property
+    def num_pages(self) -> int:
+        return -(-self._num_tuples // self._per_page)
+
+    def read_page(self, page_id: int) -> Page:
+        if not 0 <= page_id < self.num_pages:
+            raise IndexError(f"page {page_id} out of range [0, {self.num_pages})")
+        try:
+            row = self._fetch_page_row(page_id)
+        except sqlite3.Error as error:
+            raise _map_sqlite_error(error, self.path) from error
+        if row is None:
+            raise PageFaultError(
+                f"sqlite heap {self.path}: page {page_id} is missing from the "
+                "pages table (truncated or tampered heap)"
+            )
+        start = page_id * self._per_page
+        count = min(self._per_page, self._num_tuples - start)
+        features = np.frombuffer(row[0], dtype=np.float64)
+        labels = np.frombuffer(row[1], dtype=np.float64)
+        if features.shape[0] != count * self._dimension or labels.shape[0] != count:
+            raise PageFaultError(
+                f"sqlite heap {self.path}: page {page_id} blob sizes disagree "
+                f"with the meta row counts (expected {count} tuples)"
+            )
+        return Page(
+            page_id=page_id,
+            features=features.reshape(count, self._dimension),
+            labels=labels,
+        )
+
+    def content_fingerprint(self) -> str:
+        """The same page-wise SHA-256 content hash a
+        :class:`MaterializedHeapFile` gets from the scheduler, so the
+        result cache treats "same data, different backend" as the same
+        table — a release trained on the in-memory copy is served to a
+        resubmission against the SQLite copy (and vice versa). Computed
+        once, off the buffer pool, memoized for the heap's lifetime
+        (heaps are immutable once registered)."""
+        with self._fingerprint_lock:
+            if self._fingerprint is None:
+                digest = hashlib.sha256()
+                for page_id in range(self.num_pages):
+                    page = self.read_page(page_id)
+                    digest.update(
+                        np.ascontiguousarray(page.features, dtype=np.float64).tobytes()
+                    )
+                    digest.update(
+                        np.ascontiguousarray(page.labels, dtype=np.float64).tobytes()
+                    )
+                self._fingerprint = digest.hexdigest()[:16]
+            return self._fingerprint
+
+    def close(self) -> None:
+        """Close this thread's reader connection (other threads' close
+        when they are garbage collected; sqlite tolerates that)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
 
 
 @dataclass

@@ -125,12 +125,16 @@ def table_fingerprint(table: TableInfo) -> Optional[str]:
     this engine are immutable once registered.
 
     Only heaps with a cheap, stable identity are fingerprinted: a heap
-    exposing ``content_fingerprint()`` (e.g. a parametric synthesizer)
-    is taken at its word, and a :class:`MaterializedHeapFile` is hashed
-    page by page. Anything else — notably a :class:`VirtualHeapFile`
-    wrapping an opaque generator, where hashing would mean synthesizing
-    the entire (possibly hundreds-of-GB) table — returns ``None``: jobs
-    on such tables train normally but are never cached.
+    exposing ``content_fingerprint()`` — a parametric synthesizer, or a
+    :class:`~repro.rdbms.storage.SQLiteHeapFile` whose fingerprint is
+    the same page-wise SHA-256 computed here, making cache keys
+    backend-invariant ("same data, different storage" hits the same
+    cached release) — is taken at its word, and a
+    :class:`MaterializedHeapFile` is hashed page by page. Anything else
+    — notably a :class:`VirtualHeapFile` wrapping an opaque generator,
+    where hashing would mean synthesizing the entire (possibly
+    hundreds-of-GB) table — returns ``None``: jobs on such tables train
+    normally but are never cached.
     """
     heap = table.heap
     custom = getattr(heap, "content_fingerprint", None)

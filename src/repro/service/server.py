@@ -84,6 +84,7 @@ from repro.optim.losses import Loss
 from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.catalog import TableInfo
 from repro.rdbms.cost_model import CostModel
+from repro.rdbms.storage import SQLiteHeapFile
 from repro.service.jobs import JobStatus, TrainingJob
 from repro.service.ledger import AccountStatement, PrivacyBudgetLedger
 from repro.service.registry import (
@@ -209,10 +210,43 @@ class TrainingService:
     # -- data & budget administration -------------------------------------------
 
     def register_table(
-        self, name: str, features: np.ndarray, labels: np.ndarray
+        self,
+        name: str,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        *,
+        backend: str = "memory",
+        path=None,
     ) -> TableInfo:
-        """CREATE TABLE + COPY a dataset tenants may train against."""
-        info = self.session.load_table(name, features, labels)
+        """CREATE TABLE + COPY a dataset tenants may train against.
+
+        ``backend="memory"`` (the default) materializes the arrays into
+        an in-process heap. ``backend="sqlite"`` puts real storage under
+        the engine: with arrays, they are bulk-loaded into a fresh
+        SQLite-WAL heap at ``path``; without arrays, an existing heap
+        database at ``path`` is opened as-is. Either way the table rides
+        the same buffer pool, fused scans, and result cache — releases
+        are bitwise-identical across backends, and the cache key (a
+        content fingerprint) is backend-invariant, so a job cached from
+        the in-memory copy is served to a resubmission against the
+        SQLite copy of the same data.
+        """
+        if backend == "memory":
+            if features is None or labels is None:
+                raise ValueError("backend='memory' requires features and labels")
+            info = self.session.load_table(name, features, labels)
+        elif backend == "sqlite":
+            if path is None:
+                raise ValueError("backend='sqlite' requires path=")
+            if features is not None or labels is not None:
+                if features is None or labels is None:
+                    raise ValueError("provide both features and labels, or neither")
+                heap = SQLiteHeapFile.bulk_load(path, features, labels)
+            else:
+                heap = SQLiteHeapFile(path)
+            info = self.session.register_table(name, heap)
+        else:
+            raise ValueError(f"unknown table backend {backend!r}")
         self._arm_cache(name)
         return info
 
@@ -816,9 +850,12 @@ class TrainingService:
     # -- queries -----------------------------------------------------------------
 
     def status(self, job_id: str) -> JobStatus:
+        """One job's current :class:`JobStatus` (raises on unknown ids)."""
         return self.registry.status(job_id)
 
     def result(self, job_id: str) -> JobRecord:
+        """One job's full :class:`JobRecord` — status, released weights,
+        receipt, dispatch provenance, and lifecycle trace."""
         return self.registry.get(job_id)
 
     def model(self, job_id: str) -> np.ndarray:

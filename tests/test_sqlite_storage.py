@@ -1,0 +1,360 @@
+"""The SQLite-WAL storage backend: real pages, same bits.
+
+Three contracts, each locked in here:
+
+* **Round trip** — ``bulk_load`` writes the same page grid every other
+  heap uses (:func:`tuples_per_page` rows per page, short tail page),
+  and reading the database back yields byte-identical pages.
+* **Backend invariance** — a job trained against the SQLite copy of a
+  table releases weights bitwise-equal (atol=0) to the same job on the
+  in-memory heap, with per-heap buffer-pool counters identical, and the
+  content fingerprint (the result-cache key) the same across backends.
+* **Fault taxonomy** — sqlite's failure modes surface as the engine's
+  own fault classes: lock/busy contention is a retryable
+  :class:`TransientPageFault` (and a retried scan releases the same
+  bits); a missing, corrupted, or truncated database is a permanent
+  :class:`PageFaultError` that fails the job fast with the reservation
+  refunded.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import numpy as np
+import pytest
+
+from repro.optim.losses import LogisticLoss
+from repro.rdbms.storage import (
+    MaterializedHeapFile,
+    PageFaultError,
+    SQLiteHeapFile,
+    TransientPageFault,
+    _map_sqlite_error,
+    tuples_per_page,
+)
+from repro.service import JobStatus, TrainingService
+from tests.conftest import make_binary_data
+
+M, D = 300, 8
+EPS = 0.05
+X, Y = make_binary_data(M, D, seed=21)
+
+
+@pytest.fixture
+def heap_path(tmp_path):
+    return tmp_path / "table.db"
+
+
+@pytest.fixture
+def sqlite_heap(heap_path):
+    heap = SQLiteHeapFile.bulk_load(heap_path, X, Y)
+    yield heap
+    heap.close()
+
+
+def submit_one(service, table, seed=300):
+    return service.submit("alice", table, LogisticLoss(1e-3), epsilon=EPS,
+                          passes=1, batch_size=25, seed=seed)
+
+
+class TestRoundTrip:
+    def test_every_page_matches_the_materialized_twin(self, sqlite_heap):
+        twin = MaterializedHeapFile(X, Y)
+        assert sqlite_heap.dimension == twin.dimension
+        assert sqlite_heap.num_tuples == twin.num_tuples
+        assert sqlite_heap.num_pages == twin.num_pages
+        for page_id in range(twin.num_pages):
+            ours, theirs = sqlite_heap.read_page(page_id), twin.read_page(page_id)
+            assert np.array_equal(ours.features, theirs.features)
+            assert np.array_equal(ours.labels, theirs.labels)
+
+    def test_tail_page_is_short(self, sqlite_heap):
+        per_page = tuples_per_page(D)
+        assert M % per_page != 0, "shape must exercise a short tail page"
+        tail = sqlite_heap.read_page(sqlite_heap.num_pages - 1)
+        assert tail.tuple_count == M % per_page
+
+    def test_reopen_reads_the_same_heap(self, heap_path, sqlite_heap):
+        reopened = SQLiteHeapFile(heap_path)
+        page = reopened.read_page(0)
+        assert np.array_equal(page.features, sqlite_heap.read_page(0).features)
+        assert reopened.num_tuples == M
+        reopened.close()
+
+    def test_bulk_load_accepts_a_dataset_object(self, heap_path):
+        class Bundle:
+            features, labels = X, Y
+
+        heap = SQLiteHeapFile.bulk_load(heap_path, Bundle())
+        assert heap.num_tuples == M
+        heap.close()
+
+    def test_bulk_load_replaces_a_stale_database(self, heap_path):
+        SQLiteHeapFile.bulk_load(heap_path, X[:100], Y[:100]).close()
+        heap = SQLiteHeapFile.bulk_load(heap_path, X, Y)
+        assert heap.num_tuples == M
+        heap.close()
+
+    def test_bulk_load_rejects_bad_shapes(self, heap_path):
+        with pytest.raises(ValueError, match="row counts disagree"):
+            SQLiteHeapFile.bulk_load(heap_path, X, Y[:-1])
+        with pytest.raises(ValueError, match="at least one tuple"):
+            SQLiteHeapFile.bulk_load(heap_path, X[:0], Y[:0])
+
+    def test_wal_mode_and_read_only_discipline(self, heap_path, sqlite_heap):
+        probe = sqlite3.connect(heap_path)
+        mode = probe.execute("PRAGMA journal_mode").fetchone()[0]
+        probe.close()
+        assert mode == "wal"
+        # Reader connections are query_only: a write through one raises
+        # instead of mutating tenant data.
+        with pytest.raises(sqlite3.OperationalError):
+            sqlite_heap._connection().execute("DELETE FROM pages")
+
+    def test_out_of_range_page(self, sqlite_heap):
+        with pytest.raises(IndexError):
+            sqlite_heap.read_page(sqlite_heap.num_pages)
+        with pytest.raises(IndexError):
+            sqlite_heap.read_page(-1)
+
+    def test_concurrent_readers_see_identical_pages(self, sqlite_heap):
+        expected = [sqlite_heap.read_page(p) for p in range(sqlite_heap.num_pages)]
+        failures = []
+
+        def worker():
+            try:
+                for page_id, want in enumerate(expected):
+                    got = sqlite_heap.read_page(page_id)
+                    assert np.array_equal(got.features, want.features)
+                    assert np.array_equal(got.labels, want.labels)
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+
+    def test_fingerprint_matches_the_materialized_hash(self, sqlite_heap):
+        from repro.rdbms.catalog import TableInfo
+        from repro.service.scheduler import table_fingerprint
+
+        memory = table_fingerprint(TableInfo(name="t", heap=MaterializedHeapFile(X, Y)))
+        sqlite_fp = table_fingerprint(TableInfo(name="t", heap=sqlite_heap))
+        assert memory == sqlite_fp
+
+
+class TestBackendInvariance:
+    @staticmethod
+    def _run(backend, path=None):
+        service = TrainingService(scan_seed=5, workers=1)
+        if backend == "memory":
+            service.register_table("t", X, Y)
+        else:
+            service.register_table("t", X, Y, backend="sqlite", path=path)
+        service.open_budget("alice", "t", 10.0)
+        record = submit_one(service, "t")
+        service.drain()
+        heap = service.session.catalog.get("t").heap
+        stats = service.session.pool.stats_for(heap)
+        counters = (stats.page_reads, stats.cache_hits,
+                    stats.cache_misses, stats.evictions)
+        return record, counters
+
+    def test_bitwise_release_and_path_invariant_counters(self, heap_path):
+        memory_record, memory_counters = self._run("memory")
+        sqlite_record, sqlite_counters = self._run("sqlite", heap_path)
+        assert memory_record.status is JobStatus.COMPLETED
+        assert sqlite_record.status is JobStatus.COMPLETED
+        assert np.array_equal(memory_record.model, sqlite_record.model)
+        assert memory_counters == sqlite_counters
+
+    def test_register_existing_database_without_arrays(self, heap_path):
+        SQLiteHeapFile.bulk_load(heap_path, X, Y).close()
+        service = TrainingService(scan_seed=5, workers=1)
+        info = service.register_table("t", backend="sqlite", path=heap_path)
+        assert info.num_tuples == M
+        service.open_budget("alice", "t", 10.0)
+        record = submit_one(service, "t")
+        service.drain()
+        assert record.status is JobStatus.COMPLETED, record.error
+
+    def test_cache_key_is_backend_invariant(self, heap_path):
+        """Swapping a table's storage backend under the same name and
+        data hits the result cache: the content-fingerprint half of the
+        key is backend-invariant, so the cached release is served
+        without a scan."""
+        service = TrainingService(scan_seed=5, workers=1)
+        service.register_table("t", X, Y)
+        service.open_budget("alice", "t", 10.0)
+        first = submit_one(service, "t")
+        service.drain()
+        assert first.status is JobStatus.COMPLETED
+
+        service.session.catalog.drop_table("t")
+        service.register_table("t", X, Y, backend="sqlite", path=heap_path)
+        replay = submit_one(service, "t")
+        service.drain()
+        assert replay.status is JobStatus.COMPLETED, replay.error
+        assert replay.cache_source == first.job_id
+        assert np.array_equal(replay.model, first.model)
+
+    def test_register_table_argument_validation(self, heap_path):
+        service = TrainingService()
+        with pytest.raises(ValueError, match="requires path"):
+            service.register_table("t", X, Y, backend="sqlite")
+        with pytest.raises(ValueError, match="both features and labels"):
+            service.register_table("t", X, backend="sqlite", path=heap_path)
+        with pytest.raises(ValueError, match="unknown table backend"):
+            service.register_table("t", X, Y, backend="parquet")
+        with pytest.raises(ValueError, match="requires features and labels"):
+            service.register_table("t")
+
+
+class TestFaultMapping:
+    def test_error_mapping_taxonomy(self, tmp_path):
+        path = tmp_path / "x.db"
+        locked = _map_sqlite_error(
+            sqlite3.OperationalError("database is locked"), path)
+        busy = _map_sqlite_error(
+            sqlite3.OperationalError("database table is busy"), path)
+        missing = _map_sqlite_error(
+            sqlite3.OperationalError("unable to open database file"), path)
+        corrupt = _map_sqlite_error(
+            sqlite3.DatabaseError("file is not a database"), path)
+        assert isinstance(locked, TransientPageFault)
+        assert isinstance(busy, TransientPageFault)
+        assert isinstance(missing, PageFaultError)
+        assert not isinstance(missing, TransientPageFault)
+        assert isinstance(corrupt, PageFaultError)
+        assert not isinstance(corrupt, TransientPageFault)
+
+    def test_opening_a_missing_file_is_a_permanent_fault(self, tmp_path):
+        with pytest.raises(PageFaultError, match="no such database"):
+            SQLiteHeapFile(tmp_path / "never-written.db")
+
+    def test_opening_a_corrupted_file_is_a_permanent_fault(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.raises(PageFaultError):
+            SQLiteHeapFile(path)
+
+    def test_foreign_format_is_refused(self, tmp_path):
+        path = tmp_path / "other.db"
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute("CREATE TABLE meta(key TEXT PRIMARY KEY, value TEXT)")
+            connection.execute(
+                "INSERT INTO meta VALUES ('format', 'someone-elses/v9')")
+        connection.close()
+        with pytest.raises(PageFaultError, match="format"):
+            SQLiteHeapFile(path)
+
+    def test_missing_page_row_is_a_permanent_fault(self, heap_path, sqlite_heap):
+        surgeon = sqlite3.connect(heap_path)
+        with surgeon:
+            surgeon.execute("DELETE FROM pages WHERE page_no = 1")
+        surgeon.close()
+        fresh = SQLiteHeapFile(heap_path)
+        with pytest.raises(PageFaultError, match="missing from the pages table"):
+            fresh.read_page(1)
+        fresh.close()
+
+    def test_truncated_blob_is_a_permanent_fault(self, heap_path, sqlite_heap):
+        surgeon = sqlite3.connect(heap_path)
+        with surgeon:
+            surgeon.execute(
+                "UPDATE pages SET labels = ? WHERE page_no = 0", (b"\x00" * 8,))
+        surgeon.close()
+        fresh = SQLiteHeapFile(heap_path)
+        with pytest.raises(PageFaultError, match="blob sizes disagree"):
+            fresh.read_page(0)
+        fresh.close()
+
+    # -- through the service: retry containment on real storage --------------
+
+    @staticmethod
+    def _service_on(heap):
+        service = TrainingService(scan_seed=5, workers=1)
+        service.register_heap("f", heap)
+        service.open_budget("alice", "f", 10.0)
+        service.scheduler.retry_backoff_seconds = 0.0
+        return service
+
+    def test_locked_database_retries_to_the_same_bits(self, heap_path):
+        """One 'database is locked' mid-scan: the scheduler retries and
+        the release is bitwise-identical to an undisturbed in-memory
+        run — backend invariance and retry determinism in one assert."""
+        clean = TrainingService(scan_seed=5, workers=1)
+        clean.register_heap("f", MaterializedHeapFile(X, Y))
+        clean.open_budget("alice", "f", 10.0)
+        reference = submit_one(clean, "f")
+        clean.drain()
+        assert reference.status is JobStatus.COMPLETED
+
+        heap = SQLiteHeapFile.bulk_load(heap_path, X, Y)
+        # Register first: the fingerprint scan at registration must read
+        # clean (as it would in production, where the heap is healthy at
+        # CREATE TABLE time); the contention arrives mid-training-scan.
+        service = self._service_on(heap)
+        real_fetch = heap._fetch_page_row
+        faults = []
+
+        def contended(page_id):
+            if not faults:
+                faults.append(page_id)
+                raise sqlite3.OperationalError("database is locked")
+            return real_fetch(page_id)
+
+        heap._fetch_page_row = contended
+        record = submit_one(service, "f")
+        service.drain()
+        assert record.status is JobStatus.COMPLETED, record.error
+        assert service.scheduler.scan_retries_used == 1
+        assert np.array_equal(record.model, reference.model)
+        statement = service.budgets()[0]
+        assert statement.spent[0] == pytest.approx(EPS)
+        assert statement.reserved == (0.0, 0.0)
+
+    def test_lock_contention_that_never_clears_fails_with_refund(self, heap_path):
+        heap = SQLiteHeapFile.bulk_load(heap_path, X, Y)
+        service = self._service_on(heap)
+
+        def always_locked(page_id):
+            raise sqlite3.OperationalError("database is locked")
+
+        heap._fetch_page_row = always_locked
+        service.scheduler.scan_retries = 2
+        record = submit_one(service, "f")
+        service.drain()
+        assert record.status is JobStatus.FAILED
+        assert "locked" in record.error
+        assert service.scheduler.scan_retries_used == 2
+        statement = service.budgets()[0]
+        assert statement.spent == (0, 0)
+        assert statement.reserved == (0.0, 0.0)
+
+    def test_deleted_database_fails_fast_with_refund(self, heap_path):
+        """Deleting the file under a registered heap is permanent: the
+        worker thread's fresh connection cannot open it, the job FAILS
+        without burning retries, and the reservation comes back."""
+        heap = SQLiteHeapFile.bulk_load(heap_path, X, Y)
+        service = self._service_on(heap)
+        heap_path.unlink()
+        for sibling in (heap_path.with_name(heap_path.name + "-wal"),
+                        heap_path.with_name(heap_path.name + "-shm")):
+            if sibling.exists():
+                sibling.unlink()
+        record = submit_one(service, "f")
+        service.drain()
+        assert record.status is JobStatus.FAILED
+        assert "sqlite heap" in record.error
+        assert service.scheduler.scan_retries_used == 0
+        statement = service.budgets()[0]
+        assert statement.spent == (0, 0)
+        assert statement.reserved == (0.0, 0.0)
+        assert list(service.loop.dispatch_errors) == []

@@ -1,0 +1,106 @@
+"""Run the documentation's quickstart commands so the docs cannot rot.
+
+Usage::
+
+    python tools/check_docs.py README.md docs/architecture.md docs/operations.md
+
+Extracts every fenced ``console`` block from the given markdown files
+and executes the ``$ repro ...`` lines in it, in order, all in one
+shared scratch directory — so a ``repro serve --state-dir state`` in
+the README leaves the state a later ``repro trace ... --state-dir
+state`` (even in a different file: pass the files in reading order)
+expects to find. Exits 1 on the first failing command.
+
+What counts as a command: a line starting ``$ `` inside a ```` ```console ````
+fence. Only ``repro ...`` commands are executed (rewritten to
+``<python> -m repro ...`` so the installed entry point is not
+required); anything else (``pip install``, ``python -m pytest``) is
+environment-dependent setup and is skipped with a note. Lines not
+starting with ``$`` are expected output and ignored — the checker
+asserts commands *run*, not that their timings reproduce.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+TIMEOUT_SECONDS = 120
+FENCE = re.compile(r"^```console\s*$")
+
+
+def console_commands(markdown: str):
+    """Yield the ``$``-prefixed command lines of every console block."""
+    in_block = False
+    for line in markdown.splitlines():
+        if in_block:
+            if line.startswith("```"):
+                in_block = False
+            elif line.startswith("$ "):
+                yield line[2:].strip()
+        elif FENCE.match(line):
+            in_block = True
+
+
+def run_file(path: pathlib.Path, workdir: pathlib.Path, repo: pathlib.Path) -> int:
+    # The commands run from a scratch cwd, so the src tree must be on the
+    # child's path absolutely (a pip-installed package also just works).
+    env = dict(os.environ)
+    src = str(repo / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    failures = 0
+    for command in console_commands(path.read_text(encoding="utf-8")):
+        if not command.startswith("repro "):
+            print(f"  skip  {command}  (not a repro command)")
+            continue
+        argv = [sys.executable, "-m", "repro"] + shlex.split(command)[1:]
+        print(f"  run   {command}")
+        try:
+            result = subprocess.run(
+                argv,
+                cwd=workdir,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=TIMEOUT_SECONDS,
+            )
+        except subprocess.TimeoutExpired:
+            print(f"  FAIL  {command}: timed out after {TIMEOUT_SECONDS}s")
+            failures += 1
+            continue
+        if result.returncode != 0:
+            print(f"  FAIL  {command}: exit {result.returncode}")
+            sys.stdout.write(result.stdout)
+            sys.stderr.write(result.stderr)
+            failures += 1
+    return failures
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        workdir = pathlib.Path(scratch)
+        for name in argv:
+            path = pathlib.Path(name)
+            print(f"{path}:")
+            failures += run_file(path, workdir, repo)
+    if failures:
+        print(f"\n{failures} documented command(s) failed")
+        return 1
+    print("\nall documented commands ran")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
