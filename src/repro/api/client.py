@@ -1,0 +1,254 @@
+"""The Python client: ``TrainingService``'s verb surface over a socket.
+
+:class:`ServiceClient` speaks ``repro-api/v1`` to a
+:class:`~repro.api.server.ServiceApiServer` using nothing but
+``urllib`` — the same zero-dependency discipline as the server. Verbs
+mirror the in-process service:
+
+>>> client = ServiceClient("http://127.0.0.1:8321", token="alice-token")
+>>> view = client.submit("alice", "ratings", LogisticLoss(1e-3),
+...                      epsilon=0.1, passes=5, batch_size=50, seed=7)
+>>> view = client.wait(view.job_id)       # poll until terminal
+>>> client.model(view.job_id)             # bitwise-equal to in-process
+
+Faults come back as the **same exception classes** the in-process verbs
+raise: the server serializes each :class:`~repro.service.errors
+.ServiceError` to its stable ``code``, and the client rebuilds the
+class from the code (``except UnknownJob`` works on either side of the
+socket). Transport-level failures — connection refused, timeouts —
+retry ``retries`` times with exponential backoff before surfacing as
+:class:`ApiUnreachable`; HTTP-level faults are definitive and never
+retried (the server *answered*; asking again won't change its mind).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.api import wire
+from repro.obs.trace import JobTrace
+from repro.optim.losses import Loss
+from repro.service.errors import NotCancellable, ServiceError, error_for_code
+from repro.service.jobs import JobStatus
+from repro.service.ledger import AccountStatement
+
+
+class ApiUnreachable(ServiceError):
+    """The server could not be reached (after the configured retries)."""
+
+    code = "unreachable"
+    http_status = 503
+
+
+class ServiceClient:
+    """A thin, synchronous ``repro-api/v1`` client.
+
+    ``timeout`` is per-request (seconds); ``retries`` counts *additional*
+    attempts after a transport failure, spaced ``backoff * 2**attempt``
+    seconds apart. Retries are safe here: every endpoint is a read or an
+    idempotent-at-the-ledger admission — a submit retried after a
+    connection error that actually admitted lands as a second job, which
+    the result cache serves for free once the first completes.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: Optional[str] = None,
+        *,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+
+    # -- the verb surface --------------------------------------------------------
+
+    def submit(
+        self,
+        principal: str,
+        table: str,
+        loss: Loss,
+        *,
+        epsilon: float,
+        delta: float = 0.0,
+        passes: int = 1,
+        batch_size: int = 50,
+        eta: Optional[float] = None,
+        radius: Optional[float] = None,
+        priority: int = 0,
+        seed: int = 0,
+    ) -> wire.JobView:
+        """``TrainingService.submit`` over the wire; returns the admitted
+        job's view immediately (QUEUED, COMPLETED-from-cache, or
+        REJECTED — never blocks on a scan)."""
+        request = wire.SubmitRequest(
+            principal=principal,
+            table=table,
+            loss=loss,
+            epsilon=epsilon,
+            delta=delta,
+            passes=passes,
+            batch_size=batch_size,
+            eta=eta,
+            radius=radius,
+            priority=priority,
+            seed=seed,
+        )
+        payload = self._call("POST", "/v1/jobs", body=request.to_payload())
+        return wire.JobView.from_payload(payload["job"])
+
+    def result(self, job_id: str) -> wire.JobView:
+        """One job's full record view (live status — a queued job says so)."""
+        payload = self._call("GET", f"/v1/jobs/{job_id}")
+        return wire.JobView.from_payload(payload["job"])
+
+    def status(self, job_id: str) -> JobStatus:
+        return self.result(job_id).status
+
+    def model(self, job_id: str) -> np.ndarray:
+        """The released weights, hex-decoded — bitwise-equal to the
+        array ``TrainingService.model`` returns in process."""
+        payload = self._call("GET", f"/v1/jobs/{job_id}/model")
+        return wire.decode_weights(payload["model"])
+
+    def trace(self, job_id: str) -> JobTrace:
+        payload = self._call("GET", f"/v1/jobs/{job_id}/trace")
+        return JobTrace.from_payload(payload["trace"])
+
+    def cancel(self, job_id: str) -> bool:
+        """Same contract as ``TrainingService.cancel``: ``True`` when the
+        queued job was cancelled, ``False`` once it is uncancellable
+        (the server's 409 ``not_cancellable`` maps back to ``False``)."""
+        try:
+            payload = self._call("POST", f"/v1/jobs/{job_id}/cancel")
+        except NotCancellable:
+            return False
+        return bool(payload.get("cancelled", False))
+
+    def budgets(self) -> List[AccountStatement]:
+        """Every account's statement, as the same ``AccountStatement``
+        objects the in-process verb returns."""
+        payload = self._call("GET", "/v1/budgets")
+        return [
+            wire.BudgetView.from_payload(entry).to_statement()
+            for entry in payload["budgets"]
+        ]
+
+    def health(self) -> Dict[str, object]:
+        """``TrainingService.health()``'s dict (``/v1/healthz`` is the
+        one unauthenticated endpoint — probes don't carry tokens)."""
+        payload = self._call("GET", "/v1/healthz", auth=False)
+        return wire.HealthView.from_payload(payload).to_payload()
+
+    def metrics(self, format: str = "prometheus") -> Union[str, dict]:
+        """The metrics exposition: Prometheus text or the JSON document."""
+        if format not in ("prometheus", "json"):
+            raise ValueError(
+                f"unknown metrics format {format!r}: use 'prometheus' or 'json'"
+            )
+        raw = self._call_raw("GET", f"/v1/metrics?format={format}")
+        if format == "json":
+            return json.loads(raw.decode("utf-8"))
+        return raw.decode("utf-8")
+
+    def shutdown(self) -> None:
+        """``POST /v1/admin/shutdown`` — requires this client's token to
+        be the server's admin token."""
+        self._call("POST", "/v1/admin/shutdown")
+
+    # -- polling -----------------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 0.02,
+    ) -> wire.JobView:
+        """Poll until the job is terminal; the remote stand-in for
+        ``record.wait()``. Returns the final view; raises
+        :class:`TimeoutError` if ``timeout`` expires first."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            view = self.result(job_id)
+            if view.done:
+                return view
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {view.status} after {timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+    # -- transport ---------------------------------------------------------------
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        *,
+        auth: bool = True,
+    ) -> dict:
+        raw = self._call_raw(method, path, body, auth=auth)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(
+                f"server returned non-JSON body for {method} {path}: {error}"
+            ) from None
+        return wire.check_envelope(payload)
+
+    def _call_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        *,
+        auth: bool = True,
+    ) -> bytes:
+        url = self.base_url + path
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if auth and self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.read()
+            except urllib.error.HTTPError as error:
+                # The server answered: decode its fault envelope into the
+                # taxonomy exception it names. Definitive — never retried.
+                raise self._decode_fault(error) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as error:
+                last_error = error
+                if attempt < self.retries:
+                    time.sleep(self.backoff * (2.0**attempt))
+        raise ApiUnreachable(
+            f"{method} {url} failed after {self.retries + 1} attempt(s): "
+            f"{last_error}"
+        ) from last_error
+
+    @staticmethod
+    def _decode_fault(error: urllib.error.HTTPError) -> Exception:
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+            fault = payload["error"]
+            return error_for_code(fault["code"], fault["message"])
+        except Exception:
+            return ServiceError(f"HTTP {error.code}: {error.reason}")

@@ -1,0 +1,400 @@
+"""The HTTP front-end: ``repro-api/v1`` over a stdlib threading server.
+
+:class:`ServiceApiServer` wraps one :class:`~repro.service.TrainingService`
+behind ``http.server.ThreadingHTTPServer`` (no dependencies beyond the
+standard library) and serves the verb surface:
+
+====== ============================ ====================================
+Method Path                         Verb
+====== ============================ ====================================
+POST   ``/v1/jobs``                 ``submit()`` — returns the job
+                                    record envelope immediately (rides
+                                    the sub-ms async admission path)
+GET    ``/v1/jobs/{id}``            ``result()`` — status + result view
+GET    ``/v1/jobs/{id}/model``      ``model()`` — hex-exact weights
+GET    ``/v1/jobs/{id}/trace``      ``trace()`` — lifecycle spans
+POST   ``/v1/jobs/{id}/cancel``     ``cancel()``
+GET    ``/v1/budgets``              ``budgets()``
+GET    ``/v1/metrics``              ``metrics()`` — Prometheus text, or
+                                    JSON via ``Accept`` / ``?format=``
+GET    ``/v1/healthz``              ``health()`` (unauthenticated)
+POST   ``/v1/admin/shutdown``       graceful stop (admin token only)
+====== ============================ ====================================
+
+**Auth.** Every endpoint except ``/v1/healthz`` requires
+``Authorization: Bearer <token>``; the server's token map assigns each
+token a principal, and a submit whose body names a *different*
+principal is rejected (403 ``principal_mismatch``) — budget identity is
+enforced at the edge, before the ledger ever sees the job.
+
+**Errors.** Any :class:`~repro.service.errors.ServiceError` a verb
+raises maps 1:1 onto the fault envelope ``{"error": {"code",
+"message"}}`` with the class's HTTP status; bare ``KeyError`` /
+``ValueError`` from pre-taxonomy corners degrade to ``not_found`` /
+``invalid_request``. The client rebuilds the same exception classes
+from the codes, so both transports fail identically.
+
+**Telemetry.** Requests tick ``repro_http_requests_total{method,route,
+status}`` and observe ``repro_http_request_seconds{route}`` in the
+service's own metrics registry — route labels are the *patterns*
+(``/v1/jobs/{id}``), never raw paths, so cardinality stays bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api import wire
+from repro.service.errors import (
+    NotCancellable,
+    PrincipalMismatch,
+    ServiceError,
+    Unauthorized,
+)
+from repro.service.server import TrainingService
+
+#: Max accepted request-body size (a submit payload is a few KB; nothing
+#: on this API legitimately streams megabytes at the server).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9._:-]+)(/model|/trace|/cancel)?$")
+
+
+class ServiceApiServer:
+    """One training service, one listening socket, many tenant tokens.
+
+    ``tokens`` maps bearer token → principal. ``admin_token`` (optional,
+    and deliberately not in the tenant map unless you put it there)
+    guards ``POST /v1/admin/shutdown``. ``port=0`` binds an ephemeral
+    port — read :attr:`port` / :attr:`url` after construction.
+    """
+
+    def __init__(
+        self,
+        service: TrainingService,
+        tokens: Mapping[str, str],
+        *,
+        admin_token: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.tokens: Dict[str, str] = dict(tokens)
+        self.admin_token = admin_token
+        #: Set once a graceful stop was requested (admin endpoint or
+        #: :meth:`request_shutdown`); the CLI's hold loop waits on it.
+        self.shutdown_requested = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        reg = service.metrics_registry
+        self._requests_total = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, route pattern, and status.",
+            ("method", "route", "status"),
+        )
+        self._request_seconds = reg.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency, by route pattern.",
+            ("route",),
+        )
+        api = self
+
+        class _Handler(_ApiHandler):
+            server_api = api
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceApiServer":
+        """Serve on a daemon thread; returns self (``.url`` is live)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-api",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Flag a graceful stop and unwind ``serve_forever`` without
+        blocking the calling (request) thread."""
+        if self.shutdown_requested.is_set():
+            return
+        self.shutdown_requested.set()
+        threading.Thread(target=self._httpd.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self.shutdown_requested.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceApiServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _ApiHandler(BaseHTTPRequestHandler):
+    """Route, authenticate, dispatch, envelope — one request at a time."""
+
+    server_api: ServiceApiServer  # installed by ServiceApiServer
+
+    # HTTP/1.0 (the default): one request per connection, closed by the
+    # server — no keep-alive reader threads to leak.
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the metrics registry's job
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        route = "(unmatched)"
+        try:
+            route, status, body, content_type = self._route(method)
+        except ServiceError as error:
+            status, body, content_type = self._fault(error.http_status, error.code, error)
+        except KeyError as error:
+            message = error.args[0] if error.args else str(error)
+            status, body, content_type = self._fault(404, "not_found", message)
+        except ValueError as error:
+            status, body, content_type = self._fault(400, "invalid_request", error)
+        except Exception as error:  # pragma: no cover - defensive
+            status, body, content_type = self._fault(500, "internal", error)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to answer
+        api = self.server_api
+        api._requests_total.inc(
+            method=method, route=route, status=str(status)
+        )
+        api._request_seconds.observe(time.perf_counter() - started, route=route)
+
+    @staticmethod
+    def _fault(status: int, code: str, message) -> Tuple[int, bytes, str]:
+        body = json.dumps(
+            wire.error_envelope(code, str(message)), sort_keys=True
+        ).encode("utf-8")
+        return status, body, "application/json"
+
+    def _json(self, status: int, payload: dict) -> Tuple[int, bytes, str]:
+        body = (
+            json.dumps(wire.envelope(payload), sort_keys=True) + "\n"
+        ).encode("utf-8")
+        return status, body, "application/json"
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"request body is not JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _bearer_token(self) -> Optional[str]:
+        header = self.headers.get("Authorization") or ""
+        scheme, _, token = header.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            return None
+        return token.strip()
+
+    def _principal(self) -> str:
+        """The token-authenticated principal, or 401."""
+        token = self._bearer_token()
+        if token is None:
+            raise Unauthorized(
+                "missing bearer token: send 'Authorization: Bearer <token>'"
+            )
+        principal = self.server_api.tokens.get(token)
+        if principal is None:
+            raise Unauthorized("unknown bearer token")
+        return principal
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route(self, method: str) -> Tuple[str, int, bytes, str]:
+        split = urlsplit(self.path)
+        path, query = split.path, parse_qs(split.query)
+        service = self.server_api.service
+
+        if path == "/v1/healthz":
+            self._expect(method, "GET")
+            view = wire.HealthView.from_health(service.health())
+            return ("/v1/healthz", *self._json(200, view.to_payload()))
+
+        if path == "/v1/admin/shutdown":
+            self._expect(method, "POST")
+            return ("/v1/admin/shutdown", *self._admin_shutdown())
+
+        if path == "/v1/metrics":
+            self._expect(method, "GET")
+            return ("/v1/metrics", *self._metrics(query))
+
+        if path == "/v1/budgets":
+            self._expect(method, "GET")
+            self._principal()
+            views = [
+                wire.BudgetView.from_statement(statement).to_payload()
+                for statement in service.budgets()
+            ]
+            return ("/v1/budgets", *self._json(200, {"budgets": views}))
+
+        if path == "/v1/jobs":
+            self._expect(method, "POST")
+            return ("/v1/jobs", *self._submit())
+
+        match = _JOB_PATH.match(path)
+        if match:
+            job_id, leaf = match.group(1), match.group(2) or ""
+            route = f"/v1/jobs/{{id}}{leaf}"
+            self._expect(method, "POST" if leaf == "/cancel" else "GET")
+            if leaf == "/cancel":
+                return (route, *self._cancel(job_id))
+            self._principal()
+            if leaf == "/model":
+                payload = {
+                    "job_id": job_id,
+                    "model": wire.encode_weights(service.model(job_id)),
+                }
+                return (route, *self._json(200, payload))
+            if leaf == "/trace":
+                payload = {
+                    "job_id": job_id,
+                    "trace": service.trace(job_id).payload(),
+                }
+                return (route, *self._json(200, payload))
+            view = wire.JobView.from_record(service.result(job_id))
+            return (route, *self._json(200, {"job": view.to_payload()}))
+
+        raise ServiceApiError(404, "unknown_route", f"no such endpoint: {path}")
+
+    @staticmethod
+    def _expect(method: str, allowed: str) -> None:
+        if method != allowed:
+            raise ServiceApiError(
+                405, "method_not_allowed", f"use {allowed} on this endpoint"
+            )
+
+    # -- endpoint bodies ---------------------------------------------------------
+
+    def _submit(self) -> Tuple[int, bytes, str]:
+        principal = self._principal()
+        try:
+            request = wire.SubmitRequest.from_payload(self._read_body())
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed submit payload: {error}") from None
+        if request.principal != principal:
+            raise PrincipalMismatch(
+                f"token authenticates {principal!r} but the submit names "
+                f"principal {request.principal!r}; budgets are charged to "
+                "the authenticated principal only"
+            )
+        record = self.server_api.service.submit(
+            request.principal,
+            request.table,
+            request.loss,
+            epsilon=request.epsilon,
+            delta=request.delta,
+            passes=request.passes,
+            batch_size=request.batch_size,
+            eta=request.eta,
+            radius=request.radius,
+            priority=request.priority,
+            seed=request.seed,
+        )
+        view = wire.JobView.from_record(record)
+        return self._json(200, {"job": view.to_payload()})
+
+    def _cancel(self, job_id: str) -> Tuple[int, bytes, str]:
+        self._principal()
+        service = self.server_api.service
+        if not service.cancel(job_id):
+            raise NotCancellable(
+                f"job {job_id!r} is not cancellable: it was already claimed "
+                "into a scan window or reached a terminal state"
+            )
+        view = wire.JobView.from_record(service.result(job_id))
+        return self._json(200, {"cancelled": True, "job": view.to_payload()})
+
+    def _metrics(self, query: Dict[str, list]) -> Tuple[int, bytes, str]:
+        self._principal()
+        fmt = (query.get("format") or [None])[0]
+        if fmt is None:
+            accept = self.headers.get("Accept") or ""
+            fmt = "json" if "application/json" in accept else "prometheus"
+        if fmt not in ("prometheus", "json"):
+            raise ValueError(
+                f"unknown metrics format {fmt!r}: use 'prometheus' or 'json'"
+            )
+        rendered = self.server_api.service.metrics(format=fmt)
+        if fmt == "json":
+            body = (json.dumps(rendered, sort_keys=True) + "\n").encode("utf-8")
+            return 200, body, "application/json"
+        return 200, rendered.encode("utf-8"), "text/plain; version=0.0.4"
+
+    def _admin_shutdown(self) -> Tuple[int, bytes, str]:
+        api = self.server_api
+        token = self._bearer_token()
+        if token is None:
+            raise Unauthorized(
+                "missing bearer token: send 'Authorization: Bearer <token>'"
+            )
+        if api.admin_token is None or token != api.admin_token:
+            raise ServiceApiError(
+                403, "forbidden", "shutdown requires the admin token"
+            )
+        api.request_shutdown()
+        return self._json(200, {"shutting_down": True})
+
+
+class ServiceApiError(ServiceError):
+    """An HTTP-layer fault (bad route/method/admin) with its own code —
+    constructed per-raise rather than one class per routing mishap."""
+
+    def __init__(self, http_status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.http_status = http_status
+        self.code = code

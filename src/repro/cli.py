@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro train --dataset protein --epsilon 0.2 [--delta auto]
         Train a bolt-on private model on a registry dataset and report
@@ -34,11 +34,26 @@ Five subcommands::
         dispatched window. The end-of-run summary renders from the same
         registry, so the report and the export can never disagree.
 
-    python -m repro trace JOB --state-dir DIR [--json]
+    python -m repro status JOB {--url http://HOST:PORT --token T | --state-dir DIR}
+        One job's status and record summary, from a running HTTP
+        front-end or from a prior serve run's state directory.
+
+    python -m repro trace JOB {--state-dir DIR | --url ... --token T} [--json]
         Print one job's lifecycle trace — the monotonic-clock spans
         (admit, queued, claim, scan, epilogue, commit) its record
-        carries — from a prior serve run's state directory. ``--json``
-        emits the raw span payload instead of the pretty table.
+        carries — from a prior serve run's state directory or over the
+        HTTP API. ``--json`` emits the raw span payload instead of the
+        pretty table.
+
+``serve --http PORT`` additionally starts the ``repro-api/v1`` HTTP
+front-end (``repro.api``) and drives the demo workload through
+``ServiceClient`` over a real socket; ``--token-file`` maps bearer
+tokens to principals (generated and written when the file is missing),
+and ``--hold`` keeps serving after the demo until SIGTERM/SIGINT or
+``POST /v1/admin/shutdown`` — either path drains the autosave window
+before exit, so a containerized deploy never tears the WAL tail.
+``submit --url http://... --token ...`` submits through the same
+client, making the CLI the API's first consumer.
 
 The CLI is intentionally a thin shell over the library — everything it
 does is one public API call.
@@ -115,6 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--regularization", type=float, default=1e-3)
     submit.add_argument("--scale", type=float, default=None)
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--url", default=None, metavar="http://HOST:PORT",
+        help="submit through a running HTTP front-end (repro serve --http) "
+        "instead of spinning up an in-process service",
+    )
+    submit.add_argument(
+        "--token", default=None,
+        help="bearer token for --url (maps to the submitting principal)",
+    )
+    submit.add_argument(
+        "--table", default=None,
+        help="server-side table to train against (--url mode only)",
+    )
+    submit.add_argument(
+        "--wait-seconds", type=float, default=600.0,
+        help="--url mode: how long to poll for the job to finish",
+    )
 
     serve = sub.add_parser(
         "serve", help="demo the async shared-scan server on a mixed-tenant workload"
@@ -169,15 +201,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the SQLite heap files (--backend sqlite); "
         "defaults to <state-dir>/heaps, or a temp dir without --state-dir",
     )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="start the repro-api/v1 HTTP front-end on PORT (0 = pick an "
+        "ephemeral port) and drive the demo workload through ServiceClient "
+        "over a real socket",
+    )
+    serve.add_argument(
+        "--token-file", default=None,
+        help="principal:token lines mapping bearer tokens to principals "
+        "(the 'admin' principal's token guards POST /v1/admin/shutdown); "
+        "a missing file is generated with demo tokens and written back",
+    )
+    serve.add_argument(
+        "--hold", action="store_true",
+        help="with --http: keep serving after the demo workload until "
+        "SIGTERM/SIGINT or POST /v1/admin/shutdown (draining the autosave "
+        "window before exit)",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="one job's status from a running HTTP front-end or a state dir",
+    )
+    status.add_argument("job_id", help="the job id (e.g. job-00001)")
+    status.add_argument(
+        "--url", default=None, metavar="http://HOST:PORT",
+        help="a running HTTP front-end (repro serve --http)",
+    )
+    status.add_argument("--token", default=None, help="bearer token for --url")
+    status.add_argument(
+        "--state-dir", default=None,
+        help="a prior serve run's state directory (instead of --url)",
+    )
 
     trace = sub.add_parser(
-        "trace", help="print one job's lifecycle trace from a saved state dir"
+        "trace",
+        help="print one job's lifecycle trace from a state dir or over HTTP",
     )
     trace.add_argument("job_id", help="the job id (e.g. job-00001)")
     trace.add_argument(
-        "--state-dir", required=True,
+        "--state-dir", default=None,
         help="a prior serve run's state directory (snapshot + receipt log)",
     )
+    trace.add_argument(
+        "--url", default=None, metavar="http://HOST:PORT",
+        help="a running HTTP front-end (instead of --state-dir)",
+    )
+    trace.add_argument("--token", default=None, help="bearer token for --url")
     trace.add_argument(
         "--json", action="store_true",
         help="emit the record's raw trace payload as JSON",
@@ -236,10 +307,68 @@ def _reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _submit_remote(args: argparse.Namespace) -> int:
+    """``repro submit --url``: the same verb, spoken through the client."""
+    from repro.api import ServiceClient
+    from repro.optim.losses import LogisticLoss as _Logistic
+    from repro.service import JobStatus, ServiceError
+
+    if args.table is None:
+        print("submit --url needs --table (the server-side table name)",
+              file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url, token=args.token)
+    try:
+        view = client.submit(
+            args.principal,
+            args.table,
+            _Logistic(regularization=args.regularization),
+            epsilon=args.epsilon,
+            delta=args.delta,
+            passes=args.passes,
+            batch_size=args.batch_size,
+            seed=args.seed,
+        )
+        if not view.done:
+            view = client.wait(view.job_id, timeout=args.wait_seconds)
+        statements = [
+            statement
+            for statement in client.budgets()
+            if statement.principal == args.principal
+            and statement.table == args.table
+        ]
+    except (ServiceError, TimeoutError) as error:
+        code = getattr(error, "code", "error")
+        print(f"error: {code}: {error}", file=sys.stderr)
+        return 2
+    print(f"job             : {view.job_id} ({args.principal} on {args.table})")
+    print(f"status          : {view.status}")
+    if view.status is JobStatus.COMPLETED:
+        print(f"dispatch        : {view.dispatch} (group of {view.group_size})")
+        print(f"pages charged   : {view.group_pages}")
+        print(f"sensitivity     : {view.sensitivity:.6g}")
+        print(f"noise norm      : {view.noise_norm:.6g}")
+        if view.receipt is not None:
+            print(f"receipt         : #{view.receipt.sequence} for "
+                  f"{view.receipt.parameters}")
+    elif view.error:
+        print(f"reason          : {view.error}")
+    if statements:
+        statement = statements[0]
+        print(
+            f"budget          : cap {statement.cap}, spent "
+            f"({statement.spent[0]:g}, {statement.spent[1]:g}), "
+            f"available eps {statement.available_epsilon:g}"
+        )
+    return 0 if view.status is JobStatus.COMPLETED else 1
+
+
 def _submit(args: argparse.Namespace) -> int:
     from repro.optim.losses import LogisticLoss as _Logistic
     from repro.service import JobStatus, TrainingService
 
+    if args.url is not None:
+        return _submit_remote(args)
     pair = load_experiment_dataset(args.dataset, scale=args.scale, seed=args.seed)
     train_ds, test_ds = pair.train, pair.test
     if train_ds.num_classes != 2:
@@ -291,7 +420,42 @@ def _submit(args: argparse.Namespace) -> int:
     return 0 if record.status is JobStatus.COMPLETED else 1
 
 
+def _serve_tokens(token_file, tenants):
+    """The bearer-token map for ``serve --http``: token -> principal.
+
+    ``token_file`` holds ``principal:token`` lines (``#`` comments); the
+    ``admin`` principal's token guards ``POST /v1/admin/shutdown``. When
+    the path is missing (or None), deterministic demo tokens are
+    generated — and written back to the path, if one was given, so a
+    follow-up ``repro submit --url --token $(...)`` can read them. Demo
+    tokens are for the demo: a real deploy writes its own file.
+    """
+    entries = {}
+    if token_file is not None and pathlib.Path(token_file).exists():
+        for line in pathlib.Path(token_file).read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            principal, _, token = line.partition(":")
+            if not token:
+                raise ValueError(
+                    f"{token_file}: expected 'principal:token', got {line!r}"
+                )
+            entries[principal.strip()] = token.strip()
+    else:
+        entries = {tenant: f"{tenant}-token" for tenant in tenants}
+        entries["admin"] = "admin-token"
+        if token_file is not None:
+            lines = [f"{p}:{t}" for p, t in sorted(entries.items())]
+            pathlib.Path(token_file).write_text("\n".join(lines) + "\n")
+    admin_token = entries.pop("admin", None)
+    tokens = {token: principal for principal, token in entries.items()}
+    return tokens, admin_token
+
+
 def _serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
     import time
 
     import numpy as np
@@ -306,6 +470,9 @@ def _serve(args: argparse.Namespace) -> int:
         return 2
     if args.tables < 1:
         print("serve needs at least one table", file=sys.stderr)
+        return 2
+    if args.hold and args.http is None:
+        print("--hold needs --http (there is nothing to hold open)", file=sys.stderr)
         return 2
     tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
     table_names = [f"shared_{t}" for t in range(args.tables)]
@@ -375,27 +542,102 @@ def _serve(args: argparse.Namespace) -> int:
                 continue
             service.open_budget(tenant, name, args.epsilon * share + 1e-9)
 
-    # The async loop: workers dispatch in the background while submit()
-    # returns immediately — the per-call latency below is the proof.
-    service.start()
-    lambdas = np.logspace(-4, -2, 5)
-    submit_seconds = []
-    for j in range(args.jobs):
-        start = time.perf_counter()
-        service.submit(
-            tenants[j % len(tenants)],
-            table_names[(j // len(tenants)) % args.tables],
-            _Logistic(regularization=float(lambdas[j % len(lambdas)])),
-            epsilon=args.epsilon,
-            passes=args.passes,
-            batch_size=args.batch_size,
-            seed=1000 + j,
-        )
-        submit_seconds.append(time.perf_counter() - start)
-    drain_start = time.perf_counter()
-    service.drain()
-    drain_seconds = time.perf_counter() - drain_start
-    service.stop()
+    # The optional HTTP front-end: the demo workload then rides
+    # ServiceClient over a real socket — the CLI is the API's first
+    # consumer, and the submit latencies below include the wire.
+    api_server = None
+    clients = {}
+    stop_event = threading.Event()
+    if args.http is not None:
+        from repro.api import ServiceApiServer, ServiceClient
+
+        tokens, admin_token = _serve_tokens(args.token_file, tenants)
+        api_server = ServiceApiServer(
+            service, tokens, admin_token=admin_token, port=args.http
+        ).start()
+        clients = {
+            principal: ServiceClient(api_server.url, token)
+            for token, principal in tokens.items()
+        }
+        missing = [t for t in tenants if t not in clients]
+        if missing:
+            print(
+                f"error: token file grants no token to {missing[0]!r} "
+                "(every tenant in the demo workload needs one)",
+                file=sys.stderr,
+            )
+            api_server.close()
+            return 2
+
+    # A containerized deploy stops with SIGTERM: finish the workload
+    # path we are on, drain the autosave window, and only then exit —
+    # never tear the WAL tail. (Handlers only install from the main
+    # thread; elsewhere — e.g. tests driving main() — the default
+    # disposition stays.)
+    def _graceful(signum, frame):
+        stop_event.set()
+        if api_server is not None:
+            api_server.request_shutdown()
+
+    previous_handlers = {}
+    try:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[sig] = signal.signal(sig, _graceful)
+    except ValueError:
+        pass
+
+    try:
+        # The async loop: workers dispatch in the background while
+        # submit() returns immediately — the per-call latency below is
+        # the proof.
+        service.start()
+        lambdas = np.logspace(-4, -2, 5)
+        submit_seconds = []
+        for j in range(args.jobs):
+            tenant = tenants[j % len(tenants)]
+            table_name = table_names[(j // len(tenants)) % args.tables]
+            loss = _Logistic(regularization=float(lambdas[j % len(lambdas)]))
+            start = time.perf_counter()
+            if clients:
+                clients[tenant].submit(
+                    tenant,
+                    table_name,
+                    loss,
+                    epsilon=args.epsilon,
+                    passes=args.passes,
+                    batch_size=args.batch_size,
+                    seed=1000 + j,
+                )
+            else:
+                service.submit(
+                    tenant,
+                    table_name,
+                    loss,
+                    epsilon=args.epsilon,
+                    passes=args.passes,
+                    batch_size=args.batch_size,
+                    seed=1000 + j,
+                )
+            submit_seconds.append(time.perf_counter() - start)
+        drain_start = time.perf_counter()
+        service.drain()
+        drain_seconds = time.perf_counter() - drain_start
+        if args.hold and api_server is not None and not stop_event.is_set():
+            print(
+                f"holding         : {api_server.url} serving until SIGTERM "
+                "or POST /v1/admin/shutdown"
+            )
+            while not (
+                stop_event.wait(0.1) or api_server.shutdown_requested.is_set()
+            ):
+                pass
+            service.drain()  # jobs submitted during the hold finish too
+        service.stop()
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+        if api_server is not None:
+            api_server.close()
 
     single_scan_pages = args.passes * table.size
     print(f"workload        : {args.jobs} jobs, {len(tenants)} tenants, "
@@ -406,6 +648,11 @@ def _serve(args: argparse.Namespace) -> int:
         else ("sequential (forced)" if args.no_fuse else "fused")
     )
     print(f"dispatch mode   : {mode}, {args.workers} workers")
+    if api_server is not None:
+        print(
+            f"http front-end  : {api_server.url} (repro-api/v1, "
+            f"{len(clients)} tenant tokens; submits rode the socket)"
+        )
     if args.backend == "sqlite":
         print(f"storage backend : sqlite (WAL heaps under {sqlite_dir})")
     if resumed:
@@ -431,26 +678,81 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _trace(args: argparse.Namespace) -> int:
-    import json
+def _record_source(args: argparse.Namespace):
+    """Resolve ``--url`` / ``--state-dir`` into a record fetcher.
 
-    from repro.obs.summary import trace_lines
+    Returns ``(fetch, where, code)``: ``fetch(job_id)`` yields a
+    record-shaped object (a live :class:`JobRecord` or a wire
+    :class:`JobView` — attribute-compatible), ``where`` names the source
+    for error messages. On a usage/load error, ``fetch`` is None and
+    ``code`` is the exit status to return.
+    """
     from repro.service import TrainingService, WalCorruption
 
+    if (args.url is None) == (args.state_dir is None):
+        print("pass exactly one of --url or --state-dir", file=sys.stderr)
+        return None, "", 2
+    if args.url is not None:
+        from repro.api import ServiceClient
+
+        client = ServiceClient(args.url, token=args.token)
+        return client.result, args.url, 0
     service = TrainingService()
     try:
         service.load_state(args.state_dir)
     except (OSError, ValueError, WalCorruption) as error:
         print(f"error: cannot load {args.state_dir}: {error}", file=sys.stderr)
-        return 2
+        return None, "", 2
+    return service.result, args.state_dir, 0
+
+
+def _status(args: argparse.Namespace) -> int:
+    from repro.service import JobStatus, ServiceError, UnknownJob
+
+    fetch, where, code = _record_source(args)
+    if fetch is None:
+        return code
     try:
-        record = service.result(args.job_id)
-    except KeyError:
+        record = fetch(args.job_id)
+    except UnknownJob:
+        print(f"error: no job {args.job_id!r} at {where}", file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(f"error: {getattr(error, 'code', 'error')}: {error}",
+              file=sys.stderr)
+        return 2
+    print(f"job             : {record.job_id} "
+          f"({record.job.principal} on {record.job.table})")
+    print(f"status          : {record.status}")
+    if record.error:
+        print(f"reason          : {record.error}")
+    if record.status is JobStatus.COMPLETED:
+        print(f"dispatch        : {record.dispatch} (group of {record.group_size})")
+        print(f"pages charged   : {record.group_pages}")
+    return 0 if record.status is JobStatus.COMPLETED else 1
+
+
+def _trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.summary import trace_lines
+    from repro.service import ServiceError, UnknownJob
+
+    fetch, where, code = _record_source(args)
+    if fetch is None:
+        return code
+    try:
+        record = fetch(args.job_id)
+    except UnknownJob:
         print(
-            f"error: no job {args.job_id!r} in {args.state_dir} "
+            f"error: no job {args.job_id!r} in {where} "
             "(only records that reached the log/snapshot are durable)",
             file=sys.stderr,
         )
+        return 2
+    except ServiceError as error:
+        print(f"error: {getattr(error, 'code', 'error')}: {error}",
+              file=sys.stderr)
         return 2
     if args.json:
         payload = {
@@ -475,6 +777,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _submit(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "status":
+        return _status(args)
     if args.command == "trace":
         return _trace(args)
     return _reproduce(args)

@@ -24,6 +24,14 @@ and refuses to load tampered history (fail-closed).
 Entry point: :class:`TrainingService` (see :mod:`repro.service.server`).
 """
 
+from repro.service.errors import (
+    BudgetRejected,
+    InvalidCandidate,
+    NotCancellable,
+    ServiceError,
+    UnknownJob,
+    UnknownTable,
+)
 from repro.service.jobs import JobQueue, JobStatus, TrainingJob
 from repro.service.ledger import (
     AccountStatement,
@@ -62,4 +70,10 @@ __all__ = [
     "WriteAheadLog",
     "WalCorruption",
     "table_fingerprint",
+    "ServiceError",
+    "UnknownJob",
+    "UnknownTable",
+    "InvalidCandidate",
+    "NotCancellable",
+    "BudgetRejected",
 ]

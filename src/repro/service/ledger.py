@@ -35,10 +35,17 @@ from repro.core.accountant import (
 )
 from repro.core.mechanisms import PrivacyParameters
 
+# BudgetDenied's historical home is this module; it now lives in the
+# unified error taxonomy (errors.py) so denials can carry a wire code.
+from repro.service.errors import BudgetDenied, BudgetRejected
 
-class BudgetDenied(PrivacyBudgetExceeded):
-    """An admission-time denial: the reservation would overflow the cap
-    (or the account does not exist — no budget means no spend)."""
+__all__ = [
+    "AccountStatement",
+    "BudgetDenied",
+    "BudgetReceipt",
+    "BudgetReservation",
+    "PrivacyBudgetLedger",
+]
 
 
 @dataclass(frozen=True)
@@ -297,15 +304,16 @@ class PrivacyBudgetLedger:
         """Atomically hold ``parameters`` against the account or deny.
 
         Denial — unknown account, or ``spent + reserved + request``
-        overflowing the cap — raises :class:`BudgetDenied` and changes
-        nothing.
+        overflowing the cap — raises :class:`BudgetRejected` (a
+        :class:`BudgetDenied`, so pre-taxonomy handlers still catch it)
+        and changes nothing.
         """
         with self._lock:
             key = (principal, table)
             account = self._accounts.get(key)
             if account is None:
                 self.reserve_denials += 1
-                raise BudgetDenied(
+                raise BudgetRejected(
                     f"no budget account for principal {principal!r} on "
                     f"table {table!r}; open one before submitting jobs"
                 )
@@ -316,7 +324,7 @@ class PrivacyBudgetLedger:
                 spent_delta + account.reserved_delta + parameters.delta,
             ):
                 self.reserve_denials += 1
-                raise BudgetDenied(
+                raise BudgetRejected(
                     f"reserving {parameters} for job {job_id!r} would "
                     f"overflow {principal!r}'s budget on {table!r}: cap "
                     f"{account.accountant.budget}, spent ({spent_eps:g}, "

@@ -41,6 +41,7 @@ from repro.core.bolton import BoltOnCandidate
 from repro.core.mechanisms import PrivacyParameters
 from repro.obs.trace import JobTrace
 from repro.optim.losses import Loss
+from repro.service.errors import UnknownJob
 from repro.service.jobs import JobStatus, TrainingJob
 from repro.service.ledger import BudgetReceipt
 
@@ -343,7 +344,7 @@ class ModelRegistry:
         with self._lock:
             record = self._records.get(job_id)
             if record is None:
-                raise KeyError(f"unknown job {job_id!r}")
+                raise UnknownJob(f"unknown job {job_id!r}")
             return record
 
     def status(self, job_id: str) -> JobStatus:

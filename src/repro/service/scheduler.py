@@ -100,6 +100,7 @@ from repro.rdbms.bismarck import BismarckSession
 from repro.rdbms.catalog import TableInfo
 from repro.rdbms.storage import MaterializedHeapFile, TransientPageFault
 from repro.rdbms.uda import ElevatorMultiSGDUDA, ElevatorRider, MultiSGDUDA, SGDUDA
+from repro.service.errors import InvalidCandidate, UnknownTable
 from repro.service.jobs import JobQueue, JobStatus, TrainingJob
 from repro.service.ledger import (
     BudgetDenied,
@@ -358,9 +359,12 @@ class SharedScanScheduler:
         # Fail fast on programming errors — unknown table, or an option
         # the in-RDBMS dispatch cannot honor — so they raise instead of
         # producing a REJECTED record (and before any budget moves).
-        self.session.catalog.get(job.table)
+        try:
+            self.session.catalog.get(job.table)
+        except KeyError as error:
+            raise UnknownTable(error.args[0]) from None
         if job.candidate.average is not None:
-            raise ValueError(
+            raise InvalidCandidate(
                 "the service's in-RDBMS dispatch (SGDUDA/MultiSGDUDA) does "
                 "not support iterate averaging; submit with average=None or "
                 "train via repro.core.train_bolt_on directly"

@@ -217,6 +217,7 @@ class TrainingService:
         *,
         backend: str = "memory",
         path=None,
+        heap=None,
     ) -> TableInfo:
         """CREATE TABLE + COPY a dataset tenants may train against.
 
@@ -224,14 +225,23 @@ class TrainingService:
         an in-process heap. ``backend="sqlite"`` puts real storage under
         the engine: with arrays, they are bulk-loaded into a fresh
         SQLite-WAL heap at ``path``; without arrays, an existing heap
-        database at ``path`` is opened as-is. Either way the table rides
-        the same buffer pool, fused scans, and result cache — releases
-        are bitwise-identical across backends, and the cache key (a
-        content fingerprint) is backend-invariant, so a job cached from
-        the in-memory copy is served to a resubmission against the
-        SQLite copy of the same data.
+        database at ``path`` is opened as-is. ``heap=`` registers an
+        already-built heap file object (e.g. a synthesized virtual one)
+        as-is, instead of arrays or a backend. Either way the table
+        rides the same buffer pool, fused scans, and result cache —
+        releases are bitwise-identical across backends, and the cache
+        key (a content fingerprint) is backend-invariant, so a job
+        cached from the in-memory copy is served to a resubmission
+        against the SQLite copy of the same data.
         """
-        if backend == "memory":
+        if heap is not None:
+            if features is not None or labels is not None or path is not None:
+                raise ValueError(
+                    "heap= registers the given heap object as-is; do not "
+                    "also pass features/labels or path"
+                )
+            info = self.session.register_table(name, heap)
+        elif backend == "memory":
             if features is None or labels is None:
                 raise ValueError("backend='memory' requires features and labels")
             info = self.session.load_table(name, features, labels)
@@ -251,10 +261,14 @@ class TrainingService:
         return info
 
     def register_heap(self, name: str, heap) -> TableInfo:
-        """Register an existing heap file (e.g. a synthesized virtual one)."""
-        info = self.session.register_table(name, heap)
-        self._arm_cache(name)
-        return info
+        """Deprecated alias for :meth:`register_table` with ``heap=``."""
+        warnings.warn(
+            "TrainingService.register_heap is deprecated; use "
+            "register_table(name, heap=heap)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register_table(name, heap=heap)
 
     def open_budget(
         self, principal: str, table: str, epsilon: float, delta: float = 0.0
@@ -399,6 +413,23 @@ class TrainingService:
         return self.scheduler.cancel(job_id)
 
     # -- observability -----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """The liveness/readiness snapshot ``GET /v1/healthz`` renders:
+        durability mode (plus WAL counters), queue depth (total and
+        per-table), the dispatch loop's worker count and running flag,
+        and the registry's status histogram. Cheap by design — counters
+        and dict walks only, no scans, no disk."""
+        depths = self.scheduler.queue_depths()
+        return {
+            "status": "ok",
+            "durability": self.durability,
+            "queue_depth": sum(depths.values()),
+            "queue_depths": depths,
+            "workers": self.loop.workers,
+            "dispatch_running": self.loop.running,
+            "jobs": self.registry.counts(),
+        }
 
     def trace(self, job_id: str) -> JobTrace:
         """The lifecycle trace of one job: monotonic-clock spans from

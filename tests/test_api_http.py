@@ -1,0 +1,441 @@
+"""Transport conformance: the HTTP front-end vs the in-process verbs.
+
+One parametrized body runs against two transports — the in-process
+``TrainingService`` verbs and a :class:`ServiceClient` speaking
+``repro-api/v1`` to a :class:`ServiceApiServer` over a real socket —
+and asserts they are indistinguishable:
+
+* **Bitwise releases** — a job submitted over HTTP releases weights
+  ``np.array_equal`` (atol=0) to the same job submitted in process,
+  with the budget charged to the token-authenticated principal.
+* **Identical faults** — every :class:`ServiceError` carries the same
+  machine-readable ``code`` through both transports, and the legacy
+  ``except KeyError`` catch works on either side of the socket.
+* **Same verb semantics** — cancel's True/False contract, trace
+  round-trips, budget statements, health.
+
+Plus HTTP-only edges: bearer-token auth, principal pinning, the
+envelope version tag, the metrics endpoint, admin shutdown, and
+concurrent submitters sharing one socket server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import ServiceApiServer, ServiceClient, WIRE_FORMAT
+from repro.api.wire import JobView, check_envelope
+from repro.optim.losses import LogisticLoss
+from repro.service import (
+    JobStatus,
+    NotCancellable,
+    ServiceError,
+    TrainingService,
+    UnknownJob,
+    UnknownTable,
+)
+from repro.service.errors import PrincipalMismatch, Unauthorized
+from tests.conftest import make_binary_data
+
+M, D = 300, 8
+EPS = 0.05
+X, Y = make_binary_data(M, D, seed=21)
+
+TOKENS = {"alice-token": "alice", "bob-token": "bob"}
+ADMIN_TOKEN = "admin-token"
+
+
+def make_service(workers: int = 1, cap: float = 10.0) -> TrainingService:
+    service = TrainingService(fuse=True, scan_seed=5, workers=workers)
+    service.register_table("t", X, Y)
+    service.open_budget("alice", "t", cap)
+    service.open_budget("bob", "t", cap)
+    return service
+
+
+class InProcessTransport:
+    """The reference transport: the service's own verbs, renamed to the
+    client's surface so one test body drives both."""
+
+    name = "inproc"
+
+    def __init__(self, service: TrainingService) -> None:
+        self.service = service
+
+    def submit(self, principal, **kwargs):
+        return self.service.submit(principal, "t", **kwargs)
+
+    def wait(self, job_id, timeout=30.0):
+        record = self.service.result(job_id)
+        assert record.wait(timeout)
+        return record
+
+    def result(self, job_id):
+        return self.service.result(job_id)
+
+    def model(self, job_id):
+        return self.service.model(job_id)
+
+    def trace(self, job_id):
+        return self.service.trace(job_id)
+
+    def cancel(self, job_id):
+        return self.service.cancel(job_id)
+
+    def budgets(self):
+        return self.service.budgets()
+
+    def health(self):
+        return self.service.health()
+
+    def close(self):
+        self.service.stop()
+
+
+class HttpTransport:
+    """The same verbs through a live socket server."""
+
+    name = "http"
+
+    def __init__(self, service: TrainingService) -> None:
+        self.service = service
+        self.server = ServiceApiServer(
+            service, TOKENS, admin_token=ADMIN_TOKEN
+        ).start()
+        self._clients = {
+            principal: ServiceClient(self.server.url, token=token)
+            for token, principal in TOKENS.items()
+        }
+        self._clients["admin"] = ServiceClient(
+            self.server.url, token=ADMIN_TOKEN
+        )
+
+    def client(self, principal: str = "alice") -> ServiceClient:
+        return self._clients[principal]
+
+    def submit(self, principal, **kwargs):
+        return self.client(principal).submit(principal, "t", **kwargs)
+
+    def wait(self, job_id, timeout=30.0):
+        return self.client().wait(job_id, timeout=timeout)
+
+    def result(self, job_id):
+        return self.client().result(job_id)
+
+    def model(self, job_id):
+        return self.client().model(job_id)
+
+    def trace(self, job_id):
+        return self.client().trace(job_id)
+
+    def cancel(self, job_id):
+        return self.client().cancel(job_id)
+
+    def budgets(self):
+        return self.client().budgets()
+
+    def health(self):
+        return self.client().health()
+
+    def close(self):
+        self.server.close()
+        self.service.stop()
+
+
+@pytest.fixture(params=["inproc", "http"])
+def transport(request):
+    service = make_service(workers=1).start()
+    cls = InProcessTransport if request.param == "inproc" else HttpTransport
+    t = cls(service)
+    yield t
+    t.close()
+
+
+SUBMIT = dict(loss=LogisticLoss(1e-2), epsilon=EPS, passes=2,
+              batch_size=50, seed=7)
+
+
+def reference_release() -> np.ndarray:
+    """The ground truth: the same job trained fully in process."""
+    service = make_service(workers=1)
+    record = service.submit("alice", "t", **SUBMIT)
+    service.drain()
+    weights = service.model(record.job_id)
+    service.stop()
+    return weights
+
+
+REFERENCE = reference_release()
+
+
+class TestConformance:
+    """One body, both transports."""
+
+    def test_submit_releases_bitwise_equal_weights(self, transport):
+        view = transport.submit("alice", **SUBMIT)
+        final = transport.wait(view.job_id)
+        assert final.status is JobStatus.COMPLETED
+        weights = transport.model(view.job_id)
+        assert weights.dtype == np.float64
+        assert np.array_equal(weights, REFERENCE)  # atol=0, bitwise
+
+    def test_budget_is_charged_to_the_submitting_principal(self, transport):
+        view = transport.submit("alice", **SUBMIT)
+        transport.wait(view.job_id)
+        statements = {(s.principal, s.table): s for s in transport.budgets()}
+        alice = statements[("alice", "t")]
+        bob = statements[("bob", "t")]
+        assert alice.spent == (EPS, 0.0)
+        assert bob.spent == (0.0, 0.0)
+        assert alice.available_epsilon == pytest.approx(10.0 - EPS)
+
+    def test_unknown_job_carries_the_same_code(self, transport):
+        for verb in (transport.result, transport.model, transport.trace,
+                     transport.cancel):
+            with pytest.raises(UnknownJob) as excinfo:
+                verb("job-99999")
+            assert excinfo.value.code == "unknown_job"
+        with pytest.raises(KeyError):  # legacy catch, both transports
+            transport.result("job-99999")
+
+    def test_unknown_table_carries_the_same_code(self, transport):
+        if transport.name == "http":
+            submit = lambda: transport.client().submit(  # noqa: E731
+                "alice", "nope", **SUBMIT
+            )
+        else:
+            submit = lambda: transport.service.submit(  # noqa: E731
+                "alice", "nope", **SUBMIT
+            )
+        with pytest.raises(UnknownTable) as excinfo:
+            submit()
+        assert excinfo.value.code == "unknown_table"
+
+    def test_over_budget_submit_returns_a_rejected_record(self, transport):
+        # Admission denials are records, not exceptions — same through
+        # both transports (the ledger stays untouched).
+        view = transport.submit("alice", loss=LogisticLoss(1e-2),
+                                epsilon=20.0, batch_size=50)
+        assert view.status is JobStatus.REJECTED
+        assert "overflow" in (view.error or "")
+        statements = {(s.principal, s.table): s for s in transport.budgets()}
+        assert statements[("alice", "t")].spent == (0.0, 0.0)
+
+    def test_cancel_true_when_queued_false_when_done(self, transport):
+        transport.service.stop()  # freeze dispatch so the job stays QUEUED
+        view = transport.submit("alice", **SUBMIT)
+        assert transport.cancel(view.job_id) is True
+        assert transport.result(view.job_id).status is JobStatus.CANCELLED
+        transport.service.start()
+        done = transport.submit("bob", **SUBMIT)
+        transport.wait(done.job_id)
+        assert transport.cancel(done.job_id) is False
+
+    def test_trace_round_trips_spans(self, transport):
+        view = transport.submit("alice", **SUBMIT)
+        transport.wait(view.job_id)
+        trace = transport.trace(view.job_id)
+        names = [span.name for span in trace.spans()]
+        assert names[0] == "admit"
+        assert "commit" in names
+        # The wire payload is the same dict the in-process trace renders.
+        reference = transport.service.trace(view.job_id)
+        assert trace.payload() == reference.payload()
+
+    def test_health_reports_workers_and_queues(self, transport):
+        health = transport.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 1
+        assert health["dispatch_running"] is True
+        assert health["queue_depth"] == 0
+
+
+class TestConcurrentSubmitters:
+    def test_many_threads_share_one_socket(self):
+        service = make_service(workers=2, cap=10.0).start()
+        server = ServiceApiServer(service, TOKENS).start()
+        views = []
+        lock = threading.Lock()
+
+        def submitter(principal: str, token: str, seeds) -> None:
+            client = ServiceClient(server.url, token=token)
+            for seed in seeds:
+                view = client.submit(
+                    principal, "t", LogisticLoss(1e-2),
+                    epsilon=EPS, passes=1, batch_size=50, seed=seed,
+                )
+                with lock:
+                    views.append((client, view.job_id, principal, seed))
+
+        threads = [
+            threading.Thread(
+                target=submitter, args=(p, tok, range(i * 4, i * 4 + 4))
+            )
+            for i, (tok, p) in enumerate(TOKENS.items())
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            assert len(views) == 8
+            for client, job_id, principal, seed in views:
+                final = client.wait(job_id, timeout=60.0)
+                assert final.status is JobStatus.COMPLETED
+                assert final.principal == principal
+                assert final.seed == seed
+            # Budgets add up exactly: 4 jobs per principal.
+            for s in service.budgets():
+                assert s.spent == (4 * EPS, 0.0)
+        finally:
+            server.close()
+            service.stop()
+
+
+class TestHttpEdges:
+    """Contracts only the socket transport has."""
+
+    @pytest.fixture()
+    def server(self):
+        service = make_service(workers=1).start()
+        api = ServiceApiServer(service, TOKENS, admin_token=ADMIN_TOKEN)
+        api.start()
+        yield api
+        api.close()
+        service.stop()
+
+    def test_missing_token_is_unauthorized(self, server):
+        client = ServiceClient(server.url)  # no token
+        with pytest.raises(Unauthorized) as excinfo:
+            client.budgets()
+        assert excinfo.value.code == "unauthorized"
+        assert excinfo.value.http_status == 401
+
+    def test_unknown_token_is_unauthorized(self, server):
+        client = ServiceClient(server.url, token="stolen")
+        with pytest.raises(Unauthorized):
+            client.budgets()
+
+    def test_submit_for_another_principal_is_rejected(self, server):
+        client = ServiceClient(server.url, token="alice-token")
+        with pytest.raises(PrincipalMismatch) as excinfo:
+            client.submit("bob", "t", LogisticLoss(1e-2), epsilon=EPS)
+        assert excinfo.value.code == "principal_mismatch"
+        # Nothing was admitted, nothing charged.
+        for s in client.budgets():
+            assert s.spent == (0.0, 0.0)
+
+    def test_healthz_needs_no_token(self, server):
+        with urllib.request.urlopen(server.url + "/v1/healthz") as response:
+            payload = json.loads(response.read())
+        assert payload["api"] == WIRE_FORMAT
+        assert payload["status"] == "ok"
+
+    def test_every_response_carries_the_version_tag(self, server):
+        client = ServiceClient(server.url, token="alice-token")
+        view = client.submit("alice", "t", LogisticLoss(1e-2),
+                             epsilon=EPS, batch_size=50)
+        request = urllib.request.Request(
+            server.url + f"/v1/jobs/{view.job_id}",
+            headers={"Authorization": "Bearer alice-token"},
+        )
+        with urllib.request.urlopen(request) as response:
+            payload = json.loads(response.read())
+        assert payload["api"] == WIRE_FORMAT
+        assert check_envelope(payload) is payload
+        with pytest.raises(ValueError, match="protocol versions"):
+            check_envelope({"api": "repro-api/v999"})
+
+    def test_job_view_round_trips_exactly(self, server):
+        client = ServiceClient(server.url, token="alice-token")
+        view = client.wait(
+            client.submit("alice", "t", **SUBMIT).job_id
+        )
+        payload = view.to_payload()
+        rebuilt = JobView.from_payload(payload)
+        assert rebuilt.to_payload() == payload
+        assert np.array_equal(rebuilt.model, view.model)
+        assert rebuilt.receipt.parameters == view.receipt.parameters
+
+    def test_error_envelope_shape_on_the_wire(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/jobs/job-99999",
+            headers={"Authorization": "Bearer alice-token"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 404
+        fault = json.loads(excinfo.value.read())
+        assert fault["api"] == WIRE_FORMAT
+        assert fault["error"]["code"] == "unknown_job"
+        assert "job-99999" in fault["error"]["message"]
+
+    def test_unknown_route_and_wrong_method(self, server):
+        client = ServiceClient(server.url, token="alice-token")
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("GET", "/v1/nope")
+        assert excinfo.value.code == "unknown_route"
+        with pytest.raises(ServiceError) as excinfo:
+            client._call("POST", "/v1/budgets")
+        assert excinfo.value.code == "method_not_allowed"
+
+    def test_malformed_submit_body_is_invalid_request(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/jobs",
+            data=b"{not json",
+            headers={
+                "Authorization": "Bearer alice-token",
+                "Content-Type": "application/json",
+            },
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        fault = json.loads(excinfo.value.read())
+        assert fault["error"]["code"] == "invalid_request"
+
+    def test_metrics_both_formats(self, server):
+        client = ServiceClient(server.url, token="alice-token")
+        client.submit("alice", "t", LogisticLoss(1e-2),
+                      epsilon=EPS, batch_size=50)
+        text = client.metrics("prometheus")
+        assert "repro_http_requests_total" in text
+        document = client.metrics("json")
+        assert isinstance(document, dict)
+
+    def test_cancel_not_cancellable_maps_to_false(self, server):
+        client = ServiceClient(server.url, token="alice-token")
+        view = client.wait(client.submit("alice", "t", **SUBMIT).job_id)
+        # Raw endpoint raises; the client verb preserves the in-process
+        # boolean contract.
+        with pytest.raises(NotCancellable):
+            client._call("POST", f"/v1/jobs/{view.job_id}/cancel")
+        assert client.cancel(view.job_id) is False
+
+    def test_admin_shutdown_requires_the_admin_token(self, server):
+        tenant = ServiceClient(server.url, token="alice-token")
+        with pytest.raises(ServiceError) as excinfo:
+            tenant.shutdown()
+        assert excinfo.value.code == "forbidden"
+        admin = ServiceClient(server.url, token=ADMIN_TOKEN)
+        admin.shutdown()
+        assert server.shutdown_requested.wait(5.0)
+
+    def test_client_retries_then_raises_unreachable(self):
+        from repro.api.client import ApiUnreachable
+
+        client = ServiceClient(
+            "http://127.0.0.1:9", token="x", timeout=0.2,
+            retries=1, backoff=0.0,
+        )
+        with pytest.raises(ApiUnreachable) as excinfo:
+            client.health()
+        assert excinfo.value.code == "unreachable"
+        assert "2 attempt(s)" in str(excinfo.value)

@@ -323,8 +323,8 @@ class TestLifecycleTraces:
         from repro.rdbms.storage import FaultyHeapFile, MaterializedHeapFile
 
         service = TrainingService(scan_seed=7, workers=1, scan_retries=0)
-        service.register_heap(
-            "f", FaultyHeapFile(MaterializedHeapFile(X, Y), fail_pages=(0,))
+        service.register_table(
+            "f", heap=FaultyHeapFile(MaterializedHeapFile(X, Y), fail_pages=(0,))
         )
         service.open_budget("alice", "f", 10.0)
         record = submit_one(service, table="f")

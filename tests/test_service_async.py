@@ -436,7 +436,7 @@ class TestResultCache:
             return X[rows], Y[rows]
 
         service = make_service(workers=1)
-        service.register_heap("v", VirtualHeapFile(M, D, page))
+        service.register_table("v", heap=VirtualHeapFile(M, D, page))
         assert synthesized == []  # registration stayed metadata-only
         service.open_budget("alice", "v", 10.0)
         first = service.submit("alice", "v", LogisticLoss(1e-3), epsilon=EPS,

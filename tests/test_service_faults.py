@@ -36,7 +36,7 @@ def make_service(workers: int = 1, cap: float = 10.0, **kwargs) -> TrainingServi
 def faulty_service(heap_kwargs: dict, **service_kwargs) -> TrainingService:
     """A service whose table "f" injects page faults per ``heap_kwargs``."""
     service = TrainingService(scan_seed=5, workers=1, **service_kwargs)
-    service.register_heap("f", FaultyHeapFile(
+    service.register_table("f", heap=FaultyHeapFile(
         MaterializedHeapFile(X, Y), **heap_kwargs
     ))
     service.open_budget("alice", "f", 10.0)
@@ -55,7 +55,7 @@ class TestTransientFaultRetry:
         clean — and releases exactly the weights an undisturbed scan
         would (the model is rebuilt from scratch per attempt)."""
         clean = TrainingService(scan_seed=5, workers=1)
-        clean.register_heap("f", MaterializedHeapFile(X, Y))
+        clean.register_table("f", heap=MaterializedHeapFile(X, Y))
         clean.open_budget("alice", "f", 10.0)
         reference = submit_one(clean)
         clean.drain()

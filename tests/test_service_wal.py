@@ -427,7 +427,7 @@ CHILD_SCRIPT = textwrap.dedent(
 
     service = TrainingService(scan_seed=5, workers=1, state_dir=state_dir)
     service.register_table("t", X, Y)
-    service.register_heap("slow", StallingHeap(X, Y))
+    service.register_table("slow", heap=StallingHeap(X, Y))
     service.open_budget("alice", "t", 10.0)
     service.open_budget("alice", "slow", 10.0)
     for j in range(3):

@@ -280,7 +280,7 @@ class TestFaultMapping:
     @staticmethod
     def _service_on(heap):
         service = TrainingService(scan_seed=5, workers=1)
-        service.register_heap("f", heap)
+        service.register_table("f", heap=heap)
         service.open_budget("alice", "f", 10.0)
         service.scheduler.retry_backoff_seconds = 0.0
         return service
@@ -290,7 +290,7 @@ class TestFaultMapping:
         the release is bitwise-identical to an undisturbed in-memory
         run — backend invariance and retry determinism in one assert."""
         clean = TrainingService(scan_seed=5, workers=1)
-        clean.register_heap("f", MaterializedHeapFile(X, Y))
+        clean.register_table("f", heap=MaterializedHeapFile(X, Y))
         clean.open_budget("alice", "f", 10.0)
         reference = submit_one(clean, "f")
         clean.drain()
